@@ -1,0 +1,58 @@
+//! Criterion microbench: clustering algorithms and Top-K selection.
+//!
+//! Chameleon clusters at most 2K+1 items per tree node; these benches
+//! verify the constant is small and compare the three interchangeable
+//! algorithms (K-farthest, K-medoids, K-random).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clusterkit::{find_top_k, ClusterAlgorithm, ClusterEntry, KFarthest, KMedoids, KRandom};
+use sigkit::{CallPathSig, SignatureTriple};
+
+fn entries(n: usize) -> Vec<ClusterEntry> {
+    (0..n)
+        .map(|r| {
+            ClusterEntry::singleton(
+                r,
+                &SignatureTriple {
+                    call_path: CallPathSig(1),
+                    src: (r as u64).wrapping_mul(0x9e3779b97f4a7c15) % 10_000,
+                    dest: (r as u64).wrapping_mul(0xbf58476d1ce4e5b9) % 10_000,
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_select");
+    let n = 64usize;
+    let coords: Vec<f64> = (0..n).map(|i| (i as f64 * 37.0) % 1000.0).collect();
+    let dist = move |a: usize, b: usize| (coords[a] - coords[b]).abs();
+    for k in [3usize, 9] {
+        group.bench_with_input(BenchmarkId::new("k_farthest", k), &k, |b, &k| {
+            b.iter(|| KFarthest.select(n, k, &dist));
+        });
+        group.bench_with_input(BenchmarkId::new("k_medoids", k), &k, |b, &k| {
+            b.iter(|| KMedoids::default().select(n, k, &dist));
+        });
+        group.bench_with_input(BenchmarkId::new("k_random", k), &k, |b, &k| {
+            b.iter(|| KRandom::default().select(n, k, &dist));
+        });
+    }
+    group.finish();
+}
+
+fn bench_find_top_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_top_k");
+    // The per-tree-node working set: (radix + 1) * K entries.
+    for n in [7usize, 19, 64] {
+        group.bench_with_input(BenchmarkId::new("reduce_to_9", n), &n, |b, &n| {
+            let base = entries(n);
+            b.iter(|| find_top_k(base.clone(), 9, &KFarthest));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_find_top_k);
+criterion_main!(benches);

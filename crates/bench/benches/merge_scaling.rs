@@ -1,0 +1,75 @@
+//! Criterion microbench: inter-node merge scaling.
+//!
+//! The pairwise merge is the O(n²) factor in the paper's complexity
+//! analysis (n = compressed trace size); merging across ranks is the
+//! O(n² log P) bottleneck Chameleon removes. These benches expose both
+//! axes: n (trace size) and the number of traces folded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpisim::Comm;
+use scalatrace::merge::{merge_all, merge_traces};
+use scalatrace::{CompressedTrace, Endpoint, EventRecord, MpiOp};
+use sigkit::StackSig;
+
+fn trace_with_sites(rank: usize, sites: usize) -> CompressedTrace {
+    let mut t = CompressedTrace::new();
+    for s in 0..sites {
+        t.append(EventRecord::new(
+            MpiOp::send(Endpoint::Relative(1), 0, 64, Comm::WORLD),
+            StackSig(s as u64 + 1),
+            rank,
+            1e-6,
+        ));
+    }
+    t
+}
+
+fn bench_pairwise_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_pairwise");
+    group.sample_size(20);
+    for n in [8usize, 32, 128, 512] {
+        group.bench_with_input(BenchmarkId::new("identical", n), &n, |b, &n| {
+            let a = trace_with_sites(0, n);
+            let x = trace_with_sites(1, n);
+            b.iter(|| merge_traces(&a, &x));
+        });
+        group.bench_with_input(BenchmarkId::new("disjoint", n), &n, |b, &n| {
+            let a = trace_with_sites(0, n);
+            let mut x = CompressedTrace::new();
+            for s in 0..n {
+                x.append(EventRecord::new(
+                    MpiOp::send(Endpoint::Relative(1), 0, 64, Comm::WORLD),
+                    StackSig((n + s) as u64 + 1),
+                    1,
+                    1e-6,
+                ));
+            }
+            b.iter(|| merge_traces(&a, &x));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_p_traces(c: &mut Criterion) {
+    // Folding P SPMD traces: the work ScalaTrace does at finalize (P
+    // traces) vs Chameleon online (K traces). The P-axis is the paper's
+    // whole point.
+    let mut group = c.benchmark_group("merge_p_traces");
+    group.sample_size(10);
+    for p in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("spmd", p), &p, |b, &p| {
+            let traces: Vec<CompressedTrace> =
+                (0..p).map(|r| trace_with_sites(r, 24)).collect();
+            b.iter(|| merge_all(traces.iter()));
+        });
+    }
+    // The Chameleon side: always K traces regardless of P.
+    group.bench_function("chameleon_k9", |b| {
+        let traces: Vec<CompressedTrace> = (0..9).map(|r| trace_with_sites(r, 24)).collect();
+        b.iter(|| merge_all(traces.iter()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise_by_n, bench_merge_p_traces);
+criterion_main!(benches);

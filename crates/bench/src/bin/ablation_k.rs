@@ -1,0 +1,7 @@
+//! Harness binary regenerating the paper's ablation_k (see DESIGN.md).
+use chameleon_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    experiments::ablation_k(&cfg).emit(cfg.out_dir.as_deref(), "ablation_k");
+}

@@ -1,0 +1,7 @@
+//! Harness binary for the ablation_radix experiment (see DESIGN.md).
+use chameleon_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    experiments::ablation_radix(&cfg).emit(cfg.out_dir.as_deref(), "ablation_radix");
+}

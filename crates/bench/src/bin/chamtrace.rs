@@ -1,0 +1,107 @@
+//! `chamtrace` — inspect, validate, and replay Chameleon/ScalaTrace trace
+//! files from the command line.
+//!
+//! ```text
+//! chamtrace info   <trace-file>             # summary statistics
+//! chamtrace dump   <trace-file>             # pretty event listing
+//! chamtrace check  <trace-file>             # parse + invariant checks
+//! chamtrace replay <trace-file> <ranks>     # replay, print virtual time
+//! ```
+
+use mpisim::CostModel;
+use scalatrace::{format, CompressedTrace, RankSet};
+
+fn load(path: &str) -> CompressedTrace {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    format::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a valid trace: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn info(path: &str) {
+    let t = load(path);
+    let mut ranks = RankSet::empty();
+    let mut ops = std::collections::BTreeMap::<&str, u64>::new();
+    let mut total_time = 0.0;
+    t.visit_events(&mut |e| {
+        ranks = ranks.union(&e.ranks);
+        *ops.entry(e.op.kind.mnemonic()).or_default() += 1;
+        total_time += e.pre_time.total();
+    });
+    println!("trace:            {path}");
+    println!("compressed nodes: {}", t.compressed_size());
+    println!("dynamic events:   {}", t.dynamic_size());
+    println!("ranks covered:    {} ({})", ranks.len(), ranks);
+    println!("recorded compute: {total_time:.6}s");
+    println!("events by op:");
+    for (op, n) in ops {
+        println!("  {op:<10} {n}");
+    }
+}
+
+fn dump(path: &str) {
+    let t = load(path);
+    print!("{}", format::to_text(&t));
+}
+
+fn check(path: &str) {
+    let t = load(path);
+    let mut problems = 0u32;
+    t.visit_events(&mut |e| {
+        if e.ranks.is_empty() {
+            eprintln!("event with empty ranklist: {:?}", e.op.kind);
+            problems += 1;
+        }
+        if e.pre_time.count() == 0 {
+            eprintln!("event with no time samples: {:?}", e.op.kind);
+            problems += 1;
+        }
+    });
+    if problems == 0 {
+        println!("ok: {} nodes, {} dynamic events", t.compressed_size(), t.dynamic_size());
+    } else {
+        eprintln!("{problems} problem(s) found");
+        std::process::exit(1);
+    }
+}
+
+fn replay_cmd(path: &str, ranks: usize) {
+    let t = load(path);
+    match scalareplay::replay(&t, ranks, CostModel::default()) {
+        Ok(rep) => {
+            println!("replay virtual time: {:.6}s", rep.replay_vtime);
+            println!("events executed:     {}", rep.events_executed);
+            println!("events dropped:      {}", rep.dropped_events);
+            println!("replay wall time:    {:?}", rep.wall);
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "info" => info(path),
+        [cmd, path] if cmd == "dump" => dump(path),
+        [cmd, path] if cmd == "check" => check(path),
+        [cmd, path, ranks] if cmd == "replay" => {
+            let ranks = ranks.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid rank count {ranks:?}");
+                std::process::exit(2);
+            });
+            replay_cmd(path, ranks);
+        }
+        _ => {
+            eprintln!("usage: chamtrace info|dump|check <trace-file>");
+            eprintln!("       chamtrace replay <trace-file> <ranks>");
+            std::process::exit(2);
+        }
+    }
+}

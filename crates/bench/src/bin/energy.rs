@@ -1,0 +1,7 @@
+//! Harness binary for the energy experiment (see DESIGN.md).
+use chameleon_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    experiments::energy(&cfg).emit(cfg.out_dir.as_deref(), "energy");
+}

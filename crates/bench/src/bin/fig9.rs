@@ -1,0 +1,7 @@
+//! Harness binary regenerating the paper's fig9 (see DESIGN.md).
+use chameleon_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    experiments::fig9(&cfg).emit(cfg.out_dir.as_deref(), "fig9");
+}

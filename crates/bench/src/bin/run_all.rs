@@ -1,0 +1,9 @@
+//! Run the complete reproduction suite and emit every table/figure.
+use chameleon_bench::{experiments, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for (slug, table) in experiments::run_all(&cfg) {
+        table.emit(cfg.out_dir.as_deref(), &slug);
+    }
+}

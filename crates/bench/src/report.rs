@@ -1,0 +1,175 @@
+//! Result tables: aligned console output plus optional TSV files.
+
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// A simple result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write as TSV under `dir/<slug>.tsv`.
+    pub fn write_tsv(&self, dir: &Path, slug: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{slug}.tsv")))?;
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.headers.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+
+    /// Print, and also write TSV when an output directory is configured.
+    pub fn emit(&self, out_dir: Option<&Path>, slug: &str) {
+        self.print();
+        if let Some(dir) = out_dir {
+            if let Err(e) = self.write_tsv(dir, slug) {
+                eprintln!("warning: could not write {slug}.tsv: {e}");
+            }
+        }
+    }
+}
+
+/// Human duration: microseconds up to seconds with sensible precision.
+pub fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Seconds with engineering precision (TSV-friendly).
+pub fn secs(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+/// Ratio formatted as "N.Nx", guarding the zero denominator.
+pub fn speedup(base: Duration, other: Duration) -> String {
+    let b = base.as_secs_f64();
+    let o = other.as_secs_f64();
+    if o == 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.1}x", b / o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_alignment() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("## Demo"));
+        assert!(r.contains("longer"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("Bad", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let dir = std::env::temp_dir().join("chameleon-bench-test");
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.write_tsv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.tsv")).unwrap();
+        assert!(content.contains("a\tb"));
+        assert!(content.contains("1\t2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000s");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.000ms");
+        assert_eq!(fmt_dur(Duration::from_micros(7)), "7.0us");
+        assert_eq!(speedup(Duration::from_secs(10), Duration::from_secs(2)), "5.0x");
+        assert_eq!(speedup(Duration::from_secs(1), Duration::ZERO), "inf");
+    }
+}

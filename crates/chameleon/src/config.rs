@@ -1,0 +1,124 @@
+//! Chameleon configuration.
+
+use clusterkit::{ClusterAlgorithm, KFarthest, KMedoids, KRandom};
+
+/// Which representative-selection algorithm clustering uses. The paper:
+/// "Users could select any clustering algorithm (e.g., K-Medoid,
+/// K-Furthest, K-Random selection)" — accuracy is very close between the
+/// distance-aware ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgoChoice {
+    /// Farthest-point (maximin) selection — the default.
+    #[default]
+    Farthest,
+    /// K-medoids (PAM refinement).
+    Medoids,
+    /// Seeded random selection (ablation baseline).
+    Random(u64),
+}
+
+impl AlgoChoice {
+    /// Materialize the algorithm object.
+    pub fn build(&self) -> Box<dyn ClusterAlgorithm> {
+        match *self {
+            AlgoChoice::Farthest => Box::new(KFarthest),
+            AlgoChoice::Medoids => Box::new(KMedoids::default()),
+            AlgoChoice::Random(seed) => Box::new(KRandom { seed }),
+        }
+    }
+}
+
+/// Tunables of a Chameleon run.
+#[derive(Debug, Clone)]
+pub struct ChameleonConfig {
+    /// Cluster budget K (Table I: 3 for BT/SP/POP, 9 for LU/S3D/LUW,
+    /// 2 for EMF). Grows dynamically if the Call-Path count exceeds it.
+    pub k: usize,
+    /// `Call_Frequency`: the transition graph runs on every
+    /// `call_frequency`-th marker invocation; others return immediately
+    /// (Algorithm 3 lines 1–3).
+    pub call_frequency: u64,
+    /// Radix of the trace-merge reduction tree (2 = the paper's
+    /// left/right-child formulation).
+    pub radix: usize,
+    /// Clustering algorithm.
+    pub algo: AlgoChoice,
+}
+
+impl ChameleonConfig {
+    /// Configuration with the given K and all other values at their
+    /// defaults (frequency 1 = cluster at every marker).
+    pub fn with_k(k: usize) -> Self {
+        ChameleonConfig {
+            k,
+            call_frequency: 1,
+            radix: 2,
+            algo: AlgoChoice::default(),
+        }
+    }
+
+    /// Set the marker call frequency.
+    pub fn with_frequency(mut self, call_frequency: u64) -> Self {
+        assert!(call_frequency >= 1, "call frequency must be at least 1");
+        self.call_frequency = call_frequency;
+        self
+    }
+
+    /// Set the clustering algorithm.
+    pub fn with_algo(mut self, algo: AlgoChoice) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Set the merge-tree radix.
+    pub fn with_radix(mut self, radix: usize) -> Self {
+        assert!(radix >= 1);
+        self.radix = radix;
+        self
+    }
+}
+
+impl Default for ChameleonConfig {
+    fn default() -> Self {
+        Self::with_k(9) // the paper's stencil-code default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ChameleonConfig::default();
+        assert_eq!(c.k, 9);
+        assert_eq!(c.call_frequency, 1);
+        assert_eq!(c.radix, 2);
+        assert_eq!(c.algo, AlgoChoice::Farthest);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ChameleonConfig::with_k(3)
+            .with_frequency(25)
+            .with_algo(AlgoChoice::Medoids)
+            .with_radix(4);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.call_frequency, 25);
+        assert_eq!(c.algo, AlgoChoice::Medoids);
+        assert_eq!(c.radix, 4);
+    }
+
+    #[test]
+    fn algo_choices_build() {
+        assert_eq!(AlgoChoice::Farthest.build().name(), "k-farthest");
+        assert_eq!(AlgoChoice::Medoids.build().name(), "k-medoids");
+        assert_eq!(AlgoChoice::Random(1).build().name(), "k-random");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_frequency_rejected() {
+        ChameleonConfig::with_k(3).with_frequency(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Energy accounting for clustered tracing — the paper's future-work
+//! extension, implemented.
+//!
+//! The paper closes with: "We currently plan to leverage the idle time
+//! for non representative processes at interim execution points by
+//! utilizing dynamic voltage frequency scaling (DVFS). This would reduce
+//! energy consumption and make clustered tracing energy efficient as
+//! well." And Observation 1 notes that "P − K processes were idle for
+//! more than 70% of the execution of markers."
+//!
+//! This module quantifies that opportunity. Each rank's run is split into
+//! the fraction of marker intervals it spent *dark* (Lead state with the
+//! lead flag off: no tracing work, no trace memory traffic) versus
+//! *active*; a simple CPU power model then prices three scenarios:
+//!
+//! * **baseline** — every rank traces all the time (ScalaTrace/ACURDION);
+//! * **chameleon** — non-leads skip tracing work but stay at nominal
+//!   frequency (what the paper built);
+//! * **chameleon + DVFS** — non-leads additionally down-clock during
+//!   their dark intervals (what the paper proposed).
+
+use crate::stats::ChameleonStats;
+
+/// CPU power model (per rank) in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Power while computing/tracing at nominal frequency.
+    pub busy_watts: f64,
+    /// Extra power drawn by tracing activity (event recording, trace
+    /// memory traffic) on top of application compute.
+    pub tracing_watts: f64,
+    /// Power at the lowest DVFS state (dark intervals only).
+    pub dvfs_watts: f64,
+}
+
+impl EnergyModel {
+    /// Values representative of the paper's testbed CPUs (AMD Opteron
+    /// 6128: ~115 W TDP per socket, 8 cores → ~14 W/core busy; DVFS floor
+    /// around 40% of busy power; tracing adds a few percent).
+    pub fn opteron_6128() -> Self {
+        EnergyModel {
+            busy_watts: 14.0,
+            tracing_watts: 0.7,
+            dvfs_watts: 5.6,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::opteron_6128()
+    }
+}
+
+/// Energy totals for one run, in joules, across all ranks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// All ranks tracing for the whole run.
+    pub baseline_joules: f64,
+    /// Chameleon: non-leads skip tracing work during dark intervals.
+    pub chameleon_joules: f64,
+    /// Chameleon with DVFS on dark intervals (the proposed extension).
+    pub chameleon_dvfs_joules: f64,
+    /// Mean dark-interval fraction across ranks (the paper's ">70% idle"
+    /// observation when markers dominate).
+    pub mean_dark_fraction: f64,
+}
+
+impl EnergyReport {
+    /// Relative saving of Chameleon over the baseline.
+    pub fn chameleon_saving(&self) -> f64 {
+        1.0 - self.chameleon_joules / self.baseline_joules
+    }
+
+    /// Relative saving of Chameleon+DVFS over the baseline.
+    pub fn dvfs_saving(&self) -> f64 {
+        1.0 - self.chameleon_dvfs_joules / self.baseline_joules
+    }
+}
+
+/// Estimate run energy from per-rank Chameleon statistics.
+///
+/// `app_vtime` is the application's virtual execution time (identical
+/// across ranks to first order — the ranks synchronize at markers). A
+/// rank's *dark fraction* is the share of marker intervals it spent in
+/// the Lead state without holding any trace bytes.
+pub fn estimate(
+    stats: &[ChameleonStats],
+    app_vtime: f64,
+    model: EnergyModel,
+) -> EnergyReport {
+    assert!(!stats.is_empty(), "no ranks to account");
+    assert!(app_vtime >= 0.0);
+    let mut baseline = 0.0;
+    let mut chameleon = 0.0;
+    let mut dvfs = 0.0;
+    let mut dark_sum = 0.0;
+    for s in stats {
+        let total_markers = s.states.total().max(1) as f64;
+        let (l_calls, l_bytes) = s.mem.get("L");
+        // Dark fraction: Lead-state intervals with zero trace allocation.
+        let dark = if l_bytes == 0 {
+            l_calls as f64 / total_markers
+        } else {
+            0.0
+        };
+        dark_sum += dark;
+        let active = 1.0 - dark;
+        baseline += app_vtime * (model.busy_watts + model.tracing_watts);
+        // Chameleon: tracing power only while actively tracing.
+        chameleon += app_vtime
+            * (model.busy_watts + model.tracing_watts * active);
+        // DVFS: dark intervals run at the DVFS floor (the rank only waits
+        // for the marker), active intervals at busy+tracing power.
+        dvfs += app_vtime
+            * (dark * model.dvfs_watts
+                + active * (model.busy_watts + model.tracing_watts));
+    }
+    EnergyReport {
+        baseline_joules: baseline,
+        chameleon_joules: chameleon,
+        chameleon_dvfs_joules: dvfs,
+        mean_dark_fraction: dark_sum / stats.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::MarkerState;
+    use crate::stats::ChameleonStats;
+
+    fn rank_stats(l_calls: u64, l_bytes: u64, other_markers: u64) -> ChameleonStats {
+        let mut s = ChameleonStats::default();
+        for _ in 0..l_calls {
+            s.states.bump(MarkerState::Lead);
+            s.mem
+                .record(MarkerState::Lead, (l_bytes / l_calls.max(1)) as usize);
+        }
+        for _ in 0..other_markers {
+            s.states.bump(MarkerState::AllTracing);
+            s.mem.record(MarkerState::AllTracing, 1000);
+        }
+        s
+    }
+
+    #[test]
+    fn all_dark_rank_saves_most() {
+        // 8 of 10 markers dark.
+        let dark = rank_stats(8, 0, 2);
+        let report = estimate(&[dark], 100.0, EnergyModel::default());
+        assert!(report.mean_dark_fraction > 0.7, "the paper's >70% idle");
+        assert!(report.chameleon_joules < report.baseline_joules);
+        assert!(report.chameleon_dvfs_joules < report.chameleon_joules);
+        assert!(report.dvfs_saving() > report.chameleon_saving());
+    }
+
+    #[test]
+    fn lead_rank_saves_nothing() {
+        let lead = rank_stats(8, 80_000, 2); // traced through L
+        let report = estimate(&[lead], 100.0, EnergyModel::default());
+        assert_eq!(report.mean_dark_fraction, 0.0);
+        assert!((report.chameleon_joules - report.baseline_joules).abs() < 1e-9);
+        assert!((report.chameleon_dvfs_joules - report.baseline_joules).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_fleet_interpolates() {
+        let mut fleet = vec![rank_stats(8, 80_000, 2)]; // one lead
+        for _ in 0..7 {
+            fleet.push(rank_stats(8, 0, 2)); // seven dark
+        }
+        let report = estimate(&fleet, 10.0, EnergyModel::default());
+        assert!(report.mean_dark_fraction > 0.6);
+        assert!(report.dvfs_saving() > 0.2, "got {}", report.dvfs_saving());
+        assert!(report.dvfs_saving() < 0.6);
+    }
+
+    #[test]
+    fn savings_bounded() {
+        let dark = rank_stats(9, 0, 1);
+        let report = estimate(&[dark], 50.0, EnergyModel::default());
+        assert!(report.chameleon_saving() > 0.0);
+        assert!(report.chameleon_saving() < 1.0);
+        assert!(report.dvfs_saving() < 1.0);
+    }
+
+    #[test]
+    fn zero_app_time_zero_energy() {
+        let report = estimate(&[rank_stats(5, 0, 5)], 0.0, EnergyModel::default());
+        assert_eq!(report.baseline_joules, 0.0);
+        assert_eq!(report.chameleon_dvfs_joules, 0.0);
+    }
+}

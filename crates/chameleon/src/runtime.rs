@@ -1,0 +1,630 @@
+//! The Chameleon driver: marker and finalize wrappers (Algorithm 3).
+//!
+//! One [`Chameleon`] instance lives on each rank, attached to that rank's
+//! [`TracedProc`]. The workload calls [`Chameleon::marker`] at its
+//! progress-reporting points (timestep boundaries) and
+//! [`Chameleon::finalize`] at the end; everything else — voting,
+//! clustering, lead election, online inter-compression, memory
+//! bookkeeping — happens inside those two calls, exactly as the paper puts
+//! it: "communication for clustering occurs within PMPI pre- and
+//! post-wrappers of the marker."
+
+use std::time::Duration;
+
+use clusterkit::{ClusterMap, LeadSelection};
+use mpisim::collectives::ReduceOp;
+use mpisim::{Comm, Rank, SrcSel, Tag, TagSel};
+use scalatrace::reduction::radix_tree_merge;
+use scalatrace::{format, CompressedTrace, TracedProc};
+use sigkit::SignatureTriple;
+
+use crate::config::ChameleonConfig;
+use crate::state::{LocalVote, MarkerDecision, MarkerState, TransitionGraph};
+use crate::stats::ChameleonStats;
+
+/// Compute a rank's clustering signature triple from its *partial trace*
+/// — Algorithm 1's literal input ("A Sequence of Compressed MPI Events
+/// (PRSDs)"). The per-interval accumulators drive the phase-change vote;
+/// clustering, however, must group ranks by the content that is about to
+/// be merged, which spans every interval since the last merge.
+pub(crate) fn trace_triple_of(trace: &scalatrace::CompressedTrace) -> SignatureTriple {
+    trace_triple(trace)
+}
+
+fn trace_triple(trace: &scalatrace::CompressedTrace) -> SignatureTriple {
+    let mut cp = sigkit::CallPathAccumulator::new();
+    let mut src = sigkit::ParamEstimator::new();
+    let mut dest = sigkit::ParamEstimator::new();
+    trace.visit_events(&mut |e| {
+        cp.record(e.stack_sig);
+        if let Some(s) = &e.op.src {
+            src.add(s.param_sig());
+        }
+        if let Some(d) = &e.op.dest {
+            dest.add(d.param_sig());
+        }
+    });
+    SignatureTriple {
+        call_path: cp.finish(),
+        src: src.estimate(),
+        dest: dest.estimate(),
+    }
+}
+
+/// Tool-comm tag for hierarchical cluster-map exchange.
+pub const CLUSTER_TAG: Tag = (1 << 29) + 1;
+/// Tool-comm tag for shipping the partial global trace to rank 0.
+pub const ONLINE_TAG: Tag = (1 << 29) + 2;
+
+/// Result of `finalize`: the online trace materializes on rank 0.
+#[derive(Debug, Clone)]
+pub struct FinalizeOutcome {
+    /// The complete online global trace (rank 0 only, `None` elsewhere).
+    pub online_trace: Option<CompressedTrace>,
+    /// This rank's accumulated instrumentation.
+    pub stats: ChameleonStats,
+}
+
+/// Per-rank Chameleon state.
+pub struct Chameleon {
+    config: ChameleonConfig,
+    graph: TransitionGraph,
+    stats: ChameleonStats,
+    /// Lead selection from the most recent Clustering marker; `Some`
+    /// exactly while in a lead phase.
+    selection: Option<LeadSelection>,
+    /// The incrementally grown global trace (rank 0 keeps it; empty
+    /// elsewhere).
+    online_trace: CompressedTrace,
+    finalized: bool,
+}
+
+impl Chameleon {
+    /// Create the per-rank driver.
+    pub fn new(config: ChameleonConfig) -> Self {
+        Chameleon {
+            config,
+            graph: TransitionGraph::new(),
+            stats: ChameleonStats::default(),
+            selection: None,
+            online_trace: CompressedTrace::new(),
+            finalized: false,
+        }
+    }
+
+    /// Instrumentation so far.
+    pub fn stats(&self) -> &ChameleonStats {
+        &self.stats
+    }
+
+    /// Current online-trace size in bytes (only meaningful on rank 0).
+    pub fn online_trace_bytes(&self) -> usize {
+        if self.online_trace.is_empty() {
+            0
+        } else {
+            self.online_trace.byte_size()
+        }
+    }
+
+    /// Whether this rank is currently a lead (or in all-tracing mode,
+    /// where everyone effectively is).
+    pub fn is_tracing(&self, tp: &TracedProc) -> bool {
+        tp.tracer().is_enabled()
+    }
+
+    /// The marker call — insert at timestep boundaries.
+    ///
+    /// All ranks must call this collectively (it synchronizes on the
+    /// marker communicator). Subject to `Call_Frequency`, it runs
+    /// Algorithm 1 (vote) and the matching slice of Algorithm 3.
+    pub fn marker(&mut self, tp: &mut TracedProc) {
+        assert!(!self.finalized, "marker after finalize");
+        self.stats.marker_invocations += 1;
+        // The marker itself: a barrier distinguished by its unique
+        // communicator value. Tool-internal, so not traced. Its cost is
+        // the modeled communication time (measuring blocking waits on an
+        // oversubscribed host would time the scheduler, not the tool).
+        let tool0 = tp.inner().tool_time();
+        tp.inner().barrier(Comm::MARKER);
+        self.stats.vote_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+        if self.stats.marker_invocations % self.config.call_frequency != 0 {
+            return; // Algorithm 3 lines 1-3
+        }
+        self.stats.marker_calls += 1;
+
+        // Signature creation: O(n) over the interval's compressed events
+        // (modeled; see mpisim::WorkModel).
+        let events = tp.tracer().interval().event_count();
+        let triple = tp.tracer_mut().rotate_interval();
+        let sig_cost = mpisim::WorkModel::calibrated().signature(events);
+        tp.inner().tool_compute(sig_cost);
+        self.stats.signature_time += Duration::from_secs_f64(sig_cost);
+
+        // Collective vote (Algorithm 1): reduce + bcast of the mismatch
+        // indicator, O(log P) modeled communication.
+        let tool0 = tp.inner().tool_time();
+        let decision = match self.graph.local_vote(triple.call_path) {
+            LocalVote::First => MarkerDecision::FirstMarker,
+            LocalVote::Mismatch(m) => {
+                let global = tp
+                    .inner()
+                    .allreduce_u64(m, ReduceOp::Sum, Comm::TOOL);
+                self.graph.decide(global)
+            }
+        };
+        self.stats.vote_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+
+        // Memory snapshot before any trace is wiped: what was allocated
+        // during this interval (Table IV).
+        let pre_bytes = tp.tracer().trace_bytes();
+
+        match decision {
+            MarkerDecision::FirstMarker | MarkerDecision::AllTracing => {
+                // Nothing to do; partial traces keep accumulating.
+            }
+            MarkerDecision::StableLead => {
+                // Leads keep tracing; everyone else stays dark. No merge —
+                // this is why the lead phase is nearly free.
+            }
+            MarkerDecision::Cluster => {
+                // Cluster on the partial trace's signatures (everything
+                // that the merge below will ship), not just the last
+                // interval's.
+                let cluster_triple = trace_triple(tp.tracer().trace());
+                let sel = self.cluster(tp, &cluster_triple);
+                let am_lead = sel.is_lead(tp.rank());
+                tp.tracer_mut().set_enabled(am_lead);
+                self.merge_leads_into_online(tp, &sel);
+                self.selection = Some(sel);
+            }
+            MarkerDecision::FlushLead => {
+                let sel = self
+                    .selection
+                    .take()
+                    .expect("flush requires a prior clustering");
+                self.merge_leads_into_online(tp, &sel);
+                // Phase changed: back to all-tracing.
+                tp.tracer_mut().set_enabled(true);
+            }
+        }
+
+        let state = decision.counted_state();
+        self.stats.states.bump(state);
+        self.stats.reclusterings = self.stats.states.c;
+        let post_online = if tp.rank() == 0 {
+            self.online_trace_bytes()
+        } else {
+            0
+        };
+        self.stats.mem.record(state, pre_bytes + post_online);
+    }
+
+    /// The `MPI_Finalize` wrapper: flush the last interval into the online
+    /// trace and return it (on rank 0).
+    ///
+    /// Per the paper, the Call-Path at finalize is "definitely different
+    /// from the previous clustering" (the finalize event itself is new),
+    /// so no vote is needed: if a lead phase is active its leads are
+    /// flushed; otherwise one more clustering runs over the all-tracing
+    /// partial traces.
+    pub fn finalize(&mut self, tp: &mut TracedProc) -> FinalizeOutcome {
+        assert!(!self.finalized, "finalize called twice");
+        self.finalized = true;
+        tp.record_finalize("MPI_Finalize");
+        let tool0 = tp.inner().tool_time();
+        tp.inner().barrier(Comm::TOOL);
+        self.stats.vote_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+
+        let t0 = mpisim::CpuTimer::start();
+        let triple = tp.tracer_mut().rotate_interval();
+        self.stats.signature_time += t0.elapsed();
+
+        let pre_bytes = tp.tracer().trace_bytes();
+
+        match self.selection.take() {
+            Some(sel) => {
+                // Lead phase: non-leads hold no events for this tail; the
+                // current leads' traces cover their clusters.
+                self.merge_leads_into_online(tp, &sel);
+            }
+            None => {
+                // All-tracing: one final clustering (re-clustering
+                // forced), grouping by the unmerged partial traces — the
+                // final *interval* may hold nothing but the finalize
+                // event, which would spuriously group every rank
+                // together.
+                let _ = triple;
+                let cluster_triple = trace_triple(tp.tracer().trace());
+                let sel = self.cluster(tp, &cluster_triple);
+                let am_lead = sel.is_lead(tp.rank());
+                tp.tracer_mut().set_enabled(am_lead);
+                self.merge_leads_into_online(tp, &sel);
+            }
+        }
+
+        // Exit synchronization: the job ends when the last merge
+        // completes; spread the critical path to all ranks.
+        let tool0 = tp.inner().tool_time();
+        tp.inner().barrier(Comm::TOOL);
+        self.stats.intercomp_time +=
+            Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+
+        self.stats.states.bump(MarkerState::Final);
+        let post_online = if tp.rank() == 0 {
+            self.online_trace_bytes()
+        } else {
+            0
+        };
+        self.stats
+            .mem
+            .record(MarkerState::Final, pre_bytes + post_online);
+
+        FinalizeOutcome {
+            online_trace: (tp.rank() == 0).then(|| std::mem::take(&mut self.online_trace)),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Hierarchical signature clustering over the radix tree of all ranks
+    /// (Algorithm 3, Clustering branch): child maps merge upward with
+    /// per-node pruning; the root selects the Top K and broadcasts it.
+    fn cluster(&mut self, tp: &mut TracedProc, triple: &SignatureTriple) -> LeadSelection {
+        let tool0 = tp.inner().tool_time();
+        let algo = self.config.algo.build();
+        let me = tp.rank();
+        let p = tp.size();
+        let tree = mpisim::RadixTree::new(self.config.radix, p);
+
+        let work = mpisim::WorkModel::calibrated();
+        let mut map = ClusterMap::from_rank(me, triple);
+        for child in tree.children(me) {
+            let info = tp
+                .inner()
+                .recv(SrcSel::Rank(child), TagSel::Tag(CLUSTER_TAG), Comm::TOOL);
+            let child_map =
+                ClusterMap::decode(&info.payload).expect("malformed cluster map from child");
+            tp.inner()
+                .tool_compute(work.codec(info.payload.len()));
+            map.merge(child_map);
+        }
+        // Per-node pruning keeps every node's working set at O(K).
+        tp.inner().tool_compute(work.cluster(map.total_clusters()));
+        map.prune(self.config.k, &*algo);
+        let sel = match tree.parent(me) {
+            Some(parent) => {
+                let wire = map.encode();
+                tp.inner().tool_compute(work.codec(wire.len()));
+                tp.inner().send(parent, CLUSTER_TAG, Comm::TOOL, &wire);
+                let enc = tp.inner().bcast(&[], 0, Comm::TOOL);
+                tp.inner().tool_compute(work.codec(enc.len()));
+                LeadSelection::decode(&enc).expect("malformed lead selection from root")
+            }
+            None => {
+                tp.inner().tool_compute(work.cluster(map.total_clusters()));
+                let sel = LeadSelection::select(map, self.config.k, &*algo);
+                let wire = sel.encode();
+                tp.inner().tool_compute(work.codec(wire.len()));
+                tp.inner().bcast(&wire, 0, Comm::TOOL);
+                sel
+            }
+        };
+        // Every span above was registered on the tool clock, so the delta
+        // covers modeled compute + modeled communication + waits.
+        self.stats.clustering_time +=
+            Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+        // Table I reports the main-phase clustering; later re-clusterings
+        // (e.g. the tiny finalize interval) see fewer Call-Paths, so keep
+        // the maximum observed.
+        self.stats.leads = self.stats.leads.max(sel.leads.len() as u64);
+        self.stats.call_paths = self
+            .stats
+            .call_paths
+            .max(sel.map.num_call_paths() as u64);
+        sel
+    }
+
+    /// Online inter-compression (Algorithm 3, merge branch): leads
+    /// substitute their cluster ranklists into their partial traces, merge
+    /// over the radix tree of the Top K ("temp ranks"), ship the partial
+    /// global trace to rank 0, fold it into the online trace, and then
+    /// every rank deletes its partial trace.
+    fn merge_leads_into_online(&mut self, tp: &mut TracedProc, sel: &LeadSelection) {
+        let tool0 = tp.inner().tool_time();
+        let me = tp.rank();
+        let am_lead = sel.is_lead(me);
+        debug_assert!(!sel.leads.is_empty(), "selection with no leads");
+        let merge_root: Rank = sel.leads[0];
+
+        let work = mpisim::WorkModel::calibrated();
+        if am_lead {
+            let cluster = sel
+                .map
+                .cluster_of(me)
+                .expect("lead must belong to a cluster")
+                .clone();
+            let mut trace = tp.tracer_mut().take_trace();
+            tp.inner()
+                .tool_compute(work.fold_per_node * trace.compressed_size() as f64);
+            trace.visit_events_mut(&mut |e| e.set_ranks(cluster.members.clone()));
+            let outcome = radix_tree_merge(tp.inner(), self.config.radix, &sel.leads, &trace);
+            if let Some(partial) = outcome.merged {
+                // This rank is the root of the Top-K tree.
+                if me == 0 {
+                    tp.inner().tool_compute(work.merge(
+                        self.online_trace.compressed_size(),
+                        partial.compressed_size(),
+                    ));
+                    self.online_trace.absorb_trace(&partial);
+                } else {
+                    let wire = format::to_text(&partial);
+                    tp.inner().tool_compute(work.codec(wire.len()));
+                    tp.inner().send(0, ONLINE_TAG, Comm::TOOL, wire.as_bytes());
+                }
+            }
+        }
+        if me == 0 && merge_root != 0 {
+            let info = tp
+                .inner()
+                .recv(SrcSel::Rank(merge_root), TagSel::Tag(ONLINE_TAG), Comm::TOOL);
+            let partial = format::from_text(
+                std::str::from_utf8(&info.payload).expect("online trace payload is UTF-8"),
+            )
+            .expect("malformed partial global trace");
+            tp.inner().tool_compute(
+                work.codec(info.payload.len())
+                    + work.merge(
+                        self.online_trace.compressed_size(),
+                        partial.compressed_size(),
+                    ),
+            );
+            self.online_trace.absorb_trace(&partial);
+        }
+        // "All nodes: Delete your partial trace."
+        tp.tracer_mut().clear_trace();
+        self.stats.intercomp_time +=
+            Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{World, WorldConfig};
+    use scalatrace::RankSet;
+
+    /// A tiny SPMD timestep: ring exchange + allreduce under a fixed
+    /// frame, so every rank has the same Call-Path.
+    fn timestep(tp: &mut TracedProc) {
+        let me = tp.rank();
+        let p = tp.size();
+        tp.frame("timestep", |tp| {
+            tp.send("halo_send", (me + 1) % p, 1, &[0u8; 16]);
+            tp.recv("halo_recv", (me + p - 1) % p, 1, 16);
+            tp.allreduce_sum("residual", 1);
+        });
+    }
+
+    /// A structurally different timestep (new call sites => new Call-Path).
+    /// Each `variant` uses a distinct frame so consecutive epilogue markers
+    /// see *different* Call-Paths (the paper's trailing-AT markers).
+    fn epilogue_step(tp: &mut TracedProc, variant: usize) {
+        const FRAMES: [&str; 4] = ["epilogue_0", "epilogue_1", "epilogue_2", "epilogue_3"];
+        tp.frame(FRAMES[variant % FRAMES.len()], |tp| {
+            tp.allreduce_sum("norm_check", 2);
+        });
+    }
+
+    fn run_app(
+        p: usize,
+        k: usize,
+        steps: usize,
+        epilogue: usize,
+    ) -> (Vec<ChameleonStats>, CompressedTrace) {
+        let report = World::new(WorldConfig::for_tests(p))
+            .run(move |proc| {
+                let mut tp = TracedProc::new(proc);
+                let mut cham = Chameleon::new(ChameleonConfig::with_k(k));
+                for _ in 0..steps {
+                    timestep(&mut tp);
+                    cham.marker(&mut tp);
+                }
+                for e in 0..epilogue {
+                    epilogue_step(&mut tp, e);
+                    cham.marker(&mut tp);
+                }
+                cham.finalize(&mut tp)
+            })
+            .unwrap();
+        let online = report.results[0]
+            .online_trace
+            .clone()
+            .expect("rank 0 holds the online trace");
+        let stats = report.results.iter().map(|r| r.stats.clone()).collect();
+        (stats, online)
+    }
+
+    #[test]
+    fn stable_run_state_sequence() {
+        // 10 markers of identical behavior: AT(first), C, then 8 L.
+        let (stats, _) = run_app(4, 3, 10, 0);
+        for s in &stats {
+            assert_eq!(s.states.at, 1, "only the first marker counts AT");
+            assert_eq!(s.states.c, 1, "exactly one clustering");
+            assert_eq!(s.states.l, 8);
+            assert_eq!(s.states.f, 1);
+            assert_eq!(s.marker_calls, 10);
+        }
+    }
+
+    #[test]
+    fn epilogue_produces_trailing_at() {
+        // 8 stable + 2 epilogue markers: AT, C, 6 L, flush-AT, AT.
+        let (stats, _) = run_app(4, 3, 8, 2);
+        let s = &stats[0];
+        assert_eq!(s.states.c, 1);
+        assert_eq!(s.states.l, 6);
+        assert_eq!(s.states.at, 3, "first + 2 phase-change markers");
+    }
+
+    #[test]
+    fn online_trace_covers_all_events() {
+        let steps = 6;
+        let (_, online) = run_app(4, 3, steps, 0);
+        // Each timestep: send + recv + allreduce on every rank; plus the
+        // finalize event. The online trace must represent all of them
+        // (per dynamic instance, by one lead on behalf of its cluster).
+        assert!(online.dynamic_size() >= (steps * 3) as u64);
+        // Every rank must appear in the trace's ranklists.
+        let mut covered = RankSet::empty();
+        online.visit_events(&mut |e| covered = covered.union(&e.ranks));
+        assert_eq!(covered.len(), 4, "all ranks represented via cluster ranklists");
+    }
+
+    #[test]
+    fn online_trace_compact_for_spmd() {
+        // 20 identical timesteps across 8 ranks must compress to a small
+        // constant-ish number of nodes.
+        let (_, online) = run_app(8, 3, 20, 0);
+        assert!(
+            online.compressed_size() < 40,
+            "online trace blew up: {} nodes",
+            online.compressed_size()
+        );
+    }
+
+    #[test]
+    fn non_leads_allocate_nothing_in_lead_state() {
+        let (stats, _) = run_app(8, 2, 12, 0);
+        // At least one rank is a non-lead; its L-state memory rows must be
+        // all zero. Leads have nonzero L rows.
+        let mut lead_like = 0;
+        let mut dark = 0;
+        for s in &stats {
+            let (calls, bytes) = s.mem.get("L");
+            assert!(calls > 0);
+            if bytes == 0 {
+                dark += 1;
+            } else {
+                lead_like += 1;
+            }
+        }
+        assert!(dark > 0, "some rank must trace nothing during L");
+        assert!(lead_like > 0, "leads keep tracing during L");
+        assert!(lead_like <= 2 + 1, "at most K leads (+dynamic growth slack)");
+    }
+
+    #[test]
+    fn call_frequency_limits_transition_graph_runs() {
+        let report = World::new(WorldConfig::for_tests(2))
+            .run(|proc| {
+                let mut tp = TracedProc::new(proc);
+                let mut cham =
+                    Chameleon::new(ChameleonConfig::with_k(2).with_frequency(5));
+                for _ in 0..20 {
+                    timestep(&mut tp);
+                    cham.marker(&mut tp);
+                }
+                let stats = cham.stats().clone();
+                cham.finalize(&mut tp);
+                stats
+            })
+            .unwrap();
+        for s in &report.results {
+            assert_eq!(s.marker_invocations, 20);
+            assert_eq!(s.marker_calls, 4, "only every 5th marker processed");
+        }
+    }
+
+    #[test]
+    fn divergent_p2p_groups_two_callpaths() {
+        // Masters (rank 0) vs workers: different Call-Paths via p2p only.
+        let report = World::new(WorldConfig::for_tests(6))
+            .run(|proc| {
+                let mut tp = TracedProc::new(proc);
+                let mut cham = Chameleon::new(ChameleonConfig::with_k(2));
+                let me = tp.rank();
+                let p = tp.size();
+                for _ in 0..6 {
+                    if me == 0 {
+                        tp.frame("master", |tp| {
+                            for w in 1..p {
+                                tp.send("task_out", w, 7, &[1u8; 8]);
+                            }
+                            for _ in 1..p {
+                                tp.recv_any("result_in", 8, 8);
+                            }
+                        });
+                    } else {
+                        tp.frame("worker", |tp| {
+                            tp.recv("task_in", 0, 7, 8);
+                            tp.compute(1e-6);
+                            tp.send_absolute("result_out", 0, 8, &[2u8; 8]);
+                        });
+                    }
+                    cham.marker(&mut tp);
+                }
+                cham.finalize(&mut tp)
+            })
+            .unwrap();
+        let online = report.results[0].online_trace.as_ref().unwrap();
+        let mut covered = RankSet::empty();
+        online.visit_events(&mut |e| covered = covered.union(&e.ranks));
+        assert_eq!(covered.len(), 6, "master and worker clusters both traced");
+        // Worker events exist (recv from master) and master events exist.
+        let mut has_any_recv = false;
+        online.visit_events(&mut |e| {
+            if e.op.src == Some(scalatrace::Endpoint::Any) {
+                has_any_recv = true;
+            }
+        });
+        assert!(has_any_recv, "master's wildcard receive must be in the trace");
+    }
+
+    #[test]
+    fn reclustering_counted_per_phase_change() {
+        // Alternate two patterns every 4 markers: each stable block causes
+        // one clustering; transitions cause flushes.
+        let report = World::new(WorldConfig::for_tests(4))
+            .run(|proc| {
+                let mut tp = TracedProc::new(proc);
+                let mut cham = Chameleon::new(ChameleonConfig::with_k(2));
+                for block in 0..4 {
+                    for _ in 0..4 {
+                        if block % 2 == 0 {
+                            timestep(&mut tp);
+                        } else {
+                            epilogue_step(&mut tp, block);
+                        }
+                        cham.marker(&mut tp);
+                    }
+                }
+                cham.finalize(&mut tp)
+            })
+            .unwrap();
+        let s = &report.results[0].stats;
+        // Blocks: 4 stable blocks, each re-clusters once after its first
+        // repeat vote; first marker of each later block is a flush/AT.
+        assert!(s.reclusterings >= 3, "got {}", s.reclusterings);
+        assert_eq!(s.states.c, s.reclusterings);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let (stats, online) = run_app(1, 3, 5, 0);
+        assert_eq!(stats.len(), 1);
+        assert!(online.dynamic_size() > 0);
+    }
+
+    #[test]
+    fn double_finalize_is_an_error() {
+        let err = World::new(WorldConfig::for_tests(1))
+            .run(|proc| {
+                let mut tp = TracedProc::new(proc);
+                let mut cham = Chameleon::new(ChameleonConfig::with_k(1));
+                cham.finalize(&mut tp);
+                cham.finalize(&mut tp);
+            })
+            .unwrap_err();
+        assert!(err.failures[0].1.contains("finalize called twice"));
+    }
+}

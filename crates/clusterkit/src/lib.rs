@@ -1,0 +1,32 @@
+//! # clusterkit — signature-space clustering for trace analysis
+//!
+//! Chameleon clusters *processes*, not traces: each rank is a point in the
+//! low-dimensional space of its interval signatures (Call-Path, SRC, DEST;
+//! see `sigkit`). Clustering is hierarchical over the reduction tree — each
+//! tree node merges its children's cluster summaries with its own and
+//! re-selects at most K representatives — so the paper's Algorithm 2
+//! ("Find Top K") runs on at most `2K + 1` items per node and the whole
+//! clustering costs O(n log P).
+//!
+//! Modules:
+//!
+//! * [`entry`] — the `<lead rank, ranklist, signatures>` cluster summary
+//!   exchanged over the tree;
+//! * [`algorithms`] — K-medoids, K-farthest (maximin) and K-random
+//!   selection, interchangeable per the paper ("Users could select any
+//!   clustering algorithm");
+//! * [`topk`] — Algorithm 2: farthest-point selection of the top K
+//!   clusters plus nearest-cluster assignment of the rest;
+//! * [`map`] — the per-Call-Path cluster map
+//!   (`hashmap<signature, ranklist>` in the paper), its merge operation,
+//!   lead selection with dynamic K growth, and its wire encoding.
+
+pub mod algorithms;
+pub mod entry;
+pub mod map;
+pub mod topk;
+
+pub use algorithms::{ClusterAlgorithm, KFarthest, KMedoids, KRandom};
+pub use entry::ClusterEntry;
+pub use map::{ClusterMap, LeadSelection};
+pub use topk::find_top_k;

@@ -1,0 +1,402 @@
+//! The per-Call-Path cluster map.
+//!
+//! Paper: "If a process has any child, it receives the signatures from
+//! left and right children, and merges them with its own map of signatures
+//! (i.e., the data structure is a hashmap of `<signature, ranklist>`).
+//! Then, to cover all the events, it picks K/Num_CallPath lead processes
+//! from each Call-Path cluster. […] Chameleon does not miss any MPI event
+//! by selecting at least one representative from each callpath cluster. It
+//! dynamically increases the value of K should the number of different
+//! Call-Path signatures exceed K."
+//!
+//! [`ClusterMap`] is that hashmap (ordered for determinism); merging and
+//! pruning to the top K happen at every node of the reduction tree, so no
+//! node ever holds more than (children + 1) × K entries.
+
+use std::collections::BTreeMap;
+
+use mpisim::Rank;
+use sigkit::{CallPathSig, SignatureTriple};
+
+use crate::algorithms::ClusterAlgorithm;
+use crate::entry::ClusterEntry;
+use crate::topk::find_top_k;
+
+/// Cluster entries grouped by Call-Path signature.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterMap {
+    groups: BTreeMap<u64, Vec<ClusterEntry>>,
+}
+
+impl ClusterMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The map a leaf rank starts from: one singleton cluster under its
+    /// own Call-Path signature.
+    pub fn from_rank(rank: Rank, triple: &SignatureTriple) -> Self {
+        let mut m = Self::new();
+        m.insert(triple.call_path, ClusterEntry::singleton(rank, triple));
+        m
+    }
+
+    /// Insert one entry under a Call-Path group.
+    pub fn insert(&mut self, call_path: CallPathSig, entry: ClusterEntry) {
+        self.groups.entry(call_path.0).or_default().push(entry);
+    }
+
+    /// Number of distinct Call-Path signatures (the paper's
+    /// `Num_CallPath`).
+    pub fn num_call_paths(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total cluster entries across all groups.
+    pub fn total_clusters(&self) -> usize {
+        self.groups.values().map(Vec::len).sum()
+    }
+
+    /// Total ranks covered.
+    pub fn total_ranks(&self) -> usize {
+        self.groups
+            .values()
+            .flat_map(|v| v.iter())
+            .map(ClusterEntry::len)
+            .sum()
+    }
+
+    /// Iterate `(call_path, entries)` groups in deterministic order.
+    pub fn groups(&self) -> impl Iterator<Item = (CallPathSig, &[ClusterEntry])> {
+        self.groups
+            .iter()
+            .map(|(&k, v)| (CallPathSig(k), v.as_slice()))
+    }
+
+    /// Fold another map into this one (tree-node merge: children's maps +
+    /// own).
+    pub fn merge(&mut self, other: ClusterMap) {
+        for (key, mut entries) in other.groups {
+            self.groups.entry(key).or_default().append(&mut entries);
+        }
+    }
+
+    /// Prune to at most `k` clusters overall (Algorithm 3 lines 12–18),
+    /// distributing the budget over Call-Path groups and growing K
+    /// dynamically when there are more Call-Paths than K. Returns the
+    /// *effective* K (≥ requested when growth kicked in).
+    pub fn prune(&mut self, k: usize, algo: &dyn ClusterAlgorithm) -> usize {
+        assert!(k >= 1, "cluster budget must be at least 1");
+        let ncp = self.num_call_paths();
+        if ncp == 0 {
+            return k;
+        }
+        // Dynamic K growth: at least one lead per Call-Path group.
+        let k_eff = k.max(ncp);
+        let per_group = (k_eff / ncp).max(1);
+        for entries in self.groups.values_mut() {
+            if entries.len() > per_group {
+                let taken = std::mem::take(entries);
+                *entries = find_top_k(taken, per_group, algo);
+            }
+        }
+        k_eff
+    }
+
+    /// All lead ranks, ascending.
+    pub fn leads(&self) -> Vec<Rank> {
+        let mut out: Vec<Rank> = self
+            .groups
+            .values()
+            .flat_map(|v| v.iter().map(|e| e.lead))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Find the cluster containing `rank`, if any.
+    pub fn cluster_of(&self, rank: Rank) -> Option<&ClusterEntry> {
+        self.groups
+            .values()
+            .flat_map(|v| v.iter())
+            .find(|e| e.members.contains(rank))
+    }
+
+    /// Wire encoding: group count, then per group the call-path key,
+    /// entry count and entries.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 * self.total_clusters() + 16);
+        buf.extend_from_slice(&(self.groups.len() as u64).to_le_bytes());
+        for (key, entries) in &self.groups {
+            buf.extend_from_slice(&key.to_le_bytes());
+            buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+            for e in entries {
+                e.encode(&mut buf);
+            }
+        }
+        buf
+    }
+
+    /// Decode a map previously produced by [`ClusterMap::encode`].
+    pub fn decode(buf: &[u8]) -> Option<ClusterMap> {
+        let mut cursor = 0usize;
+        let take_u64 = |c: &mut usize| -> Option<u64> {
+            let v = u64::from_le_bytes(buf.get(*c..*c + 8)?.try_into().ok()?);
+            *c += 8;
+            Some(v)
+        };
+        let ngroups = take_u64(&mut cursor)? as usize;
+        let mut map = ClusterMap::new();
+        for _ in 0..ngroups {
+            let key = take_u64(&mut cursor)?;
+            let nentries = take_u64(&mut cursor)? as usize;
+            for _ in 0..nentries {
+                let entry = ClusterEntry::decode(buf, &mut cursor)?;
+                map.insert(CallPathSig(key), entry);
+            }
+        }
+        (cursor == buf.len()).then_some(map)
+    }
+}
+
+/// The outcome of clustering: the pruned map plus the elected lead ranks —
+/// what the root broadcasts after Algorithm 3's clustering phase
+/// ("MPI_Bcast (Top K) by root").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeadSelection {
+    /// The pruned cluster map.
+    pub map: ClusterMap,
+    /// Elected leads, ascending (the paper's "Top K list").
+    pub leads: Vec<Rank>,
+    /// Effective K after dynamic growth.
+    pub effective_k: usize,
+}
+
+impl LeadSelection {
+    /// Run the final prune + lead extraction on a fully merged map.
+    pub fn select(mut map: ClusterMap, k: usize, algo: &dyn ClusterAlgorithm) -> Self {
+        let effective_k = map.prune(k, algo);
+        let leads = map.leads();
+        LeadSelection {
+            map,
+            leads,
+            effective_k,
+        }
+    }
+
+    /// Is `rank` one of the leads?
+    pub fn is_lead(&self, rank: Rank) -> bool {
+        self.leads.binary_search(&rank).is_ok()
+    }
+
+    /// Wire encoding (map + leads are both derivable from the map, so
+    /// just ship the map and the effective K).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = (self.effective_k as u64).to_le_bytes().to_vec();
+        buf.extend(self.map.encode());
+        buf
+    }
+
+    /// Decode a selection shipped by the root.
+    pub fn decode(buf: &[u8]) -> Option<LeadSelection> {
+        let k = u64::from_le_bytes(buf.get(..8)?.try_into().ok()?) as usize;
+        let map = ClusterMap::decode(&buf[8..])?;
+        let leads = map.leads();
+        Some(LeadSelection {
+            map,
+            leads,
+            effective_k: k,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::KFarthest;
+
+    fn triple(cp: u64, src: u64, dest: u64) -> SignatureTriple {
+        SignatureTriple {
+            call_path: CallPathSig(cp),
+            src,
+            dest,
+        }
+    }
+
+    #[test]
+    fn from_rank_single_group() {
+        let m = ClusterMap::from_rank(3, &triple(7, 1, 2));
+        assert_eq!(m.num_call_paths(), 1);
+        assert_eq!(m.total_clusters(), 1);
+        assert_eq!(m.leads(), vec![3]);
+        assert_eq!(m.total_ranks(), 1);
+    }
+
+    #[test]
+    fn merge_groups_by_callpath() {
+        let mut a = ClusterMap::from_rank(0, &triple(1, 0, 0));
+        let b = ClusterMap::from_rank(1, &triple(1, 5, 5));
+        let c = ClusterMap::from_rank(2, &triple(2, 0, 0));
+        a.merge(b);
+        a.merge(c);
+        assert_eq!(a.num_call_paths(), 2);
+        assert_eq!(a.total_clusters(), 3);
+        assert_eq!(a.total_ranks(), 3);
+    }
+
+    #[test]
+    fn prune_respects_budget_per_group() {
+        let mut m = ClusterMap::new();
+        for r in 0..12 {
+            m.merge(ClusterMap::from_rank(r, &triple(1, r as u64 * 100, 0)));
+        }
+        let k_eff = m.prune(3, &KFarthest);
+        assert_eq!(k_eff, 3);
+        assert!(m.total_clusters() <= 3);
+        assert_eq!(m.total_ranks(), 12, "pruning never drops ranks");
+    }
+
+    #[test]
+    fn dynamic_k_growth() {
+        // 5 distinct Call-Paths but K=2: every Call-Path still gets a lead.
+        let mut m = ClusterMap::new();
+        for r in 0..5 {
+            m.merge(ClusterMap::from_rank(r, &triple(r as u64 + 1, 0, 0)));
+        }
+        let k_eff = m.prune(2, &KFarthest);
+        assert_eq!(k_eff, 5, "K grew to the Call-Path count");
+        assert_eq!(m.leads().len(), 5);
+    }
+
+    #[test]
+    fn budget_splits_across_callpaths() {
+        // 2 call paths, K=6: 3 leads each.
+        let mut m = ClusterMap::new();
+        for r in 0..10 {
+            let cp = (r % 2) as u64 + 1;
+            m.merge(ClusterMap::from_rank(r, &triple(cp, r as u64 * 1000, 0)));
+        }
+        m.prune(6, &KFarthest);
+        for (_, entries) in m.groups() {
+            assert!(entries.len() <= 3);
+        }
+        assert_eq!(m.total_ranks(), 10);
+    }
+
+    #[test]
+    fn cluster_of_finds_member() {
+        let mut m = ClusterMap::new();
+        for r in 0..8 {
+            m.merge(ClusterMap::from_rank(r, &triple(1, (r as u64 / 4) * 10_000, 0)));
+        }
+        m.prune(2, &KFarthest);
+        for r in 0..8 {
+            let c = m.cluster_of(r).unwrap_or_else(|| panic!("rank {r} lost"));
+            assert!(c.members.contains(r));
+        }
+        assert!(m.cluster_of(99).is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut m = ClusterMap::new();
+        for r in 0..6 {
+            m.merge(ClusterMap::from_rank(
+                r,
+                &triple((r % 3) as u64 + 1, r as u64 * 7, r as u64 * 13),
+            ));
+        }
+        m.prune(4, &KFarthest);
+        let back = ClusterMap::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ClusterMap::decode(&[1, 2, 3]).is_none());
+        let mut valid = ClusterMap::from_rank(0, &triple(1, 0, 0)).encode();
+        valid.push(0xff); // trailing junk
+        assert!(ClusterMap::decode(&valid).is_none());
+    }
+
+    #[test]
+    fn lead_selection_roundtrip_and_is_lead() {
+        let mut m = ClusterMap::new();
+        for r in 0..9 {
+            m.merge(ClusterMap::from_rank(r, &triple(1, r as u64 * 50, 0)));
+        }
+        let sel = LeadSelection::select(m, 3, &KFarthest);
+        assert!(sel.leads.len() <= 3);
+        for &l in &sel.leads {
+            assert!(sel.is_lead(l));
+        }
+        assert!(!sel.is_lead(1234));
+        let back = LeadSelection::decode(&sel.encode()).unwrap();
+        assert_eq!(back, sel);
+    }
+
+    #[test]
+    fn selection_covers_all_ranks() {
+        let mut m = ClusterMap::new();
+        for r in 0..16 {
+            let cp = if r < 8 { 1 } else { 2 };
+            m.merge(ClusterMap::from_rank(r, &triple(cp, r as u64, r as u64)));
+        }
+        let sel = LeadSelection::select(m, 4, &KFarthest);
+        for r in 0..16 {
+            assert!(sel.map.cluster_of(r).is_some(), "rank {r} must stay covered");
+        }
+        // At least one lead per call path.
+        for (_, entries) in sel.map.groups() {
+            assert!(!entries.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::algorithms::KFarthest;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Merging then pruning never loses a rank, regardless of how the
+        /// ranks are spread over call paths and coordinates.
+        #[test]
+        fn prune_preserves_coverage(
+            points in proptest::collection::vec((1u64..5, 0u64..1000), 1..40),
+            k in 1usize..6,
+        ) {
+            let mut m = ClusterMap::new();
+            for (r, &(cp, src)) in points.iter().enumerate() {
+                m.merge(ClusterMap::from_rank(
+                    r,
+                    &SignatureTriple { call_path: CallPathSig(cp), src, dest: 0 },
+                ));
+            }
+            let before = m.total_ranks();
+            m.prune(k, &KFarthest);
+            prop_assert_eq!(m.total_ranks(), before);
+            for r in 0..points.len() {
+                prop_assert!(m.cluster_of(r).is_some());
+            }
+        }
+
+        /// Encode/decode is the identity.
+        #[test]
+        fn codec_roundtrip(
+            points in proptest::collection::vec((1u64..4, 0u64..100, 0u64..100), 0..20),
+        ) {
+            let mut m = ClusterMap::new();
+            for (r, &(cp, src, dest)) in points.iter().enumerate() {
+                m.merge(ClusterMap::from_rank(
+                    r,
+                    &SignatureTriple { call_path: CallPathSig(cp), src, dest },
+                ));
+            }
+            prop_assert_eq!(ClusterMap::decode(&m.encode()), Some(m));
+        }
+    }
+}

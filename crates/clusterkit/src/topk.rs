@@ -1,0 +1,212 @@
+//! Algorithm 2 — "Find Top K".
+//!
+//! Paper pseudocode:
+//!
+//! ```text
+//! Input : K and SRC/DEST signatures
+//! Output: TopK list
+//! Calculate distance matrix for Top K list based on SRC and DEST
+//! TopK list = {}
+//! while Size of TopK list < K { Find farthest cluster to TopK list }
+//! foreach cluster in AllNode list - TopK list {
+//!     Find closest cluster; Assign cluster to closest one
+//! }
+//! ```
+//!
+//! [`find_top_k`] implements exactly this: select up to K representative
+//! clusters with the configured algorithm (farthest-point by default),
+//! then fold every non-selected cluster into its nearest representative
+//! (unioning member ranklists).
+
+use crate::algorithms::ClusterAlgorithm;
+use crate::entry::ClusterEntry;
+
+/// Reduce `clusters` to at most `k` clusters: the selected representatives
+/// absorb the members of everything else. Returns the surviving entries
+/// (selection order normalized to ascending lead rank for determinism).
+///
+/// With `clusters.len() <= k` the input is returned unchanged (already
+/// within budget).
+pub fn find_top_k(
+    clusters: Vec<ClusterEntry>,
+    k: usize,
+    algo: &dyn ClusterAlgorithm,
+) -> Vec<ClusterEntry> {
+    assert!(k >= 1, "find_top_k needs k >= 1");
+    if clusters.len() <= k {
+        return clusters;
+    }
+    let n = clusters.len();
+    let dist = |a: usize, b: usize| clusters[a].distance(&clusters[b]);
+    let selected = algo.select(n, k, &dist);
+    debug_assert!(!selected.is_empty());
+
+    let mut survivors: Vec<ClusterEntry> =
+        selected.iter().map(|&i| clusters[i].clone()).collect();
+    for (i, cluster) in clusters.iter().enumerate() {
+        if selected.contains(&i) {
+            continue;
+        }
+        // Assign to the closest surviving representative.
+        let closest = selected
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                dist(a, i)
+                    .partial_cmp(&dist(b, i))
+                    .expect("NaN distance")
+            })
+            .map(|(pos, _)| pos)
+            .expect("non-empty selection");
+        survivors[closest].absorb(cluster);
+    }
+    survivors.sort_by_key(|e| e.lead);
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{KFarthest, KMedoids};
+    use mpisim::Rank;
+    use sigkit::{CallPathSig, SignatureTriple};
+
+    fn entry(lead: Rank, src: u64, dest: u64) -> ClusterEntry {
+        ClusterEntry::singleton(
+            lead,
+            &SignatureTriple {
+                call_path: CallPathSig(1),
+                src,
+                dest,
+            },
+        )
+    }
+
+    #[test]
+    fn under_budget_unchanged() {
+        let clusters = vec![entry(0, 1, 1), entry(1, 2, 2)];
+        let out = find_top_k(clusters.clone(), 5, &KFarthest);
+        assert_eq!(out, clusters);
+    }
+
+    #[test]
+    fn reduces_to_k_and_covers_all_ranks() {
+        let clusters: Vec<ClusterEntry> =
+            (0..10).map(|r| entry(r, r as u64 * 100, 0)).collect();
+        let out = find_top_k(clusters, 3, &KFarthest);
+        assert_eq!(out.len(), 3);
+        // Every input rank must appear in exactly one surviving cluster.
+        let mut all: Vec<Rank> = out.iter().flat_map(|e| e.members.expand()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nearest_assignment() {
+        // Two far-apart groups; k=2 must split them along the gap.
+        let clusters = vec![
+            entry(0, 0, 0),
+            entry(1, 10, 0),
+            entry(2, 1_000_000, 0),
+            entry(3, 1_000_010, 0),
+        ];
+        let out = find_top_k(clusters, 2, &KFarthest);
+        assert_eq!(out.len(), 2);
+        let low = out.iter().find(|e| e.src < 500_000).unwrap();
+        let high = out.iter().find(|e| e.src >= 500_000).unwrap();
+        assert_eq!(low.members.expand(), vec![0, 1]);
+        assert_eq!(high.members.expand(), vec![2, 3]);
+    }
+
+    #[test]
+    fn k_one_absorbs_everything() {
+        let clusters: Vec<ClusterEntry> =
+            (0..6).map(|r| entry(r, r as u64, r as u64)).collect();
+        let out = find_top_k(clusters, 1, &KFarthest);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].members.expand(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        // All ranks have identical signatures: one representative suffices
+        // no matter what k is requested.
+        let clusters: Vec<ClusterEntry> = (0..8).map(|r| entry(r, 42, 42)).collect();
+        let out = find_top_k(clusters, 3, &KFarthest);
+        assert_eq!(out.len(), 1, "coincident points need one lead");
+        assert_eq!(out[0].members.expand(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn medoids_variant_also_covers() {
+        let clusters: Vec<ClusterEntry> =
+            (0..9).map(|r| entry(r, (r as u64 % 3) * 1000, 0)).collect();
+        let out = find_top_k(clusters, 3, &KMedoids::default());
+        let mut all: Vec<Rank> = out.iter().flat_map(|e| e.members.expand()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+        assert!(out.len() <= 3);
+    }
+
+    #[test]
+    fn output_sorted_by_lead() {
+        let clusters: Vec<ClusterEntry> =
+            (0..10).rev().map(|r| entry(r, r as u64 * 7, 3)).collect();
+        let out = find_top_k(clusters, 4, &KFarthest);
+        assert!(out.windows(2).all(|w| w[0].lead < w[1].lead));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::algorithms::KFarthest;
+    use sigkit::{CallPathSig, SignatureTriple};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Partition property: top-K never loses or duplicates a rank.
+        #[test]
+        fn partition_preserved(
+            coords in proptest::collection::vec((0u64..1000, 0u64..1000), 1..30),
+            k in 1usize..8,
+        ) {
+            let clusters: Vec<ClusterEntry> = coords
+                .iter()
+                .enumerate()
+                .map(|(r, &(s, d))| ClusterEntry::singleton(
+                    r,
+                    &SignatureTriple { call_path: CallPathSig(1), src: s, dest: d },
+                ))
+                .collect();
+            let n = clusters.len();
+            let out = find_top_k(clusters, k, &KFarthest);
+            prop_assert!(out.len() <= k.min(n));
+            let mut all: Vec<usize> = out.iter().flat_map(|e| e.members.expand()).collect();
+            all.sort_unstable();
+            let before_dedup = all.len();
+            all.dedup();
+            prop_assert_eq!(all.len(), before_dedup, "no duplicates");
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+
+        /// Every surviving lead is a member of its own cluster.
+        #[test]
+        fn leads_belong_to_their_clusters(
+            coords in proptest::collection::vec((0u64..100, 0u64..100), 1..20),
+            k in 1usize..5,
+        ) {
+            let clusters: Vec<ClusterEntry> = coords
+                .iter()
+                .enumerate()
+                .map(|(r, &(s, d))| ClusterEntry::singleton(
+                    r,
+                    &SignatureTriple { call_path: CallPathSig(1), src: s, dest: d },
+                ))
+                .collect();
+            for e in find_top_k(clusters, k, &KFarthest) {
+                prop_assert!(e.members.contains(e.lead));
+            }
+        }
+    }
+}

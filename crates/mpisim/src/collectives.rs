@@ -1,0 +1,286 @@
+//! Collective operations over point-to-point messaging.
+//!
+//! Implemented with the standard algorithms real MPI libraries use at
+//! small-to-medium message sizes:
+//!
+//! * **barrier** — dissemination algorithm, ⌈log2 P⌉ rounds;
+//! * **reduce** — binomial tree toward the root, ⌈log2 P⌉ rounds;
+//! * **bcast** — binomial tree away from the root;
+//! * **allreduce** — reduce to rank 0 followed by bcast;
+//! * **gather** — binomial tree concatenation toward the root.
+//!
+//! All are O(log P) in rounds, which is exactly the complexity the paper
+//! ascribes to the `MPI_Reduce`/`MPI_Bcast` pair in Algorithm 1 and to the
+//! radix-tree trace merges. Every rank must call each collective on a given
+//! communicator in the same order (the usual MPI requirement); per-instance
+//! sequence numbers keep back-to-back collectives from cross-matching.
+
+use crate::proc::{Proc, Rank, SrcSel, TagSel};
+use crate::Comm;
+
+/// Reduction operators over `u64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Wrapping sum.
+    Sum,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Bitwise or.
+    BitOr,
+}
+
+impl ReduceOp {
+    /// Apply the operator.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::BitOr => a | b,
+        }
+    }
+}
+
+impl Proc {
+    /// Dissemination barrier: after ⌈log2 P⌉ exchange rounds every rank is
+    /// certain every other rank has entered the barrier.
+    pub fn barrier(&mut self, comm: Comm) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let seq = self.next_coll_seq(comm);
+        let me = self.rank();
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < p {
+            let to = (me + dist) % p;
+            let from = (me + p - dist % p) % p;
+            let tag = Proc::coll_tag(seq, round);
+            self.send(to, tag, comm, &[]);
+            let info = self.recv(SrcSel::Rank(from), TagSel::Tag(tag), comm);
+            debug_assert!(info.payload.is_empty());
+            dist *= 2;
+            round += 1;
+        }
+    }
+
+    /// Binomial-tree reduction of one `u64` to `root`.
+    ///
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce_u64(&mut self, value: u64, op: ReduceOp, root: Rank, comm: Comm) -> Option<u64> {
+        let p = self.size();
+        assert!(root < p, "reduce root {root} out of range {p}");
+        let seq = self.next_coll_seq(comm);
+        if p == 1 {
+            return Some(value);
+        }
+        let me = self.rank();
+        let rel = (me + p - root) % p; // position in the virtual tree
+        let mut acc = value;
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        loop {
+            if rel & mask != 0 {
+                // Send the partial result to the subtree parent and leave.
+                let parent_rel = rel & !mask;
+                let parent = (parent_rel + root) % p;
+                self.send_u64(parent, Proc::coll_tag(seq, round), comm, acc);
+                break;
+            }
+            let child_rel = rel | mask;
+            if child_rel < p {
+                let child = (child_rel + root) % p;
+                let (_, v) = self.recv_u64(
+                    SrcSel::Rank(child),
+                    TagSel::Tag(Proc::coll_tag(seq, round)),
+                    comm,
+                );
+                acc = op.apply(acc, v);
+            }
+            mask <<= 1;
+            round += 1;
+            if mask >= p {
+                break;
+            }
+        }
+        (me == root).then_some(acc)
+    }
+
+    /// Binomial-tree broadcast of a byte payload from `root`. Non-root
+    /// callers pass an empty slice; every caller receives the root's
+    /// payload as the return value.
+    pub fn bcast(&mut self, payload: &[u8], root: Rank, comm: Comm) -> Vec<u8> {
+        let p = self.size();
+        assert!(root < p, "bcast root {root} out of range {p}");
+        let seq = self.next_coll_seq(comm);
+        if p == 1 {
+            return payload.to_vec();
+        }
+        let me = self.rank();
+        let rel = (me + p - root) % p;
+        // Receive phase: find the bit at which this rank hangs off the tree.
+        let data: Vec<u8>;
+        let mut recv_mask = 1usize;
+        if rel == 0 {
+            data = payload.to_vec();
+            // Root "received" at the top of the tree: its send masks start
+            // from the highest power of two below p.
+            recv_mask = p.next_power_of_two();
+        } else {
+            loop {
+                if rel & recv_mask != 0 {
+                    let src_rel = rel & !recv_mask;
+                    let src = (src_rel + root) % p;
+                    let round = recv_mask.trailing_zeros();
+                    let info = self.recv(
+                        SrcSel::Rank(src),
+                        TagSel::Tag(Proc::coll_tag(seq, round)),
+                        comm,
+                    );
+                    data = info.payload;
+                    break;
+                }
+                recv_mask <<= 1;
+            }
+        }
+        // Send phase: forward to children below the received bit.
+        let mut mask = recv_mask >> 1;
+        while mask > 0 {
+            let child_rel = rel | mask;
+            if child_rel < p && child_rel != rel {
+                let child = (child_rel + root) % p;
+                let round = mask.trailing_zeros();
+                self.send(child, Proc::coll_tag(seq, round), comm, &data);
+            }
+            mask >>= 1;
+        }
+        data
+    }
+
+    /// Broadcast a single u64 from `root`.
+    pub fn bcast_u64(&mut self, value: u64, root: Rank, comm: Comm) -> u64 {
+        let out = self.bcast(&value.to_le_bytes(), root, comm);
+        u64::from_le_bytes(out.as_slice().try_into().expect("bcast_u64 payload"))
+    }
+
+    /// Allreduce = reduce to rank 0 + broadcast (on `comm`).
+    pub fn allreduce_u64(&mut self, value: u64, op: ReduceOp, comm: Comm) -> u64 {
+        let partial = self.reduce_u64(value, op, 0, comm).unwrap_or(0);
+        self.bcast_u64(partial, 0, comm)
+    }
+
+    /// Allreduce-sum on the world communicator — the most common idiom in
+    /// the workloads.
+    pub fn allreduce_sum(&mut self, value: u64) -> u64 {
+        self.allreduce_u64(value, ReduceOp::Sum, Comm::WORLD)
+    }
+
+    /// Binomial-tree gather of variable-length payloads to `root`.
+    ///
+    /// On the root, returns `Some(v)` with `v[r]` holding rank r's payload;
+    /// `None` elsewhere.
+    pub fn gather(&mut self, payload: &[u8], root: Rank, comm: Comm) -> Option<Vec<Vec<u8>>> {
+        let p = self.size();
+        assert!(root < p, "gather root {root} out of range {p}");
+        let seq = self.next_coll_seq(comm);
+        let me = self.rank();
+        if p == 1 {
+            return Some(vec![payload.to_vec()]);
+        }
+        let rel = (me + p - root) % p;
+        // Accumulate (rank, payload) pairs from the subtree.
+        let mut items: Vec<(Rank, Vec<u8>)> = vec![(me, payload.to_vec())];
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        loop {
+            if rel & mask != 0 {
+                let parent_rel = rel & !mask;
+                let parent = (parent_rel + root) % p;
+                self.send(
+                    parent,
+                    Proc::coll_tag(seq, round),
+                    comm,
+                    &encode_items(&items),
+                );
+                return None;
+            }
+            let child_rel = rel | mask;
+            if child_rel < p {
+                let child = (child_rel + root) % p;
+                let info = self.recv(
+                    SrcSel::Rank(child),
+                    TagSel::Tag(Proc::coll_tag(seq, round)),
+                    comm,
+                );
+                items.extend(decode_items(&info.payload));
+            }
+            mask <<= 1;
+            round += 1;
+            if mask >= p {
+                break;
+            }
+        }
+        // Root: order by rank.
+        let mut out = vec![Vec::new(); p];
+        let mut seen = vec![false; p];
+        for (r, data) in items {
+            assert!(!seen[r], "gather: duplicate contribution from rank {r}");
+            seen[r] = true;
+            out[r] = data;
+        }
+        assert!(seen.iter().all(|&s| s), "gather: missing contributions");
+        Some(out)
+    }
+}
+
+fn encode_items(items: &[(Rank, Vec<u8>)]) -> Vec<u8> {
+    let total: usize = items.iter().map(|(_, d)| 16 + d.len()).sum();
+    let mut buf = Vec::with_capacity(total);
+    for (rank, data) in items {
+        buf.extend_from_slice(&(*rank as u64).to_le_bytes());
+        buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        buf.extend_from_slice(data);
+    }
+    buf
+}
+
+fn decode_items(mut buf: &[u8]) -> Vec<(Rank, Vec<u8>)> {
+    let mut items = Vec::new();
+    while !buf.is_empty() {
+        assert!(buf.len() >= 16, "gather framing corrupted");
+        let rank = u64::from_le_bytes(buf[..8].try_into().unwrap()) as Rank;
+        let len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+        assert!(buf.len() >= 16 + len, "gather framing corrupted");
+        items.push((rank, buf[16..16 + len].to_vec()));
+        buf = &buf[16 + len..];
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let items = vec![
+            (0usize, vec![1, 2, 3]),
+            (5, vec![]),
+            (1023, vec![0xff; 100]),
+        ];
+        assert_eq!(decode_items(&encode_items(&items)), items);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2, 3), 5);
+        assert_eq!(ReduceOp::Sum.apply(u64::MAX, 1), 0, "wrapping");
+        assert_eq!(ReduceOp::Max.apply(2, 3), 3);
+        assert_eq!(ReduceOp::Min.apply(2, 3), 2);
+        assert_eq!(ReduceOp::BitOr.apply(0b01, 0b10), 0b11);
+    }
+}

@@ -1,0 +1,85 @@
+//! Per-thread CPU-time measurement.
+//!
+//! The simulation oversubscribes host cores (P rank-threads on few CPUs),
+//! so wall-clock spans around tool computation include arbitrary
+//! preemption delays. [`CpuTimer`] measures `CLOCK_THREAD_CPUTIME_ID`
+//! instead: the CPU time actually consumed by the calling thread, which is
+//! the quantity a per-rank overhead model needs.
+
+use std::time::Duration;
+
+/// Current per-thread CPU time.
+///
+/// Falls back to a monotonic wall clock on platforms without
+/// `CLOCK_THREAD_CPUTIME_ID` (none among our targets; Linux always has
+/// it).
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_now() -> Duration {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: ts is a valid, writable timespec; the clock id is a
+    // compile-time constant supported on all Linux kernels we target.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_now() -> Duration {
+    use std::time::Instant;
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed()
+}
+
+/// Span timer over per-thread CPU time.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuTimer {
+    start: Duration,
+}
+
+impl CpuTimer {
+    /// Start timing.
+    pub fn start() -> Self {
+        CpuTimer {
+            start: thread_cpu_now(),
+        }
+    }
+
+    /// CPU time consumed by this thread since `start()`.
+    pub fn elapsed(&self) -> Duration {
+        thread_cpu_now().saturating_sub(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_monotone() {
+        let a = thread_cpu_now();
+        // Burn a little CPU.
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn timer_measures_compute_not_sleep() {
+        let t = CpuTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let slept = t.elapsed();
+        // Sleeping consumes (almost) no CPU time.
+        assert!(
+            slept < std::time::Duration::from_millis(15),
+            "sleep measured as CPU time: {slept:?}"
+        );
+    }
+}

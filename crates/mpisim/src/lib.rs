@@ -1,0 +1,82 @@
+//! # mpisim — a thread-based simulated MPI runtime with virtual time
+//!
+//! Chameleon and ScalaTrace are MPI-level tools: they interpose on MPI
+//! calls, run reductions over process trees, and reason about per-rank
+//! event streams. Reproducing them requires an MPI, and this crate provides
+//! one: each rank is an OS thread, point-to-point messages are matched on
+//! `(communicator, tag, source)` exactly as MPI matches them, and the
+//! collectives (`barrier`, `reduce`, `bcast`, `allreduce`, `gather`) are
+//! implemented over point-to-point with the same binomial-tree /
+//! dissemination structures real MPI libraries use — so the O(log P) cost
+//! shape the paper relies on is real, not assumed.
+//!
+//! ## Virtual time
+//!
+//! Each rank carries a virtual clock ([`time::VirtualClock`]). Computation
+//! is `compute(seconds)`; communication costs follow an alpha–beta
+//! (latency + bandwidth) model ([`time::CostModel`]). Blocking receives
+//! synchronize clocks: the receiver's clock advances to at least the
+//! message's arrival time. This gives deterministic, machine-independent
+//! "application execution times" — which is what the paper's replay
+//! accuracy experiments (Figures 5 and 7) compare — while the tracing and
+//! clustering code still executes for real and can be wall-clock timed
+//! (Figures 4, 6, 8–11, Table III).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mpisim::{World, WorldConfig};
+//!
+//! let report = World::new(WorldConfig::for_tests(4)).run(|proc| {
+//!     let rank = proc.rank();
+//!     let sum = proc.allreduce_sum(rank as u64);
+//!     assert_eq!(sum, 0 + 1 + 2 + 3);
+//! }).unwrap();
+//! assert_eq!(report.ranks, 4);
+//! ```
+
+pub mod collectives;
+pub mod cputime;
+pub mod mailbox;
+pub mod proc;
+pub mod time;
+pub mod topology;
+pub mod world;
+
+pub use cputime::CpuTimer;
+pub use proc::{Proc, Rank, RecvInfo, SrcSel, Tag, TagSel};
+pub use time::{CostModel, VirtualClock, VirtualTime, WorkModel};
+pub use topology::RadixTree;
+pub use world::{World, WorldConfig, WorldReport};
+
+/// Communicator identifier.
+///
+/// This simulator models world-sized communicators with distinct
+/// identities; that is all ScalaTrace/Chameleon need. The paper
+/// distinguishes the *marker* barrier from ordinary application barriers by
+/// giving it "a unique value [in] the communicator field" — hence
+/// [`Comm::MARKER`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comm(pub u32);
+
+impl Comm {
+    /// The default world communicator.
+    pub const WORLD: Comm = Comm(0);
+    /// Reserved communicator identifying Chameleon's marker barrier.
+    pub const MARKER: Comm = Comm(u32::MAX);
+    /// Reserved communicator for tool-internal (PMPI wrapper) traffic that
+    /// must never be recorded in traces.
+    pub const TOOL: Comm = Comm(u32::MAX - 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_constants_distinct() {
+        assert_ne!(Comm::WORLD, Comm::MARKER);
+        assert_ne!(Comm::WORLD, Comm::TOOL);
+        assert_ne!(Comm::MARKER, Comm::TOOL);
+    }
+}

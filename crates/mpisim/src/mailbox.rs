@@ -1,0 +1,261 @@
+//! Per-rank mailboxes with MPI-style message matching.
+//!
+//! MPI receives match on `(communicator, tag, source)`, where tag and
+//! source may be wildcards, and messages from the same sender on the same
+//! communicator are non-overtaking. A mailbox is an unbounded queue of
+//! envelopes protected by a mutex; a receive scans for the first match and
+//! blocks on a condvar until one arrives.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::proc::{Rank, SrcSel, Tag, TagSel};
+use crate::time::VirtualTime;
+use crate::Comm;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Communicator the message was sent on.
+    pub comm: Comm,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Virtual time at which the message reaches the receiver (sender's
+    /// clock at send plus transfer cost). The receiver's clock syncs to
+    /// this on delivery.
+    pub arrival: VirtualTime,
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<Envelope>,
+}
+
+/// One rank's incoming-message queue.
+#[derive(Default)]
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    /// Empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message (called by the *sender's* thread).
+    pub fn deliver(&self, env: Envelope) {
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(env);
+        // Wake all waiters: with wildcard receives, any waiter might match.
+        self.available.notify_all();
+    }
+
+    /// Blocking matched receive. Returns the first queued envelope matching
+    /// the selectors, preserving MPI's non-overtaking order (FIFO per
+    /// sender within a communicator — guaranteed here because the queue is
+    /// globally FIFO and we always take the *first* match).
+    pub fn recv(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Envelope {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(pos) = inner
+                .queue
+                .iter()
+                .position(|e| Self::matches(e, src, tag, comm))
+            {
+                return inner.queue.remove(pos).expect("position just found");
+            }
+            self.available.wait(&mut inner);
+        }
+    }
+
+    /// Bounded-wait matched receive: like [`Mailbox::recv`] but gives up
+    /// after `timeout_ms` milliseconds without a match, returning `None`.
+    /// Used by the runtime to poll a poison flag so one rank's panic does
+    /// not deadlock the others.
+    pub fn recv_timeout(
+        &self,
+        src: SrcSel,
+        tag: TagSel,
+        comm: Comm,
+        timeout_ms: u64,
+    ) -> Option<Envelope> {
+        let deadline =
+            std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(pos) = inner
+                .queue
+                .iter()
+                .position(|e| Self::matches(e, src, tag, comm))
+            {
+                return Some(inner.queue.remove(pos).expect("position just found"));
+            }
+            if self.available.wait_until(&mut inner, deadline).timed_out() {
+                // One final scan: a message may have landed between the
+                // last check and the timeout.
+                return inner
+                    .queue
+                    .iter()
+                    .position(|e| Self::matches(e, src, tag, comm))
+                    .and_then(|pos| inner.queue.remove(pos));
+            }
+        }
+    }
+
+    /// Non-blocking probe: would `recv` with these selectors complete
+    /// immediately? Returns the matched envelope's metadata without
+    /// consuming it.
+    pub fn probe(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Option<(Rank, Tag, usize)> {
+        let inner = self.inner.lock();
+        inner
+            .queue
+            .iter()
+            .find(|e| Self::matches(e, src, tag, comm))
+            .map(|e| (e.src, e.tag, e.payload.len()))
+    }
+
+    /// Number of queued (undelivered) messages; used by shutdown checks
+    /// and tests.
+    pub fn backlog(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    fn matches(e: &Envelope, src: SrcSel, tag: TagSel, comm: Comm) -> bool {
+        if e.comm != comm {
+            return false;
+        }
+        if let SrcSel::Rank(r) = src {
+            if e.src != r {
+                return false;
+            }
+        }
+        if let TagSel::Tag(t) = tag {
+            if e.tag != t {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env(src: Rank, tag: Tag, comm: Comm, byte: u8) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            comm,
+            payload: vec![byte],
+            arrival: 0.0,
+        }
+    }
+
+    #[test]
+    fn exact_match_delivery() {
+        let mb = Mailbox::new();
+        mb.deliver(env(3, 7, Comm::WORLD, 0xaa));
+        let got = mb.recv(SrcSel::Rank(3), TagSel::Tag(7), Comm::WORLD);
+        assert_eq!(got.payload, vec![0xaa]);
+        assert_eq!(mb.backlog(), 0);
+    }
+
+    #[test]
+    fn mismatched_messages_left_queued() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 1, Comm::WORLD, 1));
+        mb.deliver(env(2, 2, Comm::WORLD, 2));
+        let got = mb.recv(SrcSel::Rank(2), TagSel::Tag(2), Comm::WORLD);
+        assert_eq!(got.payload, vec![2]);
+        assert_eq!(mb.backlog(), 1, "non-matching message must stay queued");
+    }
+
+    #[test]
+    fn wildcard_source_takes_first() {
+        let mb = Mailbox::new();
+        mb.deliver(env(5, 9, Comm::WORLD, 5));
+        mb.deliver(env(6, 9, Comm::WORLD, 6));
+        let got = mb.recv(SrcSel::Any, TagSel::Tag(9), Comm::WORLD);
+        assert_eq!(got.src, 5, "FIFO among matches");
+    }
+
+    #[test]
+    fn wildcard_tag() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 42, Comm::WORLD, 1));
+        let got = mb.recv(SrcSel::Rank(1), TagSel::Any, Comm::WORLD);
+        assert_eq!(got.tag, 42);
+    }
+
+    #[test]
+    fn comm_isolation() {
+        let mb = Mailbox::new();
+        mb.deliver(env(1, 1, Comm(9), 9));
+        mb.deliver(env(1, 1, Comm::WORLD, 0));
+        let got = mb.recv(SrcSel::Rank(1), TagSel::Tag(1), Comm::WORLD);
+        assert_eq!(got.payload, vec![0], "must not cross communicators");
+    }
+
+    #[test]
+    fn non_overtaking_per_sender() {
+        let mb = Mailbox::new();
+        for i in 0..10u8 {
+            mb.deliver(env(4, 1, Comm::WORLD, i));
+        }
+        for i in 0..10u8 {
+            let got = mb.recv(SrcSel::Rank(4), TagSel::Tag(1), Comm::WORLD);
+            assert_eq!(got.payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.deliver(env(2, 3, Comm::WORLD, 7));
+        let p = mb.probe(SrcSel::Any, TagSel::Any, Comm::WORLD);
+        assert_eq!(p, Some((2, 3, 1)));
+        assert_eq!(mb.backlog(), 1);
+        assert!(mb.probe(SrcSel::Rank(9), TagSel::Any, Comm::WORLD).is_none());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            mb2.recv(SrcSel::Rank(0), TagSel::Tag(0), Comm::WORLD)
+        });
+        // Give the receiver a moment to block, then deliver.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.deliver(env(0, 0, Comm::WORLD, 0x5a));
+        let got = handle.join().unwrap();
+        assert_eq!(got.payload, vec![0x5a]);
+    }
+
+    #[test]
+    fn wakeup_with_multiple_waiters_different_selectors() {
+        let mb = Arc::new(Mailbox::new());
+        let a = {
+            let mb = Arc::clone(&mb);
+            std::thread::spawn(move || mb.recv(SrcSel::Rank(1), TagSel::Any, Comm::WORLD))
+        };
+        let b = {
+            let mb = Arc::clone(&mb);
+            std::thread::spawn(move || mb.recv(SrcSel::Rank(2), TagSel::Any, Comm::WORLD))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.deliver(env(2, 0, Comm::WORLD, 2));
+        mb.deliver(env(1, 0, Comm::WORLD, 1));
+        assert_eq!(a.join().unwrap().payload, vec![1]);
+        assert_eq!(b.join().unwrap().payload, vec![2]);
+    }
+}

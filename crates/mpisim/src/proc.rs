@@ -1,0 +1,349 @@
+//! The per-rank process handle: point-to-point messaging, virtual time,
+//! and statistics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::mailbox::{Envelope, Mailbox};
+use crate::time::{CostModel, VirtualClock, VirtualTime};
+use crate::Comm;
+
+/// MPI rank (0-based).
+pub type Rank = usize;
+
+/// Message tag.
+pub type Tag = u32;
+
+/// Source selector for receives (MPI's `MPI_ANY_SOURCE` or a concrete
+/// rank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcSel {
+    /// Match any sender.
+    Any,
+    /// Match a specific sender.
+    Rank(Rank),
+}
+
+/// Tag selector for receives (MPI's `MPI_ANY_TAG` or a concrete tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match any tag.
+    Any,
+    /// Match a specific tag.
+    Tag(Tag),
+}
+
+/// Completed receive: who sent what under which tag.
+#[derive(Debug, Clone)]
+pub struct RecvInfo {
+    /// Actual sender (resolves wildcards).
+    pub src: Rank,
+    /// Actual tag (resolves wildcards).
+    pub tag: Tag,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+/// Per-rank communication statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Point-to-point messages sent (including collective-internal ones).
+    pub msgs_sent: usize,
+    /// Payload bytes sent.
+    pub bytes_sent: usize,
+    /// Messages received.
+    pub msgs_recvd: usize,
+    /// Payload bytes received.
+    pub bytes_recvd: usize,
+}
+
+/// State shared by all ranks of one [`crate::World`].
+pub(crate) struct Shared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) cost: CostModel,
+    pub(crate) size: usize,
+    /// Set when any rank panics so blocked peers abort instead of hanging.
+    pub(crate) poisoned: AtomicBool,
+}
+
+/// Handle through which one rank's program talks to the simulated MPI.
+///
+/// Obtained inside the closure passed to [`crate::World::run`]; not
+/// constructible directly.
+pub struct Proc {
+    rank: Rank,
+    shared: Arc<Shared>,
+    clock: VirtualClock,
+    /// Per-communicator collective sequence numbers; all ranks call
+    /// collectives on a communicator in the same order, so matching
+    /// sequence numbers identify the same collective instance.
+    coll_seq: HashMap<u32, u64>,
+    stats: ProcStats,
+    /// The tool's own virtual clock, disjoint from the application clock.
+    /// Tool-internal messages (on [`Comm::TOOL`]/[`Comm::MARKER`]) carry
+    /// tool-clock timestamps and synchronize it on receive, and measured
+    /// tool compute advances it via [`Proc::tool_compute`] — so a rank's
+    /// final tool time is the *critical path* of tool work it observed
+    /// (including waiting for merge partners), exactly the quantity the
+    /// paper aggregates as tracing overhead. Measuring this with the wall
+    /// clock instead would time the host scheduler: the simulation
+    /// oversubscribes cores, so blocking waits are meaningless there.
+    tool_clock: VirtualClock,
+}
+
+/// Base of the reserved tag space used by collective-internal messages.
+/// Application tags must stay below this.
+pub const COLLECTIVE_TAG_BASE: Tag = 1 << 30;
+
+impl Proc {
+    pub(crate) fn new(rank: Rank, shared: Arc<Shared>) -> Self {
+        Proc {
+            rank,
+            shared,
+            clock: VirtualClock::new(),
+            coll_seq: HashMap::new(),
+            stats: ProcStats::default(),
+            tool_clock: VirtualClock::new(),
+        }
+    }
+
+    /// This process's rank in the world.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size (number of ranks).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Current virtual time of this rank.
+    #[inline]
+    pub fn now(&self) -> VirtualTime {
+        self.clock.now()
+    }
+
+    /// The communication cost model in effect.
+    pub fn cost_model(&self) -> CostModel {
+        self.shared.cost
+    }
+
+    /// Accumulated communication statistics.
+    pub fn stats(&self) -> ProcStats {
+        self.stats
+    }
+
+    /// Current tool-clock time: the modeled critical path of tool work
+    /// this rank has observed (communication, waits, and registered
+    /// compute). See the field docs.
+    pub fn tool_time(&self) -> f64 {
+        self.tool_clock.now()
+    }
+
+    /// Advance the tool clock by `dt` seconds of measured tool
+    /// computation (merging, clustering, signature work).
+    pub fn tool_compute(&mut self, dt: f64) {
+        self.tool_clock.advance(dt.max(0.0));
+    }
+
+    /// Simulate `dt` virtual seconds of computation.
+    #[inline]
+    pub fn compute(&mut self, dt: VirtualTime) {
+        self.clock.advance(dt);
+    }
+
+    /// Blocking buffered send (MPI_Send with an eager protocol: completes
+    /// locally, the message is queued at the receiver).
+    ///
+    /// Panics if `dest` is out of range or the application tag intrudes on
+    /// the reserved collective tag space.
+    pub fn send(&mut self, dest: Rank, tag: Tag, comm: Comm, payload: &[u8]) {
+        assert!(
+            dest < self.shared.size,
+            "send to rank {dest} in world of {}",
+            self.shared.size
+        );
+        // Tool-internal traffic (PMPI-wrapper side channels: clustering
+        // votes, trace shipping, marker sync) is free in *virtual* time:
+        // the virtual clock models the application alone, while tool cost
+        // is measured in real wall-clock. Without this split, instrumented
+        // and uninstrumented runs would disagree on application time.
+        let tool = comm == Comm::TOOL || comm == Comm::MARKER;
+        let arrival = if tool {
+            self.tool_clock.advance(self.shared.cost.overhead);
+            self.tool_clock.now() + self.shared.cost.transfer(payload.len())
+        } else {
+            self.clock.advance(self.shared.cost.overhead);
+            self.clock.now() + self.shared.cost.transfer(payload.len())
+        };
+        self.shared.mailboxes[dest].deliver(Envelope {
+            src: self.rank,
+            tag,
+            comm,
+            payload: payload.to_vec(),
+            arrival,
+        });
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len();
+    }
+
+    /// Blocking matched receive. Synchronizes this rank's virtual clock
+    /// with the message arrival time.
+    ///
+    /// If another rank panicked, this aborts (panics) instead of blocking
+    /// forever.
+    pub fn recv(&mut self, src: SrcSel, tag: TagSel, comm: Comm) -> RecvInfo {
+        let env = self.recv_envelope(src, tag, comm);
+        if comm == Comm::TOOL || comm == Comm::MARKER {
+            // Arrival is in the tool-clock domain: waiting for a late
+            // sender (e.g. a merge partner still computing) shows up as
+            // tool time, which is exactly the semantics of a blocked
+            // PMPI-wrapper collective.
+            self.tool_clock.sync_to(env.arrival);
+            self.tool_clock.advance(self.shared.cost.overhead);
+        } else {
+            self.clock.sync_to(env.arrival);
+            self.clock.advance(self.shared.cost.overhead);
+        }
+        self.stats.msgs_recvd += 1;
+        self.stats.bytes_recvd += env.payload.len();
+        RecvInfo {
+            src: env.src,
+            tag: env.tag,
+            payload: env.payload,
+        }
+    }
+
+    /// Bounded-wait matched receive: like [`Proc::recv`] but gives up after
+    /// `timeout_ms` of real time without a match, returning `None`.
+    ///
+    /// Replay engines use this: a receive whose matching send was dropped
+    /// (endpoint transposed out of the world in a clustered trace) must
+    /// not hang the replay forever.
+    pub fn recv_timeout(
+        &mut self,
+        src: SrcSel,
+        tag: TagSel,
+        comm: Comm,
+        timeout_ms: u64,
+    ) -> Option<RecvInfo> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        loop {
+            let slice = 50.min(timeout_ms.max(1));
+            if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(src, tag, comm, slice)
+            {
+                self.clock.sync_to(env.arrival);
+                self.clock.advance(self.shared.cost.overhead);
+                self.stats.msgs_recvd += 1;
+                self.stats.bytes_recvd += env.payload.len();
+                return Some(RecvInfo {
+                    src: env.src,
+                    tag: env.tag,
+                    payload: env.payload,
+                });
+            }
+            if self.shared.poisoned.load(Ordering::SeqCst) {
+                panic!(
+                    "world poisoned: another rank panicked while rank {} was receiving",
+                    self.rank
+                );
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Combined exchange: buffered send then blocking receive. Safe against
+    /// head-on exchanges (both sides send first) because sends are eager.
+    pub fn sendrecv(
+        &mut self,
+        dest: Rank,
+        send_tag: Tag,
+        payload: &[u8],
+        src: SrcSel,
+        recv_tag: TagSel,
+        comm: Comm,
+    ) -> RecvInfo {
+        self.send(dest, send_tag, comm, payload);
+        self.recv(src, recv_tag, comm)
+    }
+
+    /// Non-blocking probe for a matching message.
+    pub fn probe(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Option<(Rank, Tag, usize)> {
+        self.shared.mailboxes[self.rank].probe(src, tag, comm)
+    }
+
+    /// Convenience: send a single u64 (little-endian).
+    pub fn send_u64(&mut self, dest: Rank, tag: Tag, comm: Comm, value: u64) {
+        self.send(dest, tag, comm, &value.to_le_bytes());
+    }
+
+    /// Convenience: receive a single u64.
+    ///
+    /// Panics if the matched message is not exactly 8 bytes — that is a
+    /// protocol error worth failing loudly on.
+    pub fn recv_u64(&mut self, src: SrcSel, tag: TagSel, comm: Comm) -> (Rank, u64) {
+        let info = self.recv(src, tag, comm);
+        let bytes: [u8; 8] = info
+            .payload
+            .as_slice()
+            .try_into()
+            .expect("recv_u64: payload is not 8 bytes");
+        (info.src, u64::from_le_bytes(bytes))
+    }
+
+    /// Next collective sequence number on `comm`.
+    pub(crate) fn next_coll_seq(&mut self, comm: Comm) -> u64 {
+        let seq = self.coll_seq.entry(comm.0).or_insert(0);
+        let cur = *seq;
+        *seq += 1;
+        cur
+    }
+
+    /// Tag for round `round` of collective instance `seq`. Stays inside the
+    /// reserved space and disambiguates back-to-back collectives.
+    pub(crate) fn coll_tag(seq: u64, round: u32) -> Tag {
+        debug_assert!(round < 64, "collective with more than 64 rounds");
+        COLLECTIVE_TAG_BASE + ((seq % 0xFFFF) as Tag) * 64 + round
+    }
+
+    fn recv_envelope(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Envelope {
+        // Poll with a timeout so that a panic on any rank unblocks everyone
+        // instead of deadlocking the whole world.
+        loop {
+            if let Some(env) =
+                self.shared.mailboxes[self.rank].recv_timeout(src, tag, comm, 50)
+            {
+                return env;
+            }
+            if self.shared.poisoned.load(Ordering::SeqCst) {
+                panic!("world poisoned: another rank panicked while rank {} was receiving", self.rank);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coll_tags_in_reserved_space() {
+        for seq in [0u64, 1, 1000, u64::MAX] {
+            for round in [0u32, 1, 63] {
+                let t = Proc::coll_tag(seq, round);
+                assert!(t >= COLLECTIVE_TAG_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn coll_tags_distinguish_rounds_and_seqs() {
+        assert_ne!(Proc::coll_tag(0, 0), Proc::coll_tag(0, 1));
+        assert_ne!(Proc::coll_tag(0, 0), Proc::coll_tag(1, 0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Reduction-tree topologies.
+//!
+//! ScalaTrace's inter-node compression consolidates traces "in a reduction
+//! step over a radix tree rooted in rank 0"; Chameleon runs the same merge
+//! but only over the K lead processes. [`RadixTree`] gives the
+//! parent/children relations for a radix-r tree over *positions*
+//! `0..size`; callers map positions to actual ranks (identity for
+//! ScalaTrace's full-world merge, a top-K index table for Chameleon's lead
+//! merge — the paper's "assign a temp rank from Top K").
+
+/// A complete radix-r tree over positions `0..size`, rooted at position 0.
+///
+/// Position p's children are `p*r + 1 ..= p*r + r` (those < size); its
+/// parent is `(p - 1) / r`. Depth is O(log_r size), which is the source of
+/// the `log P` terms in the paper's complexity analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadixTree {
+    radix: usize,
+    size: usize,
+}
+
+impl RadixTree {
+    /// Tree with the given fan-out over `size` positions.
+    ///
+    /// Panics if `radix == 0` or `size == 0`: both would make the
+    /// parent/child relations meaningless.
+    pub fn new(radix: usize, size: usize) -> Self {
+        assert!(radix >= 1, "radix tree fan-out must be at least 1");
+        assert!(size >= 1, "radix tree must have at least the root");
+        RadixTree { radix, size }
+    }
+
+    /// Binary tree, the paper's usual "left/right child" formulation
+    /// (Algorithm 3 speaks of left and right children).
+    pub fn binary(size: usize) -> Self {
+        Self::new(2, size)
+    }
+
+    /// Number of positions in the tree.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Fan-out.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Parent position, or `None` for the root.
+    pub fn parent(&self, pos: usize) -> Option<usize> {
+        assert!(pos < self.size, "position {pos} out of range {}", self.size);
+        if pos == 0 {
+            None
+        } else {
+            Some((pos - 1) / self.radix)
+        }
+    }
+
+    /// Children positions (possibly empty at the leaves).
+    pub fn children(&self, pos: usize) -> Vec<usize> {
+        assert!(pos < self.size, "position {pos} out of range {}", self.size);
+        let first = pos * self.radix + 1;
+        (first..first + self.radix)
+            .take_while(|&c| c < self.size)
+            .collect()
+    }
+
+    /// Tree depth of a position (root = 0).
+    pub fn depth(&self, pos: usize) -> usize {
+        let mut d = 0;
+        let mut p = pos;
+        while let Some(parent) = self.parent(p) {
+            p = parent;
+            d += 1;
+        }
+        d
+    }
+
+    /// Height of the whole tree (max depth + 1); O(log_r size).
+    pub fn height(&self) -> usize {
+        self.depth(self.size - 1) + 1
+    }
+
+    /// Positions ordered leaves-to-root by decreasing depth; a valid
+    /// schedule for an upward (reduce-style) sweep.
+    pub fn reduce_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.size).collect();
+        order.sort_by_key(|&p| std::cmp::Reverse(self.depth(p)));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_tree_relations() {
+        let t = RadixTree::binary(7);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(0));
+        assert_eq!(t.parent(5), Some(2));
+        assert_eq!(t.children(0), vec![1, 2]);
+        assert_eq!(t.children(1), vec![3, 4]);
+        assert_eq!(t.children(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parent_child_inverse() {
+        for radix in 1..=5 {
+            for size in 1..=40 {
+                let t = RadixTree::new(radix, size);
+                for p in 0..size {
+                    for c in t.children(p) {
+                        assert_eq!(t.parent(c), Some(p), "radix {radix} size {size}");
+                    }
+                    if let Some(par) = t.parent(p) {
+                        assert!(
+                            t.children(par).contains(&p),
+                            "radix {radix} size {size} pos {p}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonroot_reachable_from_root() {
+        let t = RadixTree::new(3, 50);
+        let mut seen = vec![false; 50];
+        let mut stack = vec![0usize];
+        while let Some(p) = stack.pop() {
+            assert!(!seen[p], "no cycles");
+            seen[p] = true;
+            stack.extend(t.children(p));
+        }
+        assert!(seen.iter().all(|&s| s), "tree must span all positions");
+    }
+
+    #[test]
+    fn height_logarithmic() {
+        let t = RadixTree::binary(1024);
+        // A binary heap over 1024 nodes has height 10 or 11.
+        assert!(t.height() <= 11, "height {} too deep", t.height());
+        let t4 = RadixTree::new(4, 1024);
+        assert!(t4.height() <= 6);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let t = RadixTree::binary(1);
+        assert_eq!(t.parent(0), None);
+        assert!(t.children(0).is_empty());
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.reduce_order(), vec![0]);
+    }
+
+    #[test]
+    fn radix_one_is_a_chain() {
+        let t = RadixTree::new(1, 5);
+        assert_eq!(t.children(0), vec![1]);
+        assert_eq!(t.children(4), Vec::<usize>::new());
+        assert_eq!(t.height(), 5);
+    }
+
+    #[test]
+    fn reduce_order_children_before_parents() {
+        let t = RadixTree::new(2, 17);
+        let order = t.reduce_order();
+        let posn: Vec<usize> = {
+            let mut inv = vec![0; 17];
+            for (i, &p) in order.iter().enumerate() {
+                inv[p] = i;
+            }
+            inv
+        };
+        for p in 0..17 {
+            for c in t.children(p) {
+                assert!(posn[c] < posn[p], "child {c} must precede parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        RadixTree::binary(4).parent(4);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Walking parents from any position terminates at the root in at
+        /// most height steps.
+        #[test]
+        fn parent_walk_terminates(radix in 1usize..6, size in 1usize..200, seed in any::<u64>()) {
+            let t = RadixTree::new(radix, size);
+            let pos = (seed % size as u64) as usize;
+            let mut p = pos;
+            let mut steps = 0;
+            while let Some(parent) = t.parent(p) {
+                p = parent;
+                steps += 1;
+                prop_assert!(steps <= size, "cycle detected");
+            }
+            prop_assert_eq!(p, 0);
+            prop_assert!(steps < t.height());
+        }
+
+        /// The children lists partition 1..size.
+        #[test]
+        fn children_partition(radix in 1usize..6, size in 1usize..200) {
+            let t = RadixTree::new(radix, size);
+            let mut count = vec![0usize; size];
+            for p in 0..size {
+                for c in t.children(p) {
+                    count[c] += 1;
+                }
+            }
+            prop_assert_eq!(count[0], 0, "root has no parent");
+            for c in 1..size {
+                prop_assert_eq!(count[c], 1, "every non-root appears exactly once");
+            }
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! World setup and execution: spawn one thread per rank, run the rank
+//! program, join, and report.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::mailbox::Mailbox;
+use crate::proc::{Proc, Shared};
+use crate::time::{CostModel, VirtualTime};
+
+/// Configuration of a simulated MPI world.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Communication cost model for virtual time.
+    pub cost: CostModel,
+    /// Stack size per rank thread. The paper runs P=1024; with the default
+    /// 256 KiB stacks that is a modest 256 MiB of (mostly untouched)
+    /// virtual memory.
+    pub stack_bytes: usize,
+}
+
+impl WorldConfig {
+    /// Default configuration for `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        WorldConfig {
+            ranks,
+            cost: CostModel::default(),
+            stack_bytes: 256 * 1024,
+        }
+    }
+
+    /// Small-world configuration for unit tests (deterministic cost model,
+    /// compact stacks).
+    pub fn for_tests(ranks: usize) -> Self {
+        Self::new(ranks)
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the per-thread stack size.
+    pub fn with_stack_bytes(mut self, bytes: usize) -> Self {
+        self.stack_bytes = bytes.max(64 * 1024);
+        self
+    }
+}
+
+/// Result of running a world to completion.
+#[derive(Debug, Clone)]
+pub struct WorldReport<R = ()> {
+    /// Number of ranks that ran.
+    pub ranks: usize,
+    /// Final virtual time of each rank.
+    pub rank_vtimes: Vec<VirtualTime>,
+    /// Maximum final virtual time across ranks — the simulated
+    /// "application execution time".
+    pub max_vtime: VirtualTime,
+    /// Real wall-clock duration of the run (threads spawned to joined).
+    pub wall: Duration,
+    /// Per-rank return values of the rank program, in rank order.
+    pub results: Vec<R>,
+}
+
+/// Error from a world run: at least one rank panicked.
+#[derive(Debug)]
+pub struct WorldError {
+    /// Ranks that panicked, with the panic payloads rendered to strings.
+    pub failures: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for WorldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rank(s) panicked:", self.failures.len())?;
+        for (rank, msg) in &self.failures {
+            write!(f, " [rank {rank}: {msg}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// A simulated MPI world: P ranks, each an OS thread.
+pub struct World {
+    config: WorldConfig,
+}
+
+impl World {
+    /// Create a world with the given configuration.
+    ///
+    /// Panics if `ranks == 0`.
+    pub fn new(config: WorldConfig) -> Self {
+        assert!(config.ranks >= 1, "world needs at least one rank");
+        World { config }
+    }
+
+    /// Run `program` on every rank concurrently and wait for completion.
+    ///
+    /// The program receives the rank's [`Proc`] handle; its return values
+    /// are collected in rank order. If any rank panics, the world is
+    /// poisoned (blocked receives abort), all threads are joined, and an
+    /// error listing the failures is returned.
+    pub fn run<R, F>(self, program: F) -> Result<WorldReport<R>, WorldError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Proc) -> R + Send + Sync + 'static,
+    {
+        let p = self.config.ranks;
+        let shared = Arc::new(Shared {
+            mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
+            cost: self.config.cost,
+            size: p,
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+        });
+        let program = Arc::new(program);
+        let started = Instant::now();
+
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let shared = Arc::clone(&shared);
+            let program = Arc::clone(&program);
+            let builder = std::thread::Builder::new()
+                .name(format!("mpisim-rank-{rank}"))
+                .stack_size(self.config.stack_bytes);
+            let handle = builder
+                .spawn(move || {
+                    let mut proc = Proc::new(rank, Arc::clone(&shared));
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        program(&mut proc)
+                    }));
+                    let vtime = proc.now();
+                    match outcome {
+                        Ok(r) => Ok((r, vtime)),
+                        Err(payload) => {
+                            shared.poisoned.store(true, Ordering::SeqCst);
+                            Err(panic_message(payload))
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(handle);
+        }
+
+        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let mut vtimes = vec![0.0; p];
+        let mut failures = Vec::new();
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok((r, vt))) => {
+                    results[rank] = Some(r);
+                    vtimes[rank] = vt;
+                }
+                Ok(Err(msg)) => failures.push((rank, msg)),
+                Err(payload) => failures.push((rank, panic_message(payload))),
+            }
+        }
+
+        if !failures.is_empty() {
+            return Err(WorldError { failures });
+        }
+
+        let max_vtime = vtimes.iter().cloned().fold(0.0, f64::max);
+        Ok(WorldReport {
+            ranks: p,
+            rank_vtimes: vtimes,
+            max_vtime,
+            wall: started.elapsed(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("no failure but missing result"))
+                .collect(),
+        })
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::ReduceOp;
+    use crate::proc::{SrcSel, TagSel};
+    use crate::Comm;
+
+    #[test]
+    fn single_rank_world() {
+        let report = World::new(WorldConfig::for_tests(1))
+            .run(|proc| proc.rank())
+            .unwrap();
+        assert_eq!(report.results, vec![0]);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let report = World::new(WorldConfig::for_tests(8))
+            .run(|proc| proc.rank() * 10)
+            .unwrap();
+        assert_eq!(report.results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its rank to the right neighbor and receives from
+        // the left one.
+        let report = World::new(WorldConfig::for_tests(5))
+            .run(|proc| {
+                let p = proc.size();
+                let me = proc.rank();
+                let right = (me + 1) % p;
+                let left = (me + p - 1) % p;
+                proc.send_u64(right, 1, Comm::WORLD, me as u64);
+                let (src, val) = proc.recv_u64(SrcSel::Rank(left), TagSel::Tag(1), Comm::WORLD);
+                assert_eq!(src, left);
+                val
+            })
+            .unwrap();
+        assert_eq!(report.results, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_all_sizes() {
+        for p in [1, 2, 3, 4, 5, 7, 8, 16, 33] {
+            World::new(WorldConfig::for_tests(p))
+                .run(|proc| {
+                    for _ in 0..3 {
+                        proc.barrier(Comm::WORLD);
+                    }
+                })
+                .unwrap_or_else(|e| panic!("barrier failed for p={p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn reduce_sum_all_sizes_and_roots() {
+        for p in [1usize, 2, 3, 5, 8, 13, 16] {
+            for root in [0, p / 2, p - 1] {
+                let expect: u64 = (0..p as u64).sum();
+                World::new(WorldConfig::for_tests(p))
+                    .run(move |proc| {
+                        let out =
+                            proc.reduce_u64(proc.rank() as u64, ReduceOp::Sum, root, Comm::WORLD);
+                        if proc.rank() == root {
+                            assert_eq!(out, Some(expect), "p={p} root={root}");
+                        } else {
+                            assert_eq!(out, None);
+                        }
+                    })
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_min() {
+        World::new(WorldConfig::for_tests(9))
+            .run(|proc| {
+                let v = proc.rank() as u64 * 7 % 5; // some non-monotone values
+                let mx = proc.allreduce_u64(v, ReduceOp::Max, Comm::WORLD);
+                let mn = proc.allreduce_u64(v, ReduceOp::Min, Comm::WORLD);
+                let all: Vec<u64> = (0..9u64).map(|r| r * 7 % 5).collect();
+                assert_eq!(mx, *all.iter().max().unwrap());
+                assert_eq!(mn, *all.iter().min().unwrap());
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn bcast_all_sizes_and_roots() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            for root in [0, p - 1] {
+                World::new(WorldConfig::for_tests(p))
+                    .run(move |proc| {
+                        let payload = if proc.rank() == root {
+                            vec![0xab; 37]
+                        } else {
+                            vec![]
+                        };
+                        let out = proc.bcast(&payload, root, Comm::WORLD);
+                        assert_eq!(out, vec![0xab; 37], "p={p} root={root}");
+                    })
+                    .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_all() {
+        for p in [1usize, 2, 3, 6, 11] {
+            World::new(WorldConfig::for_tests(p))
+                .run(move |proc| {
+                    let mine = vec![proc.rank() as u8; proc.rank() + 1];
+                    let out = proc.gather(&mine, 0, Comm::WORLD);
+                    if proc.rank() == 0 {
+                        let v = out.expect("root gets data");
+                        for (r, data) in v.iter().enumerate() {
+                            assert_eq!(data, &vec![r as u8; r + 1], "p={p}");
+                        }
+                    } else {
+                        assert!(out.is_none());
+                    }
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_convenience() {
+        let report = World::new(WorldConfig::for_tests(16))
+            .run(|proc| proc.allreduce_sum(1))
+            .unwrap();
+        assert!(report.results.iter().all(|&r| r == 16));
+    }
+
+    #[test]
+    fn virtual_time_advances_with_compute() {
+        let report = World::new(WorldConfig::for_tests(2))
+            .run(|proc| {
+                proc.compute(1.0);
+                proc.barrier(Comm::WORLD);
+                proc.now()
+            })
+            .unwrap();
+        assert!(report.max_vtime >= 1.0);
+        assert!(report.results.iter().all(|&t| t >= 1.0));
+    }
+
+    #[test]
+    fn recv_synchronizes_clocks() {
+        // Rank 0 computes for 5 virtual seconds then sends; rank 1 receives
+        // immediately. Rank 1's clock must advance past 5.0.
+        let report = World::new(WorldConfig::for_tests(2))
+            .run(|proc| {
+                if proc.rank() == 0 {
+                    proc.compute(5.0);
+                    proc.send(1, 0, Comm::WORLD, &[1]);
+                } else {
+                    proc.recv(SrcSel::Rank(0), TagSel::Tag(0), Comm::WORLD);
+                }
+                proc.now()
+            })
+            .unwrap();
+        assert!(report.results[1] > 5.0, "receiver clock must sync to sender");
+    }
+
+    #[test]
+    fn panic_in_one_rank_reported_not_deadlocked() {
+        let err = World::new(WorldConfig::for_tests(3))
+            .run(|proc| {
+                if proc.rank() == 1 {
+                    panic!("injected failure");
+                }
+                // Ranks 0 and 2 block forever waiting for rank 1; the
+                // poison mechanism must unblock them.
+                proc.recv(SrcSel::Rank(1), TagSel::Tag(9), Comm::WORLD);
+            })
+            .unwrap_err();
+        assert!(err.failures.iter().any(|(r, m)| *r == 1 && m.contains("injected")));
+        // The blocked ranks fail with the poison message rather than hanging.
+        assert_eq!(err.failures.len(), 3);
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let report = World::new(WorldConfig::for_tests(2))
+            .run(|proc| {
+                if proc.rank() == 0 {
+                    proc.send(1, 0, Comm::WORLD, &[0; 100]);
+                } else {
+                    proc.recv(SrcSel::Rank(0), TagSel::Tag(0), Comm::WORLD);
+                }
+                proc.stats()
+            })
+            .unwrap();
+        assert_eq!(report.results[0].msgs_sent, 1);
+        assert_eq!(report.results[0].bytes_sent, 100);
+        assert_eq!(report.results[1].msgs_recvd, 1);
+        assert_eq!(report.results[1].bytes_recvd, 100);
+    }
+
+    #[test]
+    fn sendrecv_head_on_exchange() {
+        // Classic stencil exchange: both partners sendrecv each other.
+        World::new(WorldConfig::for_tests(2))
+            .run(|proc| {
+                let peer = 1 - proc.rank();
+                let info = proc.sendrecv(
+                    peer,
+                    7,
+                    &[proc.rank() as u8],
+                    SrcSel::Rank(peer),
+                    TagSel::Tag(7),
+                    Comm::WORLD,
+                );
+                assert_eq!(info.payload, vec![peer as u8]);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn moderately_large_world() {
+        // Smoke-test the thread machinery at a P beyond toy sizes.
+        let report = World::new(WorldConfig::new(128))
+            .run(|proc| proc.allreduce_sum(proc.rank() as u64))
+            .unwrap();
+        let expect: u64 = (0..128).sum();
+        assert!(report.results.iter().all(|&r| r == expect));
+    }
+}

@@ -1,0 +1,286 @@
+//! Delta-time statistics attached to compressed events.
+//!
+//! ScalaTrace records the computation time elapsed between consecutive MPI
+//! events ("delta times", Wu et al. ICPP 2011) and, because one compressed
+//! event stands for many dynamic instances across iterations and ranks,
+//! stores them as summary statistics plus a histogram rather than a list.
+//! The paper leans on this for load-imbalanced codes: "Sweep3D exhibits
+//! load imbalance, but this irregularity does not affect clustering since
+//! delta times are represented in histograms for repetitive signatures."
+
+use mpisim::VirtualTime;
+
+/// Number of logarithmic histogram bins. Bin i covers
+/// `[2^(i-1), 2^i) * BIN_UNIT` seconds, with bin 0 covering `[0, BIN_UNIT)`.
+pub const BINS: usize = 24;
+
+/// Finest histogram granularity: 100 ns.
+const BIN_UNIT: f64 = 1e-7;
+
+/// Summary statistics + log-scale histogram of delta times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    bins: [u32; BINS],
+}
+
+impl TimeStats {
+    /// No samples yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stats holding a single sample.
+    pub fn from_sample(dt: VirtualTime) -> Self {
+        let mut s = Self::new();
+        s.record(dt);
+        s
+    }
+
+    /// Reassemble from serialized parts (trace file parser).
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64, bins: [u32; BINS]) -> Self {
+        TimeStats {
+            count,
+            sum,
+            min,
+            max,
+            bins,
+        }
+    }
+
+    /// Record one delta-time sample (clamped at 0).
+    pub fn record(&mut self, dt: VirtualTime) {
+        let dt = dt.max(0.0);
+        if self.count == 0 {
+            self.min = dt;
+            self.max = dt;
+        } else {
+            self.min = self.min.min(dt);
+            self.max = self.max.max(dt);
+        }
+        self.count += 1;
+        self.sum += dt;
+        self.bins[Self::bin_of(dt)] += 1;
+    }
+
+    fn bin_of(dt: f64) -> usize {
+        if dt < BIN_UNIT {
+            return 0;
+        }
+        // Compute in f64 and clamp before converting: dt / BIN_UNIT can
+        // overflow to infinity for extreme inputs.
+        let b = (dt / BIN_UNIT).log2().floor() + 1.0;
+        if b.is_finite() && b < (BINS - 1) as f64 {
+            b as usize
+        } else {
+            BINS - 1
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean delta time (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Total accumulated delta time.
+    pub fn total(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Histogram bins (log scale, see [`BINS`]).
+    pub fn bins(&self) -> &[u32; BINS] {
+        &self.bins
+    }
+
+    /// Merge another set of statistics into this one (event folding during
+    /// loop compression and cross-rank merging both land here).
+    pub fn merge(&mut self, other: &TimeStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Draw a representative delta time for replay: the histogram-weighted
+    /// mean, which matches the total time budget exactly in expectation.
+    pub fn replay_sample(&self) -> VirtualTime {
+        self.mean()
+    }
+
+    /// Approximate in-memory footprint for Table IV accounting.
+    pub fn byte_size(&self) -> usize {
+        8 * 4 + BINS * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = TimeStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = TimeStats::from_sample(2.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 2.5);
+        assert_eq!(s.max(), 2.5);
+    }
+
+    #[test]
+    fn multiple_samples() {
+        let mut s = TimeStats::new();
+        s.record(1.0);
+        s.record(3.0);
+        s.record(2.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.total(), 6.0);
+    }
+
+    #[test]
+    fn negative_clamped() {
+        let s = TimeStats::from_sample(-1.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn bins_monotone_assignment() {
+        assert_eq!(TimeStats::bin_of(0.0), 0);
+        assert_eq!(TimeStats::bin_of(5e-8), 0);
+        assert!(TimeStats::bin_of(1e-6) > TimeStats::bin_of(1e-7));
+        assert!(TimeStats::bin_of(1.0) > TimeStats::bin_of(1e-3));
+        assert_eq!(TimeStats::bin_of(f64::MAX), BINS - 1, "saturates");
+    }
+
+    #[test]
+    fn histogram_counts_samples() {
+        let mut s = TimeStats::new();
+        for _ in 0..10 {
+            s.record(1e-3);
+        }
+        let total: u32 = s.bins().iter().sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = TimeStats::new();
+        a.record(1.0);
+        a.record(2.0);
+        let mut b = TimeStats::new();
+        b.record(10.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 10.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.total(), 13.0);
+        let total: u32 = a.bins().iter().sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn merge_with_empty_identity() {
+        let mut a = TimeStats::from_sample(5.0);
+        let snapshot = a.clone();
+        a.merge(&TimeStats::new());
+        assert_eq!(a, snapshot);
+
+        let mut e = TimeStats::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn replay_sample_preserves_total_in_expectation() {
+        let mut s = TimeStats::new();
+        for dt in [0.5, 1.5, 1.0, 1.0] {
+            s.record(dt);
+        }
+        // count * replay_sample == total
+        let reconstructed = s.replay_sample() * s.count() as f64;
+        assert!((reconstructed - s.total()).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Merging in any grouping equals recording everything into one.
+        #[test]
+        fn merge_associative_with_record(
+            xs in proptest::collection::vec(0.0f64..1e3, 0..32),
+            ys in proptest::collection::vec(0.0f64..1e3, 0..32),
+        ) {
+            let mut lhs = TimeStats::new();
+            for &x in &xs { lhs.record(x); }
+            let mut rhs = TimeStats::new();
+            for &y in &ys { rhs.record(y); }
+            lhs.merge(&rhs);
+
+            let mut all = TimeStats::new();
+            for &v in xs.iter().chain(ys.iter()) { all.record(v); }
+
+            prop_assert_eq!(lhs.count(), all.count());
+            prop_assert!((lhs.total() - all.total()).abs() < 1e-9);
+            prop_assert_eq!(lhs.bins(), all.bins());
+            prop_assert_eq!(lhs.min(), all.min());
+            prop_assert_eq!(lhs.max(), all.max());
+        }
+
+        /// Histogram mass always equals the sample count.
+        #[test]
+        fn histogram_mass(xs in proptest::collection::vec(0.0f64..1e6, 0..64)) {
+            let mut s = TimeStats::new();
+            for &x in &xs { s.record(x); }
+            let mass: u64 = s.bins().iter().map(|&b| b as u64).sum();
+            prop_assert_eq!(mass, xs.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Inter-node compression: structural merging of compressed traces.
+//!
+//! ScalaTrace consolidates per-rank traces into one global trace by
+//! pairwise merging along a reduction tree: "internal nodes combine their
+//! traces with other task-level traces that they receive from child nodes"
+//! (paper §I). The pairwise step aligns two PRSD streams, merging nodes
+//! that represent the same call sites (unioning their ranklists and time
+//! statistics) and interleaving the rest in order. Alignment is a longest
+//! common subsequence over top-level nodes — the O(n²) factor in the
+//! paper's O(n² log P) inter-node compression cost, which is precisely the
+//! bottleneck Chameleon attacks by shrinking P to K.
+//!
+//! In SPMD codes the per-rank traces are structurally near-identical, so
+//! the merged trace stays near-constant size: matched nodes collapse into
+//! one with a wider ranklist.
+
+use crate::trace::{CompressedTrace, TraceNode};
+
+/// Merge two compressed traces into one that represents the union of
+/// their ranks' behavior.
+///
+/// Matched nodes (same sites, same loop structure) fold together; nodes
+/// unique to either input are kept in order. The relative order of events
+/// within each input is preserved.
+pub fn merge_traces(a: &CompressedTrace, b: &CompressedTrace) -> CompressedTrace {
+    CompressedTrace::from_nodes(merge_node_seqs(a.nodes(), b.nodes()))
+}
+
+/// Merge many traces left-to-right (the order the reduction tree produces).
+pub fn merge_all<'a>(traces: impl IntoIterator<Item = &'a CompressedTrace>) -> CompressedTrace {
+    let mut iter = traces.into_iter();
+    let mut acc = match iter.next() {
+        Some(t) => t.clone(),
+        None => return CompressedTrace::new(),
+    };
+    for t in iter {
+        acc = merge_traces(&acc, t);
+    }
+    acc
+}
+
+fn merge_node_seqs(x: &[TraceNode], y: &[TraceNode]) -> Vec<TraceNode> {
+    let (n, m) = (x.len(), y.len());
+    // LCS table over structural matches.
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if x[i].matches(&y[j]) {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    // Backtrack, emitting merged nodes.
+    let mut out = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if x[i].matches(&y[j]) && dp[i][j] == dp[i + 1][j + 1] + 1 {
+            let mut merged = x[i].clone();
+            merged.absorb(&y[j]);
+            out.push(merged);
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            out.push(x[i].clone());
+            i += 1;
+        } else {
+            out.push(y[j].clone());
+            j += 1;
+        }
+    }
+    out.extend(x[i..].iter().cloned());
+    out.extend(y[j..].iter().cloned());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRecord;
+    use crate::op::{Endpoint, MpiOp};
+    use crate::ranklist::RankSet;
+    use mpisim::Comm;
+    use sigkit::StackSig;
+
+    fn ev(sig: u64, rank: usize) -> EventRecord {
+        EventRecord::new(
+            MpiOp::send(Endpoint::Relative(1), 0, 8, Comm::WORLD),
+            StackSig(sig),
+            rank,
+            1.0,
+        )
+    }
+
+    fn trace_of(rank: usize, sigs: &[u64]) -> CompressedTrace {
+        let mut t = CompressedTrace::new();
+        for &s in sigs {
+            t.append(ev(s, rank));
+        }
+        t
+    }
+
+    #[test]
+    fn identical_traces_collapse() {
+        let a = trace_of(0, &[1, 2, 3]);
+        let b = trace_of(1, &[1, 2, 3]);
+        let m = merge_traces(&a, &b);
+        assert_eq!(m.compressed_size(), 3, "same structure folds completely");
+        let mut ranks = Vec::new();
+        m.visit_events(&mut |e| ranks.push(e.ranks.expand()));
+        assert!(ranks.iter().all(|r| r == &vec![0, 1]));
+    }
+
+    #[test]
+    fn disjoint_traces_concatenate() {
+        let a = trace_of(0, &[1, 2]);
+        let b = trace_of(1, &[3, 4]);
+        let m = merge_traces(&a, &b);
+        assert_eq!(m.compressed_size(), 4);
+        let mut sigs = Vec::new();
+        m.visit_events(&mut |e| sigs.push(e.stack_sig.0));
+        assert_eq!(sigs, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn partial_overlap_aligns() {
+        // Both share the 1,3 backbone; each has a private event between.
+        let a = trace_of(0, &[1, 2, 3]);
+        let b = trace_of(1, &[1, 9, 3]);
+        let m = merge_traces(&a, &b);
+        let mut sigs = Vec::new();
+        let mut ranks = Vec::new();
+        m.visit_events(&mut |e| {
+            sigs.push(e.stack_sig.0);
+            ranks.push(e.ranks.expand());
+        });
+        // Backbone events carry both ranks; private events carry one.
+        assert_eq!(sigs.len(), 4);
+        assert!(sigs.contains(&2) && sigs.contains(&9));
+        let idx1 = sigs.iter().position(|&s| s == 1).unwrap();
+        let idx3 = sigs.iter().position(|&s| s == 3).unwrap();
+        assert_eq!(ranks[idx1], vec![0, 1]);
+        assert_eq!(ranks[idx3], vec![0, 1]);
+    }
+
+    #[test]
+    fn loops_with_same_structure_fold() {
+        let a = trace_of(0, &[1, 2, 1, 2, 1, 2]); // Loop{3,[1,2]}
+        let b = trace_of(5, &[1, 2, 1, 2, 1, 2]);
+        let m = merge_traces(&a, &b);
+        assert_eq!(m.nodes().len(), 1);
+        match &m.nodes()[0] {
+            TraceNode::Loop { iters, body } => {
+                assert_eq!(*iters, 3);
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+        let mut ranks = Vec::new();
+        m.visit_events(&mut |e| ranks.push(e.ranks.expand()));
+        assert!(ranks.iter().all(|r| r == &vec![0, 5]));
+    }
+
+    #[test]
+    fn loops_with_different_iters_kept_separate() {
+        let a = trace_of(0, &[1, 1, 1]); // Loop{3,[1]}
+        let b = trace_of(1, &[1, 1, 1, 1, 1]); // Loop{5,[1]}
+        let m = merge_traces(&a, &b);
+        // Different trip counts cannot fold; both loops survive.
+        assert_eq!(m.nodes().len(), 2);
+        assert_eq!(m.dynamic_size(), 8);
+    }
+
+    #[test]
+    fn merge_all_many_ranks_near_constant() {
+        // 64 SPMD ranks with identical structure merge into a trace the
+        // same size as one rank's — the headline ScalaTrace property.
+        let traces: Vec<CompressedTrace> =
+            (0..64).map(|r| trace_of(r, &[1, 2, 1, 2, 3])).collect();
+        let single_size = traces[0].compressed_size();
+        let m = merge_all(traces.iter());
+        assert_eq!(m.compressed_size(), single_size);
+        let mut all_ranks = RankSet::empty();
+        m.visit_events(&mut |e| all_ranks = all_ranks.union(&e.ranks));
+        assert_eq!(all_ranks.len(), 64);
+    }
+
+    #[test]
+    fn merge_empty_identity() {
+        let a = trace_of(0, &[1, 2]);
+        let e = CompressedTrace::new();
+        assert_eq!(merge_traces(&a, &e), a);
+        assert_eq!(merge_traces(&e, &a), a);
+        assert_eq!(merge_all(std::iter::empty()), e);
+    }
+
+    #[test]
+    fn time_mass_additive_across_merge() {
+        let a = trace_of(0, &[1, 2]); // total pre-time 2.0
+        let b = trace_of(1, &[1, 2]); // total pre-time 2.0
+        let m = merge_traces(&a, &b);
+        let mut total = 0.0;
+        m.visit_events(&mut |e| total += e.pre_time.total());
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_preserves_each_input_order() {
+        let a = trace_of(0, &[1, 5, 2]);
+        let b = trace_of(1, &[5, 9]);
+        let m = merge_traces(&a, &b);
+        let mut sigs = Vec::new();
+        m.visit_events(&mut |e| sigs.push(e.stack_sig.0));
+        // Order of a's events preserved.
+        let pos = |v: u64| sigs.iter().position(|&s| s == v).unwrap();
+        assert!(pos(1) < pos(5));
+        assert!(pos(5) < pos(2));
+        // Order of b's events preserved.
+        assert!(pos(5) < pos(9));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::event::EventRecord;
+    use crate::op::{Endpoint, MpiOp};
+    use mpisim::Comm;
+    use proptest::prelude::*;
+    use sigkit::StackSig;
+
+    fn trace_of(rank: usize, sigs: &[u64]) -> CompressedTrace {
+        let mut t = CompressedTrace::new();
+        for &s in sigs {
+            t.append(EventRecord::new(
+                MpiOp::send(Endpoint::Relative(1), 0, 8, Comm::WORLD),
+                StackSig(s),
+                rank,
+                1.0,
+            ));
+        }
+        t
+    }
+
+    proptest! {
+        /// The merged trace is never larger than the concatenation and
+        /// never smaller than the larger input's compressed size... the
+        /// latter only when one input's sites subsume the other's; the
+        /// robust invariant is the upper bound plus dynamic-size bounds.
+        #[test]
+        fn merged_size_bounded(
+            xs in proptest::collection::vec(0u64..5, 0..40),
+            ys in proptest::collection::vec(0u64..5, 0..40),
+        ) {
+            let a = trace_of(0, &xs);
+            let b = trace_of(1, &ys);
+            let m = merge_traces(&a, &b);
+            prop_assert!(m.compressed_size() <= a.compressed_size() + b.compressed_size());
+            // Every dynamic instance of both inputs is represented.
+            prop_assert!(m.dynamic_size() >= a.dynamic_size().max(b.dynamic_size()));
+            prop_assert!(m.dynamic_size() <= a.dynamic_size() + b.dynamic_size());
+        }
+
+        /// Time mass is exactly additive.
+        #[test]
+        fn time_mass_additive(
+            xs in proptest::collection::vec(0u64..5, 0..40),
+            ys in proptest::collection::vec(0u64..5, 0..40),
+        ) {
+            let a = trace_of(0, &xs);
+            let b = trace_of(1, &ys);
+            let m = merge_traces(&a, &b);
+            let sum = |t: &CompressedTrace| {
+                let mut total = 0.0;
+                t.visit_events(&mut |e| total += e.pre_time.total());
+                total
+            };
+            prop_assert!((sum(&m) - (sum(&a) + sum(&b))).abs() < 1e-6);
+        }
+
+        /// Merging a trace with itself (different rank) is a perfect fold.
+        #[test]
+        fn self_merge_perfect(xs in proptest::collection::vec(0u64..5, 0..60)) {
+            let a = trace_of(0, &xs);
+            let b = trace_of(1, &xs);
+            let m = merge_traces(&a, &b);
+            prop_assert_eq!(m.compressed_size(), a.compressed_size());
+            prop_assert_eq!(m.dynamic_size(), a.dynamic_size());
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! MPI operation descriptors with location-independent endpoint encoding.
+//!
+//! ScalaTrace property (1) (paper §II): "Communication end-points (task
+//! IDs) in SPMD programs often differ from one node to another. However,
+//! their position relative to the MPI task ID often remains constant.
+//! Therefore, ScalaTrace leverages relative encodings of communication
+//! end-points, i.e., an end-point is denoted as ±c for a constant c
+//! relative to the current MPI task ID."
+//!
+//! Relative encoding is the key to cross-rank trace merging *and* to
+//! clustered replay: rank 7's "send to +1" re-instantiates as "send to 8"
+//! on rank 7 and "send to 13" on rank 12, letting one lead trace stand in
+//! for a whole cluster.
+
+use mpisim::{Comm, Rank, Tag};
+
+/// A communication endpoint in location-independent form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// Offset relative to the issuing rank (`±c`); the common SPMD case.
+    Relative(i64),
+    /// An absolute rank that does not follow the relative pattern (e.g. a
+    /// fixed master in a master–worker code, or a collective root).
+    Absolute(Rank),
+    /// Wildcard receive (`MPI_ANY_SOURCE`).
+    Any,
+}
+
+impl Endpoint {
+    /// Encode a concrete peer rank relative to `me`.
+    ///
+    /// ScalaTrace prefers the relative form; callers that know an endpoint
+    /// is structurally absolute (masters, roots) use
+    /// [`Endpoint::Absolute`] directly.
+    pub fn encode(me: Rank, peer: Rank) -> Endpoint {
+        Endpoint::Relative(peer as i64 - me as i64)
+    }
+
+    /// Re-instantiate the endpoint for a (possibly different) rank `me` in
+    /// a world of `size` ranks. Returns `None` for wildcards or when the
+    /// transposed endpoint falls outside the world.
+    pub fn resolve(&self, me: Rank, size: usize) -> Option<Rank> {
+        match *self {
+            Endpoint::Relative(off) => {
+                let r = me as i64 + off;
+                (r >= 0 && (r as usize) < size).then_some(r as Rank)
+            }
+            Endpoint::Absolute(r) => (r < size).then_some(r),
+            Endpoint::Any => None,
+        }
+    }
+
+    /// A numeric signature of the endpoint for SRC/DEST parameter
+    /// averaging (see `sigkit::param`). Nearby offsets map to nearby
+    /// values; absolute endpoints are kept in a disjoint band so that
+    /// "relative +1" never averages into "absolute rank 1".
+    pub fn param_sig(&self) -> u64 {
+        match *self {
+            Endpoint::Relative(off) => sigkit::param::endpoint_param(off),
+            // Absolute endpoints occupy a band near the top of the space.
+            Endpoint::Absolute(r) => (3u64 << 62) | (r as u64 & ((1 << 40) - 1)),
+            Endpoint::Any => 1u64 << 61,
+        }
+    }
+}
+
+/// Classification of MPI operations recorded in traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Point-to-point blocking send.
+    Send,
+    /// Point-to-point blocking receive.
+    Recv,
+    /// Combined send+receive exchange.
+    SendRecv,
+    /// Barrier synchronization.
+    Barrier,
+    /// Reduction to a root.
+    Reduce,
+    /// Broadcast from a root.
+    Bcast,
+    /// All-reduce.
+    Allreduce,
+    /// Gather to a root.
+    Gather,
+    /// `MPI_Finalize` (traced so the final interval is non-empty; see
+    /// paper §III on finalize handling).
+    Finalize,
+}
+
+impl OpKind {
+    /// Short stable mnemonic used by the trace text format.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpKind::Send => "send",
+            OpKind::Recv => "recv",
+            OpKind::SendRecv => "sendrecv",
+            OpKind::Barrier => "barrier",
+            OpKind::Reduce => "reduce",
+            OpKind::Bcast => "bcast",
+            OpKind::Allreduce => "allreduce",
+            OpKind::Gather => "gather",
+            OpKind::Finalize => "finalize",
+        }
+    }
+
+    /// Parse a mnemonic back; inverse of [`OpKind::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<OpKind> {
+        Some(match s {
+            "send" => OpKind::Send,
+            "recv" => OpKind::Recv,
+            "sendrecv" => OpKind::SendRecv,
+            "barrier" => OpKind::Barrier,
+            "reduce" => OpKind::Reduce,
+            "bcast" => OpKind::Bcast,
+            "allreduce" => OpKind::Allreduce,
+            "gather" => OpKind::Gather,
+            "finalize" => OpKind::Finalize,
+            _ => return None,
+        })
+    }
+
+    /// Whether the operation is collective (involves the whole
+    /// communicator rather than one peer).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Barrier
+                | OpKind::Reduce
+                | OpKind::Bcast
+                | OpKind::Allreduce
+                | OpKind::Gather
+                | OpKind::Finalize
+        )
+    }
+}
+
+/// A fully-described MPI operation: what the PMPI wrapper sees, in
+/// location-independent form. This — together with the stack signature —
+/// is the unit of equality for loop compression and inter-node merging.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MpiOp {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Receive source (for Recv/SendRecv) in encoded form.
+    pub src: Option<Endpoint>,
+    /// Send destination (for Send/SendRecv) or collective root (for
+    /// Reduce/Bcast/Gather) in encoded form.
+    pub dest: Option<Endpoint>,
+    /// Message tag (send side for SendRecv; None for collectives).
+    pub tag: Option<Tag>,
+    /// Receive-side tag of a SendRecv exchange (None elsewhere).
+    pub recv_tag: Option<Tag>,
+    /// Payload byte count ("count" in MPI terms; 0 for barrier).
+    pub count: usize,
+    /// Communicator.
+    pub comm: Comm,
+}
+
+impl MpiOp {
+    /// Barrier on `comm`.
+    pub fn barrier(comm: Comm) -> Self {
+        MpiOp {
+            kind: OpKind::Barrier,
+            src: None,
+            dest: None,
+            tag: None,
+            recv_tag: None,
+            count: 0,
+            comm,
+        }
+    }
+
+    /// Send of `count` bytes to `dest` with `tag`.
+    pub fn send(dest: Endpoint, tag: Tag, count: usize, comm: Comm) -> Self {
+        MpiOp {
+            kind: OpKind::Send,
+            src: None,
+            dest: Some(dest),
+            tag: Some(tag),
+            recv_tag: None,
+            count,
+            comm,
+        }
+    }
+
+    /// Receive of `count` bytes from `src` with `tag`.
+    pub fn recv(src: Endpoint, tag: Tag, count: usize, comm: Comm) -> Self {
+        MpiOp {
+            kind: OpKind::Recv,
+            src: Some(src),
+            dest: Some(Endpoint::Relative(0)),
+            tag: Some(tag),
+            recv_tag: None,
+            count,
+            comm,
+        }
+    }
+
+    /// Collective with a root (reduce/bcast/gather).
+    pub fn rooted(kind: OpKind, root: Rank, count: usize, comm: Comm) -> Self {
+        debug_assert!(kind.is_collective());
+        MpiOp {
+            kind,
+            src: None,
+            dest: Some(Endpoint::Absolute(root)),
+            tag: None,
+            recv_tag: None,
+            count,
+            comm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_encode_resolve_roundtrip() {
+        for me in [0usize, 5, 100] {
+            for peer in [0usize, 1, 5, 99, 101] {
+                let ep = Endpoint::encode(me, peer);
+                assert_eq!(ep.resolve(me, 200), Some(peer));
+            }
+        }
+    }
+
+    #[test]
+    fn relative_transposes_across_ranks() {
+        // Rank 7 sends to 8 (offset +1). Replayed on rank 12 the same
+        // endpoint resolves to 13 — the clustered-replay property.
+        let ep = Endpoint::encode(7, 8);
+        assert_eq!(ep, Endpoint::Relative(1));
+        assert_eq!(ep.resolve(12, 64), Some(13));
+    }
+
+    #[test]
+    fn resolve_out_of_bounds_is_none() {
+        assert_eq!(Endpoint::Relative(-1).resolve(0, 16), None);
+        assert_eq!(Endpoint::Relative(1).resolve(15, 16), None);
+        assert_eq!(Endpoint::Absolute(16).resolve(3, 16), None);
+    }
+
+    #[test]
+    fn any_never_resolves() {
+        assert_eq!(Endpoint::Any.resolve(5, 16), None);
+    }
+
+    #[test]
+    fn param_sig_bands_disjoint() {
+        // Relative offsets live mid-range; absolute ranks live in the top
+        // band; they must never alias for realistic values.
+        let rel = Endpoint::Relative(1).param_sig();
+        let abs = Endpoint::Absolute(1).param_sig();
+        assert_ne!(rel, abs);
+        assert!(abs > rel);
+    }
+
+    #[test]
+    fn param_sig_nearby_offsets_nearby() {
+        let a = Endpoint::Relative(-1).param_sig();
+        let b = Endpoint::Relative(1).param_sig();
+        assert_eq!(b - a, 2);
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for kind in [
+            OpKind::Send,
+            OpKind::Recv,
+            OpKind::SendRecv,
+            OpKind::Barrier,
+            OpKind::Reduce,
+            OpKind::Bcast,
+            OpKind::Allreduce,
+            OpKind::Gather,
+            OpKind::Finalize,
+        ] {
+            assert_eq!(OpKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(OpKind::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn collective_classification() {
+        assert!(OpKind::Barrier.is_collective());
+        assert!(OpKind::Allreduce.is_collective());
+        assert!(!OpKind::Send.is_collective());
+        assert!(!OpKind::Recv.is_collective());
+    }
+
+    #[test]
+    fn op_constructors() {
+        let b = MpiOp::barrier(Comm::WORLD);
+        assert_eq!(b.kind, OpKind::Barrier);
+        assert_eq!(b.count, 0);
+
+        let s = MpiOp::send(Endpoint::Relative(1), 9, 1024, Comm::WORLD);
+        assert_eq!(s.kind, OpKind::Send);
+        assert_eq!(s.dest, Some(Endpoint::Relative(1)));
+        assert_eq!(s.tag, Some(9));
+
+        let r = MpiOp::rooted(OpKind::Reduce, 0, 8, Comm::WORLD);
+        assert_eq!(r.dest, Some(Endpoint::Absolute(0)));
+    }
+}

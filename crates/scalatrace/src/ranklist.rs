@@ -1,0 +1,541 @@
+//! Communication-group encoding: ranklists.
+//!
+//! ScalaTrace property (3) (paper §II): "it leverages a special data
+//! structure called ranklist to represent a communication group. Using
+//! EBNF notation, a rank list is represented as
+//! `<dimension, start_rank, iteration_length, stride>`, which denotes the
+//! dimension of the group, the rank of the starting node, and the
+//! iteration and stride of the corresponding dimension."
+//!
+//! A [`RankList`] is one such multi-dimensional arithmetic section; a
+//! [`RankSet`] is a normalized union of them, able to represent any set of
+//! ranks while staying compact (near-constant size) for the structured
+//! sets SPMD codes produce — contiguous blocks, strided columns, and
+//! row-major subgrids.
+
+use mpisim::Rank;
+
+/// One multi-dimensional regular section of ranks.
+///
+/// The member set is `{ start + Σ_d i_d · stride_d : 0 ≤ i_d < iters_d }`.
+/// Dimension order is outermost-first. A singleton is `dims = []`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RankList {
+    start: Rank,
+    /// `(iteration_length, stride)` per dimension, outermost first.
+    dims: Vec<(usize, i64)>,
+}
+
+impl RankList {
+    /// The section containing exactly `rank`.
+    pub fn singleton(rank: Rank) -> Self {
+        RankList {
+            start: rank,
+            dims: Vec::new(),
+        }
+    }
+
+    /// A 1-D section `start, start+stride, …` of `iters` members.
+    ///
+    /// Panics if any member would be negative, or `iters == 0`.
+    pub fn strided(start: Rank, iters: usize, stride: i64) -> Self {
+        assert!(iters >= 1, "empty ranklist section");
+        if iters == 1 {
+            return Self::singleton(start);
+        }
+        let last = start as i64 + (iters as i64 - 1) * stride;
+        assert!(last >= 0, "ranklist member underflows zero");
+        RankList {
+            start,
+            dims: vec![(iters, stride)],
+        }
+    }
+
+    /// Contiguous block `[start, start+len)`.
+    pub fn contiguous(start: Rank, len: usize) -> Self {
+        Self::strided(start, len, 1)
+    }
+
+    /// Reassemble a section from its serialized parts. Used by the trace
+    /// file parser; validates that no member is negative.
+    pub fn from_parts(start: Rank, dims: Vec<(usize, i64)>) -> Result<Self, String> {
+        let mut min = start as i64;
+        for &(iters, stride) in &dims {
+            if iters == 0 {
+                return Err("ranklist dimension with zero iterations".into());
+            }
+            if stride < 0 {
+                min += (iters as i64 - 1) * stride;
+            }
+        }
+        if min < 0 {
+            return Err(format!("ranklist member underflows zero (min {min})"));
+        }
+        Ok(RankList { start, dims })
+    }
+
+    /// Number of dimensions (0 for a singleton).
+    pub fn dimension(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// First (lowest-index position) member.
+    pub fn start(&self) -> Rank {
+        self.start
+    }
+
+    /// The `(iters, stride)` pairs, outermost first.
+    pub fn dims(&self) -> &[(usize, i64)] {
+        &self.dims
+    }
+
+    /// Total member count (product of iteration lengths).
+    pub fn len(&self) -> usize {
+        self.dims.iter().map(|&(n, _)| n).product::<usize>().max(1)
+    }
+
+    /// Always false: sections are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Enumerate members in section order (outer dims slowest).
+    pub fn iter(&self) -> impl Iterator<Item = Rank> + '_ {
+        let total = self.len();
+        (0..total).map(move |mut idx| {
+            let mut r = self.start as i64;
+            // Decompose idx in mixed radix, innermost dimension fastest.
+            for d in (0..self.dims.len()).rev() {
+                let (n, stride) = self.dims[d];
+                let i = idx % n;
+                idx /= n;
+                r += i as i64 * stride;
+            }
+            debug_assert!(r >= 0, "ranklist member underflow");
+            r as Rank
+        })
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rank: Rank) -> bool {
+        // Sections are small-dimensional; solve by recursive descent over
+        // dimensions rather than enumerating all members.
+        fn rec(target: i64, base: i64, dims: &[(usize, i64)]) -> bool {
+            match dims.split_first() {
+                None => target == base,
+                Some((&(n, stride), rest)) => (0..n as i64)
+                    .any(|i| rec(target, base + i * stride, rest)),
+            }
+        }
+        rec(rank as i64, self.start as i64, &self.dims)
+    }
+}
+
+/// A normalized union of [`RankList`] sections: can represent any finite
+/// set of ranks. Canonical form: the greedy AP decomposition of the sorted
+/// member list with grid folding, so equal sets compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct RankSet {
+    sections: Vec<RankList>,
+}
+
+impl RankSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Set containing exactly one rank.
+    pub fn singleton(rank: Rank) -> Self {
+        RankSet {
+            sections: vec![RankList::singleton(rank)],
+        }
+    }
+
+    /// Build the canonical compact representation of an arbitrary set of
+    /// ranks (duplicates tolerated).
+    pub fn from_ranks(ranks: impl IntoIterator<Item = Rank>) -> Self {
+        let mut sorted: Vec<Rank> = ranks.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Self::from_sorted_unique(&sorted)
+    }
+
+    fn from_sorted_unique(ranks: &[Rank]) -> Self {
+        if ranks.is_empty() {
+            return Self::empty();
+        }
+        // Phase 1: greedy maximal arithmetic progressions.
+        let mut sections: Vec<RankList> = Vec::new();
+        let mut i = 0;
+        while i < ranks.len() {
+            if i + 1 == ranks.len() {
+                sections.push(RankList::singleton(ranks[i]));
+                break;
+            }
+            let stride = (ranks[i + 1] - ranks[i]) as i64;
+            let mut j = i + 1;
+            while j + 1 < ranks.len() && (ranks[j + 1] - ranks[j]) as i64 == stride {
+                j += 1;
+            }
+            let iters = j - i + 1;
+            if iters >= 3 || (iters == 2 && stride == 1) {
+                sections.push(RankList::strided(ranks[i], iters, stride));
+                i = j + 1;
+            } else {
+                // A 2-element "run" with a large stride is usually noise;
+                // emit the first element alone and rescan from the second,
+                // which may start a better run.
+                sections.push(RankList::singleton(ranks[i]));
+                i += 1;
+            }
+        }
+        // Phase 2: fold rows into grids until fixpoint (1D -> 2D -> 3D...).
+        loop {
+            let folded = fold_sections(&sections);
+            if folded.len() == sections.len() {
+                break;
+            }
+            sections = folded;
+        }
+        RankSet { sections }
+    }
+
+    /// Reassemble from parsed sections (trace file parser). The input is
+    /// trusted to be in canonical order; membership/expansion remain
+    /// correct regardless.
+    pub fn from_sections(sections: Vec<RankList>) -> Self {
+        RankSet { sections }
+    }
+
+    /// The sections composing the set.
+    pub fn sections(&self) -> &[RankList] {
+        &self.sections
+    }
+
+    /// Total member count.
+    pub fn len(&self) -> usize {
+        self.sections.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rank: Rank) -> bool {
+        self.sections.iter().any(|s| s.contains(rank))
+    }
+
+    /// Enumerate all members in ascending order.
+    pub fn expand(&self) -> Vec<Rank> {
+        let mut out: Vec<Rank> = self.sections.iter().flat_map(|s| s.iter()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Set union, renormalized to canonical form.
+    ///
+    /// Like ScalaTrace's ranklist merge this costs O(|a| + |b|) in member
+    /// count — acceptable because it runs on tool-side merge paths, not in
+    /// the application's critical path — and re-compresses structured
+    /// results back to a handful of sections.
+    pub fn union(&self, other: &RankSet) -> RankSet {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut all = self.expand();
+        all.extend(other.expand());
+        Self::from_ranks(all)
+    }
+
+    /// Smallest member, if any.
+    pub fn min(&self) -> Option<Rank> {
+        self.sections.iter().map(|s| s.iter().min().unwrap()).min()
+    }
+
+    /// Approximate serialized size in bytes, for the memory accounting of
+    /// Table IV (a section is dimension + start + per-dim pair).
+    pub fn byte_size(&self) -> usize {
+        self.sections
+            .iter()
+            .map(|s| 16 + s.dims.len() * 16)
+            .sum()
+    }
+}
+
+/// Fold runs of sections that share `(dims)` and whose starts form an AP
+/// into one higher-dimensional section.
+fn fold_sections(sections: &[RankList]) -> Vec<RankList> {
+    let mut out: Vec<RankList> = Vec::with_capacity(sections.len());
+    let mut i = 0;
+    while i < sections.len() {
+        // Find the longest run starting at i foldable into one grid.
+        let mut best_j = i; // inclusive end of run
+        if i + 1 < sections.len() && sections[i].dims == sections[i + 1].dims {
+            let outer_stride =
+                sections[i + 1].start as i64 - sections[i].start as i64;
+            if outer_stride > 0 {
+                let mut j = i + 1;
+                while j + 1 < sections.len()
+                    && sections[j + 1].dims == sections[i].dims
+                    && sections[j + 1].start as i64 - sections[j].start as i64
+                        == outer_stride
+                {
+                    j += 1;
+                }
+                // Only fold runs of >= 3 rows (or 2 rows of non-singletons:
+                // a pair of singletons is already optimal as one 1D AP and
+                // phase 1 would have caught it).
+                let rows = j - i + 1;
+                if rows >= 2 && !(rows == 2 && sections[i].dims.is_empty()) {
+                    let mut dims = vec![(rows, outer_stride)];
+                    dims.extend_from_slice(&sections[i].dims);
+                    out.push(RankList {
+                        start: sections[i].start,
+                        dims,
+                    });
+                    best_j = j;
+                }
+            }
+        }
+        if best_j == i {
+            out.push(sections[i].clone());
+        }
+        i = best_j + 1;
+    }
+    out
+}
+
+impl std::fmt::Display for RankList {
+    /// EBNF-ish rendering: `<dim start (iters,stride)...>`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<{} {}", self.dims.len(), self.start)?;
+        for (n, s) in &self.dims {
+            write!(f, " ({n},{s})")?;
+        }
+        write!(f, ">")
+    }
+}
+
+impl std::fmt::Display for RankSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.sections.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_basics() {
+        let s = RankList::singleton(7);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![7]);
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert_eq!(s.dimension(), 0);
+    }
+
+    #[test]
+    fn strided_members() {
+        let s = RankList::strided(2, 4, 3); // 2, 5, 8, 11
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 5, 8, 11]);
+        assert!(s.contains(8));
+        assert!(!s.contains(9));
+    }
+
+    #[test]
+    fn two_dimensional_grid() {
+        // 2x3 subgrid of a row-major 2D mesh with row stride 8:
+        // rows start at 0 and 8; columns stride 1.
+        let s = RankList {
+            start: 0,
+            dims: vec![(2, 8), (3, 1)],
+        };
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 8, 9, 10]);
+        assert_eq!(s.len(), 6);
+        assert!(s.contains(9));
+        assert!(!s.contains(3));
+        assert!(!s.contains(16));
+    }
+
+    #[test]
+    fn from_ranks_contiguous() {
+        let set = RankSet::from_ranks(0..64);
+        assert_eq!(set.sections().len(), 1, "contiguous block is one section");
+        assert_eq!(set.len(), 64);
+        assert_eq!(set.expand(), (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_ranks_strided_column() {
+        // Column of a 8x8 grid: 3, 11, 19, ..., 59.
+        let col: Vec<Rank> = (0..8).map(|i| 3 + 8 * i).collect();
+        let set = RankSet::from_ranks(col.clone());
+        assert_eq!(set.sections().len(), 1);
+        assert_eq!(set.expand(), col);
+    }
+
+    #[test]
+    fn from_ranks_grid_folds_to_2d() {
+        // 4x4 subgrid of a 16-wide mesh: rows {0..4}, {16..20}, ...
+        let mut ranks = Vec::new();
+        for row in 0..4 {
+            for col in 0..4 {
+                ranks.push(row * 16 + col);
+            }
+        }
+        let set = RankSet::from_ranks(ranks.clone());
+        assert_eq!(set.expand(), ranks);
+        assert_eq!(
+            set.sections().len(),
+            1,
+            "regular subgrid folds into one 2-D section, got {set}"
+        );
+        assert_eq!(set.sections()[0].dimension(), 2);
+    }
+
+    #[test]
+    fn from_ranks_irregular() {
+        let ranks = vec![0, 1, 2, 10, 50, 51];
+        let set = RankSet::from_ranks(ranks.clone());
+        assert_eq!(set.expand(), ranks);
+        assert!(set.contains(10));
+        assert!(!set.contains(3));
+    }
+
+    #[test]
+    fn from_ranks_dedups() {
+        let set = RankSet::from_ranks(vec![5, 5, 5, 6, 6]);
+        assert_eq!(set.expand(), vec![5, 6]);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn union_disjoint_blocks() {
+        let a = RankSet::from_ranks(0..8);
+        let b = RankSet::from_ranks(8..16);
+        let u = a.union(&b);
+        assert_eq!(u.expand(), (0..16).collect::<Vec<_>>());
+        assert_eq!(u.sections().len(), 1, "adjacent blocks coalesce");
+    }
+
+    #[test]
+    fn union_overlapping() {
+        let a = RankSet::from_ranks(0..10);
+        let b = RankSet::from_ranks(5..15);
+        assert_eq!(a.union(&b).expand(), (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = RankSet::from_ranks([3, 4]);
+        assert_eq!(a.union(&RankSet::empty()), a);
+        assert_eq!(RankSet::empty().union(&a), a);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        // Same set built two different ways compares equal.
+        let a = RankSet::from_ranks(vec![0, 2, 4, 6]);
+        let b = RankSet::from_ranks(vec![6, 4, 2, 0]);
+        assert_eq!(a, b);
+        let c = RankSet::from_ranks(vec![0, 1]).union(&RankSet::from_ranks(vec![2, 3]));
+        let d = RankSet::from_ranks(0..4);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn min_member() {
+        assert_eq!(RankSet::empty().min(), None);
+        assert_eq!(RankSet::from_ranks([9, 3, 7]).min(), Some(3));
+    }
+
+    #[test]
+    fn display_ebnf() {
+        let s = RankList::strided(1, 4, 2);
+        assert_eq!(format!("{s}"), "<1 1 (4,2)>");
+        assert_eq!(format!("{}", RankList::singleton(5)), "<0 5>");
+    }
+
+    #[test]
+    fn byte_size_compact_for_structured_sets() {
+        // 1024 contiguous ranks: one section, a few dozen bytes — the
+        // "near-constant size" property the paper relies on.
+        let set = RankSet::from_ranks(0..1024);
+        assert!(set.byte_size() <= 64, "got {}", set.byte_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ranklist")]
+    fn zero_iters_panics() {
+        RankList::strided(0, 0, 1);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// from_ranks -> expand is the identity on sorted unique input.
+        #[test]
+        fn roundtrip(ranks in proptest::collection::btree_set(0usize..2000, 0..200)) {
+            let sorted: Vec<Rank> = ranks.iter().cloned().collect();
+            let set = RankSet::from_ranks(sorted.clone());
+            prop_assert_eq!(set.expand(), sorted);
+        }
+
+        /// Membership agrees with expansion.
+        #[test]
+        fn contains_agrees(
+            ranks in proptest::collection::btree_set(0usize..500, 0..60),
+            probe in 0usize..500,
+        ) {
+            let set = RankSet::from_ranks(ranks.iter().cloned());
+            prop_assert_eq!(set.contains(probe), ranks.contains(&probe));
+        }
+
+        /// Union is the set union.
+        #[test]
+        fn union_is_set_union(
+            a in proptest::collection::btree_set(0usize..300, 0..40),
+            b in proptest::collection::btree_set(0usize..300, 0..40),
+        ) {
+            let sa = RankSet::from_ranks(a.iter().cloned());
+            let sb = RankSet::from_ranks(b.iter().cloned());
+            let expect: Vec<Rank> = a.union(&b).cloned().collect();
+            prop_assert_eq!(sa.union(&sb).expand(), expect);
+        }
+
+        /// len always equals the number of distinct members.
+        #[test]
+        fn len_consistent(ranks in proptest::collection::btree_set(0usize..1000, 0..120)) {
+            let set = RankSet::from_ranks(ranks.iter().cloned());
+            prop_assert_eq!(set.len(), ranks.len());
+        }
+
+        /// Canonical form: building from any permutation yields equal sets.
+        #[test]
+        fn permutation_invariant(ranks in proptest::collection::vec(0usize..400, 0..50)) {
+            let fwd = RankSet::from_ranks(ranks.clone());
+            let rev = RankSet::from_ranks(ranks.iter().rev().cloned());
+            prop_assert_eq!(fwd, rev);
+        }
+    }
+}

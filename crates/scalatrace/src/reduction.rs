@@ -1,0 +1,232 @@
+//! Distributed trace consolidation over a radix tree.
+//!
+//! Plain ScalaTrace runs this across **all P ranks** inside the
+//! `MPI_Finalize` wrapper; Chameleon runs the *same* reduction online, but
+//! only among the **K lead ranks** ("assign a temp rank from Top K",
+//! Algorithm 3) — which is how the O(n² log P) finalize cost becomes
+//! O(n² log K) per merge.
+//!
+//! The reduction is position-based: `participants[i]` is the rank sitting
+//! at tree position `i`; position 0 is the root. Each participant receives
+//! its children's (already merged) traces, merges them with its own
+//! ([`crate::merge::merge_traces`] — the O(n²) pairwise step), and ships
+//! the result to its parent. Traces travel serialized in the trace text
+//! format over the tool communicator, so they never appear in any trace.
+
+use std::time::Duration;
+
+use mpisim::{Comm, Proc, Rank, SrcSel, Tag, TagSel, RadixTree, WorkModel};
+
+use crate::format;
+use crate::merge::merge_traces;
+use crate::trace::CompressedTrace;
+
+/// Tag used by trace-merge traffic on [`Comm::TOOL`]. Below the collective
+/// tag space, above plausible application tags.
+pub const TRACE_MERGE_TAG: Tag = 1 << 29;
+
+/// Default radix of the reduction tree. The paper speaks of left/right
+/// children (radix 2); larger radices trade tree depth for per-node merge
+/// work.
+pub const DEFAULT_RADIX: usize = 2;
+
+/// Result of one rank's participation in a tree reduction.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The fully merged trace — `Some` only on `participants[0]`.
+    pub merged: Option<CompressedTrace>,
+    /// Modeled cost of this rank's local merge work (parsing, structural
+    /// merging, serialization) under [`WorkModel`]. Also registered on the
+    /// rank's tool clock, so critical paths through the reduction tree
+    /// propagate to waiting partners.
+    pub compute: Duration,
+}
+
+/// Run one radix-tree trace reduction among `participants`.
+///
+/// Every rank in `participants` must call this (with its partial trace);
+/// ranks not in the list must **not** call it. The merged trace comes back
+/// on `participants[0]` (the tree root).
+///
+/// Panics if the calling rank is not in `participants` — that is a
+/// protocol error in the caller.
+pub fn radix_tree_merge(
+    proc: &mut Proc,
+    radix: usize,
+    participants: &[Rank],
+    my_trace: &CompressedTrace,
+) -> MergeOutcome {
+    assert!(!participants.is_empty(), "merge with no participants");
+    let me = proc.rank();
+    let my_pos = participants
+        .iter()
+        .position(|&r| r == me)
+        .unwrap_or_else(|| panic!("rank {me} called radix_tree_merge without being a participant"));
+    let tree = RadixTree::new(radix, participants.len());
+
+    // Receive and fold children's subtree traces.
+    let work = WorkModel::calibrated();
+    let mut compute = 0.0f64;
+    let mut acc = my_trace.clone();
+    for child_pos in tree.children(my_pos) {
+        let child_rank = participants[child_pos];
+        let info = proc.recv(
+            SrcSel::Rank(child_rank),
+            TagSel::Tag(TRACE_MERGE_TAG),
+            Comm::TOOL,
+        );
+        let child_trace = format::from_text(
+            std::str::from_utf8(&info.payload).expect("merge payload is UTF-8"),
+        )
+        .expect("child sent a malformed trace");
+        let cost = work.codec(info.payload.len())
+            + work.merge(acc.compressed_size(), child_trace.compressed_size());
+        acc = merge_traces(&acc, &child_trace);
+        proc.tool_compute(cost);
+        compute += cost;
+    }
+
+    // Ship up or return at the root.
+    let merged = match tree.parent(my_pos) {
+        Some(parent_pos) => {
+            let parent_rank = participants[parent_pos];
+            let wire = format::to_text(&acc);
+            let cost = work.codec(wire.len());
+            proc.tool_compute(cost);
+            compute += cost;
+            proc.send(parent_rank, TRACE_MERGE_TAG, Comm::TOOL, wire.as_bytes());
+            None
+        }
+        None => Some(acc),
+    };
+    MergeOutcome {
+        merged,
+        compute: Duration::from_secs_f64(compute),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventRecord;
+    use crate::op::{Endpoint, MpiOp};
+    use crate::ranklist::RankSet;
+    use mpisim::{World, WorldConfig};
+    use sigkit::StackSig;
+
+    fn trace_for(rank: usize, sigs: &[u64]) -> CompressedTrace {
+        let mut t = CompressedTrace::new();
+        for &s in sigs {
+            t.append(EventRecord::new(
+                MpiOp::send(Endpoint::Relative(1), 0, 8, Comm::WORLD),
+                StackSig(s),
+                rank,
+                1.0,
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn all_ranks_merge_to_root() {
+        for p in [1usize, 2, 3, 7, 8, 16] {
+            let report = World::new(WorldConfig::for_tests(p))
+                .run(move |proc| {
+                    let me = proc.rank();
+                    let participants: Vec<Rank> = (0..proc.size()).collect();
+                    let mine = trace_for(me, &[1, 2, 3]);
+                    radix_tree_merge(proc, DEFAULT_RADIX, &participants, &mine).merged
+                })
+                .unwrap();
+            let root = report.results[0].as_ref().expect("root gets the merge");
+            assert_eq!(root.compressed_size(), 3, "SPMD merge stays constant, p={p}");
+            let mut ranks = RankSet::empty();
+            root.visit_events(&mut |e| ranks = ranks.union(&e.ranks));
+            assert_eq!(ranks.len(), p, "all ranks represented, p={p}");
+            assert!(report.results[1..].iter().all(|r| r.is_none()));
+        }
+    }
+
+    #[test]
+    fn subset_merge_only_participants() {
+        // Only ranks 1, 3, 5 participate; others do unrelated work.
+        let report = World::new(WorldConfig::for_tests(6))
+            .run(|proc| {
+                let me = proc.rank();
+                let participants = vec![1, 3, 5];
+                if participants.contains(&me) {
+                    let mine = trace_for(me, &[7, 8]);
+                    radix_tree_merge(proc, 2, &participants, &mine).merged
+                } else {
+                    None
+                }
+            })
+            .unwrap();
+        let root = report.results[1].as_ref().expect("participants[0] == rank 1");
+        let mut ranks = RankSet::empty();
+        root.visit_events(&mut |e| ranks = ranks.union(&e.ranks));
+        assert_eq!(ranks.expand(), vec![1, 3, 5]);
+        assert!(report.results[0].is_none());
+        assert!(report.results[3].is_none());
+    }
+
+    #[test]
+    fn divergent_traces_unioned() {
+        let report = World::new(WorldConfig::for_tests(4))
+            .run(|proc| {
+                let me = proc.rank();
+                let participants: Vec<Rank> = (0..proc.size()).collect();
+                // Ranks 0-1 and 2-3 execute different call sites.
+                let sigs: &[u64] = if me < 2 { &[1, 2] } else { &[9] };
+                let mine = trace_for(me, sigs);
+                radix_tree_merge(proc, 2, &participants, &mine).merged
+            })
+            .unwrap();
+        let root = report.results[0].as_ref().unwrap();
+        let mut seen = Vec::new();
+        root.visit_events(&mut |e| seen.push((e.stack_sig.0, e.ranks.expand())));
+        let find = |sig: u64| {
+            seen.iter()
+                .find(|(s, _)| *s == sig)
+                .unwrap_or_else(|| panic!("sig {sig} missing"))
+                .1
+                .clone()
+        };
+        assert_eq!(find(1), vec![0, 1]);
+        assert_eq!(find(9), vec![2, 3]);
+    }
+
+    #[test]
+    fn higher_radix_same_result() {
+        for radix in [2usize, 4, 8] {
+            let report = World::new(WorldConfig::for_tests(9))
+                .run(move |proc| {
+                    let me = proc.rank();
+                    let participants: Vec<Rank> = (0..proc.size()).collect();
+                    let mine = trace_for(me, &[1, 2]);
+                    radix_tree_merge(proc, radix, &participants, &mine).merged
+                })
+                .unwrap();
+            let root = report.results[0].as_ref().unwrap();
+            assert_eq!(root.compressed_size(), 2, "radix {radix}");
+            let mut ranks = RankSet::empty();
+            root.visit_events(&mut |e| ranks = ranks.union(&e.ranks));
+            assert_eq!(ranks.len(), 9, "radix {radix}");
+        }
+    }
+
+    #[test]
+    fn root_can_be_any_participant_order() {
+        // The "temp rank" mapping: participants[0] = 2 is the root.
+        let report = World::new(WorldConfig::for_tests(4))
+            .run(|proc| {
+                let me = proc.rank();
+                let participants = vec![2, 0, 1, 3];
+                let mine = trace_for(me, &[5]);
+                radix_tree_merge(proc, 2, &participants, &mine).merged
+            })
+            .unwrap();
+        assert!(report.results[2].is_some(), "rank 2 is the tree root");
+        assert!(report.results[0].is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Process-grid helpers for the stencil/wavefront skeletons.
+
+use mpisim::Rank;
+
+/// A 2-D logical process grid over ranks `0..p` in row-major order, as
+/// square as the factorization of `p` allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2D {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid2D {
+    /// Most-square factorization of `p` (rows ≤ cols).
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "grid needs at least one rank");
+        let mut rows = (p as f64).sqrt() as usize;
+        while rows >= 1 {
+            if p % rows == 0 {
+                return Grid2D { rows, cols: p / rows };
+            }
+            rows -= 1;
+        }
+        unreachable!("1 always divides p");
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total ranks.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row/column coordinates of a rank.
+    pub fn coords(&self, rank: Rank) -> (usize, usize) {
+        debug_assert!(rank < self.len());
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at coordinates.
+    pub fn rank_at(&self, row: usize, col: usize) -> Rank {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Neighbor to the north (row - 1), if any.
+    pub fn north(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (r > 0).then(|| self.rank_at(r - 1, c))
+    }
+
+    /// Neighbor to the south (row + 1), if any.
+    pub fn south(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (r + 1 < self.rows).then(|| self.rank_at(r + 1, c))
+    }
+
+    /// Neighbor to the west (col - 1), if any.
+    pub fn west(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (c > 0).then(|| self.rank_at(r, c - 1))
+    }
+
+    /// Neighbor to the east (col + 1), if any.
+    pub fn east(&self, rank: Rank) -> Option<Rank> {
+        let (r, c) = self.coords(rank);
+        (c + 1 < self.cols).then(|| self.rank_at(r, c + 1))
+    }
+
+    /// Transpose partner (the CG exchange): rank at mirrored coordinates,
+    /// when the grid is square; identity on the diagonal. For non-square
+    /// grids, partners reflect within the leading square block and ranks
+    /// outside it pair with themselves.
+    pub fn transpose_partner(&self, rank: Rank) -> Rank {
+        let (r, c) = self.coords(rank);
+        let n = self.rows.min(self.cols);
+        if r < n && c < n {
+            self.rank_at(c, r)
+        } else {
+            rank
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_factorizations() {
+        assert_eq!(Grid2D::new(16), Grid2D { rows: 4, cols: 4 });
+        assert_eq!(Grid2D::new(64), Grid2D { rows: 8, cols: 8 });
+        assert_eq!(Grid2D::new(1024), Grid2D { rows: 32, cols: 32 });
+    }
+
+    #[test]
+    fn nonsquare_factorizations() {
+        assert_eq!(Grid2D::new(12), Grid2D { rows: 3, cols: 4 });
+        assert_eq!(Grid2D::new(2), Grid2D { rows: 1, cols: 2 });
+        let prime = Grid2D::new(7);
+        assert_eq!((prime.rows(), prime.cols()), (1, 7));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Grid2D::new(24);
+        for rank in 0..24 {
+            let (r, c) = g.coords(rank);
+            assert_eq!(g.rank_at(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn neighbors_boundary_and_interior() {
+        let g = Grid2D::new(16); // 4x4
+        // Corner 0.
+        assert_eq!(g.north(0), None);
+        assert_eq!(g.west(0), None);
+        assert_eq!(g.south(0), Some(4));
+        assert_eq!(g.east(0), Some(1));
+        // Interior 5 = (1,1).
+        assert_eq!(g.north(5), Some(1));
+        assert_eq!(g.south(5), Some(9));
+        assert_eq!(g.west(5), Some(4));
+        assert_eq!(g.east(5), Some(6));
+        // Far corner 15.
+        assert_eq!(g.south(15), None);
+        assert_eq!(g.east(15), None);
+    }
+
+    #[test]
+    fn neighbor_relations_symmetric() {
+        let g = Grid2D::new(20);
+        for rank in 0..20 {
+            if let Some(e) = g.east(rank) {
+                assert_eq!(g.west(e), Some(rank));
+            }
+            if let Some(s) = g.south(rank) {
+                assert_eq!(g.north(s), Some(rank));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_partner_involution() {
+        let g = Grid2D::new(16);
+        for rank in 0..16 {
+            let p = g.transpose_partner(rank);
+            assert_eq!(g.transpose_partner(p), rank, "transpose is an involution");
+        }
+        // Diagonal fixed points.
+        assert_eq!(g.transpose_partner(0), 0);
+        assert_eq!(g.transpose_partner(5), 5);
+        // (0,1) <-> (1,0).
+        assert_eq!(g.transpose_partner(1), 4);
+    }
+
+    #[test]
+    fn callpath_position_classes() {
+        // The 9 wavefront Call-Path groups: 3 row positions x 3 col
+        // positions. Verify a 4x4 grid has all 9.
+        let g = Grid2D::new(16);
+        let mut classes = std::collections::HashSet::new();
+        for rank in 0..16 {
+            let class = (
+                g.north(rank).is_some(),
+                g.south(rank).is_some(),
+                g.west(rank).is_some(),
+                g.east(rank).is_some(),
+            );
+            classes.insert(class);
+        }
+        assert_eq!(classes.len(), 9);
+    }
+}

@@ -1,0 +1,73 @@
+//! Compare tracing systems head-to-head on one workload: plain ScalaTrace
+//! (all-rank merge at finalize), ACURDION (clustering at finalize), and
+//! Chameleon (online clustering) — the paper's three-way comparison.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines [P]
+//! ```
+
+use std::sync::Arc;
+
+use workloads::driver::{run, Mode, Overrides, ScaledWorkload};
+use workloads::sp::Sp;
+use workloads::Class;
+
+fn main() {
+    let p: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(32);
+    let workload = || Arc::new(ScaledWorkload::new(Sp, 20));
+    println!("SP skeleton, {p} ranks, class B\n");
+
+    let app = run(workload(), Class::B, p, Mode::AppOnly, Overrides::default());
+    println!("application virtual time: {:.4}s\n", app.app_vtime);
+
+    println!("{:<12} {:>14} {:>14} {:>14} {:>12}", "system", "clustering", "inter-comp", "total", "trace bytes");
+    println!("{}", "-".repeat(70));
+
+    let st = run(workload(), Class::B, p, Mode::ScalaTrace, Overrides::default());
+    let st_bytes: usize = st.baseline.iter().map(|b| b.trace_bytes).sum();
+    println!(
+        "{:<12} {:>13.6}s {:>13.6}s {:>13.6}s {:>12}",
+        "ScalaTrace",
+        st.clustering_overhead().as_secs_f64(),
+        st.intercomp_overhead().as_secs_f64(),
+        st.total_overhead().as_secs_f64(),
+        st_bytes
+    );
+
+    let ac = run(workload(), Class::B, p, Mode::Acurdion, Overrides::default());
+    let ac_bytes: usize = ac.baseline.iter().map(|b| b.trace_bytes).sum();
+    println!(
+        "{:<12} {:>13.6}s {:>13.6}s {:>13.6}s {:>12}",
+        "ACURDION",
+        ac.clustering_overhead().as_secs_f64(),
+        ac.intercomp_overhead().as_secs_f64(),
+        ac.total_overhead().as_secs_f64(),
+        ac_bytes
+    );
+
+    let ch = run(workload(), Class::B, p, Mode::Chameleon, Overrides::default());
+    // Chameleon: trace bytes at finalize are only held by leads.
+    let ch_bytes: u64 = ch
+        .cham_stats
+        .iter()
+        .map(|s| s.mem.get("F").1)
+        .sum();
+    println!(
+        "{:<12} {:>13.6}s {:>13.6}s {:>13.6}s {:>12}",
+        "Chameleon",
+        ch.clustering_overhead().as_secs_f64(),
+        ch.intercomp_overhead().as_secs_f64(),
+        ch.total_overhead().as_secs_f64(),
+        ch_bytes
+    );
+
+    println!(
+        "\nglobal trace sizes (compressed nodes): ScalaTrace {}, ACURDION {}, Chameleon {}",
+        st.global_trace.as_ref().map(|t| t.compressed_size()).unwrap_or(0),
+        ac.global_trace.as_ref().map(|t| t.compressed_size()).unwrap_or(0),
+        ch.global_trace.as_ref().map(|t| t.compressed_size()).unwrap_or(0),
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the Chameleon reproduction workspace.
+//!
+//! Re-exports the component crates so examples and integration tests can
+//! use a single dependency. See the individual crates for the real APIs:
+//! [`chameleon`] (the paper's contribution), [`scalatrace`] (the tracing
+//! substrate), [`mpisim`] (the simulated MPI runtime), [`clusterkit`],
+//! [`sigkit`], [`scalareplay`] and [`workloads`].
+pub use chameleon;
+pub use clusterkit;
+pub use mpisim;
+pub use scalareplay;
+pub use scalatrace;
+pub use sigkit;
+pub use workloads;

@@ -1,0 +1,75 @@
+//! Determinism: the simulator's two clocks (application virtual time and
+//! tool time) are fully modeled, so repeated runs must agree bit-for-bit
+//! on every reported quantity — traces, state tallies, virtual times, and
+//! overheads.
+
+use std::sync::Arc;
+
+use chameleon_repro::mpisim::CostModel;
+use chameleon_repro::scalareplay::replay;
+use chameleon_repro::workloads::driver::{run, Mode, Overrides, RunReport, ScaledWorkload};
+use chameleon_repro::workloads::{lu::Lu, Class};
+
+fn lu_run(mode: Mode) -> RunReport {
+    run(
+        Arc::new(ScaledWorkload::new(Lu::strong(), 25)),
+        Class::A,
+        9,
+        mode,
+        Overrides::default(),
+    )
+}
+
+#[test]
+fn chameleon_runs_are_bit_identical() {
+    let a = lu_run(Mode::Chameleon);
+    let b = lu_run(Mode::Chameleon);
+    assert_eq!(a.app_vtime, b.app_vtime, "virtual app time");
+    assert_eq!(a.global_trace, b.global_trace, "online trace");
+    for (x, y) in a.cham_stats.iter().zip(&b.cham_stats) {
+        assert_eq!(x.states, y.states);
+        assert_eq!(x.marker_calls, y.marker_calls);
+        assert_eq!(x.signature_time, y.signature_time, "modeled signature time");
+        assert_eq!(x.vote_time, y.vote_time, "modeled vote time");
+        assert_eq!(x.clustering_time, y.clustering_time, "modeled clustering time");
+        assert_eq!(x.intercomp_time, y.intercomp_time, "modeled merge time");
+        assert_eq!(x.mem, y.mem, "memory accounting");
+    }
+}
+
+#[test]
+fn scalatrace_runs_are_bit_identical() {
+    let a = lu_run(Mode::ScalaTrace);
+    let b = lu_run(Mode::ScalaTrace);
+    assert_eq!(a.app_vtime, b.app_vtime);
+    assert_eq!(a.global_trace, b.global_trace);
+    for (x, y) in a.baseline.iter().zip(&b.baseline) {
+        assert_eq!(x.intercomp_time, y.intercomp_time);
+        assert_eq!(x.trace_bytes, y.trace_bytes);
+    }
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let rep = lu_run(Mode::Chameleon);
+    let trace = rep.global_trace.expect("trace");
+    let a = replay(&trace, 9, CostModel::default()).expect("replay a");
+    let b = replay(&trace, 9, CostModel::default()).expect("replay b");
+    assert_eq!(a.replay_vtime, b.replay_vtime);
+    assert_eq!(a.rank_vtimes, b.rank_vtimes);
+    assert_eq!(a.events_executed, b.events_executed);
+    assert_eq!(a.dropped_events, b.dropped_events);
+}
+
+#[test]
+fn app_vtime_independent_of_instrumentation() {
+    // Tool activity must be invisible in the application's virtual time:
+    // an instrumented run and a bare run agree exactly.
+    let bare = lu_run(Mode::AppOnly);
+    let st = lu_run(Mode::ScalaTrace);
+    let ch = lu_run(Mode::Chameleon);
+    let ac = lu_run(Mode::Acurdion);
+    assert_eq!(bare.app_vtime, st.app_vtime);
+    assert_eq!(bare.app_vtime, ch.app_vtime);
+    assert_eq!(bare.app_vtime, ac.app_vtime);
+}
