@@ -1,10 +1,13 @@
-//! Criterion microbench: clustering algorithms and Top-K selection.
+//! Microbench: clustering algorithms and Top-K selection.
 //!
 //! Chameleon clusters at most 2K+1 items per tree node; these benches
 //! verify the constant is small and compare the three interchangeable
-//! algorithms (K-farthest, K-medoids, K-random).
+//! algorithms (K-farthest, K-medoids, K-random). Results land in
+//! `experiments_out/bench_clustering.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::Path;
+
+use chameleon_bench::harness::Harness;
 use clusterkit::{find_top_k, ClusterAlgorithm, ClusterEntry, KFarthest, KMedoids, KRandom};
 use sigkit::{CallPathSig, SignatureTriple};
 
@@ -23,36 +26,36 @@ fn entries(n: usize) -> Vec<ClusterEntry> {
         .collect()
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster_select");
+fn main() {
+    let mut h = Harness::new();
+
     let n = 64usize;
     let coords: Vec<f64> = (0..n).map(|i| (i as f64 * 37.0) % 1000.0).collect();
     let dist = move |a: usize, b: usize| (coords[a] - coords[b]).abs();
     for k in [3usize, 9] {
-        group.bench_with_input(BenchmarkId::new("k_farthest", k), &k, |b, &k| {
-            b.iter(|| KFarthest.select(n, k, &dist));
+        h.bench("cluster_select", &format!("k_farthest/{k}"), || {
+            KFarthest.select(n, k, &dist)
         });
-        group.bench_with_input(BenchmarkId::new("k_medoids", k), &k, |b, &k| {
-            b.iter(|| KMedoids::default().select(n, k, &dist));
+        h.bench("cluster_select", &format!("k_medoids/{k}"), || {
+            KMedoids::default().select(n, k, &dist)
         });
-        group.bench_with_input(BenchmarkId::new("k_random", k), &k, |b, &k| {
-            b.iter(|| KRandom::default().select(n, k, &dist));
+        h.bench("cluster_select", &format!("k_random/{k}"), || {
+            KRandom::default().select(n, k, &dist)
         });
     }
-    group.finish();
-}
 
-fn bench_find_top_k(c: &mut Criterion) {
-    let mut group = c.benchmark_group("find_top_k");
     // The per-tree-node working set: (radix + 1) * K entries.
     for n in [7usize, 19, 64] {
-        group.bench_with_input(BenchmarkId::new("reduce_to_9", n), &n, |b, &n| {
-            let base = entries(n);
-            b.iter(|| find_top_k(base.clone(), 9, &KFarthest));
+        let base = entries(n);
+        h.bench("find_top_k", &format!("reduce_to_9/{n}"), || {
+            find_top_k(base.clone(), 9, &KFarthest)
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_algorithms, bench_find_top_k);
-criterion_main!(benches);
+    h.print_summary();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../experiments_out")
+        .join("bench_clustering.json");
+    h.write_json(&out, &[]).expect("write JSON artifact");
+    println!("\nwrote {}", out.display());
+}

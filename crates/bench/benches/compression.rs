@@ -1,11 +1,14 @@
-//! Criterion microbench: online intra-node compression throughput.
+//! Microbench: online intra-node compression throughput.
 //!
 //! Measures `CompressedTrace::append` on periodic event streams — the hot
 //! path every traced MPI call goes through. The paper's viability rests on
 //! this being cheap and on the compressed size staying constant as
-//! iteration counts grow.
+//! iteration counts grow. Results land in
+//! `experiments_out/bench_compression.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::path::Path;
+
+use chameleon_bench::harness::Harness;
 use mpisim::Comm;
 use scalatrace::{CompressedTrace, Endpoint, EventRecord, MpiOp};
 use sigkit::StackSig;
@@ -19,48 +22,40 @@ fn ev(sig: u64) -> EventRecord {
     )
 }
 
-fn bench_append(c: &mut Criterion) {
-    let mut group = c.benchmark_group("intra_compression");
-    group.sample_size(20);
+fn main() {
+    let mut h = Harness::new();
+
     for period in [1usize, 3, 8, 16] {
         // A whole number of cycles, so the tail folds completely.
         let events = 2_000usize / period * period;
-        group.throughput(Throughput::Elements(events as u64));
-        group.bench_with_input(
-            BenchmarkId::new("periodic_append", period),
-            &period,
-            |b, &period| {
-                b.iter(|| {
-                    let mut t = CompressedTrace::new();
-                    for i in 0..events {
-                        t.append(ev((i % period) as u64));
-                    }
-                    assert!(t.compressed_size() <= period + 2);
-                    t
-                });
+        h.bench(
+            "intra_compression",
+            &format!("periodic_append/{period}"),
+            || {
+                let mut t = CompressedTrace::new();
+                for i in 0..events {
+                    t.append(ev((i % period) as u64));
+                }
+                assert!(t.compressed_size() <= period + 2);
+                t
             },
         );
     }
-    group.finish();
-}
 
-fn bench_irregular(c: &mut Criterion) {
     // Worst case: no repetition at all — every event a distinct site.
-    let mut group = c.benchmark_group("intra_compression_irregular");
-    group.sample_size(20);
     let events = 512usize;
-    group.throughput(Throughput::Elements(events as u64));
-    group.bench_function("distinct_sites", |b| {
-        b.iter(|| {
-            let mut t = CompressedTrace::new();
-            for i in 0..events {
-                t.append(ev(i as u64));
-            }
-            t
-        });
+    h.bench("intra_compression_irregular", "distinct_sites", || {
+        let mut t = CompressedTrace::new();
+        for i in 0..events {
+            t.append(ev(i as u64));
+        }
+        t
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_append, bench_irregular);
-criterion_main!(benches);
+    h.print_summary();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../experiments_out")
+        .join("bench_compression.json");
+    h.write_json(&out, &[]).expect("write JSON artifact");
+    println!("\nwrote {}", out.display());
+}

@@ -1,74 +1,62 @@
-//! Criterion microbench: signature computation.
+//! Microbench: signature computation.
 //!
 //! Stack-signature derivation and Call-Path accumulation run on every
 //! traced MPI event; the Chameleon marker additionally finishes the
 //! interval signature. All must be O(1) per event and nanosecond-scale.
+//! Results land in `experiments_out/bench_signatures.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::Path;
+
+use chameleon_bench::harness::Harness;
 use sigkit::stack::{frame_addr, CallStack};
 use sigkit::{CallPathAccumulator, ParamEstimator, StackSig};
 
-fn bench_stack_sigs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("signatures");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("signature_with", |b| {
+fn main() {
+    let mut h = Harness::new();
+
+    {
         let mut cs = CallStack::new();
         cs.push(frame_addr("main"));
         cs.push(frame_addr("timestep"));
         cs.push(frame_addr("solver"));
         let site = frame_addr("halo_send");
-        b.iter(|| cs.signature_with(site));
-    });
-    group.bench_function("push_pop", |b| {
+        h.bench("signatures", "signature_with", || cs.signature_with(site));
+    }
+
+    {
         let mut cs = CallStack::new();
         cs.push(frame_addr("main"));
         let f = frame_addr("loop_body");
-        b.iter(|| {
+        h.bench("signatures", "push_pop", move || {
             cs.push(f);
             let s = cs.signature();
             cs.pop();
             s
         });
-    });
-    group.finish();
-}
+    }
 
-fn bench_callpath_accumulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("callpath");
     let events = 10_000u64;
-    group.throughput(Throughput::Elements(events));
-    group.bench_function("record_finish", |b| {
-        b.iter(|| {
-            let mut acc = CallPathAccumulator::new();
-            for i in 0..events {
-                acc.record(StackSig(i % 7 + 1));
-            }
-            acc.finish()
-        });
+    h.bench("callpath", "record_finish_10k", || {
+        let mut acc = CallPathAccumulator::new();
+        for i in 0..events {
+            acc.record(StackSig(i % 7 + 1));
+        }
+        acc.finish()
     });
-    group.finish();
-}
 
-fn bench_param_estimator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("param_estimator");
     let samples = 10_000u64;
-    group.throughput(Throughput::Elements(samples));
-    group.bench_function("running_average", |b| {
-        b.iter(|| {
-            let mut est = ParamEstimator::new();
-            for i in 0..samples {
-                est.add(i.wrapping_mul(0x9e3779b97f4a7c15));
-            }
-            est.estimate()
-        });
+    h.bench("param_estimator", "running_average_10k", || {
+        let mut est = ParamEstimator::new();
+        for i in 0..samples {
+            est.add(i.wrapping_mul(0x9e3779b97f4a7c15));
+        }
+        est.estimate()
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_stack_sigs,
-    bench_callpath_accumulation,
-    bench_param_estimator
-);
-criterion_main!(benches);
+    h.print_summary();
+    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../experiments_out")
+        .join("bench_signatures.json");
+    h.write_json(&out, &[]).expect("write JSON artifact");
+    println!("\nwrote {}", out.display());
+}

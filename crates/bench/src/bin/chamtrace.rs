@@ -62,7 +62,11 @@ fn check(path: &str) {
         }
     });
     if problems == 0 {
-        println!("ok: {} nodes, {} dynamic events", t.compressed_size(), t.dynamic_size());
+        println!(
+            "ok: {} nodes, {} dynamic events",
+            t.compressed_size(),
+            t.dynamic_size()
+        );
     } else {
         eprintln!("{problems} problem(s) found");
         std::process::exit(1);

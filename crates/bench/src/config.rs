@@ -63,9 +63,7 @@ impl HarnessConfig {
                     };
                 }
                 "--out" => {
-                    cfg.out_dir = Some(PathBuf::from(
-                        it.next().ok_or("--out needs a directory")?,
-                    ));
+                    cfg.out_dir = Some(PathBuf::from(it.next().ok_or("--out needs a directory")?));
                 }
                 "--full" => {
                     cfg.scale = 1;
@@ -84,9 +82,7 @@ impl HarnessConfig {
             Ok(cfg) => cfg,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!(
-                    "usage: [--max-p N] [--scale N] [--class A|B|C|D] [--out DIR] [--full]"
-                );
+                eprintln!("usage: [--max-p N] [--scale N] [--class A|B|C|D] [--out DIR] [--full]");
                 std::process::exit(2);
             }
         }

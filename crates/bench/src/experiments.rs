@@ -20,13 +20,7 @@ use crate::registry::{workload, STRONG_SET, TABLE2_SET, WEAK_SET};
 use crate::report::{secs, speedup, Table};
 
 fn chameleon_run(cfg: &HarnessConfig, name: &str, p: usize, ov: Overrides) -> RunReport {
-    run(
-        workload(name, cfg.scale),
-        cfg.class,
-        p,
-        Mode::Chameleon,
-        ov,
-    )
+    run(workload(name, cfg.scale), cfg.class, p, Mode::Chameleon, ov)
 }
 
 fn fixed_p(cfg: &HarnessConfig, preferred: usize) -> usize {
@@ -154,14 +148,16 @@ pub fn table4(cfg: &HarnessConfig) -> Table {
         .map(|(r, _)| r)
         .collect();
     let lead_nonroot = leads.iter().copied().find(|&r| r != 0);
-    let nonleads: Vec<usize> = (0..p)
-        .filter(|r| !leads.contains(r) && *r != 0)
-        .collect();
+    let nonleads: Vec<usize> = (0..p).filter(|r| !leads.contains(r) && *r != 0).collect();
     let mut t = Table::new(
-        format!(
-            "Table IV: trace memory [bytes] per state, BT, P={p} — leads: {leads:?}"
-        ),
-        &["State", "#Calls", "rank 0", "lead (non-root)", "non-lead avg"],
+        format!("Table IV: trace memory [bytes] per state, BT, P={p} — leads: {leads:?}"),
+        &[
+            "State",
+            "#Calls",
+            "rank 0",
+            "lead (non-root)",
+            "non-lead avg",
+        ],
     );
     let avg_of = |ranks: &[usize], label: &str| -> u64 {
         if ranks.is_empty() {
@@ -303,10 +299,8 @@ fn replay_table(cfg: &HarnessConfig, title: &str, set: &[&str]) -> Table {
             let ch = chameleon_run(cfg, name, p, Overrides::default());
             let st_trace = st.global_trace.expect("ScalaTrace produces a trace");
             let ch_trace = ch.global_trace.expect("Chameleon produces a trace");
-            let st_rep = replay(&st_trace, p, CostModel::default())
-                .expect("ScalaTrace replay");
-            let ch_rep = replay(&ch_trace, p, CostModel::default())
-                .expect("Chameleon replay");
+            let st_rep = replay(&st_trace, p, CostModel::default()).expect("ScalaTrace replay");
+            let ch_rep = replay(&ch_trace, p, CostModel::default()).expect("Chameleon replay");
             let acc = accuracy(st_rep.replay_vtime, ch_rep.replay_vtime);
             t.row(&[
                 name.to_string(),
@@ -335,7 +329,14 @@ pub fn fig5(cfg: &HarnessConfig) -> Table {
 pub fn fig6(cfg: &HarnessConfig) -> Table {
     let mut t = Table::new(
         "Figure 6: weak scaling — tracing overhead",
-        &["Pgm", "P", "APP [virt s]", "Chameleon [s]", "ScalaTrace [s]", "ST/CH"],
+        &[
+            "Pgm",
+            "P",
+            "APP [virt s]",
+            "Chameleon [s]",
+            "ScalaTrace [s]",
+            "ST/CH",
+        ],
     );
     for name in WEAK_SET {
         for p in cfg.p_sweep() {
@@ -444,7 +445,13 @@ pub fn fig9(cfg: &HarnessConfig) -> Table {
         Mode::ScalaTrace,
         Overrides::default(),
     );
-    let mut freqs: Vec<u64> = vec![total_steps, total_steps / 2, total_steps / 5, total_steps / 10, 1];
+    let mut freqs: Vec<u64> = vec![
+        total_steps,
+        total_steps / 2,
+        total_steps / 5,
+        total_steps / 10,
+        1,
+    ];
     freqs.retain(|&f| f >= 1);
     freqs.dedup();
     for freq in freqs {
@@ -474,7 +481,12 @@ pub fn fig10(cfg: &HarnessConfig) -> Table {
     let p = fixed_p(cfg, 1024.min(cfg.max_p));
     let mut t = Table::new(
         format!("Figure 10: re-clustering cost, modified LU, P={p}"),
-        &["Period", "#Re-clusterings", "Chameleon [s]", "ScalaTrace [s]"],
+        &[
+            "Period",
+            "#Re-clusterings",
+            "Chameleon [s]",
+            "ScalaTrace [s]",
+        ],
     );
     let st = run(
         workload("LU", cfg.scale),
@@ -627,7 +639,13 @@ pub fn ablation_k(cfg: &HarnessConfig) -> Table {
     let p = fixed_p(cfg, 16);
     let mut t = Table::new(
         format!("Ablation: cluster budget K, LU, P={p}"),
-        &["K", "effective leads", "trace nodes", "ACC vs ST", "CH dropped"],
+        &[
+            "K",
+            "effective leads",
+            "trace nodes",
+            "ACC vs ST",
+            "CH dropped",
+        ],
     );
     let st = run(
         workload("LU", cfg.scale),
@@ -744,7 +762,8 @@ pub fn ablation_radix(cfg: &HarnessConfig) -> Table {
 
 /// Run everything (the `run_all` binary).
 pub fn run_all(cfg: &HarnessConfig) -> Vec<(String, Table)> {
-    let experiments: Vec<(&str, fn(&HarnessConfig) -> Table)> = vec![
+    type Experiment = fn(&HarnessConfig) -> Table;
+    let experiments: Vec<(&str, Experiment)> = vec![
         ("table1", table1),
         ("table2", table2),
         ("table3", table3),

@@ -22,6 +22,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod harness;
 pub mod registry;
 pub mod report;
 

@@ -40,7 +40,11 @@ mod tests {
 
     #[test]
     fn all_names_resolve() {
-        for name in TABLE2_SET.iter().chain(WEAK_SET.iter()).chain(["CG"].iter()) {
+        for name in TABLE2_SET
+            .iter()
+            .chain(WEAK_SET.iter())
+            .chain(["CG"].iter())
+        {
             let w = workload(name, 10);
             assert_eq!(&w.name(), name);
             let spec = w.spec(Class::A, 16);

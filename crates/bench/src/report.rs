@@ -169,7 +169,10 @@ mod tests {
         assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000s");
         assert_eq!(fmt_dur(Duration::from_millis(5)), "5.000ms");
         assert_eq!(fmt_dur(Duration::from_micros(7)), "7.0us");
-        assert_eq!(speedup(Duration::from_secs(10), Duration::from_secs(2)), "5.0x");
+        assert_eq!(
+            speedup(Duration::from_secs(10), Duration::from_secs(2)),
+            "5.0x"
+        );
         assert_eq!(speedup(Duration::from_secs(1), Duration::ZERO), "inf");
     }
 }

@@ -133,9 +133,11 @@ pub fn acurdion_finalize(tp: &mut TracedProc, config: &ChameleonConfig) -> Basel
         }
     }
     if me == 0 && sel.leads[0] != 0 {
-        let info = tp
-            .inner()
-            .recv(SrcSel::Rank(sel.leads[0]), TagSel::Tag(ONLINE_TAG), Comm::TOOL);
+        let info = tp.inner().recv(
+            SrcSel::Rank(sel.leads[0]),
+            TagSel::Tag(ONLINE_TAG),
+            Comm::TOOL,
+        );
         tp.inner().tool_compute(work.codec(info.payload.len()));
         global = Some(
             format::from_text(std::str::from_utf8(&info.payload).expect("UTF-8 trace"))
@@ -187,8 +189,10 @@ mod tests {
         assert_eq!(covered.len(), 6);
         // 5 steps x (send + recv + allreduce) + finalize per rank.
         assert!(global.dynamic_size() >= 16);
-        assert!(report.results.iter().all(|r| r.trace_bytes > 0),
-            "every rank allocates trace memory in plain ScalaTrace");
+        assert!(
+            report.results.iter().all(|r| r.trace_bytes > 0),
+            "every rank allocates trace memory in plain ScalaTrace"
+        );
     }
 
     #[test]

@@ -84,11 +84,7 @@ impl EnergyReport {
 /// across ranks to first order — the ranks synchronize at markers). A
 /// rank's *dark fraction* is the share of marker intervals it spent in
 /// the Lead state without holding any trace bytes.
-pub fn estimate(
-    stats: &[ChameleonStats],
-    app_vtime: f64,
-    model: EnergyModel,
-) -> EnergyReport {
+pub fn estimate(stats: &[ChameleonStats], app_vtime: f64, model: EnergyModel) -> EnergyReport {
     assert!(!stats.is_empty(), "no ranks to account");
     assert!(app_vtime >= 0.0);
     let mut baseline = 0.0;
@@ -108,13 +104,11 @@ pub fn estimate(
         let active = 1.0 - dark;
         baseline += app_vtime * (model.busy_watts + model.tracing_watts);
         // Chameleon: tracing power only while actively tracing.
-        chameleon += app_vtime
-            * (model.busy_watts + model.tracing_watts * active);
+        chameleon += app_vtime * (model.busy_watts + model.tracing_watts * active);
         // DVFS: dark intervals run at the DVFS floor (the rank only waits
         // for the marker), active intervals at busy+tracing power.
         dvfs += app_vtime
-            * (dark * model.dvfs_watts
-                + active * (model.busy_watts + model.tracing_watts));
+            * (dark * model.dvfs_watts + active * (model.busy_watts + model.tracing_watts));
     }
     EnergyReport {
         baseline_joules: baseline,

@@ -32,8 +32,8 @@
 //!   ACURDION (signature clustering at finalize) comparators.
 
 pub mod baselines;
-pub mod energy;
 pub mod config;
+pub mod energy;
 pub mod runtime;
 pub mod state;
 pub mod stats;

@@ -127,7 +127,11 @@ impl Chameleon {
         let tool0 = tp.inner().tool_time();
         tp.inner().barrier(Comm::MARKER);
         self.stats.vote_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
-        if self.stats.marker_invocations % self.config.call_frequency != 0 {
+        if !self
+            .stats
+            .marker_invocations
+            .is_multiple_of(self.config.call_frequency)
+        {
             return; // Algorithm 3 lines 1-3
         }
         self.stats.marker_calls += 1;
@@ -146,9 +150,7 @@ impl Chameleon {
         let decision = match self.graph.local_vote(triple.call_path) {
             LocalVote::First => MarkerDecision::FirstMarker,
             LocalVote::Mismatch(m) => {
-                let global = tp
-                    .inner()
-                    .allreduce_u64(m, ReduceOp::Sum, Comm::TOOL);
+                let global = tp.inner().allreduce_u64(m, ReduceOp::Sum, Comm::TOOL);
                 self.graph.decide(global)
             }
         };
@@ -215,9 +217,13 @@ impl Chameleon {
         tp.inner().barrier(Comm::TOOL);
         self.stats.vote_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
 
-        let t0 = mpisim::CpuTimer::start();
+        // Modeled like the marker path: measuring real CPU here would put
+        // nondeterministic wall time into an otherwise fully modeled stat.
+        let events = tp.tracer().interval().event_count();
         let triple = tp.tracer_mut().rotate_interval();
-        self.stats.signature_time += t0.elapsed();
+        let sig_cost = mpisim::WorkModel::calibrated().signature(events);
+        tp.inner().tool_compute(sig_cost);
+        self.stats.signature_time += Duration::from_secs_f64(sig_cost);
 
         let pre_bytes = tp.tracer().trace_bytes();
 
@@ -246,8 +252,7 @@ impl Chameleon {
         // completes; spread the critical path to all ranks.
         let tool0 = tp.inner().tool_time();
         tp.inner().barrier(Comm::TOOL);
-        self.stats.intercomp_time +=
-            Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+        self.stats.intercomp_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
 
         self.stats.states.bump(MarkerState::Final);
         let post_online = if tp.rank() == 0 {
@@ -283,8 +288,7 @@ impl Chameleon {
                 .recv(SrcSel::Rank(child), TagSel::Tag(CLUSTER_TAG), Comm::TOOL);
             let child_map =
                 ClusterMap::decode(&info.payload).expect("malformed cluster map from child");
-            tp.inner()
-                .tool_compute(work.codec(info.payload.len()));
+            tp.inner().tool_compute(work.codec(info.payload.len()));
             map.merge(child_map);
         }
         // Per-node pruning keeps every node's working set at O(K).
@@ -310,16 +314,12 @@ impl Chameleon {
         };
         // Every span above was registered on the tool clock, so the delta
         // covers modeled compute + modeled communication + waits.
-        self.stats.clustering_time +=
-            Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+        self.stats.clustering_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
         // Table I reports the main-phase clustering; later re-clusterings
         // (e.g. the tiny finalize interval) see fewer Call-Paths, so keep
         // the maximum observed.
         self.stats.leads = self.stats.leads.max(sel.leads.len() as u64);
-        self.stats.call_paths = self
-            .stats
-            .call_paths
-            .max(sel.map.num_call_paths() as u64);
+        self.stats.call_paths = self.stats.call_paths.max(sel.map.num_call_paths() as u64);
         sel
     }
 
@@ -347,6 +347,7 @@ impl Chameleon {
                 .tool_compute(work.fold_per_node * trace.compressed_size() as f64);
             trace.visit_events_mut(&mut |e| e.set_ranks(cluster.members.clone()));
             let outcome = radix_tree_merge(tp.inner(), self.config.radix, &sel.leads, &trace);
+            self.stats.record_merge_timings(&outcome.timings);
             if let Some(partial) = outcome.merged {
                 // This rank is the root of the Top-K tree.
                 if me == 0 {
@@ -363,9 +364,11 @@ impl Chameleon {
             }
         }
         if me == 0 && merge_root != 0 {
-            let info = tp
-                .inner()
-                .recv(SrcSel::Rank(merge_root), TagSel::Tag(ONLINE_TAG), Comm::TOOL);
+            let info = tp.inner().recv(
+                SrcSel::Rank(merge_root),
+                TagSel::Tag(ONLINE_TAG),
+                Comm::TOOL,
+            );
             let partial = format::from_text(
                 std::str::from_utf8(&info.payload).expect("online trace payload is UTF-8"),
             )
@@ -381,8 +384,7 @@ impl Chameleon {
         }
         // "All nodes: Delete your partial trace."
         tp.tracer_mut().clear_trace();
-        self.stats.intercomp_time +=
-            Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+        self.stats.intercomp_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
     }
 }
 
@@ -477,7 +479,11 @@ mod tests {
         // Every rank must appear in the trace's ranklists.
         let mut covered = RankSet::empty();
         online.visit_events(&mut |e| covered = covered.union(&e.ranks));
-        assert_eq!(covered.len(), 4, "all ranks represented via cluster ranklists");
+        assert_eq!(
+            covered.len(),
+            4,
+            "all ranks represented via cluster ranklists"
+        );
     }
 
     #[test]
@@ -510,7 +516,10 @@ mod tests {
         }
         assert!(dark > 0, "some rank must trace nothing during L");
         assert!(lead_like > 0, "leads keep tracing during L");
-        assert!(lead_like <= 2 + 1, "at most K leads (+dynamic growth slack)");
+        assert!(
+            lead_like <= 2 + 1,
+            "at most K leads (+dynamic growth slack)"
+        );
     }
 
     #[test]
@@ -518,8 +527,7 @@ mod tests {
         let report = World::new(WorldConfig::for_tests(2))
             .run(|proc| {
                 let mut tp = TracedProc::new(proc);
-                let mut cham =
-                    Chameleon::new(ChameleonConfig::with_k(2).with_frequency(5));
+                let mut cham = Chameleon::new(ChameleonConfig::with_k(2).with_frequency(5));
                 for _ in 0..20 {
                     timestep(&mut tp);
                     cham.marker(&mut tp);
@@ -577,7 +585,10 @@ mod tests {
                 has_any_recv = true;
             }
         });
-        assert!(has_any_recv, "master's wildcard receive must be in the trace");
+        assert!(
+            has_any_recv,
+            "master's wildcard receive must be in the trace"
+        );
     }
 
     #[test]

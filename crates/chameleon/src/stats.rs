@@ -12,6 +12,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use scalatrace::reduction::LevelTiming;
+
 use crate::state::MarkerState;
 
 /// Tally of marker calls per counted state.
@@ -84,11 +86,7 @@ impl MemAccount {
     /// Average bytes per call for a state, 0 if the state never occurred.
     pub fn avg(&self, label: &str) -> u64 {
         let (calls, bytes) = self.get(label);
-        if calls == 0 {
-            0
-        } else {
-            bytes / calls
-        }
+        bytes.checked_div(calls).unwrap_or(0)
     }
 
     /// Average bytes per call over *all* markers (Table IV's
@@ -98,11 +96,7 @@ impl MemAccount {
             .per_state
             .values()
             .fold((0u64, 0u64), |(c, b), &(cc, bb)| (c + cc, b + bb));
-        if calls == 0 {
-            0
-        } else {
-            bytes / calls
-        }
+        bytes.checked_div(calls).unwrap_or(0)
     }
 
     /// Iterate `(label, calls, total_bytes)` rows.
@@ -140,6 +134,11 @@ pub struct ChameleonStats {
     pub intercomp_time: Duration,
     /// Per-state trace memory accounting.
     pub mem: MemAccount,
+    /// Merge work per reduction-tree level, accumulated over every lead
+    /// reduction this rank participated in (root = level 0). Shows where
+    /// inter-compression time concentrates as traces widen toward the
+    /// root.
+    pub merge_levels: BTreeMap<usize, MergeLevelStats>,
 }
 
 impl ChameleonStats {
@@ -148,6 +147,32 @@ impl ChameleonStats {
     pub fn total_overhead(&self) -> Duration {
         self.signature_time + self.vote_time + self.clustering_time + self.intercomp_time
     }
+
+    /// Fold one reduction's per-level merge timings into the running
+    /// per-level profile.
+    pub fn record_merge_timings(&mut self, timings: &[LevelTiming]) {
+        for t in timings {
+            let slot = self.merge_levels.entry(t.level).or_default();
+            slot.merges += t.merges as u64;
+            slot.seconds += t.seconds;
+            slot.dp_cells += t.dp_cells;
+            slot.fast_path_hits += t.fast_path_hits as u64;
+        }
+    }
+}
+
+/// Merge activity at one reduction-tree level, accumulated across
+/// reductions (and, in [`AggregatedStats`], across ranks).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MergeLevelStats {
+    /// Pairwise merges performed.
+    pub merges: u64,
+    /// Modeled seconds of codec + merge work.
+    pub seconds: f64,
+    /// LCS cells the aligner actually evaluated.
+    pub dp_cells: u64,
+    /// Merges resolved by the identical-stream fast path.
+    pub fast_path_hits: u64,
 }
 
 /// Aggregate several ranks' stats the way the paper reports them
@@ -166,6 +191,8 @@ pub struct AggregatedStats {
     pub states: StateCounts,
     /// Markers that ran the transition graph (rank 0's count).
     pub marker_calls: u64,
+    /// Per-level merge profile summed across ranks.
+    pub merge_levels: BTreeMap<usize, MergeLevelStats>,
 }
 
 impl AggregatedStats {
@@ -178,6 +205,13 @@ impl AggregatedStats {
             agg.vote_time += s.vote_time;
             agg.clustering_time += s.clustering_time;
             agg.intercomp_time += s.intercomp_time;
+            for (&lvl, m) in &s.merge_levels {
+                let slot = agg.merge_levels.entry(lvl).or_default();
+                slot.merges += m.merges;
+                slot.seconds += m.seconds;
+                slot.dp_cells += m.dp_cells;
+                slot.fast_path_hits += m.fast_path_hits;
+            }
             if first {
                 agg.states = s.states;
                 agg.marker_calls = s.marker_calls;
@@ -239,13 +273,15 @@ mod tests {
     #[test]
     fn aggregation_sums_times_keeps_rank0_counts() {
         let mk = |ms: u64, c: u64| {
-            let mut s = ChameleonStats::default();
-            s.signature_time = Duration::from_millis(ms);
+            let mut s = ChameleonStats {
+                signature_time: Duration::from_millis(ms),
+                marker_calls: 10,
+                ..ChameleonStats::default()
+            };
             s.states.c = c;
-            s.marker_calls = 10;
             s
         };
-        let ranks = vec![mk(5, 1), mk(7, 1), mk(9, 1)];
+        let ranks = [mk(5, 1), mk(7, 1), mk(9, 1)];
         let agg = AggregatedStats::from_ranks(ranks.iter());
         assert_eq!(agg.signature_time, Duration::from_millis(21));
         assert_eq!(agg.states.c, 1, "rank 0's tally, not the sum");
@@ -253,12 +289,47 @@ mod tests {
     }
 
     #[test]
+    fn merge_level_timings_accumulate_and_aggregate() {
+        let timings = [
+            LevelTiming {
+                level: 0,
+                merges: 2,
+                seconds: 0.5,
+                dp_cells: 100,
+                fast_path_hits: 1,
+            },
+            LevelTiming {
+                level: 1,
+                merges: 1,
+                seconds: 0.25,
+                dp_cells: 0,
+                fast_path_hits: 1,
+            },
+        ];
+        let mut a = ChameleonStats::default();
+        a.record_merge_timings(&timings);
+        a.record_merge_timings(&timings[..1]);
+        assert_eq!(a.merge_levels[&0].merges, 4);
+        assert_eq!(a.merge_levels[&0].dp_cells, 200);
+        assert_eq!(a.merge_levels[&1].fast_path_hits, 1);
+
+        let mut b = ChameleonStats::default();
+        b.record_merge_timings(&timings[1..]);
+        let agg = AggregatedStats::from_ranks([&a, &b]);
+        assert_eq!(agg.merge_levels[&0].merges, 4);
+        assert_eq!(agg.merge_levels[&1].merges, 2);
+        assert!((agg.merge_levels[&1].seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
     fn total_overhead_sums_components() {
-        let mut s = ChameleonStats::default();
-        s.signature_time = Duration::from_millis(1);
-        s.vote_time = Duration::from_millis(2);
-        s.clustering_time = Duration::from_millis(3);
-        s.intercomp_time = Duration::from_millis(4);
+        let s = ChameleonStats {
+            signature_time: Duration::from_millis(1),
+            vote_time: Duration::from_millis(2),
+            clustering_time: Duration::from_millis(3),
+            intercomp_time: Duration::from_millis(4),
+            ..ChameleonStats::default()
+        };
         assert_eq!(s.total_overhead(), Duration::from_millis(10));
     }
 }

@@ -11,9 +11,7 @@
 //! representatives. All algorithms are deterministic ([`KRandom`] takes an
 //! explicit seed) so experiments are reproducible.
 
-use rand::rngs::StdRng;
-use rand::seq::index::sample;
-use rand::SeedableRng;
+use xrand::Xoshiro256;
 
 /// A representative-selection algorithm over a point set.
 pub trait ClusterAlgorithm {
@@ -52,8 +50,8 @@ impl ClusterAlgorithm for KFarthest {
                 break;
             }
             selected.push(next);
-            for i in 0..n {
-                min_d[i] = min_d[i].min(dist(next, i));
+            for (i, d) in min_d.iter_mut().enumerate() {
+                *d = d.min(dist(next, i));
             }
         }
         selected.sort_unstable();
@@ -151,8 +149,8 @@ impl ClusterAlgorithm for KRandom {
         if n == 0 || k == 0 {
             return Vec::new();
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut out: Vec<usize> = sample(&mut rng, n, k.min(n)).into_iter().collect();
+        let mut rng = Xoshiro256::seed_from_u64(self.seed);
+        let mut out: Vec<usize> = rng.sample_indices(n, k.min(n));
         out.sort_unstable();
         out
     }
@@ -240,11 +238,7 @@ mod tests {
         let m = KMedoids::default().select(7, 3, &d);
         let cost = |sel: &[usize]| {
             (0..7)
-                .map(|i| {
-                    sel.iter()
-                        .map(|&s| d(s, i))
-                        .fold(f64::INFINITY, f64::min)
-                })
+                .map(|i| sel.iter().map(|&s| d(s, i)).fold(f64::INFINITY, f64::min))
                 .sum::<f64>()
         };
         assert!(cost(&m) <= cost(&f) + 1e-9);
@@ -266,39 +260,50 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// Selection invariants for all algorithms over random point sets.
-        #[test]
-        fn selection_invariants(
-            coords in proptest::collection::vec(0.0f64..1e6, 1..40),
-            k in 1usize..10,
-        ) {
-            let n = coords.len();
+    /// Selection invariants for all algorithms over random point sets.
+    #[test]
+    fn selection_invariants() {
+        let mut rng = Xoshiro256::seed_from_u64(0xA160);
+        for _case in 0..200 {
+            let n = rng.range_usize(1, 40);
+            let k = rng.range_usize(1, 10);
+            let coords: Vec<f64> = (0..n).map(|_| rng.f64_unit() * 1e6).collect();
             let d = |a: usize, b: usize| (coords[a] - coords[b]).abs();
-            for algo in [&KFarthest as &dyn ClusterAlgorithm,
-                         &KMedoids::default(),
-                         &KRandom::default()] {
+            for algo in [
+                &KFarthest as &dyn ClusterAlgorithm,
+                &KMedoids::default(),
+                &KRandom::default(),
+            ] {
                 let sel = algo.select(n, k, &d);
-                prop_assert!(!sel.is_empty());
-                prop_assert!(sel.len() <= k.min(n));
-                prop_assert!(sel.windows(2).all(|w| w[0] < w[1]), "{} strictly sorted", algo.name());
-                prop_assert!(sel.iter().all(|&i| i < n));
+                assert!(!sel.is_empty());
+                assert!(sel.len() <= k.min(n));
+                assert!(
+                    sel.windows(2).all(|w| w[0] < w[1]),
+                    "{} strictly sorted",
+                    algo.name()
+                );
+                assert!(sel.iter().all(|&i| i < n));
             }
         }
+    }
 
-        /// Farthest-point selection covers spread data: with k >= distinct
-        /// cluster count, every well-separated cluster gets a pick.
-        #[test]
-        fn farthest_covers_separated_clusters(
-            centers in proptest::collection::vec(0u32..8, 2..5),
-        ) {
-            // Build points at center*1000 + tiny jitter by index.
+    /// Farthest-point selection covers spread data: with k >= distinct
+    /// cluster count, every well-separated cluster gets a pick.
+    #[test]
+    fn farthest_covers_separated_clusters() {
+        let mut rng = Xoshiro256::seed_from_u64(0xC07E);
+        for _case in 0..200 {
+            let len = rng.range_usize(2, 5);
+            let centers: Vec<u32> = (0..len).map(|_| rng.below(8) as u32).collect();
             let mut distinct: Vec<u32> = centers.clone();
             distinct.sort_unstable();
             distinct.dedup();
-            let coords: Vec<f64> = centers.iter().enumerate()
+            // Build points at center*1000 + tiny jitter by index.
+            let coords: Vec<f64> = centers
+                .iter()
+                .enumerate()
                 .map(|(i, &c)| c as f64 * 1000.0 + i as f64 * 0.001)
                 .collect();
             let d = |a: usize, b: usize| (coords[a] - coords[b]).abs();
@@ -306,7 +311,7 @@ mod props {
             let mut covered: Vec<u32> = sel.iter().map(|&i| centers[i]).collect();
             covered.sort_unstable();
             covered.dedup();
-            prop_assert_eq!(covered, distinct);
+            assert_eq!(covered, distinct);
         }
     }
 }

@@ -289,7 +289,10 @@ mod tests {
     fn cluster_of_finds_member() {
         let mut m = ClusterMap::new();
         for r in 0..8 {
-            m.merge(ClusterMap::from_rank(r, &triple(1, (r as u64 / 4) * 10_000, 0)));
+            m.merge(ClusterMap::from_rank(
+                r,
+                &triple(1, (r as u64 / 4) * 10_000, 0),
+            ));
         }
         m.prune(2, &KFarthest);
         for r in 0..8 {
@@ -346,7 +349,10 @@ mod tests {
         }
         let sel = LeadSelection::select(m, 4, &KFarthest);
         for r in 0..16 {
-            assert!(sel.map.cluster_of(r).is_some(), "rank {r} must stay covered");
+            assert!(
+                sel.map.cluster_of(r).is_some(),
+                "rank {r} must stay covered"
+            );
         }
         // At least one lead per call path.
         for (_, entries) in sel.map.groups() {
@@ -359,44 +365,54 @@ mod tests {
 mod props {
     use super::*;
     use crate::algorithms::KFarthest;
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// Merging then pruning never loses a rank, regardless of how the
-        /// ranks are spread over call paths and coordinates.
-        #[test]
-        fn prune_preserves_coverage(
-            points in proptest::collection::vec((1u64..5, 0u64..1000), 1..40),
-            k in 1usize..6,
-        ) {
+    /// Merging then pruning never loses a rank, regardless of how the
+    /// ranks are spread over call paths and coordinates.
+    #[test]
+    fn prune_preserves_coverage() {
+        let mut rng = Xoshiro256::seed_from_u64(0x94E5);
+        for _case in 0..200 {
+            let npoints = rng.range_usize(1, 40);
+            let k = rng.range_usize(1, 6);
             let mut m = ClusterMap::new();
-            for (r, &(cp, src)) in points.iter().enumerate() {
+            for r in 0..npoints {
                 m.merge(ClusterMap::from_rank(
                     r,
-                    &SignatureTriple { call_path: CallPathSig(cp), src, dest: 0 },
+                    &SignatureTriple {
+                        call_path: CallPathSig(rng.range_u64(1, 5)),
+                        src: rng.below(1000),
+                        dest: 0,
+                    },
                 ));
             }
             let before = m.total_ranks();
             m.prune(k, &KFarthest);
-            prop_assert_eq!(m.total_ranks(), before);
-            for r in 0..points.len() {
-                prop_assert!(m.cluster_of(r).is_some());
+            assert_eq!(m.total_ranks(), before);
+            for r in 0..npoints {
+                assert!(m.cluster_of(r).is_some());
             }
         }
+    }
 
-        /// Encode/decode is the identity.
-        #[test]
-        fn codec_roundtrip(
-            points in proptest::collection::vec((1u64..4, 0u64..100, 0u64..100), 0..20),
-        ) {
+    /// Encode/decode is the identity.
+    #[test]
+    fn codec_roundtrip() {
+        let mut rng = Xoshiro256::seed_from_u64(0xC0DE);
+        for _case in 0..200 {
+            let npoints = rng.usize_below(20);
             let mut m = ClusterMap::new();
-            for (r, &(cp, src, dest)) in points.iter().enumerate() {
+            for r in 0..npoints {
                 m.merge(ClusterMap::from_rank(
                     r,
-                    &SignatureTriple { call_path: CallPathSig(cp), src, dest },
+                    &SignatureTriple {
+                        call_path: CallPathSig(rng.range_u64(1, 4)),
+                        src: rng.below(100),
+                        dest: rng.below(100),
+                    },
                 ));
             }
-            prop_assert_eq!(ClusterMap::decode(&m.encode()), Some(m));
+            assert_eq!(ClusterMap::decode(&m.encode()), Some(m));
         }
     }
 }

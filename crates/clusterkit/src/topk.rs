@@ -41,8 +41,7 @@ pub fn find_top_k(
     let selected = algo.select(n, k, &dist);
     debug_assert!(!selected.is_empty());
 
-    let mut survivors: Vec<ClusterEntry> =
-        selected.iter().map(|&i| clusters[i].clone()).collect();
+    let mut survivors: Vec<ClusterEntry> = selected.iter().map(|&i| clusters[i].clone()).collect();
     for (i, cluster) in clusters.iter().enumerate() {
         if selected.contains(&i) {
             continue;
@@ -51,11 +50,7 @@ pub fn find_top_k(
         let closest = selected
             .iter()
             .enumerate()
-            .min_by(|(_, &a), (_, &b)| {
-                dist(a, i)
-                    .partial_cmp(&dist(b, i))
-                    .expect("NaN distance")
-            })
+            .min_by(|(_, &a), (_, &b)| dist(a, i).partial_cmp(&dist(b, i)).expect("NaN distance"))
             .map(|(pos, _)| pos)
             .expect("non-empty selection");
         survivors[closest].absorb(cluster);
@@ -91,8 +86,7 @@ mod tests {
 
     #[test]
     fn reduces_to_k_and_covers_all_ranks() {
-        let clusters: Vec<ClusterEntry> =
-            (0..10).map(|r| entry(r, r as u64 * 100, 0)).collect();
+        let clusters: Vec<ClusterEntry> = (0..10).map(|r| entry(r, r as u64 * 100, 0)).collect();
         let out = find_top_k(clusters, 3, &KFarthest);
         assert_eq!(out.len(), 3);
         // Every input rank must appear in exactly one surviving cluster.
@@ -120,8 +114,7 @@ mod tests {
 
     #[test]
     fn k_one_absorbs_everything() {
-        let clusters: Vec<ClusterEntry> =
-            (0..6).map(|r| entry(r, r as u64, r as u64)).collect();
+        let clusters: Vec<ClusterEntry> = (0..6).map(|r| entry(r, r as u64, r as u64)).collect();
         let out = find_top_k(clusters, 1, &KFarthest);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].members.expand(), (0..6).collect::<Vec<_>>());
@@ -162,50 +155,51 @@ mod props {
     use super::*;
     use crate::algorithms::KFarthest;
     use sigkit::{CallPathSig, SignatureTriple};
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// Partition property: top-K never loses or duplicates a rank.
-        #[test]
-        fn partition_preserved(
-            coords in proptest::collection::vec((0u64..1000, 0u64..1000), 1..30),
-            k in 1usize..8,
-        ) {
-            let clusters: Vec<ClusterEntry> = coords
-                .iter()
-                .enumerate()
-                .map(|(r, &(s, d))| ClusterEntry::singleton(
+    fn random_singletons(rng: &mut Xoshiro256, max_len: usize, bound: u64) -> Vec<ClusterEntry> {
+        (0..rng.range_usize(1, max_len))
+            .map(|r| {
+                ClusterEntry::singleton(
                     r,
-                    &SignatureTriple { call_path: CallPathSig(1), src: s, dest: d },
-                ))
-                .collect();
+                    &SignatureTriple {
+                        call_path: CallPathSig(1),
+                        src: rng.below(bound),
+                        dest: rng.below(bound),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Partition property: top-K never loses or duplicates a rank.
+    #[test]
+    fn partition_preserved() {
+        let mut rng = Xoshiro256::seed_from_u64(0x709A);
+        for _case in 0..200 {
+            let clusters = random_singletons(&mut rng, 30, 1000);
+            let k = rng.range_usize(1, 8);
             let n = clusters.len();
             let out = find_top_k(clusters, k, &KFarthest);
-            prop_assert!(out.len() <= k.min(n));
+            assert!(out.len() <= k.min(n));
             let mut all: Vec<usize> = out.iter().flat_map(|e| e.members.expand()).collect();
             all.sort_unstable();
             let before_dedup = all.len();
             all.dedup();
-            prop_assert_eq!(all.len(), before_dedup, "no duplicates");
-            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            assert_eq!(all.len(), before_dedup, "no duplicates");
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
         }
+    }
 
-        /// Every surviving lead is a member of its own cluster.
-        #[test]
-        fn leads_belong_to_their_clusters(
-            coords in proptest::collection::vec((0u64..100, 0u64..100), 1..20),
-            k in 1usize..5,
-        ) {
-            let clusters: Vec<ClusterEntry> = coords
-                .iter()
-                .enumerate()
-                .map(|(r, &(s, d))| ClusterEntry::singleton(
-                    r,
-                    &SignatureTriple { call_path: CallPathSig(1), src: s, dest: d },
-                ))
-                .collect();
+    /// Every surviving lead is a member of its own cluster.
+    #[test]
+    fn leads_belong_to_their_clusters() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1EAD);
+        for _case in 0..200 {
+            let clusters = random_singletons(&mut rng, 20, 100);
+            let k = rng.range_usize(1, 5);
             for e in find_top_k(clusters, k, &KFarthest) {
-                prop_assert!(e.members.contains(e.lead));
+                assert!(e.members.contains(e.lead));
             }
         }
     }

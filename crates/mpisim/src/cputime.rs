@@ -15,21 +15,35 @@ use std::time::Duration;
 /// it).
 #[cfg(target_os = "linux")]
 pub fn thread_cpu_now() -> Duration {
-    let mut ts = libc::timespec {
+    // Declared by hand instead of via the `libc` crate: the build is
+    // hermetic (no registry access), and this is the one libc symbol the
+    // workspace needs. Layout matches the Linux LP64 ABI on every target
+    // we build for (x86_64, aarch64): clockid_t is i32, timespec is two
+    // signed longs.
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    let mut ts = Timespec {
         tv_sec: 0,
         tv_nsec: 0,
     };
     // SAFETY: ts is a valid, writable timespec; the clock id is a
     // compile-time constant supported on all Linux kernels we target.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
     debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
     Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
 }
 
 #[cfg(not(target_os = "linux"))]
 pub fn thread_cpu_now() -> Duration {
-    use std::time::Instant;
     use std::sync::OnceLock;
+    use std::time::Instant;
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed()
 }

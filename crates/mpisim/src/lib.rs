@@ -44,7 +44,7 @@ pub mod topology;
 pub mod world;
 
 pub use cputime::CpuTimer;
-pub use proc::{Proc, Rank, RecvInfo, SrcSel, Tag, TagSel};
+pub use proc::{PendingRecv, Proc, Rank, RecvInfo, SrcSel, Tag, TagSel};
 pub use time::{CostModel, VirtualClock, VirtualTime, WorkModel};
 pub use topology::RadixTree;
 pub use world::{World, WorldConfig, WorldReport};

@@ -7,8 +7,7 @@
 //! blocks on a condvar until one arrives.
 
 use std::collections::VecDeque;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::proc::{Rank, SrcSel, Tag, TagSel};
 use crate::time::VirtualTime;
@@ -49,10 +48,18 @@ impl Mailbox {
         Self::default()
     }
 
+    /// Lock the queue, shrugging off poisoning: a rank thread that panics
+    /// holds no mailbox invariants (the queue is always consistent between
+    /// operations), and the world-level poison flag handles the abort.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Deposit a message (called by the *sender's* thread).
     pub fn deliver(&self, env: Envelope) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         inner.queue.push_back(env);
+        drop(inner);
         // Wake all waiters: with wildcard receives, any waiter might match.
         self.available.notify_all();
     }
@@ -62,7 +69,7 @@ impl Mailbox {
     /// sender within a communicator — guaranteed here because the queue is
     /// globally FIFO and we always take the *first* match).
     pub fn recv(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Envelope {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         loop {
             if let Some(pos) = inner
                 .queue
@@ -71,7 +78,10 @@ impl Mailbox {
             {
                 return inner.queue.remove(pos).expect("position just found");
             }
-            self.available.wait(&mut inner);
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -86,24 +96,55 @@ impl Mailbox {
         comm: Comm,
         timeout_ms: u64,
     ) -> Option<Envelope> {
-        let deadline =
-            std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
-        let mut inner = self.inner.lock();
+        self.recv_timeout_where(timeout_ms, |e| Self::matches(e, src, tag, comm))
+    }
+
+    /// Bounded-wait receive matching any of `srcs` on a fixed tag/comm.
+    /// FIFO among the matches, so per-sender order is still non-overtaking.
+    ///
+    /// This is the primitive behind pipelined reductions: an interior tree
+    /// rank takes child traces in *arrival* order, but only from its own
+    /// children — a plain wildcard receive could steal a message a child
+    /// already sent for the *next* reduction on the same tag.
+    pub fn recv_timeout_from_set(
+        &self,
+        srcs: &[Rank],
+        tag: TagSel,
+        comm: Comm,
+        timeout_ms: u64,
+    ) -> Option<Envelope> {
+        self.recv_timeout_where(timeout_ms, |e| {
+            srcs.contains(&e.src) && Self::matches(e, SrcSel::Any, tag, comm)
+        })
+    }
+
+    fn recv_timeout_where(
+        &self,
+        timeout_ms: u64,
+        pred: impl Fn(&Envelope) -> bool,
+    ) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        let mut inner = self.lock();
         loop {
-            if let Some(pos) = inner
-                .queue
-                .iter()
-                .position(|e| Self::matches(e, src, tag, comm))
-            {
-                return Some(inner.queue.remove(pos).expect("position just found"));
+            if let Some(pos) = inner.queue.iter().position(&pred) {
+                return inner.queue.remove(pos);
             }
-            if self.available.wait_until(&mut inner, deadline).timed_out() {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, timed_out) = self
+                .available
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if timed_out.timed_out() {
                 // One final scan: a message may have landed between the
                 // last check and the timeout.
                 return inner
                     .queue
                     .iter()
-                    .position(|e| Self::matches(e, src, tag, comm))
+                    .position(&pred)
                     .and_then(|pos| inner.queue.remove(pos));
             }
         }
@@ -113,7 +154,7 @@ impl Mailbox {
     /// immediately? Returns the matched envelope's metadata without
     /// consuming it.
     pub fn probe(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Option<(Rank, Tag, usize)> {
-        let inner = self.inner.lock();
+        let inner = self.lock();
         inner
             .queue
             .iter()
@@ -124,7 +165,7 @@ impl Mailbox {
     /// Number of queued (undelivered) messages; used by shutdown checks
     /// and tests.
     pub fn backlog(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.lock().queue.len()
     }
 
     fn matches(e: &Envelope, src: SrcSel, tag: TagSel, comm: Comm) -> bool {
@@ -224,16 +265,17 @@ mod tests {
         let p = mb.probe(SrcSel::Any, TagSel::Any, Comm::WORLD);
         assert_eq!(p, Some((2, 3, 1)));
         assert_eq!(mb.backlog(), 1);
-        assert!(mb.probe(SrcSel::Rank(9), TagSel::Any, Comm::WORLD).is_none());
+        assert!(mb
+            .probe(SrcSel::Rank(9), TagSel::Any, Comm::WORLD)
+            .is_none());
     }
 
     #[test]
     fn blocking_recv_wakes_on_delivery() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
-        let handle = std::thread::spawn(move || {
-            mb2.recv(SrcSel::Rank(0), TagSel::Tag(0), Comm::WORLD)
-        });
+        let handle =
+            std::thread::spawn(move || mb2.recv(SrcSel::Rank(0), TagSel::Tag(0), Comm::WORLD));
         // Give the receiver a moment to block, then deliver.
         std::thread::sleep(std::time::Duration::from_millis(20));
         mb.deliver(env(0, 0, Comm::WORLD, 0x5a));
@@ -257,5 +299,32 @@ mod tests {
         mb.deliver(env(1, 0, Comm::WORLD, 1));
         assert_eq!(a.join().unwrap().payload, vec![1]);
         assert_eq!(b.join().unwrap().payload, vec![2]);
+    }
+
+    #[test]
+    fn set_receive_takes_arrival_order_within_set() {
+        let mb = Mailbox::new();
+        mb.deliver(env(9, 5, Comm::WORLD, 9)); // not in set
+        mb.deliver(env(4, 5, Comm::WORLD, 4));
+        mb.deliver(env(2, 5, Comm::WORLD, 2));
+        let got = mb
+            .recv_timeout_from_set(&[2, 4], TagSel::Tag(5), Comm::WORLD, 10)
+            .expect("match available");
+        assert_eq!(got.src, 4, "first arrival among the set wins");
+        let got2 = mb
+            .recv_timeout_from_set(&[2, 4], TagSel::Tag(5), Comm::WORLD, 10)
+            .expect("second match");
+        assert_eq!(got2.src, 2);
+        assert_eq!(mb.backlog(), 1, "out-of-set message stays queued");
+    }
+
+    #[test]
+    fn set_receive_times_out_when_only_foreign_sources() {
+        let mb = Mailbox::new();
+        mb.deliver(env(7, 5, Comm::WORLD, 7));
+        assert!(mb
+            .recv_timeout_from_set(&[1, 2], TagSel::Tag(5), Comm::WORLD, 20)
+            .is_none());
+        assert_eq!(mb.backlog(), 1);
     }
 }

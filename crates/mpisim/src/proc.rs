@@ -45,6 +45,20 @@ pub struct RecvInfo {
     pub payload: Vec<u8>,
 }
 
+/// A message dequeued by [`Proc::recv_from_set`] whose clock accounting
+/// has not happened yet — pass it to [`Proc::complete_recv`] when its
+/// deterministic processing slot comes up.
+#[derive(Debug, Clone)]
+pub struct PendingRecv {
+    /// Actual sender.
+    pub src: Rank,
+    /// Message payload.
+    pub payload: Vec<u8>,
+    /// Modeled arrival time in the sender's clock domain (tool or app,
+    /// per the communicator the message was sent on).
+    pub arrival: f64,
+}
+
 /// Per-rank communication statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcStats {
@@ -197,6 +211,66 @@ impl Proc {
     /// forever.
     pub fn recv(&mut self, src: SrcSel, tag: TagSel, comm: Comm) -> RecvInfo {
         let env = self.recv_envelope(src, tag, comm);
+        self.finish_recv(env, comm)
+    }
+
+    /// Blocking receive matching any rank in `srcs` on a fixed tag, in
+    /// *arrival* order (FIFO per sender is preserved). The pipelined tree
+    /// reduction is built on this: an interior rank takes whichever child
+    /// trace lands first instead of blocking on a fixed child order, so
+    /// merge work overlaps across tree levels. Restricting the match to
+    /// `srcs` (rather than a plain wildcard) keeps a child's message for
+    /// the *next* reduction on the same tag from being stolen.
+    ///
+    /// Clock accounting is **deferred**: dequeue order is a scheduling
+    /// artifact, and syncing the virtual clock here would leak it into
+    /// modeled time (breaking run-to-run determinism). The caller must
+    /// invoke [`Proc::complete_recv`] with the returned arrival stamp once
+    /// per message, in a deterministic order of its choosing. If another
+    /// rank panicked, this aborts (panics) instead of blocking forever.
+    pub fn recv_from_set(&mut self, srcs: &[Rank], tag: Tag, comm: Comm) -> PendingRecv {
+        let env = loop {
+            if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout_from_set(
+                srcs,
+                TagSel::Tag(tag),
+                comm,
+                50,
+            ) {
+                break env;
+            }
+            if self.shared.poisoned.load(Ordering::SeqCst) {
+                panic!(
+                    "world poisoned: another rank panicked while rank {} was receiving",
+                    self.rank
+                );
+            }
+        };
+        PendingRecv {
+            src: env.src,
+            payload: env.payload,
+            arrival: env.arrival,
+        }
+    }
+
+    /// Apply the clock synchronization and accounting for a message taken
+    /// with [`Proc::recv_from_set`]. Callers invoke this in a
+    /// deterministic order (e.g. canonical child order in a tree
+    /// reduction), which makes the modeled clocks independent of the
+    /// host's actual message timing.
+    pub fn complete_recv(&mut self, msg: &PendingRecv, comm: Comm) {
+        if comm == Comm::TOOL || comm == Comm::MARKER {
+            self.tool_clock.sync_to(msg.arrival);
+            self.tool_clock.advance(self.shared.cost.overhead);
+        } else {
+            self.clock.sync_to(msg.arrival);
+            self.clock.advance(self.shared.cost.overhead);
+        }
+        self.stats.msgs_recvd += 1;
+        self.stats.bytes_recvd += msg.payload.len();
+    }
+
+    /// Clock synchronization and accounting for a completed receive.
+    fn finish_recv(&mut self, env: Envelope, comm: Comm) -> RecvInfo {
         if comm == Comm::TOOL || comm == Comm::MARKER {
             // Arrival is in the tool-clock domain: waiting for a late
             // sender (e.g. a merge partner still computing) shows up as
@@ -315,13 +389,14 @@ impl Proc {
         // Poll with a timeout so that a panic on any rank unblocks everyone
         // instead of deadlocking the whole world.
         loop {
-            if let Some(env) =
-                self.shared.mailboxes[self.rank].recv_timeout(src, tag, comm, 50)
-            {
+            if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(src, tag, comm, 50) {
                 return env;
             }
             if self.shared.poisoned.load(Ordering::SeqCst) {
-                panic!("world poisoned: another rank panicked while rank {} was receiving", self.rank);
+                panic!(
+                    "world poisoned: another rank panicked while rank {} was receiving",
+                    self.rank
+                );
             }
         }
     }

@@ -102,10 +102,19 @@ impl WorkModel {
     }
 
     /// Modeled cost of structurally merging traces of compressed sizes
-    /// `n` and `m` (the O(n·m) alignment plus linear fold work).
+    /// `n` and `m` (the O(n·m) alignment plus linear fold work). This is
+    /// the *worst-case* model the baselines assume; the fast merge path
+    /// charges its measured work via [`WorkModel::merge_measured`].
     pub fn merge(&self, n: usize, m: usize) -> f64 {
-        self.merge_per_cell * (n as f64) * (m as f64)
-            + self.fold_per_node * (n + m) as f64
+        self.merge_per_cell * (n as f64) * (m as f64) + self.fold_per_node * (n + m) as f64
+    }
+
+    /// Modeled cost of a pairwise merge that actually evaluated `dp_cells`
+    /// LCS cells and touched `nodes` trace nodes — the measured
+    /// counterpart of [`WorkModel::merge`] for the prefiltered aligner,
+    /// which skips most of the n·m table on structurally similar traces.
+    pub fn merge_measured(&self, dp_cells: u64, nodes: usize) -> f64 {
+        self.merge_per_cell * dp_cells as f64 + self.fold_per_node * nodes as f64
     }
 
     /// Modeled cost of clustering `n` entries (distance matrix plus

@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn every_nonroot_reachable_from_root() {
         let t = RadixTree::new(3, 50);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         let mut stack = vec![0usize];
         while let Some(p) = stack.pop() {
             assert!(!seen[p], "no cycles");
@@ -193,29 +193,36 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// Walking parents from any position terminates at the root in at
-        /// most height steps.
-        #[test]
-        fn parent_walk_terminates(radix in 1usize..6, size in 1usize..200, seed in any::<u64>()) {
+    /// Walking parents from any position terminates at the root in at
+    /// most height steps.
+    #[test]
+    fn parent_walk_terminates() {
+        let mut rng = Xoshiro256::seed_from_u64(0x7E43);
+        for _case in 0..300 {
+            let radix = rng.range_usize(1, 6);
+            let size = rng.range_usize(1, 200);
             let t = RadixTree::new(radix, size);
-            let pos = (seed % size as u64) as usize;
-            let mut p = pos;
+            let mut p = rng.usize_below(size);
             let mut steps = 0;
             while let Some(parent) = t.parent(p) {
                 p = parent;
                 steps += 1;
-                prop_assert!(steps <= size, "cycle detected");
+                assert!(steps <= size, "cycle detected");
             }
-            prop_assert_eq!(p, 0);
-            prop_assert!(steps < t.height());
+            assert_eq!(p, 0);
+            assert!(steps < t.height());
         }
+    }
 
-        /// The children lists partition 1..size.
-        #[test]
-        fn children_partition(radix in 1usize..6, size in 1usize..200) {
+    /// The children lists partition 1..size.
+    #[test]
+    fn children_partition() {
+        let mut rng = Xoshiro256::seed_from_u64(0x9A47);
+        for _case in 0..300 {
+            let radix = rng.range_usize(1, 6);
+            let size = rng.range_usize(1, 200);
             let t = RadixTree::new(radix, size);
             let mut count = vec![0usize; size];
             for p in 0..size {
@@ -223,9 +230,9 @@ mod props {
                     count[c] += 1;
                 }
             }
-            prop_assert_eq!(count[0], 0, "root has no parent");
-            for c in 1..size {
-                prop_assert_eq!(count[c], 1, "every non-root appears exactly once");
+            assert_eq!(count[0], 0, "root has no parent");
+            for (c, &n) in count.iter().enumerate().skip(1) {
+                assert_eq!(n, 1, "non-root {c} appears exactly once");
             }
         }
     }

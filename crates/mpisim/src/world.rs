@@ -132,9 +132,7 @@ impl World {
             let handle = builder
                 .spawn(move || {
                     let mut proc = Proc::new(rank, Arc::clone(&shared));
-                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        program(&mut proc)
-                    }));
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
                     let vtime = proc.now();
                     match outcome {
                         Ok(r) => Ok((r, vtime)),
@@ -354,7 +352,10 @@ mod tests {
                 proc.now()
             })
             .unwrap();
-        assert!(report.results[1] > 5.0, "receiver clock must sync to sender");
+        assert!(
+            report.results[1] > 5.0,
+            "receiver clock must sync to sender"
+        );
     }
 
     #[test]
@@ -369,7 +370,10 @@ mod tests {
                 proc.recv(SrcSel::Rank(1), TagSel::Tag(9), Comm::WORLD);
             })
             .unwrap_err();
-        assert!(err.failures.iter().any(|(r, m)| *r == 1 && m.contains("injected")));
+        assert!(err
+            .failures
+            .iter()
+            .any(|(r, m)| *r == 1 && m.contains("injected")));
         // The blocked ranks fail with the poison message rather than hanging.
         assert_eq!(err.failures.len(), 3);
     }

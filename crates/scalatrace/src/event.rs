@@ -71,7 +71,7 @@ impl EventRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::{Endpoint, OpKind};
+    use crate::op::Endpoint;
     use mpisim::Comm;
 
     fn send_ev(sig: u64, off: i64, rank: usize) -> EventRecord {
@@ -112,9 +112,7 @@ mod tests {
 
     #[test]
     fn barrier_records_match_across_ranks() {
-        let mk = |rank| {
-            EventRecord::new(MpiOp::barrier(Comm::WORLD), StackSig(0xb), rank, 0.5)
-        };
+        let mk = |rank| EventRecord::new(MpiOp::barrier(Comm::WORLD), StackSig(0xb), rank, 0.5);
         let (x, y) = (mk(0), mk(1));
         assert!(x.same_site(&y));
     }

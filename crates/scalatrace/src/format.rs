@@ -231,9 +231,11 @@ fn parse_event(rest: &str) -> Result<EventRecord, FormatError> {
                     .map_err(|_| FormatError(format!("bad count {value:?}")))?;
             }
             "comm" => {
-                comm = Comm(value
-                    .parse()
-                    .map_err(|_| FormatError(format!("bad comm {value:?}")))?);
+                comm = Comm(
+                    value
+                        .parse()
+                        .map_err(|_| FormatError(format!("bad comm {value:?}")))?,
+                );
             }
             "ranks" => ranks = parse_rankset(value)?,
             "time" => time = parse_time(value)?,
@@ -261,16 +263,16 @@ fn parse_endpoint(s: &str) -> Result<Option<Endpoint>, FormatError> {
     Ok(match s {
         "-" => None,
         "any" => Some(Endpoint::Any),
-        _ if s.starts_with('r') => Some(Endpoint::Relative(
-            s[1..]
-                .parse()
-                .map_err(|_| FormatError(format!("bad relative endpoint {s:?}")))?,
-        )),
-        _ if s.starts_with('a') => Some(Endpoint::Absolute(
-            s[1..]
-                .parse()
-                .map_err(|_| FormatError(format!("bad absolute endpoint {s:?}")))?,
-        )),
+        _ if s.starts_with('r') => {
+            Some(Endpoint::Relative(s[1..].parse().map_err(|_| {
+                FormatError(format!("bad relative endpoint {s:?}"))
+            })?))
+        }
+        _ if s.starts_with('a') => {
+            Some(Endpoint::Absolute(s[1..].parse().map_err(|_| {
+                FormatError(format!("bad absolute endpoint {s:?}"))
+            })?))
+        }
         _ => return err(format!("bad endpoint {s:?}")),
     })
 }
@@ -522,53 +524,50 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    fn arb_event() -> impl Strategy<Value = EventRecord> {
-        (
-            0u64..,
-            prop_oneof![
-                Just(OpKind::Send),
-                Just(OpKind::Recv),
-                Just(OpKind::Barrier),
-                Just(OpKind::Allreduce),
-            ],
-            -8i64..8,
-            0usize..64,
-            proptest::collection::btree_set(0usize..64, 1..6),
-            0.0f64..10.0,
-        )
-            .prop_map(|(sig, kind, off, count, ranks, dt)| {
-                let op = match kind {
-                    OpKind::Send => MpiOp::send(Endpoint::Relative(off), 1, count, Comm::WORLD),
-                    OpKind::Recv => MpiOp::recv(Endpoint::Relative(off), 1, count, Comm::WORLD),
-                    OpKind::Barrier => MpiOp::barrier(Comm::WORLD),
-                    _ => MpiOp {
-                        kind,
-                        src: None,
-                        dest: None,
-                        tag: None,
-                        recv_tag: None,
-                        count,
-                        comm: Comm::WORLD,
-                    },
-                };
-                let mut e = EventRecord::new(op, StackSig(sig), 0, dt);
-                e.set_ranks(RankSet::from_ranks(ranks));
-                e
-            })
+    fn random_event(rng: &mut Xoshiro256) -> EventRecord {
+        let sig = rng.next_u64();
+        let off = rng.range_u64(0, 16) as i64 - 8;
+        let count = rng.usize_below(64);
+        let op = match rng.below(4) {
+            0 => MpiOp::send(Endpoint::Relative(off), 1, count, Comm::WORLD),
+            1 => MpiOp::recv(Endpoint::Relative(off), 1, count, Comm::WORLD),
+            2 => MpiOp::barrier(Comm::WORLD),
+            _ => MpiOp {
+                kind: OpKind::Allreduce,
+                src: None,
+                dest: None,
+                tag: None,
+                recv_tag: None,
+                count,
+                comm: Comm::WORLD,
+            },
+        };
+        let dt = rng.f64_unit() * 10.0;
+        let mut e = EventRecord::new(op, StackSig(sig), 0, dt);
+        let nranks = rng.range_usize(1, 6);
+        let ranks: Vec<usize> = {
+            let mut rs: Vec<usize> = (0..nranks).map(|_| rng.usize_below(64)).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            rs
+        };
+        e.set_ranks(RankSet::from_ranks(ranks));
+        e
     }
 
-    proptest! {
-        /// Arbitrary single-level traces round-trip exactly.
-        #[test]
-        fn roundtrip_arbitrary(events in proptest::collection::vec(arb_event(), 0..30)) {
+    /// Arbitrary single-level traces round-trip exactly.
+    #[test]
+    fn roundtrip_arbitrary() {
+        let mut rng = Xoshiro256::seed_from_u64(0x4011D);
+        for _case in 0..256 {
             let mut t = CompressedTrace::new();
-            for e in events {
-                t.append(e);
+            for _ in 0..rng.usize_below(30) {
+                t.append(random_event(&mut rng));
             }
             let back = from_text(&to_text(&t)).unwrap();
-            prop_assert_eq!(back, t);
+            assert_eq!(back, t);
         }
     }
 }

@@ -13,8 +13,72 @@
 //! In SPMD codes the per-rank traces are structurally near-identical, so
 //! the merged trace stays near-constant size: matched nodes collapse into
 //! one with a wider ranklist.
+//!
+//! # The canonical merge order
+//!
+//! Both implementations here produce the *same* output, defined by one
+//! canonical alignment:
+//!
+//! 1. orient so the x side is the longer input (ties keep argument order);
+//! 2. greedily fold the common prefix, then the common suffix — structural
+//!    matching is an equivalence relation, so trimming never loses LCS
+//!    optimality;
+//! 3. align the remaining middles by LCS, walking the (suffix-)table with
+//!    the leftmost tie-break: advance x whenever that preserves
+//!    optimality, else fold a structural match (always optimal at a match
+//!    corner), else advance y.
+//!
+//! [`merge_traces_reference`] realizes this with the full quadratic LCS
+//! table and is kept as the differential-testing oracle. The fast path
+//! ([`merge_traces`], [`merge_into`]) reproduces the identical alignment
+//! with a Hirschberg-style divide-and-conquer that only ever materializes
+//! O(min(n, m)) DP cells at a time: split x in half, score the halves with
+//! two rolling rows, cut y at the *smallest* column maximizing the
+//! combined score (which is exactly where the leftmost table walk crosses
+//! the split row), and recurse. Prefilters — per-node structural hashes
+//! and an identical-stream fast path where trimming consumes everything —
+//! make the SPMD common case linear with small constants.
 
 use crate::trace::{CompressedTrace, TraceNode};
+
+/// Counters describing how one pairwise merge executed. Returned by
+/// [`merge_traces_with_metrics`] and [`merge_into`]; the reduction layer
+/// aggregates them into per-level statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeMetrics {
+    /// The whole alignment was resolved by prefix/suffix folding alone —
+    /// the identical-stream (SPMD) case. No DP ran.
+    pub fast_path: bool,
+    /// Node pairs folded by the common-prefix trim.
+    pub prefix_matched: usize,
+    /// Node pairs folded by the common-suffix trim.
+    pub suffix_matched: usize,
+    /// Longer-side middle length handed to the aligner after trimming.
+    pub mid_long: usize,
+    /// Shorter-side middle length handed to the aligner after trimming.
+    pub mid_short: usize,
+    /// LCS cells evaluated (≈ 2·`mid_long`·`mid_short` for the
+    /// divide-and-conquer aligner; the reference table pays the full
+    /// product once).
+    pub dp_cells: u64,
+    /// Largest single DP buffer allocated, in cells. The fast path rows
+    /// over the shorter middle, so this stays ≤ min(n, m) + 1 — the
+    /// linear-memory guarantee (asserted by unit test). The reference
+    /// oracle reports its full table here.
+    pub peak_dp_alloc: usize,
+}
+
+/// One step of an alignment plan, in output order. Indices refer to the
+/// two original top-level node sequences.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Fold y\[j\] into x\[i\] (structural match).
+    Fold(usize, usize),
+    /// Emit x\[i\] alone.
+    TakeX(usize),
+    /// Emit y\[j\] alone.
+    TakeY(usize),
+}
 
 /// Merge two compressed traces into one that represents the union of
 /// their ranks' behavior.
@@ -23,25 +87,57 @@ use crate::trace::{CompressedTrace, TraceNode};
 /// unique to either input are kept in order. The relative order of events
 /// within each input is preserved.
 pub fn merge_traces(a: &CompressedTrace, b: &CompressedTrace) -> CompressedTrace {
-    CompressedTrace::from_nodes(merge_node_seqs(a.nodes(), b.nodes()))
+    merge_traces_with_metrics(a, b).0
 }
 
-/// Merge many traces left-to-right (the order the reduction tree produces).
-pub fn merge_all<'a>(traces: impl IntoIterator<Item = &'a CompressedTrace>) -> CompressedTrace {
-    let mut iter = traces.into_iter();
-    let mut acc = match iter.next() {
-        Some(t) => t.clone(),
-        None => return CompressedTrace::new(),
-    };
-    for t in iter {
-        acc = merge_traces(&acc, t);
-    }
-    acc
+/// [`merge_traces`] plus execution counters.
+pub fn merge_traces_with_metrics(
+    a: &CompressedTrace,
+    b: &CompressedTrace,
+) -> (CompressedTrace, MergeMetrics) {
+    let mut met = MergeMetrics::default();
+    let steps = plan_merge(a.nodes(), b.nodes(), true, &mut met);
+    let nodes = emit_cloned(&steps, a.nodes(), b.nodes());
+    (CompressedTrace::from_nodes(nodes), met)
 }
 
-fn merge_node_seqs(x: &[TraceNode], y: &[TraceNode]) -> Vec<TraceNode> {
+/// Buffer-reusing merge: consumes the accumulator and moves its nodes into
+/// the output, absorbing matches in place instead of cloning. This is the
+/// reduction's hot path — the accumulator (typically the larger side after
+/// a few merges) is never deep-copied.
+pub fn merge_into(acc: CompressedTrace, b: &CompressedTrace) -> (CompressedTrace, MergeMetrics) {
+    let mut met = MergeMetrics::default();
+    let steps = plan_merge(acc.nodes(), b.nodes(), true, &mut met);
+    let nodes = emit_owned(&steps, acc.into_nodes(), b.nodes());
+    (CompressedTrace::from_nodes(nodes), met)
+}
+
+/// Reference merge: the same canonical alignment computed with the full
+/// quadratic LCS table and an explicit backtrack. Kept as the oracle the
+/// fast path is differentially tested against (see
+/// `tests/merge_invariants.rs`), and as the cost the complexity-model
+/// baselines assume.
+pub fn merge_traces_reference(a: &CompressedTrace, b: &CompressedTrace) -> CompressedTrace {
+    let mut met = MergeMetrics::default();
+    let steps = plan_merge(a.nodes(), b.nodes(), false, &mut met);
+    CompressedTrace::from_nodes(emit_cloned(&steps, a.nodes(), b.nodes()))
+}
+
+/// The pre-optimization merge, kept verbatim for before/after
+/// benchmarking (`benches/merge_scaling.rs`): full quadratic LCS table,
+/// no prefiltering, match-first backtrack. It pays the n·m table even
+/// when the traces are identical — the cost profile this PR's fast path
+/// removes.
+///
+/// Its output is *equivalent* to the canonical merge (same matched-node
+/// count, same per-input orderings, same rank/time mass) but not always
+/// byte-identical: with repeated call sites the match-first backtrack can
+/// attach a fold's payload to a different (structurally equal) node than
+/// the canonical leftmost walk does. Differential correctness tests use
+/// [`merge_traces_reference`] instead.
+pub fn merge_traces_baseline(a: &CompressedTrace, b: &CompressedTrace) -> CompressedTrace {
+    let (x, y) = (a.nodes(), b.nodes());
     let (n, m) = (x.len(), y.len());
-    // LCS table over structural matches.
     let mut dp = vec![vec![0u32; m + 1]; n + 1];
     for i in (0..n).rev() {
         for j in (0..m).rev() {
@@ -52,7 +148,6 @@ fn merge_node_seqs(x: &[TraceNode], y: &[TraceNode]) -> Vec<TraceNode> {
             };
         }
     }
-    // Backtrack, emitting merged nodes.
     let mut out = Vec::with_capacity(n.max(m));
     let (mut i, mut j) = (0, 0);
     while i < n && j < m {
@@ -72,6 +167,318 @@ fn merge_node_seqs(x: &[TraceNode], y: &[TraceNode]) -> Vec<TraceNode> {
     }
     out.extend(x[i..].iter().cloned());
     out.extend(y[j..].iter().cloned());
+    CompressedTrace::from_nodes(out)
+}
+
+/// Merge many traces left-to-right (the order the reduction tree produces).
+pub fn merge_all<'a>(traces: impl IntoIterator<Item = &'a CompressedTrace>) -> CompressedTrace {
+    let mut iter = traces.into_iter();
+    let mut acc = match iter.next() {
+        Some(t) => t.clone(),
+        None => return CompressedTrace::new(),
+    };
+    for t in iter {
+        acc = merge_into(acc, t).0;
+    }
+    acc
+}
+
+fn node_hashes(nodes: &[TraceNode]) -> Vec<u64> {
+    nodes.iter().map(TraceNode::structural_hash).collect()
+}
+
+/// Build the alignment plan for x against y under the canonical merge
+/// order. `fast` selects the Hirschberg aligner for the middle; `false`
+/// selects the quadratic-memory reference table. Both produce the same
+/// plan. Step indices are always in (x, y) space regardless of the
+/// internal orientation.
+fn plan_merge(x: &[TraceNode], y: &[TraceNode], fast: bool, met: &mut MergeMetrics) -> Vec<Step> {
+    if y.len() > x.len() {
+        let mut steps = plan_oriented(y, x, fast, met);
+        for s in &mut steps {
+            *s = match *s {
+                Step::Fold(i, j) => Step::Fold(j, i),
+                Step::TakeX(i) => Step::TakeY(i),
+                Step::TakeY(j) => Step::TakeX(j),
+            };
+        }
+        steps
+    } else {
+        plan_oriented(x, y, fast, met)
+    }
+}
+
+/// Plan with the orientation fixed: `y` is the shorter (or equal) side, so
+/// every DP row buffer below is sized by a slice of `y`.
+fn plan_oriented(
+    x: &[TraceNode],
+    y: &[TraceNode],
+    fast: bool,
+    met: &mut MergeMetrics,
+) -> Vec<Step> {
+    debug_assert!(y.len() <= x.len());
+    let hx = node_hashes(x);
+    let hy = node_hashes(y);
+    let eq = |i: usize, j: usize| hx[i] == hy[j] && x[i].matches(&y[j]);
+
+    let mut steps = Vec::with_capacity(x.len() + y.len());
+    // Common-prefix trim.
+    let mut lo = 0;
+    while lo < y.len() && eq(lo, lo) {
+        steps.push(Step::Fold(lo, lo));
+        lo += 1;
+    }
+    // Common-suffix trim (never crossing the prefix).
+    let (mut xhi, mut yhi) = (x.len(), y.len());
+    while xhi > lo && yhi > lo && eq(xhi - 1, yhi - 1) {
+        xhi -= 1;
+        yhi -= 1;
+    }
+    met.prefix_matched = lo;
+    met.suffix_matched = y.len() - yhi;
+    met.mid_long = xhi - lo;
+    met.mid_short = yhi - lo;
+
+    if lo == xhi && lo == yhi {
+        // Trimming consumed everything: structurally identical streams.
+        met.fast_path = true;
+    } else if fast {
+        hirschberg(x, y, &hx, &hy, (lo, xhi), (lo, yhi), &mut steps, met);
+    } else {
+        reference_table(x, y, &hx, &hy, (lo, xhi), (lo, yhi), &mut steps, met);
+    }
+
+    for t in 0..(x.len() - xhi) {
+        steps.push(Step::Fold(xhi + t, yhi + t));
+    }
+    steps
+}
+
+/// Canonical alignment of the middles via the full suffix-LCS table.
+/// dp\[i\]\[j\] = LCS(x\[i..x1\], y\[j..y1\]); the forward walk prefers
+/// x-advance whenever dp\[i+1\]\[j\] == dp\[i\]\[j\] (it preserves
+/// optimality), else folds a match (always optimal at a match corner by
+/// the LCS corner lemma), else advances y.
+#[allow(clippy::too_many_arguments)]
+fn reference_table(
+    x: &[TraceNode],
+    y: &[TraceNode],
+    hx: &[u64],
+    hy: &[u64],
+    (x0, x1): (usize, usize),
+    (y0, y1): (usize, usize),
+    steps: &mut Vec<Step>,
+    met: &mut MergeMetrics,
+) {
+    let n = x1 - x0;
+    let m = y1 - y0;
+    let eq = |i: usize, j: usize| hx[x0 + i] == hy[y0 + j] && x[x0 + i].matches(&y[y0 + j]);
+    let w = m + 1;
+    let mut dp = vec![0u32; (n + 1) * w];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i * w + j] = if eq(i, j) {
+                dp[(i + 1) * w + j + 1] + 1
+            } else {
+                dp[(i + 1) * w + j].max(dp[i * w + j + 1])
+            };
+        }
+    }
+    met.dp_cells += (n as u64) * (m as u64);
+    met.peak_dp_alloc = met.peak_dp_alloc.max((n + 1) * w);
+
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if dp[(i + 1) * w + j] == dp[i * w + j] {
+            steps.push(Step::TakeX(x0 + i));
+            i += 1;
+        } else if eq(i, j) {
+            steps.push(Step::Fold(x0 + i, y0 + j));
+            i += 1;
+            j += 1;
+        } else {
+            steps.push(Step::TakeY(y0 + j));
+            j += 1;
+        }
+    }
+    for i in i..n {
+        steps.push(Step::TakeX(x0 + i));
+    }
+    for j in j..m {
+        steps.push(Step::TakeY(y0 + j));
+    }
+}
+
+/// Canonical alignment of the middles in O(min(n, m)) memory: Hirschberg's
+/// divide-and-conquer with the split column chosen as the *smallest*
+/// maximizer, which reproduces the reference walk's leftmost path exactly.
+#[allow(clippy::too_many_arguments)]
+fn hirschberg(
+    x: &[TraceNode],
+    y: &[TraceNode],
+    hx: &[u64],
+    hy: &[u64],
+    (x0, x1): (usize, usize),
+    (y0, y1): (usize, usize),
+    steps: &mut Vec<Step>,
+    met: &mut MergeMetrics,
+) {
+    let n = x1 - x0;
+    let m = y1 - y0;
+    if n == 0 {
+        for j in y0..y1 {
+            steps.push(Step::TakeY(j));
+        }
+        return;
+    }
+    if m == 0 {
+        for i in x0..x1 {
+            steps.push(Step::TakeX(i));
+        }
+        return;
+    }
+    if n == 1 {
+        // Single x node: the canonical walk folds it into the *first*
+        // structural match in y, or emits it before all of y if none.
+        let hit = (y0..y1).find(|&j| hx[x0] == hy[j] && x[x0].matches(&y[j]));
+        match hit {
+            Some(p) => {
+                for j in y0..p {
+                    steps.push(Step::TakeY(j));
+                }
+                steps.push(Step::Fold(x0, p));
+                for j in p + 1..y1 {
+                    steps.push(Step::TakeY(j));
+                }
+            }
+            None => {
+                steps.push(Step::TakeX(x0));
+                for j in y0..y1 {
+                    steps.push(Step::TakeY(j));
+                }
+            }
+        }
+        return;
+    }
+
+    let mid = x0 + n / 2;
+    // f[t] = LCS(x[x0..mid], y[y0..y0+t]); b[t] = LCS(x[mid..x1], y[y0+t..y1]).
+    let f = lcs_row_forward(x, y, hx, hy, (x0, mid), (y0, y1), met);
+    let b = lcs_row_backward(x, y, hx, hy, (mid, x1), (y0, y1), met);
+    // Smallest cut maximizing the combined score: where the leftmost
+    // optimal path enters the split row.
+    let mut best_t = 0;
+    let mut best = 0u32;
+    for (t, s) in f.iter().zip(b.iter()).map(|(a, b)| a + b).enumerate() {
+        if s > best {
+            best = s;
+            best_t = t;
+        }
+    }
+    let ymid = y0 + best_t;
+    hirschberg(x, y, hx, hy, (x0, mid), (y0, ymid), steps, met);
+    hirschberg(x, y, hx, hy, (mid, x1), (ymid, y1), steps, met);
+}
+
+/// Rolling forward LCS row: returns f with f\[t\] = LCS(x\[x0..x1\],
+/// y\[y0..y0+t\]).
+#[allow(clippy::too_many_arguments)]
+fn lcs_row_forward(
+    x: &[TraceNode],
+    y: &[TraceNode],
+    hx: &[u64],
+    hy: &[u64],
+    (x0, x1): (usize, usize),
+    (y0, y1): (usize, usize),
+    met: &mut MergeMetrics,
+) -> Vec<u32> {
+    let m = y1 - y0;
+    let mut prev = vec![0u32; m + 1];
+    let mut cur = vec![0u32; m + 1];
+    for i in x0..x1 {
+        cur[0] = 0;
+        for t in 1..=m {
+            let j = y0 + t - 1;
+            cur[t] = if hx[i] == hy[j] && x[i].matches(&y[j]) {
+                prev[t - 1] + 1
+            } else {
+                prev[t].max(cur[t - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    met.dp_cells += ((x1 - x0) as u64) * (m as u64);
+    met.peak_dp_alloc = met.peak_dp_alloc.max(m + 1);
+    prev
+}
+
+/// Rolling backward LCS row: returns b with b\[t\] = LCS(x\[x0..x1\],
+/// y\[y0+t..y1\]).
+#[allow(clippy::too_many_arguments)]
+fn lcs_row_backward(
+    x: &[TraceNode],
+    y: &[TraceNode],
+    hx: &[u64],
+    hy: &[u64],
+    (x0, x1): (usize, usize),
+    (y0, y1): (usize, usize),
+    met: &mut MergeMetrics,
+) -> Vec<u32> {
+    let m = y1 - y0;
+    let mut prev = vec![0u32; m + 1];
+    let mut cur = vec![0u32; m + 1];
+    for i in (x0..x1).rev() {
+        cur[m] = 0;
+        for t in (0..m).rev() {
+            let j = y0 + t;
+            cur[t] = if hx[i] == hy[j] && x[i].matches(&y[j]) {
+                prev[t + 1] + 1
+            } else {
+                prev[t].max(cur[t + 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    met.dp_cells += ((x1 - x0) as u64) * (m as u64);
+    met.peak_dp_alloc = met.peak_dp_alloc.max(m + 1);
+    prev
+}
+
+/// Execute a plan, cloning from both (borrowed) inputs.
+fn emit_cloned(steps: &[Step], x: &[TraceNode], y: &[TraceNode]) -> Vec<TraceNode> {
+    let mut out = Vec::with_capacity(steps.len());
+    for &s in steps {
+        match s {
+            Step::Fold(i, j) => {
+                let mut node = x[i].clone();
+                node.absorb(&y[j]);
+                out.push(node);
+            }
+            Step::TakeX(i) => out.push(x[i].clone()),
+            Step::TakeY(j) => out.push(y[j].clone()),
+        }
+    }
+    out
+}
+
+/// Execute a plan taking x-side nodes by value (no clone of the
+/// accumulator side); only y-side nodes are cloned.
+fn emit_owned(steps: &[Step], x: Vec<TraceNode>, y: &[TraceNode]) -> Vec<TraceNode> {
+    let mut slots: Vec<Option<TraceNode>> = x.into_iter().map(Some).collect();
+    let mut out = Vec::with_capacity(steps.len());
+    for &s in steps {
+        match s {
+            Step::Fold(i, j) => {
+                let mut node = slots[i].take().expect("plan visits each x node once");
+                node.absorb(&y[j]);
+                out.push(node);
+            }
+            Step::TakeX(i) => {
+                out.push(slots[i].take().expect("plan visits each x node once"));
+            }
+            Step::TakeY(j) => out.push(y[j].clone()),
+        }
+    }
     out
 }
 
@@ -176,8 +583,7 @@ mod tests {
     fn merge_all_many_ranks_near_constant() {
         // 64 SPMD ranks with identical structure merge into a trace the
         // same size as one rank's — the headline ScalaTrace property.
-        let traces: Vec<CompressedTrace> =
-            (0..64).map(|r| trace_of(r, &[1, 2, 1, 2, 3])).collect();
+        let traces: Vec<CompressedTrace> = (0..64).map(|r| trace_of(r, &[1, 2, 1, 2, 3])).collect();
         let single_size = traces[0].compressed_size();
         let m = merge_all(traces.iter());
         assert_eq!(m.compressed_size(), single_size);
@@ -219,6 +625,103 @@ mod tests {
         // Order of b's events preserved.
         assert!(pos(5) < pos(9));
     }
+
+    #[test]
+    fn identical_streams_take_fast_path() {
+        let a = trace_of(0, &[1, 2, 1, 2, 3, 4]);
+        let b = trace_of(1, &[1, 2, 1, 2, 3, 4]);
+        let (m, met) = merge_traces_with_metrics(&a, &b);
+        assert!(met.fast_path, "identical streams must skip the DP");
+        assert_eq!(met.dp_cells, 0);
+        assert_eq!(met.mid_long, 0);
+        assert_eq!(m.compressed_size(), a.compressed_size());
+    }
+
+    #[test]
+    fn dp_memory_linear_in_shorter_input() {
+        // A long trace of distinct sites against a short disjoint one:
+        // nothing trims, so the aligner sees the full middles — yet every
+        // DP buffer must be sized by the *short* side, whichever argument
+        // order is used.
+        let long: Vec<u64> = (0..300).map(|i| 1000 + 7 * i).collect();
+        let short: Vec<u64> = (0..5).map(|i| 10 + i).collect();
+        let a = trace_of(0, &long);
+        let b = trace_of(1, &short);
+        for (p, q) in [(&a, &b), (&b, &a)] {
+            let (_, met) = merge_traces_with_metrics(p, q);
+            assert!(
+                met.peak_dp_alloc <= short.len() + 1,
+                "peak DP buffer {} exceeds min-side bound {}",
+                met.peak_dp_alloc,
+                short.len() + 1
+            );
+            assert!(met.dp_cells > 0, "this case cannot trim away");
+        }
+    }
+
+    #[test]
+    fn trims_reported_in_metrics() {
+        // Shared prefix [1,2], shared suffix [8], disjoint middles.
+        let a = trace_of(0, &[1, 2, 30, 31, 8]);
+        let b = trace_of(1, &[1, 2, 40, 8]);
+        let (_, met) = merge_traces_with_metrics(&a, &b);
+        assert_eq!(met.prefix_matched, 2);
+        assert_eq!(met.suffix_matched, 1);
+        assert_eq!(met.mid_long, 2);
+        assert_eq!(met.mid_short, 1);
+        assert!(!met.fast_path);
+    }
+
+    #[test]
+    fn fast_matches_reference_on_repeat_heavy_cases() {
+        // Hand-picked shapes that distinguish backtrack tie-break rules.
+        let cases: &[(&[u64], &[u64])] = &[
+            (&[1, 1], &[1]),
+            (&[1], &[1, 1]),
+            (&[3, 1], &[1, 3]),
+            (&[1, 3], &[3, 1]),
+            (&[1, 2, 1, 2], &[2, 1]),
+            (&[2, 1], &[1, 2, 1, 2]),
+            (&[1, 1, 2, 2], &[2, 2, 1, 1]),
+            (&[5, 1, 6], &[7, 1, 8]),
+            (&[1, 2, 3, 1, 2, 3], &[3, 2, 1]),
+        ];
+        for (xs, ys) in cases {
+            let a = trace_of(0, xs);
+            let b = trace_of(1, ys);
+            assert_eq!(
+                merge_traces(&a, &b),
+                merge_traces_reference(&a, &b),
+                "fast/reference diverge on {xs:?} vs {ys:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_into_equals_merge_traces() {
+        let a = trace_of(0, &[1, 5, 2, 2, 7]);
+        let b = trace_of(1, &[5, 9, 2, 7, 7]);
+        let (by_ref, met1) = merge_traces_with_metrics(&a, &b);
+        let (by_move, met2) = merge_into(a.clone(), &b);
+        assert_eq!(by_ref, by_move);
+        assert_eq!(met1, met2);
+    }
+
+    #[test]
+    fn structural_hash_agrees_with_matches() {
+        let a = trace_of(0, &[1, 2, 1, 2, 9]);
+        let b = trace_of(3, &[1, 2, 1, 2, 9]);
+        for (na, nb) in a.nodes().iter().zip(b.nodes()) {
+            assert!(na.matches(nb));
+            assert_eq!(na.structural_hash(), nb.structural_hash());
+        }
+        // Different sites (almost surely) hash apart.
+        let c = trace_of(0, &[4]);
+        assert_ne!(
+            a.nodes()[0].structural_hash(),
+            c.nodes()[0].structural_hash()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -227,8 +730,8 @@ mod props {
     use crate::event::EventRecord;
     use crate::op::{Endpoint, MpiOp};
     use mpisim::Comm;
-    use proptest::prelude::*;
     use sigkit::StackSig;
+    use xrand::Xoshiro256;
 
     fn trace_of(rank: usize, sigs: &[u64]) -> CompressedTrace {
         let mut t = CompressedTrace::new();
@@ -243,50 +746,114 @@ mod props {
         t
     }
 
-    proptest! {
-        /// The merged trace is never larger than the concatenation and
-        /// never smaller than the larger input's compressed size... the
-        /// latter only when one input's sites subsume the other's; the
-        /// robust invariant is the upper bound plus dynamic-size bounds.
-        #[test]
-        fn merged_size_bounded(
-            xs in proptest::collection::vec(0u64..5, 0..40),
-            ys in proptest::collection::vec(0u64..5, 0..40),
-        ) {
+    fn random_sigs(rng: &mut Xoshiro256, alphabet: u64, max_len: usize) -> Vec<u64> {
+        let len = rng.usize_below(max_len + 1);
+        (0..len).map(|_| rng.below(alphabet)).collect()
+    }
+
+    /// The fast Hirschberg path and the full-table reference oracle produce
+    /// byte-identical traces, across alphabet densities from "every node
+    /// matches" to "nothing repeats". Loop folding in `append` makes these
+    /// inputs exercise Loop-vs-Event and Loop-vs-Loop alignment too.
+    #[test]
+    fn fast_equals_reference() {
+        let mut rng = Xoshiro256::seed_from_u64(0xFA57);
+        for alphabet in [1, 2, 3, 5, 16] {
+            for _case in 0..400 {
+                let xs = random_sigs(&mut rng, alphabet, 60);
+                let ys = random_sigs(&mut rng, alphabet, 60);
+                let a = trace_of(0, &xs);
+                let b = trace_of(1, &ys);
+                assert_eq!(
+                    merge_traces(&a, &b),
+                    merge_traces_reference(&a, &b),
+                    "divergence: alphabet={alphabet} xs={xs:?} ys={ys:?}"
+                );
+            }
+        }
+    }
+
+    /// The merged trace is never larger than the concatenation, and its
+    /// dynamic size brackets between max and sum of the inputs'.
+    #[test]
+    fn merged_size_bounded() {
+        let mut rng = Xoshiro256::seed_from_u64(0x512E);
+        for _case in 0..300 {
+            let xs = random_sigs(&mut rng, 5, 40);
+            let ys = random_sigs(&mut rng, 5, 40);
             let a = trace_of(0, &xs);
             let b = trace_of(1, &ys);
             let m = merge_traces(&a, &b);
-            prop_assert!(m.compressed_size() <= a.compressed_size() + b.compressed_size());
-            // Every dynamic instance of both inputs is represented.
-            prop_assert!(m.dynamic_size() >= a.dynamic_size().max(b.dynamic_size()));
-            prop_assert!(m.dynamic_size() <= a.dynamic_size() + b.dynamic_size());
+            assert!(m.compressed_size() <= a.compressed_size() + b.compressed_size());
+            assert!(m.dynamic_size() >= a.dynamic_size().max(b.dynamic_size()));
+            assert!(m.dynamic_size() <= a.dynamic_size() + b.dynamic_size());
         }
+    }
 
-        /// Time mass is exactly additive.
-        #[test]
-        fn time_mass_additive(
-            xs in proptest::collection::vec(0u64..5, 0..40),
-            ys in proptest::collection::vec(0u64..5, 0..40),
-        ) {
-            let a = trace_of(0, &xs);
-            let b = trace_of(1, &ys);
+    /// Time mass is exactly additive.
+    #[test]
+    fn time_mass_additive() {
+        let mut rng = Xoshiro256::seed_from_u64(0x71ED);
+        for _case in 0..300 {
+            let a = trace_of(0, &random_sigs(&mut rng, 5, 40));
+            let b = trace_of(1, &random_sigs(&mut rng, 5, 40));
             let m = merge_traces(&a, &b);
             let sum = |t: &CompressedTrace| {
                 let mut total = 0.0;
                 t.visit_events(&mut |e| total += e.pre_time.total());
                 total
             };
-            prop_assert!((sum(&m) - (sum(&a) + sum(&b))).abs() < 1e-6);
+            assert!((sum(&m) - (sum(&a) + sum(&b))).abs() < 1e-6);
         }
+    }
 
-        /// Merging a trace with itself (different rank) is a perfect fold.
-        #[test]
-        fn self_merge_perfect(xs in proptest::collection::vec(0u64..5, 0..60)) {
+    /// Merging a trace with itself (different rank) is a perfect fold and
+    /// always takes the trim-only fast path.
+    #[test]
+    fn self_merge_perfect() {
+        let mut rng = Xoshiro256::seed_from_u64(0x5E1F);
+        for _case in 0..300 {
+            let xs = random_sigs(&mut rng, 5, 60);
             let a = trace_of(0, &xs);
             let b = trace_of(1, &xs);
-            let m = merge_traces(&a, &b);
-            prop_assert_eq!(m.compressed_size(), a.compressed_size());
-            prop_assert_eq!(m.dynamic_size(), a.dynamic_size());
+            let (m, met) = merge_traces_with_metrics(&a, &b);
+            assert_eq!(m.compressed_size(), a.compressed_size());
+            assert_eq!(m.dynamic_size(), a.dynamic_size());
+            assert!(met.fast_path || a.is_empty());
+            assert_eq!(met.dp_cells, 0);
+        }
+    }
+
+    /// merge_into is just merge_traces without the accumulator clone.
+    #[test]
+    fn merge_into_equivalent() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1A70);
+        for _case in 0..300 {
+            let a = trace_of(0, &random_sigs(&mut rng, 4, 50));
+            let b = trace_of(1, &random_sigs(&mut rng, 4, 50));
+            let expect = merge_traces(&a, &b);
+            let (got, _) = merge_into(a.clone(), &b);
+            assert_eq!(expect, got);
+        }
+    }
+
+    /// Peak DP allocation is bounded by the shorter input in all cases.
+    #[test]
+    fn dp_memory_bounded_by_min_side() {
+        let mut rng = Xoshiro256::seed_from_u64(0x0A11);
+        for _case in 0..300 {
+            let xs = random_sigs(&mut rng, 6, 80);
+            let ys = random_sigs(&mut rng, 6, 20);
+            let a = trace_of(0, &xs);
+            let b = trace_of(1, &ys);
+            let (_, met) = merge_traces_with_metrics(&a, &b);
+            let min_side = a.nodes().len().min(b.nodes().len());
+            assert!(
+                met.peak_dp_alloc <= min_side + 1,
+                "peak {} > min side {}",
+                met.peak_dp_alloc,
+                min_side
+            );
         }
     }
 }

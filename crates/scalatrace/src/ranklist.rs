@@ -123,8 +123,9 @@ impl RankList {
         fn rec(target: i64, base: i64, dims: &[(usize, i64)]) -> bool {
             match dims.split_first() {
                 None => target == base,
-                Some((&(n, stride), rest)) => (0..n as i64)
-                    .any(|i| rec(target, base + i * stride, rest)),
+                Some((&(n, stride), rest)) => {
+                    (0..n as i64).any(|i| rec(target, base + i * stride, rest))
+                }
             }
         }
         rec(rank as i64, self.start as i64, &self.dims)
@@ -262,10 +263,7 @@ impl RankSet {
     /// Approximate serialized size in bytes, for the memory accounting of
     /// Table IV (a section is dimension + start + per-dim pair).
     pub fn byte_size(&self) -> usize {
-        self.sections
-            .iter()
-            .map(|s| 16 + s.dims.len() * 16)
-            .sum()
+        self.sections.iter().map(|s| 16 + s.dims.len() * 16).sum()
     }
 }
 
@@ -278,14 +276,12 @@ fn fold_sections(sections: &[RankList]) -> Vec<RankList> {
         // Find the longest run starting at i foldable into one grid.
         let mut best_j = i; // inclusive end of run
         if i + 1 < sections.len() && sections[i].dims == sections[i + 1].dims {
-            let outer_stride =
-                sections[i + 1].start as i64 - sections[i].start as i64;
+            let outer_stride = sections[i + 1].start as i64 - sections[i].start as i64;
             if outer_stride > 0 {
                 let mut j = i + 1;
                 while j + 1 < sections.len()
                     && sections[j + 1].dims == sections[i].dims
-                    && sections[j + 1].start as i64 - sections[j].start as i64
-                        == outer_stride
+                    && sections[j + 1].start as i64 - sections[j].start as i64 == outer_stride
                 {
                     j += 1;
                 }
@@ -490,52 +486,75 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// from_ranks -> expand is the identity on sorted unique input.
-        #[test]
-        fn roundtrip(ranks in proptest::collection::btree_set(0usize..2000, 0..200)) {
+    fn random_set(rng: &mut Xoshiro256, bound: usize, max_len: usize) -> BTreeSet<Rank> {
+        (0..rng.usize_below(max_len))
+            .map(|_| rng.usize_below(bound))
+            .collect()
+    }
+
+    /// from_ranks -> expand is the identity on sorted unique input.
+    #[test]
+    fn roundtrip() {
+        let mut rng = Xoshiro256::seed_from_u64(0x4071);
+        for _case in 0..256 {
+            let ranks = random_set(&mut rng, 2000, 200);
             let sorted: Vec<Rank> = ranks.iter().cloned().collect();
             let set = RankSet::from_ranks(sorted.clone());
-            prop_assert_eq!(set.expand(), sorted);
+            assert_eq!(set.expand(), sorted);
         }
+    }
 
-        /// Membership agrees with expansion.
-        #[test]
-        fn contains_agrees(
-            ranks in proptest::collection::btree_set(0usize..500, 0..60),
-            probe in 0usize..500,
-        ) {
+    /// Membership agrees with expansion.
+    #[test]
+    fn contains_agrees() {
+        let mut rng = Xoshiro256::seed_from_u64(0xC074);
+        for _case in 0..256 {
+            let ranks = random_set(&mut rng, 500, 60);
+            let probe = rng.usize_below(500);
             let set = RankSet::from_ranks(ranks.iter().cloned());
-            prop_assert_eq!(set.contains(probe), ranks.contains(&probe));
+            assert_eq!(set.contains(probe), ranks.contains(&probe));
         }
+    }
 
-        /// Union is the set union.
-        #[test]
-        fn union_is_set_union(
-            a in proptest::collection::btree_set(0usize..300, 0..40),
-            b in proptest::collection::btree_set(0usize..300, 0..40),
-        ) {
+    /// Union is the set union.
+    #[test]
+    fn union_is_set_union() {
+        let mut rng = Xoshiro256::seed_from_u64(0x0410);
+        for _case in 0..256 {
+            let a = random_set(&mut rng, 300, 40);
+            let b = random_set(&mut rng, 300, 40);
             let sa = RankSet::from_ranks(a.iter().cloned());
             let sb = RankSet::from_ranks(b.iter().cloned());
             let expect: Vec<Rank> = a.union(&b).cloned().collect();
-            prop_assert_eq!(sa.union(&sb).expand(), expect);
+            assert_eq!(sa.union(&sb).expand(), expect);
         }
+    }
 
-        /// len always equals the number of distinct members.
-        #[test]
-        fn len_consistent(ranks in proptest::collection::btree_set(0usize..1000, 0..120)) {
+    /// len always equals the number of distinct members.
+    #[test]
+    fn len_consistent() {
+        let mut rng = Xoshiro256::seed_from_u64(0x1E4C);
+        for _case in 0..256 {
+            let ranks = random_set(&mut rng, 1000, 120);
             let set = RankSet::from_ranks(ranks.iter().cloned());
-            prop_assert_eq!(set.len(), ranks.len());
+            assert_eq!(set.len(), ranks.len());
         }
+    }
 
-        /// Canonical form: building from any permutation yields equal sets.
-        #[test]
-        fn permutation_invariant(ranks in proptest::collection::vec(0usize..400, 0..50)) {
+    /// Canonical form: building from any permutation yields equal sets.
+    #[test]
+    fn permutation_invariant() {
+        let mut rng = Xoshiro256::seed_from_u64(0x9E4A);
+        for _case in 0..256 {
+            let ranks: Vec<Rank> = (0..rng.usize_below(50))
+                .map(|_| rng.usize_below(400))
+                .collect();
             let fwd = RankSet::from_ranks(ranks.clone());
             let rev = RankSet::from_ranks(ranks.iter().rev().cloned());
-            prop_assert_eq!(fwd, rev);
+            assert_eq!(fwd, rev);
         }
     }
 }

@@ -9,16 +9,29 @@
 //! The reduction is position-based: `participants[i]` is the rank sitting
 //! at tree position `i`; position 0 is the root. Each participant receives
 //! its children's (already merged) traces, merges them with its own
-//! ([`crate::merge::merge_traces`] — the O(n²) pairwise step), and ships
-//! the result to its parent. Traces travel serialized in the trace text
+//! ([`crate::merge::merge_into`] — the pairwise step), and ships the
+//! result to its parent. Traces travel serialized in the trace text
 //! format over the tool communicator, so they never appear in any trace.
+//!
+//! The reduction is **pipelined**: an interior rank takes child traces in
+//! *arrival* order ([`mpisim::Proc::recv_from_set`]) instead of blocking
+//! on a fixed receive order, so merge work at one tree level overlaps
+//! with children still reducing their own subtrees. Arrivals that jump
+//! the queue are buffered and *folded* in canonical child order — the
+//! merged trace must be bit-identical run to run (the determinism suite
+//! holds the simulator to that), so fold order cannot depend on thread
+//! scheduling; each child is folded the moment it and all its
+//! left siblings are in. Each fold's cost is charged from the merge's
+//! *measured* counters ([`crate::merge::MergeMetrics`] via
+//! [`WorkModel::merge_measured`]), and per-level timings come back in the
+//! [`MergeOutcome`] for aggregation.
 
 use std::time::Duration;
 
-use mpisim::{Comm, Proc, Rank, SrcSel, Tag, TagSel, RadixTree, WorkModel};
+use mpisim::{Comm, Proc, RadixTree, Rank, Tag, WorkModel};
 
 use crate::format;
-use crate::merge::merge_traces;
+use crate::merge::merge_into;
 use crate::trace::CompressedTrace;
 
 /// Tag used by trace-merge traffic on [`Comm::TOOL`]. Below the collective
@@ -30,6 +43,26 @@ pub const TRACE_MERGE_TAG: Tag = 1 << 29;
 /// work.
 pub const DEFAULT_RADIX: usize = 2;
 
+/// Merge work performed by one rank at one reduction-tree level.
+///
+/// A rank at depth *d* folds the traces of its children (depth *d* + 1);
+/// `level` records *d*, so aggregating these across ranks yields a
+/// per-level profile of where a reduction's merge time goes (the root
+/// levels see the widest, most-divergent traces).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelTiming {
+    /// Tree depth at which the folds happened (root = 0).
+    pub level: usize,
+    /// Pairwise merges this rank performed at that depth.
+    pub merges: usize,
+    /// Modeled seconds of codec + merge work for those folds.
+    pub seconds: f64,
+    /// LCS cells the aligner actually evaluated.
+    pub dp_cells: u64,
+    /// Folds fully resolved by the identical-stream fast path.
+    pub fast_path_hits: usize,
+}
+
 /// Result of one rank's participation in a tree reduction.
 #[derive(Debug, Clone)]
 pub struct MergeOutcome {
@@ -40,6 +73,9 @@ pub struct MergeOutcome {
     /// rank's tool clock, so critical paths through the reduction tree
     /// propagate to waiting partners.
     pub compute: Duration,
+    /// Per-level merge timing at this rank — empty for leaves, one entry
+    /// (this rank's depth) for interior positions.
+    pub timings: Vec<LevelTiming>,
 }
 
 /// Run one radix-tree trace reduction among `participants`.
@@ -64,27 +100,60 @@ pub fn radix_tree_merge(
         .unwrap_or_else(|| panic!("rank {me} called radix_tree_merge without being a participant"));
     let tree = RadixTree::new(radix, participants.len());
 
-    // Receive and fold children's subtree traces.
+    // Receive children's subtree traces in arrival order (pipelining:
+    // this rank works on an early subtree while a slow sibling subtree is
+    // still reducing below), but fold them in canonical child order so the
+    // merged trace never depends on scheduling. Out-of-order arrivals are
+    // buffered until their left siblings are in.
     let work = WorkModel::calibrated();
     let mut compute = 0.0f64;
     let mut acc = my_trace.clone();
-    for child_pos in tree.children(my_pos) {
-        let child_rank = participants[child_pos];
-        let info = proc.recv(
-            SrcSel::Rank(child_rank),
-            TagSel::Tag(TRACE_MERGE_TAG),
-            Comm::TOOL,
-        );
-        let child_trace = format::from_text(
-            std::str::from_utf8(&info.payload).expect("merge payload is UTF-8"),
-        )
-        .expect("child sent a malformed trace");
-        let cost = work.codec(info.payload.len())
-            + work.merge(acc.compressed_size(), child_trace.compressed_size());
-        acc = merge_traces(&acc, &child_trace);
+    let children: Vec<Rank> = tree
+        .children(my_pos)
+        .into_iter()
+        .map(|pos| participants[pos])
+        .collect();
+    let mut pending: Vec<Rank> = children.clone();
+    let mut buffered: Vec<Option<mpisim::PendingRecv>> = vec![None; children.len()];
+    let mut next = 0usize;
+    let mut timing = LevelTiming {
+        level: tree.depth(my_pos),
+        ..LevelTiming::default()
+    };
+    while next < children.len() {
+        let Some(msg) = buffered[next].take() else {
+            let msg = proc.recv_from_set(&pending, TRACE_MERGE_TAG, Comm::TOOL);
+            pending.retain(|&r| r != msg.src);
+            let idx = children
+                .iter()
+                .position(|&r| r == msg.src)
+                .expect("sender is one of this position's children");
+            buffered[idx] = Some(msg);
+            continue;
+        };
+        // Clock accounting happens here, in canonical child order, so the
+        // modeled tool time never encodes the host's dequeue order.
+        proc.complete_recv(&msg, Comm::TOOL);
+        let child_trace =
+            format::from_text(std::str::from_utf8(&msg.payload).expect("merge payload is UTF-8"))
+                .expect("child sent a malformed trace");
+        let touched = acc.compressed_size() + child_trace.compressed_size();
+        let (folded, met) = merge_into(acc, &child_trace);
+        acc = folded;
+        let cost = work.codec(msg.payload.len()) + work.merge_measured(met.dp_cells, touched);
         proc.tool_compute(cost);
         compute += cost;
+        timing.merges += 1;
+        timing.seconds += cost;
+        timing.dp_cells += met.dp_cells;
+        timing.fast_path_hits += met.fast_path as usize;
+        next += 1;
     }
+    let timings = if timing.merges > 0 {
+        vec![timing]
+    } else {
+        Vec::new()
+    };
 
     // Ship up or return at the root.
     let merged = match tree.parent(my_pos) {
@@ -102,6 +171,7 @@ pub fn radix_tree_merge(
     MergeOutcome {
         merged,
         compute: Duration::from_secs_f64(compute),
+        timings,
     }
 }
 
@@ -139,7 +209,11 @@ mod tests {
                 })
                 .unwrap();
             let root = report.results[0].as_ref().expect("root gets the merge");
-            assert_eq!(root.compressed_size(), 3, "SPMD merge stays constant, p={p}");
+            assert_eq!(
+                root.compressed_size(),
+                3,
+                "SPMD merge stays constant, p={p}"
+            );
             let mut ranks = RankSet::empty();
             root.visit_events(&mut |e| ranks = ranks.union(&e.ranks));
             assert_eq!(ranks.len(), p, "all ranks represented, p={p}");
@@ -162,7 +236,9 @@ mod tests {
                 }
             })
             .unwrap();
-        let root = report.results[1].as_ref().expect("participants[0] == rank 1");
+        let root = report.results[1]
+            .as_ref()
+            .expect("participants[0] == rank 1");
         let mut ranks = RankSet::empty();
         root.visit_events(&mut |e| ranks = ranks.union(&e.ranks));
         assert_eq!(ranks.expand(), vec![1, 3, 5]);
@@ -212,6 +288,70 @@ mod tests {
             let mut ranks = RankSet::empty();
             root.visit_events(&mut |e| ranks = ranks.union(&e.ranks));
             assert_eq!(ranks.len(), 9, "radix {radix}");
+        }
+    }
+
+    #[test]
+    fn fold_order_is_deterministic_under_arrival_skew() {
+        // Root 0 has children ranks 1 and 2. Whichever child stalls, the
+        // merged node order must be identical: arrivals are taken as they
+        // land (pipelining), but folds happen in canonical child order, so
+        // the output never encodes thread scheduling. With disjoint traces
+        // any fold-order leak would be visible in the node order.
+        for slow in [1usize, 2] {
+            let report = World::new(WorldConfig::for_tests(3))
+                .run(move |proc| {
+                    let me = proc.rank();
+                    let participants: Vec<Rank> = vec![0, 1, 2];
+                    if me == slow {
+                        std::thread::sleep(std::time::Duration::from_millis(120));
+                    }
+                    let sigs: &[u64] = match me {
+                        0 => &[10],
+                        1 => &[20],
+                        _ => &[30],
+                    };
+                    let mine = trace_for(me, sigs);
+                    radix_tree_merge(proc, 2, &participants, &mine).merged
+                })
+                .unwrap();
+            let root = report.results[0].as_ref().unwrap();
+            let mut sigs = Vec::new();
+            root.visit_events(&mut |e| sigs.push(e.stack_sig.0));
+            assert_eq!(
+                sigs,
+                vec![10, 20, 30],
+                "canonical fold order regardless of which child (rank {slow}) stalls"
+            );
+        }
+    }
+
+    #[test]
+    fn timings_report_levels_and_fast_path() {
+        // p = 7, radix 2: interior positions 0 (depth 0), 1 and 2 (depth
+        // 1), each folding two children; 3..6 are leaves.
+        let report = World::new(WorldConfig::for_tests(7))
+            .run(move |proc| {
+                let participants: Vec<Rank> = (0..proc.size()).collect();
+                let mine = trace_for(proc.rank(), &[1, 2, 3]);
+                radix_tree_merge(proc, 2, &participants, &mine).timings
+            })
+            .unwrap();
+        let at = |r: usize| &report.results[r];
+        for (rank, depth) in [(0usize, 0usize), (1, 1), (2, 1)] {
+            let t = at(rank);
+            assert_eq!(t.len(), 1, "one level entry per interior rank");
+            assert_eq!(t[0].level, depth, "rank {rank}");
+            assert_eq!(t[0].merges, 2, "rank {rank} folds two children");
+            assert_eq!(
+                t[0].fast_path_hits, 2,
+                "SPMD subtree folds are identical-stream fast paths"
+            );
+            assert_eq!(t[0].dp_cells, 0);
+            assert!(t[0].seconds > 0.0, "codec work is still charged");
+        }
+        for leaf in 3..7 {
+            assert!(at(leaf).is_empty(), "leaves perform no merges");
         }
     }
 

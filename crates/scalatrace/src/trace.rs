@@ -48,13 +48,15 @@ impl TraceNode {
         match (self, other) {
             (TraceNode::Event(a), TraceNode::Event(b)) => a.same_site(b),
             (
-                TraceNode::Loop { iters: ia, body: ba },
-                TraceNode::Loop { iters: ib, body: bb },
-            ) => {
-                ia == ib
-                    && ba.len() == bb.len()
-                    && ba.iter().zip(bb).all(|(x, y)| x.matches(y))
-            }
+                TraceNode::Loop {
+                    iters: ia,
+                    body: ba,
+                },
+                TraceNode::Loop {
+                    iters: ib,
+                    body: bb,
+                },
+            ) => ia == ib && ba.len() == bb.len() && ba.iter().zip(bb).all(|(x, y)| x.matches(y)),
             _ => false,
         }
     }
@@ -64,10 +66,7 @@ impl TraceNode {
     pub fn absorb(&mut self, other: &TraceNode) {
         match (self, other) {
             (TraceNode::Event(a), TraceNode::Event(b)) => a.absorb(b),
-            (
-                TraceNode::Loop { body: ba, .. },
-                TraceNode::Loop { body: bb, .. },
-            ) => {
+            (TraceNode::Loop { body: ba, .. }, TraceNode::Loop { body: bb, .. }) => {
                 debug_assert_eq!(ba.len(), bb.len(), "absorbing mismatched loop");
                 for (x, y) in ba.iter_mut().zip(bb) {
                     x.absorb(y);
@@ -103,9 +102,7 @@ impl TraceNode {
     pub fn byte_size(&self) -> usize {
         match self {
             TraceNode::Event(e) => e.byte_size(),
-            TraceNode::Loop { body, .. } => {
-                16 + body.iter().map(|n| n.byte_size()).sum::<usize>()
-            }
+            TraceNode::Loop { body, .. } => 16 + body.iter().map(|n| n.byte_size()).sum::<usize>(),
         }
     }
 
@@ -146,6 +143,41 @@ impl TraceNode {
             }
         }
     }
+
+    /// Structural fingerprint: two nodes that [`TraceNode::matches`] always
+    /// hash equal (events: call site + operation; loops: trip count plus
+    /// the body's recursive hashes). Payload — ranklists, time statistics —
+    /// is deliberately excluded, so the hash is stable across `absorb`.
+    /// The merge precomputes one hash per top-level node and uses equality
+    /// of hashes as an O(1) prefilter before the full (recursive)
+    /// structural comparison.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        // DefaultHasher::new() uses fixed keys, so hashes are deterministic
+        // within a build — all the prefilter needs.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash_structure(&mut h);
+        h.finish()
+    }
+
+    fn hash_structure(&self, h: &mut impl std::hash::Hasher) {
+        use std::hash::Hash;
+        match self {
+            TraceNode::Event(e) => {
+                0u8.hash(h);
+                e.stack_sig.hash(h);
+                e.op.hash(h);
+            }
+            TraceNode::Loop { iters, body } => {
+                1u8.hash(h);
+                iters.hash(h);
+                body.len().hash(h);
+                for n in body {
+                    n.hash_structure(h);
+                }
+            }
+        }
+    }
 }
 
 /// A PRSD-compressed event trace with online tail compression.
@@ -163,6 +195,12 @@ impl CompressedTrace {
     /// Construct directly from nodes (deserialization, merging).
     pub fn from_nodes(nodes: Vec<TraceNode>) -> Self {
         CompressedTrace { nodes }
+    }
+
+    /// Consume the trace, yielding its top-level nodes. Lets the merge fold
+    /// matched nodes into the accumulator's buffers instead of cloning.
+    pub fn into_nodes(self) -> Vec<TraceNode> {
+        self.nodes
     }
 
     /// Top-level node sequence.
@@ -194,12 +232,10 @@ impl CompressedTrace {
         for w in 1..=MAX_WINDOW {
             // Case A: the node right before the tail window is a loop whose
             // body matches the window — one more iteration of it.
-            if n >= w + 1 {
+            if n > w {
                 let (head, tail) = self.nodes.split_at_mut(n - w);
                 if let Some(TraceNode::Loop { iters, body }) = head.last_mut() {
-                    if body.len() == w
-                        && body.iter().zip(tail.iter()).all(|(b, t)| b.matches(t))
-                    {
+                    if body.len() == w && body.iter().zip(tail.iter()).all(|(b, t)| b.matches(t)) {
                         for (b, t) in body.iter_mut().zip(tail.iter()) {
                             b.absorb(t);
                         }
@@ -213,8 +249,8 @@ impl CompressedTrace {
             // fold both into a fresh 2-iteration loop.
             if n >= 2 * w {
                 let (first, second) = (n - 2 * w, n - w);
-                let windows_match = (0..w)
-                    .all(|i| self.nodes[first + i].matches(&self.nodes[second + i]));
+                let windows_match =
+                    (0..w).all(|i| self.nodes[first + i].matches(&self.nodes[second + i]));
                 if windows_match {
                     let tail: Vec<TraceNode> = self.nodes.drain(second..).collect();
                     let mut body: Vec<TraceNode> = self.nodes.drain(first..).collect();
@@ -396,7 +432,7 @@ mod tests {
             other => panic!("expected PRSD, got {other:?}"),
         }
         assert_eq!(t.compressed_size(), 5, "2 loop headers + 3 events");
-        assert_eq!(t.dynamic_size(), (outer * (inner * 2 + 1)) as u64);
+        assert_eq!(t.dynamic_size(), outer * (inner * 2 + 1));
     }
 
     #[test]
@@ -434,7 +470,10 @@ mod tests {
         };
         let small = size_for(10);
         let large = size_for(10_000);
-        assert_eq!(small, large, "compressed size must not grow with iteration count");
+        assert_eq!(
+            small, large,
+            "compressed size must not grow with iteration count"
+        );
     }
 
     #[test]
@@ -572,8 +611,8 @@ mod props {
     use super::*;
     use crate::op::{Endpoint, MpiOp};
     use mpisim::Comm;
-    use proptest::prelude::*;
     use sigkit::StackSig;
+    use xrand::Xoshiro256;
 
     fn ev(sig: u64) -> EventRecord {
         EventRecord::new(
@@ -584,58 +623,79 @@ mod props {
         )
     }
 
-    proptest! {
-        /// Compression is lossless w.r.t. the dynamic event sequence: the
-        /// walk of the compressed trace replays the original site sequence.
-        #[test]
-        fn lossless_site_sequence(sigs in proptest::collection::vec(0u64..6, 0..200)) {
+    fn random_sigs(rng: &mut Xoshiro256, max_len: usize, alphabet: u64) -> Vec<u64> {
+        (0..rng.usize_below(max_len))
+            .map(|_| rng.below(alphabet))
+            .collect()
+    }
+
+    /// Compression is lossless w.r.t. the dynamic event sequence: the
+    /// walk of the compressed trace replays the original site sequence.
+    #[test]
+    fn lossless_site_sequence() {
+        let mut rng = Xoshiro256::seed_from_u64(0x105E);
+        for _case in 0..128 {
+            let sigs = random_sigs(&mut rng, 200, 6);
             let mut t = CompressedTrace::new();
             for &s in &sigs {
                 t.append(ev(s));
             }
             let mut replayed = Vec::new();
             t.walk(&mut |e| replayed.push(e.stack_sig.0));
-            prop_assert_eq!(replayed, sigs);
+            assert_eq!(replayed, sigs);
         }
+    }
 
-        /// Dynamic size always equals the number of appended events.
-        #[test]
-        fn dynamic_size_exact(sigs in proptest::collection::vec(0u64..4, 0..300)) {
+    /// Dynamic size always equals the number of appended events.
+    #[test]
+    fn dynamic_size_exact() {
+        let mut rng = Xoshiro256::seed_from_u64(0xD15E);
+        for _case in 0..128 {
+            let sigs = random_sigs(&mut rng, 300, 4);
             let mut t = CompressedTrace::new();
             for &s in &sigs {
                 t.append(ev(s));
             }
-            prop_assert_eq!(t.dynamic_size(), sigs.len() as u64);
+            assert_eq!(t.dynamic_size(), sigs.len() as u64);
         }
+    }
 
-        /// Total pre-time is preserved by folding.
-        #[test]
-        fn time_mass_preserved(sigs in proptest::collection::vec(0u64..4, 0..200)) {
+    /// Total pre-time is preserved by folding.
+    #[test]
+    fn time_mass_preserved() {
+        let mut rng = Xoshiro256::seed_from_u64(0x71EE);
+        for _case in 0..128 {
+            let sigs = random_sigs(&mut rng, 200, 4);
             let mut t = CompressedTrace::new();
             for &s in &sigs {
                 t.append(ev(s)); // each carries pre_time 1.0
             }
             let mut total = 0.0;
             t.visit_events(&mut |e| total += e.pre_time.total());
-            prop_assert!((total - sigs.len() as f64).abs() < 1e-6);
+            assert!((total - sigs.len() as f64).abs() < 1e-6);
         }
+    }
 
-        /// Compressed size never exceeds the dynamic size, and for periodic
-        /// inputs it is dramatically smaller.
-        #[test]
-        fn compression_bounded(period in 1usize..5, reps in 2usize..50) {
+    /// Compressed size never exceeds the dynamic size, and for periodic
+    /// inputs it is dramatically smaller.
+    #[test]
+    fn compression_bounded() {
+        let mut rng = Xoshiro256::seed_from_u64(0xB0DE);
+        for _case in 0..128 {
+            let period = rng.range_usize(1, 5);
+            let reps = rng.range_usize(2, 50);
             let mut t = CompressedTrace::new();
             for _ in 0..reps {
                 for s in 0..period as u64 {
                     t.append(ev(s));
                 }
             }
-            prop_assert!(t.compressed_size() as u64 <= t.dynamic_size());
+            assert!(t.compressed_size() as u64 <= t.dynamic_size());
             // Periodic stream folds into ~1 loop: loop header + period events.
-            prop_assert!(
+            assert!(
                 t.compressed_size() <= period + 2,
-                "period {} reps {} -> compressed {}",
-                period, reps, t.compressed_size()
+                "period {period} reps {reps} -> compressed {}",
+                t.compressed_size()
             );
         }
     }

@@ -18,9 +18,7 @@
 //! 4. performs the real operation on the underlying simulated MPI.
 
 use mpisim::{Comm, Proc, Rank, RecvInfo, SrcSel, Tag, TagSel, VirtualTime};
-use sigkit::{
-    CallPathAccumulator, CallStack, ParamEstimator, SignatureTriple, StackSig,
-};
+use sigkit::{CallPathAccumulator, CallStack, ParamEstimator, SignatureTriple, StackSig};
 
 use crate::event::EventRecord;
 use crate::op::{Endpoint, MpiOp, OpKind};
@@ -255,8 +253,10 @@ impl<'a> TracedProc<'a> {
             self.tracer
                 .trace
                 .append(EventRecord::new(op, sig, self.proc.rank(), pre));
-            self.tracer.peak_trace_bytes =
-                self.tracer.peak_trace_bytes.max(self.tracer.trace.byte_size());
+            self.tracer.peak_trace_bytes = self
+                .tracer
+                .peak_trace_bytes
+                .max(self.tracer.trace.byte_size());
         }
     }
 
@@ -392,19 +392,19 @@ impl<'a> TracedProc<'a> {
     /// Traced `MPI_Reduce` (sum of one u64) to `root`.
     pub fn reduce_sum(&mut self, site: CallSite, value: u64, root: Rank) -> Option<u64> {
         self.record(site, MpiOp::rooted(OpKind::Reduce, root, 8, Comm::WORLD));
-        let out = self.proc.reduce_u64(
-            value,
-            mpisim::collectives::ReduceOp::Sum,
-            root,
-            Comm::WORLD,
-        );
+        let out =
+            self.proc
+                .reduce_u64(value, mpisim::collectives::ReduceOp::Sum, root, Comm::WORLD);
         self.mark_event_end();
         out
     }
 
     /// Traced `MPI_Bcast` from `root`.
     pub fn bcast(&mut self, site: CallSite, payload: &[u8], root: Rank) -> Vec<u8> {
-        self.record(site, MpiOp::rooted(OpKind::Bcast, root, payload.len(), Comm::WORLD));
+        self.record(
+            site,
+            MpiOp::rooted(OpKind::Bcast, root, payload.len(), Comm::WORLD),
+        );
         let out = self.proc.bcast(payload, root, Comm::WORLD);
         self.mark_event_end();
         out

@@ -80,10 +80,7 @@ impl CallPathAccumulator {
         // Polynomial fold of the paper's weighted contributions: order-
         // sensitive and free of the XOR cancellation class (see module
         // docs).
-        self.acc = self
-            .acc
-            .wrapping_mul(FNV_PRIME)
-            ^ sig.0.wrapping_mul(weight);
+        self.acc = self.acc.wrapping_mul(FNV_PRIME) ^ sig.0.wrapping_mul(weight);
         self.seq = self.seq.wrapping_add(1);
     }
 
@@ -221,54 +218,56 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// Never produces the reserved sentinel for non-empty input.
-        #[test]
-        fn nonempty_never_sentinel(events in proptest::collection::vec(any::<u64>(), 1..128)) {
-            let mut acc = CallPathAccumulator::new();
-            for &e in &events {
-                acc.record(StackSig(e));
+    fn sig_of(events: &[u64]) -> CallPathSig {
+        let mut acc = CallPathAccumulator::new();
+        for &e in events {
+            acc.record(StackSig(e));
+        }
+        acc.finish()
+    }
+
+    /// Never produces the reserved sentinel for non-empty input.
+    #[test]
+    fn nonempty_never_sentinel() {
+        let mut rng = Xoshiro256::seed_from_u64(0x5E17);
+        for _case in 0..256 {
+            let len = rng.range_usize(1, 128);
+            let events: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            assert!(!sig_of(&events).is_none());
+        }
+    }
+
+    /// Deterministic function of the event sequence.
+    #[test]
+    fn deterministic() {
+        let mut rng = Xoshiro256::seed_from_u64(0xDE7E);
+        for _case in 0..256 {
+            let len = rng.usize_below(128);
+            let events: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            assert_eq!(sig_of(&events), sig_of(&events));
+        }
+    }
+
+    /// Swapping two adjacent *distinct* events changes the signature
+    /// (up to the ~2^-64 collision probability of the polynomial fold,
+    /// which these case counts cannot reach).
+    #[test]
+    fn adjacent_swap_detected() {
+        let mut rng = Xoshiro256::seed_from_u64(0x5a4b);
+        for _case in 0..256 {
+            let prefix: Vec<u64> = (0..rng.usize_below(8)).map(|_| rng.next_u64()).collect();
+            let a = rng.next_u64() | 1;
+            let b = rng.next_u64() | 1;
+            if a == b {
+                continue;
             }
-            prop_assert!(!acc.finish().is_none());
-        }
-
-        /// Deterministic function of the event sequence.
-        #[test]
-        fn deterministic(events in proptest::collection::vec(any::<u64>(), 0..128)) {
-            let run = || {
-                let mut acc = CallPathAccumulator::new();
-                for &e in &events {
-                    acc.record(StackSig(e));
-                }
-                acc.finish()
-            };
-            prop_assert_eq!(run(), run());
-        }
-
-        /// Swapping two adjacent *distinct* events changes the signature
-        /// (up to the ~2^-64 collision probability of the polynomial
-        /// fold, which proptest's case counts cannot reach).
-        #[test]
-        fn adjacent_swap_detected(
-            prefix in proptest::collection::vec(any::<u64>(), 0..8),
-            a in 1u64..,
-            b in 1u64..,
-        ) {
-            prop_assume!(a != b);
             let mut fwd = prefix.clone();
             fwd.extend([a, b]);
             let mut rev = prefix.clone();
             rev.extend([b, a]);
-            let sig = |v: &[u64]| {
-                let mut acc = CallPathAccumulator::new();
-                for &e in v {
-                    acc.record(StackSig(e));
-                }
-                acc.finish()
-            };
-            prop_assert_ne!(sig(&fwd), sig(&rev));
+            assert_ne!(sig_of(&fwd), sig_of(&rev));
         }
     }
 }

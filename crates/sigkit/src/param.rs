@@ -84,8 +84,8 @@ impl ParamEstimator {
             return;
         }
         let total = self.count as u128 + other.count as u128;
-        let weighted = self.mean as u128 * self.count as u128
-            + other.mean as u128 * other.count as u128;
+        let weighted =
+            self.mean as u128 * self.count as u128 + other.mean as u128 * other.count as u128;
         self.mean = (weighted / total) as u64;
         self.frac = 0;
         self.count = (self.count).saturating_add(other.count);
@@ -206,12 +206,15 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// Estimate stays within the sample range (a true mean always does).
-        #[test]
-        fn estimate_within_range(samples in proptest::collection::vec(any::<u64>(), 1..256)) {
+    /// Estimate stays within the sample range (a true mean always does).
+    #[test]
+    fn estimate_within_range() {
+        let mut rng = Xoshiro256::seed_from_u64(0xE571);
+        for _case in 0..128 {
+            let len = rng.range_usize(1, 256);
+            let samples: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
             let mut e = ParamEstimator::new();
             for &s in &samples {
                 e.add(s);
@@ -220,13 +223,20 @@ mod props {
             let hi = *samples.iter().max().unwrap();
             let est = e.estimate();
             // Allow ±1 slack for integer rounding of the incremental mean.
-            prop_assert!(est >= lo.saturating_sub(1) && est <= hi.saturating_add(1),
-                "estimate {} outside [{}, {}]", est, lo, hi);
+            assert!(
+                est >= lo.saturating_sub(1) && est <= hi.saturating_add(1),
+                "estimate {est} outside [{lo}, {hi}]"
+            );
         }
+    }
 
-        /// Estimate tracks the exact mean closely for moderate inputs.
-        #[test]
-        fn close_to_exact_mean(samples in proptest::collection::vec(0u64..1_000_000, 1..256)) {
+    /// Estimate tracks the exact mean closely for moderate inputs.
+    #[test]
+    fn close_to_exact_mean() {
+        let mut rng = Xoshiro256::seed_from_u64(0x3EA7);
+        for _case in 0..128 {
+            let len = rng.range_usize(1, 256);
+            let samples: Vec<u64> = (0..len).map(|_| rng.below(1_000_000)).collect();
             let mut e = ParamEstimator::new();
             let mut sum: u128 = 0;
             for &s in &samples {
@@ -235,30 +245,46 @@ mod props {
             }
             let exact = (sum / samples.len() as u128) as u64;
             let err = e.estimate().abs_diff(exact);
-            prop_assert!(err <= samples.len() as u64,
-                "estimate {} vs exact {} (err {})", e.estimate(), exact, err);
+            assert!(
+                err <= samples.len() as u64,
+                "estimate {} vs exact {exact} (err {err})",
+                e.estimate()
+            );
         }
+    }
 
-        /// Merging preserves total count and stays within range.
-        #[test]
-        fn merge_preserves_count(
-            xs in proptest::collection::vec(any::<u64>(), 0..64),
-            ys in proptest::collection::vec(any::<u64>(), 0..64),
-        ) {
+    /// Merging preserves total count and stays within range.
+    #[test]
+    fn merge_preserves_count() {
+        let mut rng = Xoshiro256::seed_from_u64(0xC071);
+        for _case in 0..128 {
+            let xs: Vec<u64> = (0..rng.usize_below(64)).map(|_| rng.next_u64()).collect();
+            let ys: Vec<u64> = (0..rng.usize_below(64)).map(|_| rng.next_u64()).collect();
             let mut a = ParamEstimator::new();
-            for &x in &xs { a.add(x); }
+            for &x in &xs {
+                a.add(x);
+            }
             let mut b = ParamEstimator::new();
-            for &y in &ys { b.add(y); }
+            for &y in &ys {
+                b.add(y);
+            }
             let mut merged = a;
             merged.merge(&b);
-            prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+            assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
         }
+    }
 
-        /// endpoint_param is strictly monotone.
-        #[test]
-        fn endpoint_monotone(a in any::<i64>(), b in any::<i64>()) {
-            prop_assume!(a < b);
-            prop_assert!(endpoint_param(a) < endpoint_param(b));
+    /// endpoint_param is strictly monotone.
+    #[test]
+    fn endpoint_monotone() {
+        let mut rng = Xoshiro256::seed_from_u64(0xE4D0);
+        for _case in 0..256 {
+            let (x, y) = (rng.next_u64() as i64, rng.next_u64() as i64);
+            let (a, b) = (x.min(y), x.max(y));
+            if a == b {
+                continue;
+            }
+            assert!(endpoint_param(a) < endpoint_param(b));
         }
     }
 }

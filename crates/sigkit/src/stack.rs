@@ -107,9 +107,7 @@ impl CallStack {
         let depth = self.frames.len() as u64;
         // Fold: mix the frame with its depth, then combine with the parent
         // fold via multiply-xor; order- and depth-sensitive.
-        let folded = prev
-            .rotate_left(13)
-            .wrapping_mul(0x0000_0100_0000_01b3)
+        let folded = prev.rotate_left(13).wrapping_mul(0x0000_0100_0000_01b3)
             ^ mix(frame ^ depth.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         self.frames.push(frame);
         self.cache.push(folded);
@@ -275,15 +273,17 @@ mod tests {
 #[cfg(test)]
 mod props {
     use super::*;
-    use proptest::prelude::*;
+    use xrand::Xoshiro256;
 
-    proptest! {
-        /// The incremental cache must agree with a from-scratch fold after
-        /// any sequence of pushes and pops.
-        #[test]
-        fn cache_consistent_with_rebuild(ops in proptest::collection::vec(0u8..=8, 0..64)) {
+    /// The incremental cache must agree with a from-scratch fold after
+    /// any sequence of pushes and pops.
+    #[test]
+    fn cache_consistent_with_rebuild() {
+        let mut rng = Xoshiro256::seed_from_u64(0x57AC);
+        for _case in 0..64 {
             let mut cs = CallStack::new();
-            for op in ops {
+            for _ in 0..rng.usize_below(64) {
+                let op = rng.below(9) as u8;
                 if op == 0 && cs.depth() > 0 {
                     cs.pop();
                 } else {
@@ -293,25 +293,36 @@ mod props {
                 for &f in cs.frames().to_vec().iter() {
                     rebuilt.push(f);
                 }
-                prop_assert_eq!(rebuilt.signature(), cs.signature());
+                assert_eq!(rebuilt.signature(), cs.signature());
             }
         }
+    }
 
-        /// Distinct single-frame stacks collide with negligible probability.
-        #[test]
-        fn distinct_frames_distinct_sigs(a in any::<u64>(), b in any::<u64>()) {
-            prop_assume!(a != b);
+    /// Distinct single-frame stacks collide with negligible probability.
+    #[test]
+    fn distinct_frames_distinct_sigs() {
+        let mut rng = Xoshiro256::seed_from_u64(0xD157);
+        for _case in 0..256 {
+            let (a, b) = (rng.next_u64(), rng.next_u64());
+            if a == b {
+                continue;
+            }
             let mut x = CallStack::new();
             x.push(a);
             let mut y = CallStack::new();
             y.push(b);
-            prop_assert_ne!(x.signature(), y.signature());
+            assert_ne!(x.signature(), y.signature());
         }
+    }
 
-        /// Depth changes signatures: a stack is never equal to one of its
-        /// proper prefixes.
-        #[test]
-        fn prefix_never_equal(frames in proptest::collection::vec(any::<u64>(), 1..16)) {
+    /// Depth changes signatures: a stack is never equal to one of its
+    /// proper prefixes.
+    #[test]
+    fn prefix_never_equal() {
+        let mut rng = Xoshiro256::seed_from_u64(0x9EF1);
+        for _case in 0..256 {
+            let len = rng.range_usize(1, 16);
+            let frames: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
             let mut full = CallStack::new();
             for &f in &frames {
                 full.push(f);
@@ -320,7 +331,7 @@ mod props {
             for &f in &frames[..frames.len() - 1] {
                 prefix.push(f);
             }
-            prop_assert_ne!(full.signature(), prefix.signature());
+            assert_ne!(full.signature(), prefix.signature());
         }
     }
 }

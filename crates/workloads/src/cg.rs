@@ -46,7 +46,14 @@ impl Workload for Cg {
             tp.compute(dt * 0.8);
             if partner != me {
                 let payload = vec![0u8; bytes];
-                tp.sendrecv("transpose_exchange", partner, TAG_TRANSPOSE, &payload, partner, TAG_TRANSPOSE);
+                tp.sendrecv(
+                    "transpose_exchange",
+                    partner,
+                    TAG_TRANSPOSE,
+                    &payload,
+                    partner,
+                    TAG_TRANSPOSE,
+                );
             } else {
                 // Diagonal ranks transpose locally.
                 tp.compute(dt * 0.05);

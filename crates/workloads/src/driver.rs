@@ -163,7 +163,10 @@ impl<W: Workload> Workload for ScaledWorkload<W> {
         // the marker count).
         let limit = self.scale.min(spec.call_frequency as usize).max(1);
         let freq = spec.call_frequency as usize;
-        let scale = (1..=limit).rev().find(|s| freq % s == 0).unwrap_or(1);
+        let scale = (1..=limit)
+            .rev()
+            .find(|s| freq.is_multiple_of(*s))
+            .unwrap_or(1);
         spec.main_steps = (spec.main_steps / scale).max(1);
         for ph in spec.phase_steps.iter_mut() {
             *ph = (*ph / scale).max(1);

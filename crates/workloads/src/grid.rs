@@ -16,8 +16,11 @@ impl Grid2D {
         assert!(p >= 1, "grid needs at least one rank");
         let mut rows = (p as f64).sqrt() as usize;
         while rows >= 1 {
-            if p % rows == 0 {
-                return Grid2D { rows, cols: p / rows };
+            if p.is_multiple_of(rows) {
+                return Grid2D {
+                    rows,
+                    cols: p / rows,
+                };
             }
             rows -= 1;
         }
@@ -126,7 +129,7 @@ mod tests {
     #[test]
     fn neighbors_boundary_and_interior() {
         let g = Grid2D::new(16); // 4x4
-        // Corner 0.
+                                 // Corner 0.
         assert_eq!(g.north(0), None);
         assert_eq!(g.west(0), None);
         assert_eq!(g.south(0), Some(4));

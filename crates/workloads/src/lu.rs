@@ -174,7 +174,7 @@ impl Workload for LuPhaseChange {
 
     fn step(&self, tp: &mut TracedProc, class: Class, step: usize) {
         self.inner.step(tp, class, step);
-        if (step + 1) % self.period == 0 {
+        if (step + 1).is_multiple_of(self.period) {
             // The "new MPI_Barrier": a call site the steady state lacks.
             tp.barrier("phase_change_barrier");
         }
@@ -233,9 +233,7 @@ mod tests {
             scale::face_bytes(Class::B, 16, true),
             scale::face_bytes(Class::B, 256, true)
         );
-        assert!(
-            scale::face_bytes(Class::B, 16, false) > scale::face_bytes(Class::B, 256, false)
-        );
+        assert!(scale::face_bytes(Class::B, 16, false) > scale::face_bytes(Class::B, 256, false));
     }
 
     #[test]

@@ -55,10 +55,24 @@ impl Workload for Pop {
         tp.frame("baroclinic", |tp| {
             let payload = vec![0u8; bytes + scale::count_jitter(me, p)];
             if me > 0 {
-                tp.sendrecv("halo_north", me - 1, TAG_HALO_S, &payload, me - 1, TAG_HALO_N);
+                tp.sendrecv(
+                    "halo_north",
+                    me - 1,
+                    TAG_HALO_S,
+                    &payload,
+                    me - 1,
+                    TAG_HALO_N,
+                );
             }
             if me + 1 < p {
-                tp.sendrecv("halo_south", me + 1, TAG_HALO_N, &payload, me + 1, TAG_HALO_S);
+                tp.sendrecv(
+                    "halo_south",
+                    me + 1,
+                    TAG_HALO_N,
+                    &payload,
+                    me + 1,
+                    TAG_HALO_S,
+                );
             }
             tp.compute(dt * 0.6 * wobble);
         });
@@ -66,10 +80,24 @@ impl Workload for Pop {
             for _ in 0..SOLVER_ITERS {
                 let payload = vec![0u8; bytes / 4 + scale::count_jitter(me, p)];
                 if me > 0 {
-                    tp.sendrecv("solver_halo_n", me - 1, TAG_HALO_S + 10, &payload, me - 1, TAG_HALO_N + 10);
+                    tp.sendrecv(
+                        "solver_halo_n",
+                        me - 1,
+                        TAG_HALO_S + 10,
+                        &payload,
+                        me - 1,
+                        TAG_HALO_N + 10,
+                    );
                 }
                 if me + 1 < p {
-                    tp.sendrecv("solver_halo_s", me + 1, TAG_HALO_N + 10, &payload, me + 1, TAG_HALO_S + 10);
+                    tp.sendrecv(
+                        "solver_halo_s",
+                        me + 1,
+                        TAG_HALO_N + 10,
+                        &payload,
+                        me + 1,
+                        TAG_HALO_S + 10,
+                    );
                 }
                 tp.compute(dt * 0.1 * wobble / SOLVER_ITERS as f64);
                 tp.allreduce_sum("solver_residual", 1);

@@ -23,10 +23,19 @@ fn main() {
     let app = run(workload(), Class::B, p, Mode::AppOnly, Overrides::default());
     println!("application virtual time: {:.4}s\n", app.app_vtime);
 
-    println!("{:<12} {:>14} {:>14} {:>14} {:>12}", "system", "clustering", "inter-comp", "total", "trace bytes");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>12}",
+        "system", "clustering", "inter-comp", "total", "trace bytes"
+    );
     println!("{}", "-".repeat(70));
 
-    let st = run(workload(), Class::B, p, Mode::ScalaTrace, Overrides::default());
+    let st = run(
+        workload(),
+        Class::B,
+        p,
+        Mode::ScalaTrace,
+        Overrides::default(),
+    );
     let st_bytes: usize = st.baseline.iter().map(|b| b.trace_bytes).sum();
     println!(
         "{:<12} {:>13.6}s {:>13.6}s {:>13.6}s {:>12}",
@@ -37,7 +46,13 @@ fn main() {
         st_bytes
     );
 
-    let ac = run(workload(), Class::B, p, Mode::Acurdion, Overrides::default());
+    let ac = run(
+        workload(),
+        Class::B,
+        p,
+        Mode::Acurdion,
+        Overrides::default(),
+    );
     let ac_bytes: usize = ac.baseline.iter().map(|b| b.trace_bytes).sum();
     println!(
         "{:<12} {:>13.6}s {:>13.6}s {:>13.6}s {:>12}",
@@ -48,13 +63,15 @@ fn main() {
         ac_bytes
     );
 
-    let ch = run(workload(), Class::B, p, Mode::Chameleon, Overrides::default());
+    let ch = run(
+        workload(),
+        Class::B,
+        p,
+        Mode::Chameleon,
+        Overrides::default(),
+    );
     // Chameleon: trace bytes at finalize are only held by leads.
-    let ch_bytes: u64 = ch
-        .cham_stats
-        .iter()
-        .map(|s| s.mem.get("F").1)
-        .sum();
+    let ch_bytes: u64 = ch.cham_stats.iter().map(|s| s.mem.get("F").1).sum();
     println!(
         "{:<12} {:>13.6}s {:>13.6}s {:>13.6}s {:>12}",
         "Chameleon",
@@ -66,8 +83,17 @@ fn main() {
 
     println!(
         "\nglobal trace sizes (compressed nodes): ScalaTrace {}, ACURDION {}, Chameleon {}",
-        st.global_trace.as_ref().map(|t| t.compressed_size()).unwrap_or(0),
-        ac.global_trace.as_ref().map(|t| t.compressed_size()).unwrap_or(0),
-        ch.global_trace.as_ref().map(|t| t.compressed_size()).unwrap_or(0),
+        st.global_trace
+            .as_ref()
+            .map(|t| t.compressed_size())
+            .unwrap_or(0),
+        ac.global_trace
+            .as_ref()
+            .map(|t| t.compressed_size())
+            .unwrap_or(0),
+        ch.global_trace
+            .as_ref()
+            .map(|t| t.compressed_size())
+            .unwrap_or(0),
     );
 }

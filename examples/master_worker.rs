@@ -18,11 +18,23 @@ use workloads::Class;
 
 fn main() {
     let p = 9; // 1 master + 8 workers
-    println!("running EMF pipeline on {p} ranks (1 master, {} workers)...", p - 1);
-    let rep = run(Arc::new(Emf), Class::A, p, Mode::Chameleon, Overrides::default());
+    println!(
+        "running EMF pipeline on {p} ranks (1 master, {} workers)...",
+        p - 1
+    );
+    let rep = run(
+        Arc::new(Emf),
+        Class::A,
+        p,
+        Mode::Chameleon,
+        Overrides::default(),
+    );
 
     let s = &rep.cham_stats[0];
-    println!("marker calls: {} (C={} L={} AT={})", s.marker_calls, s.states.c, s.states.l, s.states.at);
+    println!(
+        "marker calls: {} (C={} L={} AT={})",
+        s.marker_calls, s.states.c, s.states.l, s.states.at
+    );
     println!("call-path groups discovered: {}", s.call_paths);
     println!("leads elected:               {}", s.leads);
 
@@ -50,7 +62,10 @@ fn main() {
         };
         println!("  {kind}: ranklist {g} covers {n_events} event records");
     }
-    assert!(groups.len() >= 2, "master and workers must cluster separately");
+    assert!(
+        groups.len() >= 2,
+        "master and workers must cluster separately"
+    );
     println!("\nper-rank trace memory at the markers (Table IV story):");
     for (rank, st) in rep.cham_stats.iter().enumerate() {
         let (calls, bytes) = st.mem.get("L");
@@ -58,7 +73,11 @@ fn main() {
             "  rank {rank}: {} bytes across {} Lead-state markers{}",
             bytes,
             calls,
-            if bytes == 0 { "  <- dark (follows its lead)" } else { "" }
+            if bytes == 0 {
+                "  <- dark (follows its lead)"
+            } else {
+                ""
+            }
         );
     }
 }

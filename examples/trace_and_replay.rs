@@ -23,20 +23,31 @@ fn main() {
     println!("  app virtual time: {:.4}s", app.app_vtime);
 
     println!("running LU under plain ScalaTrace...");
-    let st = run(workload(), Class::B, p, Mode::ScalaTrace, Overrides::default());
+    let st = run(
+        workload(),
+        Class::B,
+        p,
+        Mode::ScalaTrace,
+        Overrides::default(),
+    );
     let st_trace = st.global_trace.expect("global trace at rank 0");
 
     println!("running LU under Chameleon...");
-    let ch = run(workload(), Class::B, p, Mode::Chameleon, Overrides::default());
+    let ch = run(
+        workload(),
+        Class::B,
+        p,
+        Mode::Chameleon,
+        Overrides::default(),
+    );
     let ch_trace = ch.global_trace.expect("online trace at rank 0");
 
     // Round-trip the online trace through the text format, as a real
     // deployment would (write at job end, replay later).
     let path = std::env::temp_dir().join("chameleon_lu_trace.txt");
     std::fs::write(&path, format::to_text(&ch_trace)).expect("write trace file");
-    let loaded =
-        format::from_text(&std::fs::read_to_string(&path).expect("read trace file"))
-            .expect("parse trace file");
+    let loaded = format::from_text(&std::fs::read_to_string(&path).expect("read trace file"))
+        .expect("parse trace file");
     assert_eq!(loaded, ch_trace, "trace file round-trips exactly");
     println!(
         "online trace written to {} ({} compressed nodes, {} dynamic events)",
@@ -50,7 +61,10 @@ fn main() {
     let t_prime = replay(&loaded, p, CostModel::default()).expect("Chameleon replay");
 
     println!("  ScalaTrace replay time: {:.4}s (virtual)", t.replay_vtime);
-    println!("  Chameleon  replay time: {:.4}s (virtual)", t_prime.replay_vtime);
+    println!(
+        "  Chameleon  replay time: {:.4}s (virtual)",
+        t_prime.replay_vtime
+    );
     println!(
         "  ACC = 1 - |t - t'|/t  = {:.2}%",
         accuracy(t.replay_vtime, t_prime.replay_vtime) * 100.0

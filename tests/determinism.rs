@@ -31,7 +31,10 @@ fn chameleon_runs_are_bit_identical() {
         assert_eq!(x.marker_calls, y.marker_calls);
         assert_eq!(x.signature_time, y.signature_time, "modeled signature time");
         assert_eq!(x.vote_time, y.vote_time, "modeled vote time");
-        assert_eq!(x.clustering_time, y.clustering_time, "modeled clustering time");
+        assert_eq!(
+            x.clustering_time, y.clustering_time,
+            "modeled clustering time"
+        );
         assert_eq!(x.intercomp_time, y.intercomp_time, "modeled merge time");
         assert_eq!(x.mem, y.mem, "memory accounting");
     }

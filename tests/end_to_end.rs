@@ -7,7 +7,9 @@ use chameleon_repro::mpisim::CostModel;
 use chameleon_repro::scalareplay::{accuracy, replay};
 use chameleon_repro::scalatrace::{format, RankSet};
 use chameleon_repro::workloads::driver::{run, Mode, Overrides, ScaledWorkload};
-use chameleon_repro::workloads::{bt::Bt, cg::Cg, emf::Emf, lu::Lu, pop::Pop, sp::Sp, sweep3d::Sweep3d, Class, Workload};
+use chameleon_repro::workloads::{
+    bt::Bt, cg::Cg, emf::Emf, lu::Lu, pop::Pop, sp::Sp, sweep3d::Sweep3d, Class, Workload,
+};
 
 fn scaled<W: Workload + 'static>(w: W) -> Arc<dyn Workload> {
     Arc::new(ScaledWorkload::new(w, 25))
@@ -52,8 +54,8 @@ fn online_traces_roundtrip_through_the_file_format() {
         let rep = run(w, Class::A, p, Mode::Chameleon, Overrides::default());
         let trace = rep.global_trace.expect("trace");
         let text = format::to_text(&trace);
-        let back = format::from_text(&text)
-            .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+        let back =
+            format::from_text(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
         assert_eq!(back, trace, "{name}: file format round-trip");
     }
 }
@@ -120,7 +122,8 @@ fn table2_state_shapes_hold_for_all_benchmarks() {
     // tallies exactly (Table II).
     // LU couples timestep count to the input class (Figure 11), so the
     // Table II shape is asserted at class D — the paper's configuration.
-    let cases: Vec<(Arc<dyn Workload>, Class, usize, u64, u64, u64)> = vec![
+    type Case = (Arc<dyn Workload>, Class, usize, u64, u64, u64);
+    let cases: Vec<Case> = vec![
         (scaled(Bt), Class::A, 8, 1, 8, 1),
         (scaled(Lu::strong()), Class::D, 8, 1, 11, 3),
         (scaled(Sp), Class::A, 8, 1, 21, 3),
@@ -139,7 +142,13 @@ fn table2_state_shapes_hold_for_all_benchmarks() {
 
 #[test]
 fn non_leads_hold_zero_trace_bytes_in_lead_state() {
-    let rep = run(scaled(Bt), Class::A, 16, Mode::Chameleon, Overrides::default());
+    let rep = run(
+        scaled(Bt),
+        Class::A,
+        16,
+        Mode::Chameleon,
+        Overrides::default(),
+    );
     let dark = rep
         .cham_stats
         .iter()

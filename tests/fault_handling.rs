@@ -36,6 +36,53 @@ fn rank_panic_mid_clustering_does_not_hang() {
 }
 
 #[test]
+fn rank_panic_mid_reduction_does_not_hang() {
+    // A leaf dies before shipping its subtree trace. Its parent is
+    // blocked in the pipelined receive (`recv_from_set`), the root is
+    // blocked on the parent — both must abort via the poison flag instead
+    // of waiting on a message that will never come.
+    use chameleon_repro::scalatrace::reduction::radix_tree_merge;
+    use chameleon_repro::scalatrace::{CompressedTrace, Endpoint, EventRecord, MpiOp};
+    use chameleon_repro::sigkit::StackSig;
+
+    let err = World::new(WorldConfig::for_tests(5))
+        .run(|proc| {
+            let me = proc.rank();
+            let participants: Vec<usize> = (0..proc.size()).collect();
+            let mut mine = CompressedTrace::new();
+            mine.append(EventRecord::new(
+                MpiOp::send(Endpoint::Relative(1), 0, 8, Comm::WORLD),
+                StackSig(1),
+                me,
+                1e-6,
+            ));
+            if me == 4 {
+                panic!("injected: leaf dies before shipping its trace");
+            }
+            // Radix 2 over 5 positions: rank 1's children are 3 and 4,
+            // the root's children are 1 and 2.
+            radix_tree_merge(proc, 2, &participants, &mine).merged
+        })
+        .unwrap_err();
+    assert!(err
+        .failures
+        .iter()
+        .any(|(r, msg)| *r == 4 && msg.contains("injected")));
+    assert!(
+        err.failures
+            .iter()
+            .any(|(r, msg)| *r == 1 && msg.contains("poisoned")),
+        "the dead leaf's parent must abort via poisoning, got {:?}",
+        err.failures
+    );
+    assert!(
+        err.failures.len() >= 3,
+        "the stall must propagate up the tree, got {:?}",
+        err.failures
+    );
+}
+
+#[test]
 fn malformed_trace_files_are_rejected_not_crashed() {
     let rep = run(
         Arc::new(ScaledWorkload::new(Bt, 25)),

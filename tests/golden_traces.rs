@@ -1,0 +1,152 @@
+//! Golden-trace regression fixtures.
+//!
+//! Checked-in trace files under `tests/fixtures/` pin down two things
+//! byte-for-byte:
+//!
+//! - the text trace format (`scalatrace::format`) — serialization must
+//!   not drift, or archived traces become unreadable;
+//! - the merge output on a fixed SPMD-with-divergence input — the merge
+//!   spec (orientation, trimming, leftmost LCS walk) must stay stable
+//!   across refactors of its implementation.
+//!
+//! On intentional changes regenerate with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test golden_traces
+//! ```
+//!
+//! and review the fixture diff like source code.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use chameleon_repro::mpisim::Comm;
+use chameleon_repro::scalatrace::format;
+use chameleon_repro::scalatrace::merge::{merge_all, merge_traces};
+use chameleon_repro::scalatrace::{CompressedTrace, Endpoint, EventRecord, MpiOp};
+use chameleon_repro::sigkit::StackSig;
+use chameleon_repro::workloads::driver::{run, Mode, Overrides, ScaledWorkload};
+use chameleon_repro::workloads::{bt::Bt, Class};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compare `text` against the named fixture, or rewrite the fixture when
+/// `REGEN_GOLDEN` is set.
+fn assert_golden(name: &str, text: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, text).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, want,
+        "{name} drifted from its golden fixture; if the change is \
+         intentional, regenerate with REGEN_GOLDEN=1 and review the diff"
+    );
+}
+
+/// A small deterministic trace with every structural feature the format
+/// has to carry: loops (incl. nested), rank sections, endpoint kinds, and
+/// multi-sample time statistics.
+fn structured_trace(rank: usize) -> CompressedTrace {
+    let mut t = CompressedTrace::new();
+    let ev = |op: MpiOp, sig: u64, dt: f64| EventRecord::new(op, StackSig(sig), rank, dt);
+    t.append(ev(MpiOp::barrier(Comm::WORLD), 1, 1e-5));
+    for i in 0..8 {
+        t.append(ev(
+            MpiOp::send(Endpoint::Relative(1), 7, 4096, Comm::WORLD),
+            2,
+            1e-6 * (1.0 + (i % 3) as f64),
+        ));
+        t.append(ev(
+            MpiOp::recv(Endpoint::Relative(-1), 7, 4096, Comm::WORLD),
+            3,
+            2e-6,
+        ));
+    }
+    t.append(ev(
+        MpiOp::send(Endpoint::Absolute(0), 9, 64, Comm::WORLD),
+        4,
+        5e-6,
+    ));
+    t.append(ev(MpiOp::barrier(Comm::WORLD), 5, 1e-5));
+    t
+}
+
+#[test]
+fn format_golden_roundtrip() {
+    let trace = structured_trace(0);
+    let text = format::to_text(&trace);
+    assert_golden("structured_trace.txt", &text);
+
+    // Byte-identical roundtrip: parse back, reserialize, same bytes.
+    let parsed = format::from_text(&text).expect("golden trace parses");
+    assert_eq!(parsed, trace, "parse is lossless");
+    assert_eq!(format::to_text(&parsed), text, "reserialization is stable");
+}
+
+#[test]
+fn merge_output_golden() {
+    // Four SPMD ranks whose middles diverge (odd ranks use a different
+    // site for one op) — exercises fold, trim, and take paths at once.
+    let variant = |rank: usize| {
+        let mut t = structured_trace(rank);
+        if rank % 2 == 1 {
+            t.append(EventRecord::new(
+                MpiOp::send(Endpoint::Relative(2), 11, 128, Comm::WORLD),
+                StackSig(100 + rank as u64),
+                rank,
+                3e-6,
+            ));
+        }
+        t.append(EventRecord::new(
+            MpiOp::barrier(Comm::WORLD),
+            StackSig(6),
+            rank,
+            1e-5,
+        ));
+        t
+    };
+    let traces: Vec<CompressedTrace> = (0..4).map(variant).collect();
+
+    let pair = merge_traces(&traces[0], &traces[1]);
+    assert_golden("merged_pair.txt", &format::to_text(&pair));
+
+    let all = merge_all(traces.iter());
+    let text = format::to_text(&all);
+    assert_golden("merged_all4.txt", &text);
+
+    // The merged trace itself roundtrips byte-identically.
+    let parsed = format::from_text(&text).expect("merged golden parses");
+    assert_eq!(format::to_text(&parsed), text);
+}
+
+#[test]
+fn workload_trace_golden() {
+    // End-to-end: the BT pattern traced through the simulator. Pins the
+    // whole pipeline — simulation determinism, compression, reduction
+    // merge — to one reviewable artifact.
+    let rep = run(
+        Arc::new(ScaledWorkload::new(Bt, 25)),
+        Class::A,
+        4,
+        Mode::ScalaTrace,
+        Overrides::default(),
+    );
+    let trace = rep.global_trace.expect("global trace");
+    let text = format::to_text(&trace);
+    assert_golden("bt4_scalatrace.txt", &text);
+    let parsed = format::from_text(&text).expect("workload golden parses");
+    assert_eq!(format::to_text(&parsed), text);
+}
