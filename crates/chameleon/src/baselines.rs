@@ -84,7 +84,11 @@ pub fn acurdion_finalize(tp: &mut TracedProc, config: &ChameleonConfig) -> Basel
             .inner()
             .recv(SrcSel::Rank(child), TagSel::Tag(CLUSTER_TAG), Comm::TOOL);
         tp.inner().tool_compute(work.codec(info.payload.len()));
-        map.merge(ClusterMap::decode(&info.payload).expect("malformed cluster map"));
+        // A bad payload (unreachable on the faultless simulated link)
+        // costs the child's entries, not the run.
+        if let Ok(child_map) = ClusterMap::decode(&info.payload) {
+            map.merge(child_map);
+        }
     }
     tp.inner().tool_compute(work.cluster(map.total_clusters()));
     map.prune(config.k, &*algo);
@@ -95,7 +99,8 @@ pub fn acurdion_finalize(tp: &mut TracedProc, config: &ChameleonConfig) -> Basel
             tp.inner().send(parent, CLUSTER_TAG, Comm::TOOL, &wire);
             let enc = tp.inner().bcast(&[], 0, Comm::TOOL);
             tp.inner().tool_compute(work.codec(enc.len()));
-            LeadSelection::decode(&enc).expect("malformed lead selection")
+            LeadSelection::decode(&enc)
+                .unwrap_or_else(|e| panic!("cluster protocol bug on a faultless channel: {e}"))
         }
         None => {
             tp.inner().tool_compute(work.cluster(map.total_clusters()));
@@ -132,17 +137,16 @@ pub fn acurdion_finalize(tp: &mut TracedProc, config: &ChameleonConfig) -> Basel
             }
         }
     }
-    if me == 0 && sel.leads[0] != 0 {
+    if me == 0 && !sel.leads.is_empty() && sel.leads[0] != 0 {
         let info = tp.inner().recv(
             SrcSel::Rank(sel.leads[0]),
             TagSel::Tag(ONLINE_TAG),
             Comm::TOOL,
         );
         tp.inner().tool_compute(work.codec(info.payload.len()));
-        global = Some(
-            format::from_text(std::str::from_utf8(&info.payload).expect("UTF-8 trace"))
-                .expect("malformed partial global trace"),
-        );
+        // An undecodable payload leaves the global trace empty rather than
+        // killing rank 0.
+        global = scalatrace::reduction::decode_wire_trace(&info.payload).ok();
     }
     tp.tracer_mut().clear_trace();
     // Exit synchronization (see scalatrace_finalize).

@@ -11,11 +11,11 @@
 
 use std::time::Duration;
 
-use clusterkit::{ClusterMap, LeadSelection};
+use clusterkit::{ClusterAlgorithm, ClusterMap, LeadSelection};
 use mpisim::collectives::ReduceOp;
-use mpisim::{Comm, Rank, SrcSel, Tag, TagSel};
-use scalatrace::reduction::radix_tree_merge;
-use scalatrace::{format, CompressedTrace, TracedProc};
+use mpisim::{Comm, Rank, RetryPolicy, SrcSel, Tag, TagSel};
+use scalatrace::reduction::{decode_wire_trace, radix_tree_merge};
+use scalatrace::{CompressedTrace, TracedProc};
 use sigkit::SignatureTriple;
 
 use crate::config::ChameleonConfig;
@@ -55,6 +55,11 @@ fn trace_triple(trace: &scalatrace::CompressedTrace) -> SignatureTriple {
 pub const CLUSTER_TAG: Tag = (1 << 29) + 1;
 /// Tool-comm tag for shipping the partial global trace to rank 0.
 pub const ONLINE_TAG: Tag = (1 << 29) + 2;
+/// Tool-comm tag for the root's star distribution of the lead selection
+/// under an armed fault plan (a tree broadcast would cut a subtree off
+/// from the selection if its interior relay died; lock-step requires every
+/// survivor to learn the same leads).
+pub const SELECT_TAG: Tag = (1 << 29) + 3;
 
 /// Result of `finalize`: the online trace materializes on rank 0.
 #[derive(Debug, Clone)]
@@ -76,6 +81,17 @@ pub struct Chameleon {
     /// The incrementally grown global trace (rank 0 keeps it; empty
     /// elsewhere).
     online_trace: CompressedTrace,
+    /// The agreed surviving participant set, ascending. All ranks until a
+    /// resilient collective reports a smaller snapshot; never shrinks on a
+    /// fault-free run. Every survivor holds the same copy (it comes from
+    /// rank 0's authoritative snapshot), which is what keeps the shrunk
+    /// protocol in lock-step.
+    alive: Vec<Rank>,
+    /// Whether the current marker slice has lost information to a fault
+    /// (rank death, payload corrupt past the retry budget, undecodable
+    /// wire bytes). Folded into `stats.degraded_slices` — at most once per
+    /// slice — when the slice closes.
+    slice_degraded: bool,
     finalized: bool,
 }
 
@@ -88,6 +104,8 @@ impl Chameleon {
             stats: ChameleonStats::default(),
             selection: None,
             online_trace: CompressedTrace::new(),
+            alive: Vec::new(),
+            slice_degraded: false,
             finalized: false,
         }
     }
@@ -95,6 +113,14 @@ impl Chameleon {
     /// Instrumentation so far.
     pub fn stats(&self) -> &ChameleonStats {
         &self.stats
+    }
+
+    /// The agreed surviving participant set, ascending. All ranks until a
+    /// fault plan kills one and a marker's resilient collective agrees on
+    /// the shrunk set. Fault-aware workloads route around dead peers by
+    /// rebuilding their communication pattern over this list.
+    pub fn alive(&self) -> &[Rank] {
+        &self.alive
     }
 
     /// Current online-trace size in bytes (only meaningful on rank 0).
@@ -120,12 +146,24 @@ impl Chameleon {
     pub fn marker(&mut self, tp: &mut TracedProc) {
         assert!(!self.finalized, "marker after finalize");
         self.stats.marker_invocations += 1;
+        if self.alive.is_empty() {
+            self.alive = (0..tp.size()).collect();
+        }
+        let armed = tp.inner().faults_armed();
         // The marker itself: a barrier distinguished by its unique
         // communicator value. Tool-internal, so not traced. Its cost is
         // the modeled communication time (measuring blocking waits on an
         // oversubscribed host would time the scheduler, not the tool).
+        // Under an armed fault plan the barrier is resilient and doubles
+        // as the death detector: its agreed alive snapshot drives lead
+        // re-election before any per-slice work begins.
         let tool0 = tp.inner().tool_time();
-        tp.inner().barrier(Comm::MARKER);
+        if armed {
+            let alive_now = tp.inner().resilient_barrier(Comm::MARKER);
+            self.observe_alive(tp, alive_now);
+        } else {
+            tp.inner().barrier(Comm::MARKER);
+        }
         self.stats.vote_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
         if !self
             .stats
@@ -150,7 +188,15 @@ impl Chameleon {
         let decision = match self.graph.local_vote(triple.call_path) {
             LocalVote::First => MarkerDecision::FirstMarker,
             LocalVote::Mismatch(m) => {
-                let global = tp.inner().allreduce_u64(m, ReduceOp::Sum, Comm::TOOL);
+                let global = if armed {
+                    let (global, alive_now) =
+                        tp.inner()
+                            .resilient_allreduce_u64(m, ReduceOp::Sum, Comm::TOOL);
+                    self.observe_alive(tp, alive_now);
+                    global
+                } else {
+                    tp.inner().allreduce_u64(m, ReduceOp::Sum, Comm::TOOL)
+                };
                 self.graph.decide(global)
             }
         };
@@ -180,16 +226,22 @@ impl Chameleon {
                 self.selection = Some(sel);
             }
             MarkerDecision::FlushLead => {
-                let sel = self
-                    .selection
-                    .take()
-                    .expect("flush requires a prior clustering");
-                self.merge_leads_into_online(tp, &sel);
+                // A flush normally follows a clustering, but under a fault
+                // plan the selection may have been abandoned (e.g. every
+                // lead died). Falling back to All-Tracing loses nothing:
+                // every rank simply resumes recording.
+                if let Some(sel) = self.selection.take() {
+                    self.merge_leads_into_online(tp, &sel);
+                }
                 // Phase changed: back to all-tracing.
                 tp.tracer_mut().set_enabled(true);
             }
         }
 
+        if self.slice_degraded {
+            self.stats.degraded_slices += 1;
+            self.slice_degraded = false;
+        }
         let state = decision.counted_state();
         self.stats.states.bump(state);
         self.stats.reclusterings = self.stats.states.c;
@@ -212,9 +264,18 @@ impl Chameleon {
     pub fn finalize(&mut self, tp: &mut TracedProc) -> FinalizeOutcome {
         assert!(!self.finalized, "finalize called twice");
         self.finalized = true;
+        if self.alive.is_empty() {
+            self.alive = (0..tp.size()).collect();
+        }
+        let armed = tp.inner().faults_armed();
         tp.record_finalize("MPI_Finalize");
         let tool0 = tp.inner().tool_time();
-        tp.inner().barrier(Comm::TOOL);
+        if armed {
+            let alive_now = tp.inner().resilient_barrier(Comm::TOOL);
+            self.observe_alive(tp, alive_now);
+        } else {
+            tp.inner().barrier(Comm::TOOL);
+        }
         self.stats.vote_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
 
         // Modeled like the marker path: measuring real CPU here would put
@@ -251,9 +312,18 @@ impl Chameleon {
         // Exit synchronization: the job ends when the last merge
         // completes; spread the critical path to all ranks.
         let tool0 = tp.inner().tool_time();
-        tp.inner().barrier(Comm::TOOL);
+        if armed {
+            let alive_now = tp.inner().resilient_barrier(Comm::TOOL);
+            self.observe_alive(tp, alive_now);
+        } else {
+            tp.inner().barrier(Comm::TOOL);
+        }
         self.stats.intercomp_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
 
+        if self.slice_degraded {
+            self.stats.degraded_slices += 1;
+            self.slice_degraded = false;
+        }
         self.stats.states.bump(MarkerState::Final);
         let post_online = if tp.rank() == 0 {
             self.online_trace_bytes()
@@ -270,47 +340,47 @@ impl Chameleon {
         }
     }
 
+    /// Fold a fresh alive snapshot from a resilient collective into the
+    /// runtime: detect newly dead ranks, re-elect leads for the clusters
+    /// they led, and mark the slice degraded. Everything here is a pure
+    /// function of the agreed snapshot, so every survivor transitions
+    /// identically without extra communication.
+    fn observe_alive(&mut self, tp: &mut TracedProc, alive_now: Vec<Rank>) {
+        if alive_now.len() == self.alive.len() {
+            return; // the alive set only ever shrinks
+        }
+        self.slice_degraded = true;
+        if let Some(sel) = &mut self.selection {
+            let reelected = sel.map.reelect_leads(&alive_now);
+            self.stats.lead_reelections += reelected;
+            // Rebuild the lead roster over survivors; extinct clusters
+            // (every member dead) drop out here.
+            sel.leads = sel
+                .map
+                .leads()
+                .into_iter()
+                .filter(|r| alive_now.contains(r))
+                .collect();
+            // A freshly elected lead starts recording *now*; whatever its
+            // cluster did earlier in the slice died with the old lead —
+            // that loss is exactly what `degraded_slices` counts.
+            if sel.is_lead(tp.rank()) && !tp.tracer().is_enabled() {
+                tp.tracer_mut().set_enabled(true);
+            }
+        }
+        self.alive = alive_now;
+    }
+
     /// Hierarchical signature clustering over the radix tree of all ranks
     /// (Algorithm 3, Clustering branch): child maps merge upward with
     /// per-node pruning; the root selects the Top K and broadcasts it.
     fn cluster(&mut self, tp: &mut TracedProc, triple: &SignatureTriple) -> LeadSelection {
         let tool0 = tp.inner().tool_time();
         let algo = self.config.algo.build();
-        let me = tp.rank();
-        let p = tp.size();
-        let tree = mpisim::RadixTree::new(self.config.radix, p);
-
-        let work = mpisim::WorkModel::calibrated();
-        let mut map = ClusterMap::from_rank(me, triple);
-        for child in tree.children(me) {
-            let info = tp
-                .inner()
-                .recv(SrcSel::Rank(child), TagSel::Tag(CLUSTER_TAG), Comm::TOOL);
-            let child_map =
-                ClusterMap::decode(&info.payload).expect("malformed cluster map from child");
-            tp.inner().tool_compute(work.codec(info.payload.len()));
-            map.merge(child_map);
-        }
-        // Per-node pruning keeps every node's working set at O(K).
-        tp.inner().tool_compute(work.cluster(map.total_clusters()));
-        map.prune(self.config.k, &*algo);
-        let sel = match tree.parent(me) {
-            Some(parent) => {
-                let wire = map.encode();
-                tp.inner().tool_compute(work.codec(wire.len()));
-                tp.inner().send(parent, CLUSTER_TAG, Comm::TOOL, &wire);
-                let enc = tp.inner().bcast(&[], 0, Comm::TOOL);
-                tp.inner().tool_compute(work.codec(enc.len()));
-                LeadSelection::decode(&enc).expect("malformed lead selection from root")
-            }
-            None => {
-                tp.inner().tool_compute(work.cluster(map.total_clusters()));
-                let sel = LeadSelection::select(map, self.config.k, &*algo);
-                let wire = sel.encode();
-                tp.inner().tool_compute(work.codec(wire.len()));
-                tp.inner().bcast(&wire, 0, Comm::TOOL);
-                sel
-            }
+        let sel = if tp.inner().faults_armed() {
+            self.cluster_armed(tp, triple, &*algo)
+        } else {
+            self.cluster_exact(tp, triple, &*algo)
         };
         // Every span above was registered on the tool clock, so the delta
         // covers modeled compute + modeled communication + waits.
@@ -323,6 +393,143 @@ impl Chameleon {
         sel
     }
 
+    /// Fault-free map exchange — the tree spans all ranks and the root
+    /// tree-broadcasts the selection. This path is byte-identical to the
+    /// pre-fault-layer protocol so golden traces stay stable.
+    fn cluster_exact(
+        &mut self,
+        tp: &mut TracedProc,
+        triple: &SignatureTriple,
+        algo: &dyn ClusterAlgorithm,
+    ) -> LeadSelection {
+        let me = tp.rank();
+        let p = tp.size();
+        let tree = mpisim::RadixTree::new(self.config.radix, p);
+
+        let work = mpisim::WorkModel::calibrated();
+        let mut map = ClusterMap::from_rank(me, triple);
+        for child in tree.children(me) {
+            let info = tp
+                .inner()
+                .recv(SrcSel::Rank(child), TagSel::Tag(CLUSTER_TAG), Comm::TOOL);
+            tp.inner().tool_compute(work.codec(info.payload.len()));
+            match ClusterMap::decode(&info.payload) {
+                Ok(child_map) => map.merge(child_map),
+                // Unreachable on the faultless simulated link, but a bad
+                // payload degrades the slice rather than killing the rank.
+                Err(_) => self.slice_degraded = true,
+            }
+        }
+        // Per-node pruning keeps every node's working set at O(K).
+        tp.inner().tool_compute(work.cluster(map.total_clusters()));
+        map.prune(self.config.k, algo);
+        match tree.parent(me) {
+            Some(parent) => {
+                let wire = map.encode();
+                tp.inner().tool_compute(work.codec(wire.len()));
+                tp.inner().send(parent, CLUSTER_TAG, Comm::TOOL, &wire);
+                let enc = tp.inner().bcast(&[], 0, Comm::TOOL);
+                tp.inner().tool_compute(work.codec(enc.len()));
+                LeadSelection::decode(&enc)
+                    .unwrap_or_else(|e| panic!("cluster protocol bug on a faultless channel: {e}"))
+            }
+            None => {
+                tp.inner().tool_compute(work.cluster(map.total_clusters()));
+                let sel = LeadSelection::select(map, self.config.k, algo);
+                let wire = sel.encode();
+                tp.inner().tool_compute(work.codec(wire.len()));
+                tp.inner().bcast(&wire, 0, Comm::TOOL);
+                sel
+            }
+        }
+    }
+
+    /// Armed map exchange — the tree spans only the agreed survivors,
+    /// every hop is a CRC-framed reliable transfer, and the root *stars*
+    /// the selection out to each survivor individually. A dead child (or a
+    /// payload corrupt past the retry budget) costs its subtree's entries
+    /// for this slice; those ranks still hear the selection from the root,
+    /// so lock-step survives.
+    fn cluster_armed(
+        &mut self,
+        tp: &mut TracedProc,
+        triple: &SignatureTriple,
+        algo: &dyn ClusterAlgorithm,
+    ) -> LeadSelection {
+        let me = tp.rank();
+        let participants = self.alive.clone();
+        let my_pos = participants
+            .iter()
+            .position(|&r| r == me)
+            .expect("a running rank is always in the agreed alive set");
+        let tree = mpisim::RadixTree::new(self.config.radix, participants.len());
+
+        let work = mpisim::WorkModel::calibrated();
+        let mut map = ClusterMap::from_rank(me, triple);
+        for child_pos in tree.children(my_pos) {
+            let child = participants[child_pos];
+            match tp
+                .inner()
+                .reliable_recv(child, CLUSTER_TAG, Comm::TOOL, RetryPolicy::Bounded(1))
+            {
+                Ok(payload) => {
+                    tp.inner().tool_compute(work.codec(payload.len()));
+                    match ClusterMap::decode(&payload) {
+                        Ok(child_map) => map.merge(child_map),
+                        Err(_) => self.slice_degraded = true,
+                    }
+                }
+                Err(_) => self.slice_degraded = true,
+            }
+        }
+        tp.inner().tool_compute(work.cluster(map.total_clusters()));
+        map.prune(self.config.k, algo);
+        if let Some(parent_pos) = tree.parent(my_pos) {
+            let wire = map.encode();
+            tp.inner().tool_compute(work.codec(wire.len()));
+            if tp
+                .inner()
+                .reliable_send(participants[parent_pos], CLUSTER_TAG, Comm::TOOL, &wire)
+                .is_err()
+            {
+                // Dead parent: this subtree's entries miss the selection.
+                self.slice_degraded = true;
+            }
+            // The selection always comes straight from the root. Rank 0 is
+            // immortal (FaultPlan validation) and the frames are
+            // CRC-checked, so unbounded retry converges.
+            let enc = tp
+                .inner()
+                .reliable_recv(
+                    participants[0],
+                    SELECT_TAG,
+                    Comm::TOOL,
+                    RetryPolicy::Unlimited,
+                )
+                .expect("rank 0 is immortal under FaultPlan validation");
+            tp.inner().tool_compute(work.codec(enc.len()));
+            LeadSelection::decode(&enc)
+                .unwrap_or_else(|e| panic!("cluster protocol bug on a CRC-clean channel: {e}"))
+        } else {
+            tp.inner().tool_compute(work.cluster(map.total_clusters()));
+            let sel = LeadSelection::select(map, self.config.k, algo);
+            let wire = sel.encode();
+            tp.inner().tool_compute(work.codec(wire.len()));
+            for &r in participants.iter().skip(1) {
+                if tp
+                    .inner()
+                    .reliable_send(r, SELECT_TAG, Comm::TOOL, &wire)
+                    .is_err()
+                {
+                    // Died mid-slice; the next resilient collective will
+                    // agree on its absence.
+                    self.slice_degraded = true;
+                }
+            }
+            sel
+        }
+    }
+
     /// Online inter-compression (Algorithm 3, merge branch): leads
     /// substitute their cluster ranklists into their partial traces, merge
     /// over the radix tree of the Top K ("temp ranks"), ship the partial
@@ -331,9 +538,29 @@ impl Chameleon {
     fn merge_leads_into_online(&mut self, tp: &mut TracedProc, sel: &LeadSelection) {
         let tool0 = tp.inner().tool_time();
         let me = tp.rank();
-        let am_lead = sel.is_lead(me);
-        debug_assert!(!sel.leads.is_empty(), "selection with no leads");
-        let merge_root: Rank = sel.leads[0];
+        let armed = tp.inner().faults_armed();
+        // Merge over the leads still in the agreed alive set. A lead that
+        // died mid-slice (after the last resilient collective) is still
+        // listed — survivors cannot re-agree without another collective —
+        // and degrades the merges that touch it instead of wedging them.
+        let participants: Vec<Rank> = if armed {
+            sel.leads
+                .iter()
+                .copied()
+                .filter(|r| self.alive.contains(r))
+                .collect()
+        } else {
+            sel.leads.clone()
+        };
+        if participants.is_empty() {
+            // Every lead died: this slice's events are unrecoverable.
+            self.slice_degraded = true;
+            tp.tracer_mut().clear_trace();
+            self.stats.intercomp_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+            return;
+        }
+        let am_lead = participants.contains(&me);
+        let merge_root: Rank = participants[0];
 
         let work = mpisim::WorkModel::calibrated();
         if am_lead {
@@ -346,8 +573,11 @@ impl Chameleon {
             tp.inner()
                 .tool_compute(work.fold_per_node * trace.compressed_size() as f64);
             trace.visit_events_mut(&mut |e| e.set_ranks(cluster.members.clone()));
-            let outcome = radix_tree_merge(tp.inner(), self.config.radix, &sel.leads, &trace);
+            let outcome = radix_tree_merge(tp.inner(), self.config.radix, &participants, &trace);
             self.stats.record_merge_timings(&outcome.timings);
+            if outcome.degraded > 0 {
+                self.slice_degraded = true;
+            }
             if let Some(partial) = outcome.merged {
                 // This rank is the root of the Top-K tree.
                 if me == 0 {
@@ -357,30 +587,65 @@ impl Chameleon {
                     ));
                     self.online_trace.absorb_trace(&partial);
                 } else {
-                    let wire = format::to_text(&partial);
+                    let wire = scalatrace::format::to_text(&partial);
                     tp.inner().tool_compute(work.codec(wire.len()));
-                    tp.inner().send(0, ONLINE_TAG, Comm::TOOL, wire.as_bytes());
+                    if armed {
+                        if tp
+                            .inner()
+                            .reliable_send(0, ONLINE_TAG, Comm::TOOL, wire.as_bytes())
+                            .is_err()
+                        {
+                            self.slice_degraded = true;
+                        }
+                    } else {
+                        tp.inner().send(0, ONLINE_TAG, Comm::TOOL, wire.as_bytes());
+                    }
                 }
             }
         }
         if me == 0 && merge_root != 0 {
-            let info = tp.inner().recv(
-                SrcSel::Rank(merge_root),
-                TagSel::Tag(ONLINE_TAG),
-                Comm::TOOL,
-            );
-            let partial = format::from_text(
-                std::str::from_utf8(&info.payload).expect("online trace payload is UTF-8"),
-            )
-            .expect("malformed partial global trace");
-            tp.inner().tool_compute(
-                work.codec(info.payload.len())
-                    + work.merge(
-                        self.online_trace.compressed_size(),
-                        partial.compressed_size(),
-                    ),
-            );
-            self.online_trace.absorb_trace(&partial);
+            let payload = if armed {
+                match tp.inner().reliable_recv(
+                    merge_root,
+                    ONLINE_TAG,
+                    Comm::TOOL,
+                    RetryPolicy::Bounded(1),
+                ) {
+                    Ok(bytes) => Some(bytes),
+                    // The merge root died or its payload stayed corrupt
+                    // past the retry budget: the online trace skips this
+                    // slice and the run continues.
+                    Err(_) => {
+                        self.slice_degraded = true;
+                        None
+                    }
+                }
+            } else {
+                Some(
+                    tp.inner()
+                        .recv(
+                            SrcSel::Rank(merge_root),
+                            TagSel::Tag(ONLINE_TAG),
+                            Comm::TOOL,
+                        )
+                        .payload,
+                )
+            };
+            if let Some(payload) = payload {
+                match decode_wire_trace(&payload) {
+                    Ok(partial) => {
+                        tp.inner().tool_compute(
+                            work.codec(payload.len())
+                                + work.merge(
+                                    self.online_trace.compressed_size(),
+                                    partial.compressed_size(),
+                                ),
+                        );
+                        self.online_trace.absorb_trace(&partial);
+                    }
+                    Err(_) => self.slice_degraded = true,
+                }
+            }
         }
         // "All nodes: Delete your partial trace."
         tp.tracer_mut().clear_trace();

@@ -139,6 +139,15 @@ pub struct ChameleonStats {
     /// inter-compression time concentrates as traces widen toward the
     /// root.
     pub merge_levels: BTreeMap<usize, MergeLevelStats>,
+    /// Marker slices whose contribution to the online trace is *degraded*
+    /// under an armed fault plan: a rank died mid-slice, or a payload
+    /// stayed corrupt past the retry budget (see FAULTS.md). Counted at
+    /// most once per marker slice. Zero on a fault-free run.
+    pub degraded_slices: u64,
+    /// Orphaned clusters whose lead was re-elected after its original
+    /// lead died. Every surviving rank computes the same re-election, so
+    /// this is identical across survivors.
+    pub lead_reelections: u64,
 }
 
 impl ChameleonStats {
@@ -193,6 +202,11 @@ pub struct AggregatedStats {
     pub marker_calls: u64,
     /// Per-level merge profile summed across ranks.
     pub merge_levels: BTreeMap<usize, MergeLevelStats>,
+    /// Degraded marker slices (first rank's count — survivors agree on the
+    /// slice verdict, so summing would multiply-count one event).
+    pub degraded_slices: u64,
+    /// Lead re-elections (first rank's count, same reasoning).
+    pub lead_reelections: u64,
 }
 
 impl AggregatedStats {
@@ -215,6 +229,8 @@ impl AggregatedStats {
             if first {
                 agg.states = s.states;
                 agg.marker_calls = s.marker_calls;
+                agg.degraded_slices = s.degraded_slices;
+                agg.lead_reelections = s.lead_reelections;
                 first = false;
             }
         }

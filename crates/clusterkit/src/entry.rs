@@ -85,6 +85,14 @@ impl ClusterEntry {
         let src = take_u64(buf, cursor)?;
         let dest = take_u64(buf, cursor)?;
         let n = take_u64(buf, cursor)? as usize;
+        // Validate the declared count against the bytes actually present
+        // BEFORE allocating: a corrupted length field must fail the
+        // decode, not abort the process on a absurd reservation.
+        if n.checked_mul(4)
+            .is_none_or(|need| buf.len() - *cursor < need)
+        {
+            return None;
+        }
         let mut members = Vec::with_capacity(n);
         for _ in 0..n {
             let v = u32::from_le_bytes(buf.get(*cursor..*cursor + 4)?.try_into().ok()?);
@@ -174,6 +182,21 @@ mod tests {
                 "cut at {cut} must fail"
             );
         }
+    }
+
+    #[test]
+    fn decode_rejects_absurd_member_count_without_allocating() {
+        // A corrupted length field must fail the decode before the member
+        // vector is reserved — `with_capacity(u64::MAX)` would abort.
+        let e = entry(1, 2, 3);
+        let mut buf = Vec::new();
+        e.encode(&mut buf);
+        buf[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut cursor = 0;
+        assert!(ClusterEntry::decode(&buf, &mut cursor).is_none());
+        buf[24..32].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let mut cursor = 0;
+        assert!(ClusterEntry::decode(&buf, &mut cursor).is_none());
     }
 
     #[test]

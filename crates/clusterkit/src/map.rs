@@ -22,6 +22,33 @@ use crate::algorithms::ClusterAlgorithm;
 use crate::entry::ClusterEntry;
 use crate::topk::find_top_k;
 
+/// A malformed wire payload: what failed to parse and where in the buffer.
+///
+/// Decoding used to return a bare `Option`, which call sites turned into
+/// panics — under a fault plan a corrupted byte must instead surface as a
+/// recoverable error the protocol layer can retry or degrade on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Which structure was being decoded.
+    pub what: &'static str,
+    /// Byte offset the decoder had reached when it gave up.
+    pub offset: usize,
+    /// Total payload length, for context.
+    pub len: usize,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "malformed {} payload at byte {} of {}",
+            self.what, self.offset, self.len
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
 /// Cluster entries grouped by Call-Path signature.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClusterMap {
@@ -104,6 +131,29 @@ impl ClusterMap {
         k_eff
     }
 
+    /// Re-elect leads for clusters orphaned by rank death: any entry whose
+    /// lead is not in `alive` gets its smallest surviving member as the new
+    /// lead. A pure function of the agreed alive set, so every survivor
+    /// elects identically without further communication. Entries with no
+    /// surviving member keep their dead lead — callers drop extinct
+    /// clusters by intersecting [`ClusterMap::leads`] with the alive set.
+    /// Returns the number of re-elections performed.
+    pub fn reelect_leads(&mut self, alive: &[Rank]) -> u64 {
+        let mut reelected = 0;
+        for entries in self.groups.values_mut() {
+            for e in entries.iter_mut() {
+                if alive.contains(&e.lead) {
+                    continue;
+                }
+                if let Some(&new_lead) = e.members.expand().iter().find(|m| alive.contains(m)) {
+                    e.lead = new_lead;
+                    reelected += 1;
+                }
+            }
+        }
+        reelected
+    }
+
     /// All lead ranks, ascending.
     pub fn leads(&self) -> Vec<Rank> {
         let mut out: Vec<Rank> = self
@@ -140,24 +190,33 @@ impl ClusterMap {
     }
 
     /// Decode a map previously produced by [`ClusterMap::encode`].
-    pub fn decode(buf: &[u8]) -> Option<ClusterMap> {
+    pub fn decode(buf: &[u8]) -> Result<ClusterMap, WireError> {
+        let err = |offset: usize| WireError {
+            what: "cluster map",
+            offset,
+            len: buf.len(),
+        };
         let mut cursor = 0usize;
         let take_u64 = |c: &mut usize| -> Option<u64> {
             let v = u64::from_le_bytes(buf.get(*c..*c + 8)?.try_into().ok()?);
             *c += 8;
             Some(v)
         };
-        let ngroups = take_u64(&mut cursor)? as usize;
+        let ngroups = take_u64(&mut cursor).ok_or_else(|| err(cursor))? as usize;
         let mut map = ClusterMap::new();
         for _ in 0..ngroups {
-            let key = take_u64(&mut cursor)?;
-            let nentries = take_u64(&mut cursor)? as usize;
+            let key = take_u64(&mut cursor).ok_or_else(|| err(cursor))?;
+            let nentries = take_u64(&mut cursor).ok_or_else(|| err(cursor))? as usize;
             for _ in 0..nentries {
-                let entry = ClusterEntry::decode(buf, &mut cursor)?;
+                let entry = ClusterEntry::decode(buf, &mut cursor).ok_or_else(|| err(cursor))?;
                 map.insert(CallPathSig(key), entry);
             }
         }
-        (cursor == buf.len()).then_some(map)
+        if cursor == buf.len() {
+            Ok(map)
+        } else {
+            Err(err(cursor))
+        }
     }
 }
 
@@ -200,11 +259,23 @@ impl LeadSelection {
     }
 
     /// Decode a selection shipped by the root.
-    pub fn decode(buf: &[u8]) -> Option<LeadSelection> {
-        let k = u64::from_le_bytes(buf.get(..8)?.try_into().ok()?) as usize;
-        let map = ClusterMap::decode(&buf[8..])?;
+    pub fn decode(buf: &[u8]) -> Result<LeadSelection, WireError> {
+        let k = buf
+            .get(..8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or(WireError {
+                what: "lead selection",
+                offset: 0,
+                len: buf.len(),
+            })? as usize;
+        let map = ClusterMap::decode(&buf[8..]).map_err(|e| WireError {
+            what: "lead selection",
+            offset: e.offset + 8,
+            len: buf.len(),
+        })?;
         let leads = map.leads();
-        Some(LeadSelection {
+        Ok(LeadSelection {
             map,
             leads,
             effective_k: k,
@@ -318,10 +389,13 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(ClusterMap::decode(&[1, 2, 3]).is_none());
+        let err = ClusterMap::decode(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.what, "cluster map");
+        assert_eq!(err.len, 3);
         let mut valid = ClusterMap::from_rank(0, &triple(1, 0, 0)).encode();
         valid.push(0xff); // trailing junk
-        assert!(ClusterMap::decode(&valid).is_none());
+        assert!(ClusterMap::decode(&valid).is_err());
+        assert!(LeadSelection::decode(&[9]).is_err());
     }
 
     #[test]
@@ -338,6 +412,30 @@ mod tests {
         assert!(!sel.is_lead(1234));
         let back = LeadSelection::decode(&sel.encode()).unwrap();
         assert_eq!(back, sel);
+    }
+
+    #[test]
+    fn reelection_picks_min_surviving_member() {
+        // One cluster {2,5,9} led by 2; rank 2 dies -> 5 takes over.
+        let mut m = ClusterMap::new();
+        for r in [2, 5, 9] {
+            m.merge(ClusterMap::from_rank(r, &triple(1, 0, 0)));
+        }
+        m.prune(1, &KFarthest);
+        assert_eq!(m.total_clusters(), 1);
+        let lead = m.leads()[0];
+        let alive: Vec<Rank> = [2, 5, 9].into_iter().filter(|&r| r != lead).collect();
+        assert_eq!(m.reelect_leads(&alive), 1);
+        assert_eq!(m.leads(), vec![alive[0]], "smallest survivor leads");
+        // Idempotent: the new lead is alive, nothing more to do.
+        assert_eq!(m.reelect_leads(&alive), 0);
+    }
+
+    #[test]
+    fn reelection_leaves_extinct_cluster_lead() {
+        let mut m = ClusterMap::from_rank(3, &triple(1, 0, 0));
+        assert_eq!(m.reelect_leads(&[0, 1]), 0, "no survivor to elect");
+        assert_eq!(m.leads(), vec![3], "dead lead kept for caller filtering");
     }
 
     #[test]
@@ -412,7 +510,7 @@ mod props {
                     },
                 ));
             }
-            assert_eq!(ClusterMap::decode(&m.encode()), Some(m));
+            assert_eq!(ClusterMap::decode(&m.encode()), Ok(m));
         }
     }
 }

@@ -48,6 +48,7 @@ impl Proc {
     /// Dissemination barrier: after ⌈log2 P⌉ exchange rounds every rank is
     /// certain every other rank has entered the barrier.
     pub fn barrier(&mut self, comm: Comm) {
+        self.tick_op();
         let p = self.size();
         if p == 1 {
             return;
@@ -177,6 +178,91 @@ impl Proc {
     /// the workloads.
     pub fn allreduce_sum(&mut self, value: u64) -> u64 {
         self.allreduce_u64(value, ReduceOp::Sum, Comm::WORLD)
+    }
+
+    /// Death-tolerant barrier: synchronizes the surviving ranks and
+    /// returns the agreed alive set (ascending). See
+    /// [`Proc::resilient_allreduce_u64`] for the protocol and its
+    /// guarantees.
+    pub fn resilient_barrier(&mut self, comm: Comm) -> Vec<Rank> {
+        self.resilient_allreduce_u64(0, ReduceOp::Sum, comm).1
+    }
+
+    /// Death-tolerant allreduce over whoever is still alive, as a star
+    /// through rank 0 (kept immortal by [`crate::FaultPlan`] validation).
+    /// Returns `(result, alive)` where `alive` is the ascending list of
+    /// ranks whose contributions made it into `result` — rank 0's snapshot,
+    /// broadcast back down, so **every survivor receives the identical
+    /// set**. Chameleon uses that snapshot as the agreed participant set
+    /// for the phase the vote opens: lock-step is preserved because the
+    /// agreement is made once, at the root, not inferred per-rank.
+    ///
+    /// A rank that dies *after* contributing stays in the snapshot; the
+    /// phase that trusted the snapshot must tolerate its silence (that is
+    /// the mid-phase-death path, counted as a degraded slice).
+    ///
+    /// O(P) rounds instead of the dissemination/binomial O(log P): the
+    /// star is the price of a single authoritative membership decision.
+    /// Only armed worlds ever call this.
+    pub fn resilient_allreduce_u64(
+        &mut self,
+        value: u64,
+        op: ReduceOp,
+        comm: Comm,
+    ) -> (u64, Vec<Rank>) {
+        self.tick_op();
+        let p = self.size();
+        let seq = self.next_coll_seq(comm);
+        if p == 1 {
+            return (value, vec![0]);
+        }
+        let me = self.rank();
+        let up = Proc::coll_tag(seq, 0);
+        let down = Proc::coll_tag(seq, 1);
+        if me == 0 {
+            let mut acc = value;
+            let mut alive: Vec<Rank> = vec![0];
+            for r in 1..p {
+                if let Some(info) = self.recv_or_dead(r, up, comm) {
+                    let v = u64::from_le_bytes(
+                        info.payload
+                            .as_slice()
+                            .try_into()
+                            .expect("resilient allreduce contribution is 8 bytes"),
+                    );
+                    acc = op.apply(acc, v);
+                    alive.push(r);
+                }
+            }
+            let mut reply = Vec::with_capacity(16 + 8 * alive.len());
+            reply.extend_from_slice(&acc.to_le_bytes());
+            reply.extend_from_slice(&(alive.len() as u64).to_le_bytes());
+            for &r in &alive {
+                reply.extend_from_slice(&(r as u64).to_le_bytes());
+            }
+            for &r in &alive {
+                if r != 0 {
+                    self.send(r, down, comm, &reply);
+                }
+            }
+            (acc, alive)
+        } else {
+            self.send(0, up, comm, &value.to_le_bytes());
+            let info = self
+                .recv_or_dead(0, down, comm)
+                .expect("rank 0 is immortal by FaultPlan validation");
+            let buf = info.payload;
+            assert!(buf.len() >= 16, "resilient allreduce reply framing");
+            let result = u64::from_le_bytes(buf[..8].try_into().unwrap());
+            let n = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+            assert_eq!(buf.len(), 16 + 8 * n, "resilient allreduce reply framing");
+            let alive = (0..n)
+                .map(|i| {
+                    u64::from_le_bytes(buf[16 + 8 * i..24 + 8 * i].try_into().unwrap()) as Rank
+                })
+                .collect();
+            (result, alive)
+        }
     }
 
     /// Binomial-tree gather of variable-length payloads to `root`.

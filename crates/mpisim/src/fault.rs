@@ -1,0 +1,299 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] armed on a [`crate::WorldConfig`] makes the simulated
+//! network misbehave in reproducible ways: a chosen rank crashes at its
+//! N-th simulated operation, and tool-plane point-to-point messages can be
+//! dropped, duplicated, corrupted, or delayed. Every decision is a pure
+//! function of `(plan seed, sender rank, per-sender message nonce)` — the
+//! nonce counts messages in *sender program order* — so the same plan and
+//! seed produce the same faults regardless of host thread scheduling.
+//! That determinism is what lets the chaos tests demand bit-identical
+//! degraded traces across runs.
+//!
+//! Scope: faults apply only to unreliable tool-plane traffic (see
+//! [`crate::proc`]'s faultable predicate). Collective-internal rounds and
+//! the reliable layer's ACK channel are exempt — corrupting those would
+//! model a broken transport, not a lossy link, and the recovery protocol
+//! itself must have somewhere solid to stand.
+
+use std::fmt;
+
+use crate::proc::Rank;
+
+/// SplitMix64 mixing step: a high-quality 64-bit hash used for fault
+/// coins. Inlined here so `mpisim` keeps an empty `[dependencies]` table.
+#[inline]
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Crash a rank at its `at_op`-th simulated operation (sends, completed
+/// receives, and barrier entries all count, including collective-internal
+/// ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFault {
+    /// The rank to kill. Never rank 0: it owns the online trace.
+    pub rank: Rank,
+    /// Operation index at which the crash fires (0-based: `at_op = 10`
+    /// dies attempting its 11th operation).
+    pub at_op: u64,
+}
+
+/// A deterministic fault schedule for one world run.
+///
+/// Per-mille knobs express probabilities in units of 1/1000 per message
+/// (e.g. `corrupt_per_mille = 20` ⇒ 2% of faultable messages are
+/// corrupted). All default to zero; a default plan with no crash injects
+/// nothing but still arms the armed-mode code paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for all fault coins.
+    pub seed: u64,
+    /// Optional single-rank crash.
+    pub crash: Option<CrashFault>,
+    /// Per-mille chance a message send attempt is dropped (the sender's
+    /// reliable layer observes the drop and retransmits; raw sends are
+    /// never dropped because nothing would recover them).
+    pub drop_per_mille: u16,
+    /// Per-mille chance a delivered message has one payload byte flipped.
+    pub corrupt_per_mille: u16,
+    /// Per-mille chance a message is delivered twice.
+    pub duplicate_per_mille: u16,
+    /// Per-mille chance a message's modeled arrival is pushed out by
+    /// [`FaultPlan::delay_seconds`].
+    pub delay_per_mille: u16,
+    /// Virtual-time penalty applied to delayed messages.
+    pub delay_seconds: f64,
+    /// Real-time backstop: when a plan is armed, blocking receive loops
+    /// panic after this many milliseconds instead of hanging forever, so
+    /// a buggy recovery protocol fails fast under test.
+    pub hang_timeout_ms: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults configured.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash: None,
+            drop_per_mille: 0,
+            corrupt_per_mille: 0,
+            duplicate_per_mille: 0,
+            delay_per_mille: 0,
+            delay_seconds: 0.0,
+            hang_timeout_ms: 30_000,
+        }
+    }
+
+    /// Crash `rank` at its `at_op`-th simulated operation.
+    ///
+    /// Panics if `rank == 0`: rank 0 hosts the online trace and is the
+    /// fixed root of the resilient collectives, so the fault model keeps
+    /// it immortal (real deployments restart the tool if the head node
+    /// dies — there is no trace left to salvage).
+    pub fn crash_rank(mut self, rank: Rank, at_op: u64) -> Self {
+        assert!(
+            rank != 0,
+            "rank 0 is the online-trace root; it cannot be crashed"
+        );
+        self.crash = Some(CrashFault { rank, at_op });
+        self
+    }
+
+    /// Set the per-mille message drop rate.
+    pub fn drop_per_mille(mut self, pm: u16) -> Self {
+        self.drop_per_mille = pm.min(1000);
+        self
+    }
+
+    /// Set the per-mille payload corruption rate.
+    pub fn corrupt_per_mille(mut self, pm: u16) -> Self {
+        self.corrupt_per_mille = pm.min(1000);
+        self
+    }
+
+    /// Set the per-mille message duplication rate.
+    pub fn duplicate_per_mille(mut self, pm: u16) -> Self {
+        self.duplicate_per_mille = pm.min(1000);
+        self
+    }
+
+    /// Set the per-mille delivery delay rate and the virtual-time penalty.
+    pub fn delay(mut self, pm: u16, seconds: f64) -> Self {
+        self.delay_per_mille = pm.min(1000);
+        self.delay_seconds = seconds.max(0.0);
+        self
+    }
+
+    /// Override the armed-mode hang backstop.
+    pub fn hang_timeout_ms(mut self, ms: u64) -> Self {
+        self.hang_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Decide the fate of one message send attempt. Pure in
+    /// `(self.seed, sender, nonce)`; callers tick `nonce` once per send
+    /// attempt in sender program order.
+    pub fn fate(&self, sender: Rank, nonce: u64) -> MessageFate {
+        let h = splitmix64(self.seed ^ splitmix64(((sender as u64) << 32) ^ nonce));
+        MessageFate {
+            drop: (h % 1000) < self.drop_per_mille as u64,
+            corrupt: ((h >> 10) % 1000) < self.corrupt_per_mille as u64,
+            duplicate: ((h >> 20) % 1000) < self.duplicate_per_mille as u64,
+            delay: ((h >> 30) % 1000) < self.delay_per_mille as u64,
+            entropy: splitmix64(h),
+        }
+    }
+}
+
+/// The coin-flip outcome for one message send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageFate {
+    /// Discard the message instead of delivering it.
+    pub drop: bool,
+    /// Flip one payload byte.
+    pub corrupt: bool,
+    /// Deliver the message twice.
+    pub duplicate: bool,
+    /// Push the modeled arrival time out.
+    pub delay: bool,
+    /// Extra deterministic randomness (chooses which byte to corrupt).
+    pub entropy: u64,
+}
+
+impl fmt::Display for FaultPlan {
+    /// Renders the full plan — this is the reproduction recipe the chaos
+    /// CI job uploads as a failure artifact.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FaultPlan seed=0x{:016x}", self.seed)?;
+        match self.crash {
+            Some(c) => writeln!(f, "  crash: rank {} at op {}", c.rank, c.at_op)?,
+            None => writeln!(f, "  crash: none")?,
+        }
+        writeln!(f, "  drop: {}/1000", self.drop_per_mille)?;
+        writeln!(f, "  corrupt: {}/1000", self.corrupt_per_mille)?;
+        writeln!(f, "  duplicate: {}/1000", self.duplicate_per_mille)?;
+        writeln!(
+            f,
+            "  delay: {}/1000 (+{}s virtual)",
+            self.delay_per_mille, self.delay_seconds
+        )?;
+        write!(f, "  hang timeout: {} ms", self.hang_timeout_ms)
+    }
+}
+
+/// Per-rank tally of injected faults and recovery actions, reported in
+/// [`crate::world::FaultyWorldReport`] (and readable even from a crashed
+/// rank).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// This rank was killed by the plan's crash fault.
+    pub crashed: bool,
+    /// Send attempts the plan discarded (sender-side; each is followed by
+    /// a retransmission from the reliable layer).
+    pub drops: u64,
+    /// Messages delivered twice.
+    pub duplicates: u64,
+    /// Messages delivered with a flipped payload byte.
+    pub corruptions: u64,
+    /// Messages whose arrival time was pushed out.
+    pub delays: u64,
+    /// Retransmissions performed by this rank's reliable send path
+    /// (covers both observed drops and NACKed frames).
+    pub retransmits: u64,
+    /// NACKs this rank sent after CRC/framing failures.
+    pub nacks_sent: u64,
+    /// Times this rank observed a peer's death while waiting on it.
+    pub peer_deaths_seen: u64,
+}
+
+/// Panic payload used for plan-injected crashes, so the world harness can
+/// tell a scheduled death from a genuine bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// The rank that died.
+    pub rank: Rank,
+    /// The operation index at which it died.
+    pub op: u64,
+}
+
+impl fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected crash: rank {} at op {}", self.rank, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_is_deterministic() {
+        let plan = FaultPlan::new(0xC0FFEE)
+            .drop_per_mille(100)
+            .corrupt_per_mille(50)
+            .duplicate_per_mille(25)
+            .delay(10, 0.5);
+        for sender in 0..8 {
+            for nonce in 0..200 {
+                assert_eq!(plan.fate(sender, nonce), plan.fate(sender, nonce));
+            }
+        }
+    }
+
+    #[test]
+    fn fate_rates_roughly_honored() {
+        let plan = FaultPlan::new(7).drop_per_mille(100).corrupt_per_mille(500);
+        let n = 20_000u64;
+        let (mut drops, mut corrupts) = (0u64, 0u64);
+        for nonce in 0..n {
+            let f = plan.fate(3, nonce);
+            drops += f.drop as u64;
+            corrupts += f.corrupt as u64;
+        }
+        let drop_rate = drops as f64 / n as f64;
+        let corrupt_rate = corrupts as f64 / n as f64;
+        assert!((0.08..0.12).contains(&drop_rate), "drop rate {drop_rate}");
+        assert!(
+            (0.45..0.55).contains(&corrupt_rate),
+            "corrupt rate {corrupt_rate}"
+        );
+    }
+
+    #[test]
+    fn fate_differs_across_seeds_and_senders() {
+        let a = FaultPlan::new(1).drop_per_mille(500);
+        let b = FaultPlan::new(2).drop_per_mille(500);
+        let diff_seed = (0..64).filter(|&n| a.fate(0, n) != b.fate(0, n)).count();
+        let diff_sender = (0..64).filter(|&n| a.fate(0, n) != a.fate(1, n)).count();
+        assert!(diff_seed > 10, "seeds must decorrelate coins");
+        assert!(diff_sender > 10, "senders must decorrelate coins");
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::new(99);
+        for nonce in 0..1000 {
+            let f = plan.fate(1, nonce);
+            assert!(!f.drop && !f.corrupt && !f.duplicate && !f.delay);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 0")]
+    fn crashing_rank_zero_rejected() {
+        let _ = FaultPlan::new(0).crash_rank(0, 5);
+    }
+
+    #[test]
+    fn plan_display_is_a_repro_recipe() {
+        let plan = FaultPlan::new(0xAB).crash_rank(3, 42).corrupt_per_mille(20);
+        let s = plan.to_string();
+        assert!(s.contains("seed=0x00000000000000ab"));
+        assert!(s.contains("rank 3 at op 42"));
+        assert!(s.contains("corrupt: 20/1000"));
+    }
+}

@@ -37,17 +37,21 @@
 
 pub mod collectives;
 pub mod cputime;
+pub mod fault;
 pub mod mailbox;
 pub mod proc;
+pub mod reliable;
 pub mod time;
 pub mod topology;
 pub mod world;
 
 pub use cputime::CpuTimer;
+pub use fault::{CrashFault, FaultPlan, FaultStats, InjectedCrash};
 pub use proc::{PendingRecv, Proc, Rank, RecvInfo, SrcSel, Tag, TagSel};
+pub use reliable::{ProtocolError, RetryPolicy};
 pub use time::{CostModel, VirtualClock, VirtualTime, WorkModel};
 pub use topology::RadixTree;
-pub use world::{World, WorldConfig, WorldReport};
+pub use world::{FaultyWorldReport, World, WorldConfig, WorldReport};
 
 /// Communicator identifier.
 ///

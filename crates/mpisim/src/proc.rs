@@ -4,7 +4,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use crate::fault::{FaultPlan, FaultStats, InjectedCrash};
 use crate::mailbox::{Envelope, Mailbox};
 use crate::time::{CostModel, VirtualClock, VirtualTime};
 use crate::Comm;
@@ -79,6 +81,15 @@ pub(crate) struct Shared {
     pub(crate) size: usize,
     /// Set when any rank panics so blocked peers abort instead of hanging.
     pub(crate) poisoned: AtomicBool,
+    /// The armed fault plan, if any. `None` keeps every fault hook on its
+    /// zero-cost path.
+    pub(crate) faults: Option<FaultPlan>,
+    /// Per-rank death flags. A rank sets its own flag (SeqCst) *before*
+    /// unwinding on an injected crash; because sends are eager, any
+    /// message the dying rank sent is already in its peer's mailbox by the
+    /// time the flag is observable — which is what makes death detection
+    /// deterministic (see [`Proc::recv_or_dead`]).
+    pub(crate) dead: Vec<AtomicBool>,
 }
 
 /// Handle through which one rank's program talks to the simulated MPI.
@@ -104,6 +115,19 @@ pub struct Proc {
     /// clock instead would time the host scheduler: the simulation
     /// oversubscribes cores, so blocking waits are meaningless there.
     tool_clock: VirtualClock,
+    /// Simulated operations performed (send attempts, completed receives,
+    /// barrier entries — collective-internal ones included). Drives
+    /// [`crate::fault::CrashFault`] scheduling.
+    op_count: u64,
+    /// Per-sender message nonce: ticks once per send attempt, in sender
+    /// program order, and seeds the fault coin for that attempt.
+    send_nonce: u64,
+    /// Tally of injected faults and recovery actions on this rank.
+    pub(crate) fstats: FaultStats,
+    /// Reliable-layer outgoing sequence numbers per `(peer, tag)`.
+    pub(crate) seq_out: HashMap<(Rank, Tag), u64>,
+    /// Reliable-layer expected incoming sequence numbers per `(peer, tag)`.
+    pub(crate) seq_in: HashMap<(Rank, Tag), u64>,
 }
 
 /// Base of the reserved tag space used by collective-internal messages.
@@ -119,6 +143,11 @@ impl Proc {
             coll_seq: HashMap::new(),
             stats: ProcStats::default(),
             tool_clock: VirtualClock::new(),
+            op_count: 0,
+            send_nonce: 0,
+            fstats: FaultStats::default(),
+            seq_out: HashMap::new(),
+            seq_in: HashMap::new(),
         }
     }
 
@@ -175,33 +204,126 @@ impl Proc {
     /// Panics if `dest` is out of range or the application tag intrudes on
     /// the reserved collective tag space.
     pub fn send(&mut self, dest: Rank, tag: Tag, comm: Comm, payload: &[u8]) {
+        // Raw sends never ask for the drop fault: nothing above them would
+        // retransmit, so a drop would just deadlock the receiver. Only the
+        // reliable layer (which retransmits) opts in.
+        self.send_faulty(dest, tag, comm, payload, false);
+    }
+
+    /// The real send path, with fault injection. Returns `true` if the
+    /// message was delivered, `false` if the armed plan dropped it
+    /// (possible only when `allow_drop` is set — the reliable layer's
+    /// retransmission loop).
+    ///
+    /// Faults apply only to unreliable tool-plane traffic: `Comm::TOOL`
+    /// messages below the collective tag space, excluding the reliable
+    /// layer's ACK channel. Collective rounds and ACKs ride a solid
+    /// transport — the recovery protocol needs ground to stand on — and
+    /// the application plane stays clean so faulted runs keep comparable
+    /// virtual times.
+    pub(crate) fn send_faulty(
+        &mut self,
+        dest: Rank,
+        tag: Tag,
+        comm: Comm,
+        payload: &[u8],
+        allow_drop: bool,
+    ) -> bool {
         assert!(
             dest < self.shared.size,
             "send to rank {dest} in world of {}",
             self.shared.size
         );
+        self.tick_op();
         // Tool-internal traffic (PMPI-wrapper side channels: clustering
         // votes, trace shipping, marker sync) is free in *virtual* time:
         // the virtual clock models the application alone, while tool cost
         // is measured in real wall-clock. Without this split, instrumented
         // and uninstrumented runs would disagree on application time.
         let tool = comm == Comm::TOOL || comm == Comm::MARKER;
-        let arrival = if tool {
+        let mut arrival = if tool {
             self.tool_clock.advance(self.shared.cost.overhead);
             self.tool_clock.now() + self.shared.cost.transfer(payload.len())
         } else {
             self.clock.advance(self.shared.cost.overhead);
             self.clock.now() + self.shared.cost.transfer(payload.len())
         };
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len();
+
+        let mut body = None;
+        let mut duplicate = false;
+        if let Some(plan) = &self.shared.faults {
+            let faultable =
+                comm == Comm::TOOL && tag < COLLECTIVE_TAG_BASE && tag != crate::reliable::ACK_TAG;
+            if faultable {
+                let fate = plan.fate(self.rank, self.send_nonce);
+                self.send_nonce += 1;
+                if fate.drop && allow_drop {
+                    self.fstats.drops += 1;
+                    return false;
+                }
+                if fate.corrupt && !payload.is_empty() {
+                    let mut bytes = payload.to_vec();
+                    let idx = (fate.entropy as usize) % bytes.len();
+                    // XOR with a non-zero mask so the flip is never a no-op.
+                    bytes[idx] ^= 1 + ((fate.entropy >> 8) % 255) as u8;
+                    self.fstats.corruptions += 1;
+                    body = Some(bytes);
+                }
+                if fate.delay {
+                    arrival += plan.delay_seconds;
+                    self.fstats.delays += 1;
+                }
+                if fate.duplicate {
+                    self.fstats.duplicates += 1;
+                    duplicate = true;
+                }
+            }
+        }
+        let body = body.unwrap_or_else(|| payload.to_vec());
+        if duplicate {
+            self.shared.mailboxes[dest].deliver(Envelope {
+                src: self.rank,
+                tag,
+                comm,
+                payload: body.clone(),
+                arrival,
+            });
+        }
         self.shared.mailboxes[dest].deliver(Envelope {
             src: self.rank,
             tag,
             comm,
-            payload: payload.to_vec(),
+            payload: body,
             arrival,
         });
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += payload.len();
+        true
+    }
+
+    /// Advance the operation counter and fire the plan's crash fault if
+    /// this is the scheduled operation. A no-op (one branch) when no plan
+    /// is armed.
+    #[inline]
+    pub(crate) fn tick_op(&mut self) {
+        let Some(plan) = &self.shared.faults else {
+            return;
+        };
+        let op = self.op_count;
+        self.op_count += 1;
+        if let Some(c) = plan.crash {
+            if c.rank == self.rank && op == c.at_op {
+                self.fstats.crashed = true;
+                // Publish death BEFORE unwinding: sends are eager, so once
+                // a peer observes this flag, everything this rank sent
+                // before dying is already in the peer's mailbox.
+                self.shared.dead[self.rank].store(true, Ordering::SeqCst);
+                std::panic::panic_any(InjectedCrash {
+                    rank: self.rank,
+                    op,
+                });
+            }
+        }
     }
 
     /// Blocking matched receive. Synchronizes this rank's virtual clock
@@ -229,6 +351,7 @@ impl Proc {
     /// per message, in a deterministic order of its choosing. If another
     /// rank panicked, this aborts (panics) instead of blocking forever.
     pub fn recv_from_set(&mut self, srcs: &[Rank], tag: Tag, comm: Comm) -> PendingRecv {
+        let deadline = self.hang_deadline();
         let env = loop {
             if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout_from_set(
                 srcs,
@@ -244,6 +367,7 @@ impl Proc {
                     self.rank
                 );
             }
+            self.check_hang(deadline, srcs.first().copied().unwrap_or(0), tag);
         };
         PendingRecv {
             src: env.src,
@@ -258,6 +382,7 @@ impl Proc {
     /// reduction), which makes the modeled clocks independent of the
     /// host's actual message timing.
     pub fn complete_recv(&mut self, msg: &PendingRecv, comm: Comm) {
+        self.tick_op();
         if comm == Comm::TOOL || comm == Comm::MARKER {
             self.tool_clock.sync_to(msg.arrival);
             self.tool_clock.advance(self.shared.cost.overhead);
@@ -271,6 +396,7 @@ impl Proc {
 
     /// Clock synchronization and accounting for a completed receive.
     fn finish_recv(&mut self, env: Envelope, comm: Comm) -> RecvInfo {
+        self.tick_op();
         if comm == Comm::TOOL || comm == Comm::MARKER {
             // Arrival is in the tool-clock domain: waiting for a late
             // sender (e.g. a merge partner still computing) shows up as
@@ -351,6 +477,94 @@ impl Proc {
         self.shared.mailboxes[self.rank].probe(src, tag, comm)
     }
 
+    /// Whether a fault plan is armed on this world.
+    #[inline]
+    pub fn faults_armed(&self) -> bool {
+        self.shared.faults.is_some()
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.shared.faults.as_ref()
+    }
+
+    /// This rank's fault/recovery tally so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fstats
+    }
+
+    /// Whether `rank` has died to an injected crash.
+    pub fn is_dead(&self, rank: Rank) -> bool {
+        self.shared.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// Blocking receive that gives up — deterministically — if the sender
+    /// dies. Returns `None` only when `src` is dead *and* no matching
+    /// message is pending.
+    ///
+    /// Determinism argument: the dying rank publishes its death flag
+    /// before unwinding, and sends are eager (delivered synchronously in
+    /// the sender's thread). So by the time this rank observes the flag,
+    /// every message the dead rank sent before its crash point is already
+    /// in the mailbox — one final zero-timeout recheck after seeing the
+    /// flag therefore decides message-vs-death purely by whether the dead
+    /// rank *reached* the send before its crash op, never by scheduling.
+    pub fn recv_or_dead(&mut self, src: Rank, tag: Tag, comm: Comm) -> Option<RecvInfo> {
+        let deadline = self.hang_deadline();
+        loop {
+            if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(
+                SrcSel::Rank(src),
+                TagSel::Tag(tag),
+                comm,
+                5,
+            ) {
+                return Some(self.finish_recv(env, comm));
+            }
+            if self.shared.dead[src].load(Ordering::SeqCst) {
+                // Final recheck: the flag may have been set between our
+                // last scan and now, with a message already delivered.
+                if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(
+                    SrcSel::Rank(src),
+                    TagSel::Tag(tag),
+                    comm,
+                    0,
+                ) {
+                    return Some(self.finish_recv(env, comm));
+                }
+                self.fstats.peer_deaths_seen += 1;
+                return None;
+            }
+            if self.shared.poisoned.load(Ordering::SeqCst) {
+                panic!(
+                    "world poisoned: another rank panicked while rank {} was receiving",
+                    self.rank
+                );
+            }
+            self.check_hang(deadline, src, tag);
+        }
+    }
+
+    /// Real-time deadline for armed-mode blocking loops, or `None` when no
+    /// plan is armed (fault-free runs must never pay for a clock read).
+    fn hang_deadline(&self) -> Option<Instant> {
+        self.shared
+            .faults
+            .as_ref()
+            .map(|p| Instant::now() + Duration::from_millis(p.hang_timeout_ms))
+    }
+
+    fn check_hang(&self, deadline: Option<Instant>, src: Rank, tag: Tag) {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                panic!(
+                    "fault backstop: rank {} stuck waiting on rank {src} tag {tag} \
+                     past the plan's hang timeout",
+                    self.rank
+                );
+            }
+        }
+    }
+
     /// Convenience: send a single u64 (little-endian).
     pub fn send_u64(&mut self, dest: Rank, tag: Tag, comm: Comm, value: u64) {
         self.send(dest, tag, comm, &value.to_le_bytes());
@@ -388,6 +602,7 @@ impl Proc {
     fn recv_envelope(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Envelope {
         // Poll with a timeout so that a panic on any rank unblocks everyone
         // instead of deadlocking the whole world.
+        let deadline = self.hang_deadline();
         loop {
             if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(src, tag, comm, 50) {
                 return env;
@@ -398,6 +613,15 @@ impl Proc {
                     self.rank
                 );
             }
+            let src_hint = match src {
+                SrcSel::Rank(r) => r,
+                SrcSel::Any => usize::MAX,
+            };
+            let tag_hint = match tag {
+                TagSel::Tag(t) => t,
+                TagSel::Any => 0,
+            };
+            self.check_hang(deadline, src_hint, tag_hint);
         }
     }
 }

@@ -2,12 +2,13 @@
 //! program, join, and report.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::fault::{FaultPlan, FaultStats, InjectedCrash};
 use crate::mailbox::Mailbox;
-use crate::proc::{Proc, Shared};
+use crate::proc::{Proc, Rank, Shared};
 use crate::time::{CostModel, VirtualTime};
 
 /// Configuration of a simulated MPI world.
@@ -21,6 +22,10 @@ pub struct WorldConfig {
     /// 256 KiB stacks that is a modest 256 MiB of (mostly untouched)
     /// virtual memory.
     pub stack_bytes: usize,
+    /// Optional deterministic fault plan. `None` (the default) keeps every
+    /// fault hook on its zero-cost path — fault-free runs are bit-identical
+    /// to a build without the fault layer.
+    pub faults: Option<FaultPlan>,
 }
 
 impl WorldConfig {
@@ -30,6 +35,7 @@ impl WorldConfig {
             ranks,
             cost: CostModel::default(),
             stack_bytes: 256 * 1024,
+            faults: None,
         }
     }
 
@@ -50,6 +56,13 @@ impl WorldConfig {
         self.stack_bytes = bytes.max(64 * 1024);
         self
     }
+
+    /// Arm a fault plan. Run such a world with [`World::run_faulty`] so an
+    /// injected crash shrinks the world instead of failing the run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// Result of running a world to completion.
@@ -66,6 +79,29 @@ pub struct WorldReport<R = ()> {
     pub wall: Duration,
     /// Per-rank return values of the rank program, in rank order.
     pub results: Vec<R>,
+    /// Per-rank fault counters (all zeros when no plan was armed).
+    pub fault_stats: Vec<FaultStats>,
+}
+
+/// Result of a fault-tolerant run ([`World::run_faulty`]): injected
+/// crashes shrink the result set instead of failing the world.
+#[derive(Debug, Clone)]
+pub struct FaultyWorldReport<R = ()> {
+    /// Number of ranks that started.
+    pub ranks: usize,
+    /// Final virtual time of each rank (a crashed rank's clock stops at
+    /// its death).
+    pub rank_vtimes: Vec<VirtualTime>,
+    /// Maximum final virtual time across ranks.
+    pub max_vtime: VirtualTime,
+    /// Real wall-clock duration of the run.
+    pub wall: Duration,
+    /// Per-rank return values; `None` for ranks killed by the plan.
+    pub results: Vec<Option<R>>,
+    /// Ranks killed by the plan's crash fault, ascending.
+    pub crashed: Vec<Rank>,
+    /// Per-rank fault counters.
+    pub fault_stats: Vec<FaultStats>,
 }
 
 /// Error from a world run: at least one rank panicked.
@@ -104,10 +140,94 @@ impl World {
     /// Run `program` on every rank concurrently and wait for completion.
     ///
     /// The program receives the rank's [`Proc`] handle; its return values
-    /// are collected in rank order. If any rank panics, the world is
-    /// poisoned (blocked receives abort), all threads are joined, and an
-    /// error listing the failures is returned.
+    /// are collected in rank order. If any rank panics — including a
+    /// plan-injected crash — the world is poisoned (blocked receives
+    /// abort), all threads are joined, and an error listing the failures
+    /// is returned. Worlds that should *survive* injected crashes go
+    /// through [`World::run_faulty`] instead.
     pub fn run<R, F>(self, program: F) -> Result<WorldReport<R>, WorldError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Proc) -> R + Send + Sync + 'static,
+    {
+        let (exits, vtimes, fstats, wall) = self.run_inner(false, program);
+        let p = exits.len();
+        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let mut failures = Vec::new();
+        for (rank, exit) in exits.into_iter().enumerate() {
+            match exit {
+                RankExit::Ok(r) => results[rank] = Some(r),
+                RankExit::Crashed(c) => failures.push((rank, c.to_string())),
+                RankExit::Panicked(msg) => failures.push((rank, msg)),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(WorldError { failures });
+        }
+        let max_vtime = vtimes.iter().cloned().fold(0.0, f64::max);
+        Ok(WorldReport {
+            ranks: p,
+            rank_vtimes: vtimes,
+            max_vtime,
+            wall,
+            results: results
+                .into_iter()
+                .map(|r| r.expect("no failure but missing result"))
+                .collect(),
+            fault_stats: fstats,
+        })
+    }
+
+    /// Run `program` tolerating plan-injected crashes: a killed rank
+    /// yields `None` in `results` and an entry in `crashed`, while the
+    /// surviving ranks keep running (the world is *not* poisoned for an
+    /// injected crash). Genuine panics still poison and fail the run.
+    pub fn run_faulty<R, F>(self, program: F) -> Result<FaultyWorldReport<R>, WorldError>
+    where
+        R: Send + 'static,
+        F: Fn(&mut Proc) -> R + Send + Sync + 'static,
+    {
+        let (exits, vtimes, fstats, wall) = self.run_inner(true, program);
+        let p = exits.len();
+        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let mut crashed = Vec::new();
+        let mut failures = Vec::new();
+        for (rank, exit) in exits.into_iter().enumerate() {
+            match exit {
+                RankExit::Ok(r) => results[rank] = Some(r),
+                RankExit::Crashed(_) => crashed.push(rank),
+                RankExit::Panicked(msg) => failures.push((rank, msg)),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(WorldError { failures });
+        }
+        let max_vtime = vtimes.iter().cloned().fold(0.0, f64::max);
+        Ok(FaultyWorldReport {
+            ranks: p,
+            rank_vtimes: vtimes,
+            max_vtime,
+            wall,
+            results,
+            crashed,
+            fault_stats: fstats,
+        })
+    }
+
+    /// Spawn, run, and join all ranks. `tolerant` controls whether a
+    /// plan-injected crash poisons the world (it never does for tolerant
+    /// runs — survivors are expected to shrink and continue).
+    #[allow(clippy::type_complexity)]
+    fn run_inner<R, F>(
+        self,
+        tolerant: bool,
+        program: F,
+    ) -> (
+        Vec<RankExit<R>>,
+        Vec<VirtualTime>,
+        Vec<FaultStats>,
+        Duration,
+    )
     where
         R: Send + 'static,
         F: Fn(&mut Proc) -> R + Send + Sync + 'static,
@@ -117,7 +237,9 @@ impl World {
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             cost: self.config.cost,
             size: p,
-            poisoned: std::sync::atomic::AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            faults: self.config.faults,
+            dead: (0..p).map(|_| AtomicBool::new(false)).collect(),
         });
         let program = Arc::new(program);
         let started = Instant::now();
@@ -133,49 +255,57 @@ impl World {
                 .spawn(move || {
                     let mut proc = Proc::new(rank, Arc::clone(&shared));
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
+                    // Read clock and fault tallies after the unwind: both
+                    // stay meaningful for a crashed rank.
                     let vtime = proc.now();
-                    match outcome {
-                        Ok(r) => Ok((r, vtime)),
-                        Err(payload) => {
-                            shared.poisoned.store(true, Ordering::SeqCst);
-                            Err(panic_message(payload))
-                        }
-                    }
+                    let fstats = proc.fault_stats();
+                    let exit = match outcome {
+                        Ok(r) => RankExit::Ok(r),
+                        Err(payload) => match payload.downcast::<InjectedCrash>() {
+                            Ok(crash) if tolerant => RankExit::Crashed(*crash),
+                            Ok(crash) => {
+                                shared.poisoned.store(true, Ordering::SeqCst);
+                                RankExit::Crashed(*crash)
+                            }
+                            Err(payload) => {
+                                shared.poisoned.store(true, Ordering::SeqCst);
+                                RankExit::Panicked(panic_message(payload))
+                            }
+                        },
+                    };
+                    (exit, vtime, fstats)
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
         }
 
-        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        let mut exits: Vec<RankExit<R>> = Vec::with_capacity(p);
         let mut vtimes = vec![0.0; p];
-        let mut failures = Vec::new();
+        let mut fstats = vec![FaultStats::default(); p];
         for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(Ok((r, vt))) => {
-                    results[rank] = Some(r);
+                Ok((exit, vt, fs)) => {
+                    exits.push(exit);
                     vtimes[rank] = vt;
+                    fstats[rank] = fs;
                 }
-                Ok(Err(msg)) => failures.push((rank, msg)),
-                Err(payload) => failures.push((rank, panic_message(payload))),
+                // The thread died outside catch_unwind (e.g. a panic while
+                // panicking); report what we can.
+                Err(payload) => exits.push(RankExit::Panicked(panic_message(payload))),
             }
         }
-
-        if !failures.is_empty() {
-            return Err(WorldError { failures });
-        }
-
-        let max_vtime = vtimes.iter().cloned().fold(0.0, f64::max);
-        Ok(WorldReport {
-            ranks: p,
-            rank_vtimes: vtimes,
-            max_vtime,
-            wall: started.elapsed(),
-            results: results
-                .into_iter()
-                .map(|r| r.expect("no failure but missing result"))
-                .collect(),
-        })
+        (exits, vtimes, fstats, started.elapsed())
     }
+}
+
+/// How one rank's thread ended.
+enum RankExit<R> {
+    /// Normal completion.
+    Ok(R),
+    /// Killed by the fault plan's crash fault.
+    Crashed(InjectedCrash),
+    /// A genuine panic (bug or poison abort).
+    Panicked(String),
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -183,6 +313,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
+        c.to_string()
     } else {
         "<non-string panic payload>".to_string()
     }
@@ -413,6 +545,159 @@ mod tests {
                 assert_eq!(info.payload, vec![peer as u8]);
             })
             .unwrap();
+    }
+
+    #[test]
+    fn injected_crash_shrinks_run_faulty() {
+        // Each rank self-sends 10 messages on the tool plane; rank 2 is
+        // scheduled to die partway through.
+        let plan = FaultPlan::new(1).crash_rank(2, 5);
+        let report = World::new(WorldConfig::for_tests(4).with_faults(plan))
+            .run_faulty(|proc| {
+                let me = proc.rank();
+                for i in 0..10u32 {
+                    proc.send(me, i, Comm::TOOL, &[i as u8]);
+                    proc.recv(SrcSel::Rank(me), TagSel::Tag(i), Comm::TOOL);
+                }
+                me
+            })
+            .unwrap();
+        assert_eq!(report.crashed, vec![2]);
+        assert!(report.results[2].is_none());
+        assert!(report.fault_stats[2].crashed);
+        for r in [0, 1, 3] {
+            assert_eq!(report.results[r], Some(r));
+            assert!(!report.fault_stats[r].crashed);
+        }
+    }
+
+    #[test]
+    fn injected_crash_fails_plain_run() {
+        // `run` (intolerant) treats a scheduled crash like any panic.
+        let plan = FaultPlan::new(1).crash_rank(1, 0);
+        let err = World::new(WorldConfig::for_tests(2).with_faults(plan))
+            .run(|proc| {
+                proc.send(proc.rank(), 0, Comm::TOOL, &[]);
+            })
+            .unwrap_err();
+        assert!(err
+            .failures
+            .iter()
+            .any(|(r, m)| *r == 1 && m.contains("injected crash")));
+    }
+
+    #[test]
+    fn death_detection_prefers_delivered_messages() {
+        // Rank 1 sends once (op 0) and dies attempting its second send
+        // (op 1). Rank 0 must always receive the first message and always
+        // observe death for the second — message-vs-death is decided by
+        // the dead rank's program position, not scheduling.
+        for _ in 0..20 {
+            let plan = FaultPlan::new(0).crash_rank(1, 1);
+            let report = World::new(WorldConfig::for_tests(2).with_faults(plan))
+                .run_faulty(|proc| {
+                    if proc.rank() == 1 {
+                        proc.send(0, 5, Comm::TOOL, b"first");
+                        proc.send(0, 6, Comm::TOOL, b"second");
+                        (false, false)
+                    } else {
+                        let first = proc.recv_or_dead(1, 5, Comm::TOOL).is_some();
+                        let second = proc.recv_or_dead(1, 6, Comm::TOOL).is_some();
+                        (first, second)
+                    }
+                })
+                .unwrap();
+            assert_eq!(report.results[0], Some((true, false)));
+            assert_eq!(report.crashed, vec![1]);
+        }
+    }
+
+    #[test]
+    fn reliable_transfer_survives_lossy_link() {
+        let plan = FaultPlan::new(0xBEEF)
+            .drop_per_mille(300)
+            .corrupt_per_mille(300)
+            .duplicate_per_mille(200)
+            .delay(100, 0.1);
+        let payload: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        let report = World::new(WorldConfig::for_tests(2).with_faults(plan))
+            .run_faulty(move |proc| {
+                if proc.rank() == 0 {
+                    for _ in 0..20 {
+                        let got = proc
+                            .reliable_recv(
+                                1,
+                                7,
+                                Comm::TOOL,
+                                crate::reliable::RetryPolicy::Unlimited,
+                            )
+                            .unwrap();
+                        assert_eq!(got, expect);
+                    }
+                } else {
+                    for _ in 0..20 {
+                        proc.reliable_send(0, 7, Comm::TOOL, &payload).unwrap();
+                    }
+                }
+            })
+            .unwrap();
+        let s = report.fault_stats[1];
+        assert!(
+            s.drops + s.corruptions + s.duplicates > 0,
+            "a 30%/30%/20% plan must actually injure 20 transfers: {s:?}"
+        );
+        assert!(
+            s.drops == 0 || s.retransmits > 0,
+            "every observed drop must be retransmitted"
+        );
+    }
+
+    #[test]
+    fn reliable_recv_degrades_after_retry_budget() {
+        // Every frame corrupt: the receiver re-requests once, then gives
+        // up with a typed error; neither side panics or hangs.
+        let plan = FaultPlan::new(42).corrupt_per_mille(1000);
+        let report = World::new(WorldConfig::for_tests(2).with_faults(plan))
+            .run_faulty(|proc| {
+                if proc.rank() == 0 {
+                    proc.reliable_recv(1, 9, Comm::TOOL, crate::reliable::RetryPolicy::Bounded(1))
+                        .is_err()
+                } else {
+                    proc.reliable_send(0, 9, Comm::TOOL, b"doomed payload")
+                        .is_err()
+                }
+            })
+            .unwrap();
+        assert_eq!(report.results, vec![Some(true), Some(true)]);
+        assert_eq!(report.fault_stats[0].nacks_sent, 1);
+    }
+
+    #[test]
+    fn resilient_allreduce_excludes_dead_rank() {
+        let plan = FaultPlan::new(3).crash_rank(2, 0);
+        let report = World::new(WorldConfig::for_tests(4).with_faults(plan))
+            .run_faulty(|proc| {
+                proc.resilient_allreduce_u64((proc.rank() + 1) as u64, ReduceOp::Sum, Comm::TOOL)
+            })
+            .unwrap();
+        for r in [0, 1, 3] {
+            let (sum, alive) = report.results[r].clone().unwrap();
+            assert_eq!(sum, 1 + 2 + 4, "rank 2's contribution must be absent");
+            assert_eq!(alive, vec![0, 1, 3]);
+        }
+        assert_eq!(report.crashed, vec![2]);
+    }
+
+    #[test]
+    fn unarmed_world_reports_zero_fault_stats() {
+        let report = World::new(WorldConfig::for_tests(3))
+            .run(|proc| proc.allreduce_sum(1))
+            .unwrap();
+        assert!(report
+            .fault_stats
+            .iter()
+            .all(|s| *s == FaultStats::default()));
     }
 
     #[test]

@@ -122,15 +122,22 @@ fn fmt_time(ts: &TimeStats) -> String {
 }
 
 /// Parse a trace from its text representation.
+///
+/// Errors carry the 1-based line number of the offending *original* line
+/// and a truncated snippet of its content, so degraded-path logs point at
+/// the exact wire bytes that failed.
 pub fn from_text(text: &str) -> Result<CompressedTrace, FormatError> {
-    let mut lines = text.lines();
+    let mut lines = text.lines().enumerate();
     match lines.next() {
-        Some(h) if h.trim() == HEADER => {}
-        other => return err(format!("bad header: {other:?}")),
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, other)) => return err(format!("line 1: bad header {:?}", snippet(other))),
+        None => return err("empty input: missing header"),
     }
-    let body: Vec<&str> = lines
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    // Keep each surviving line's original (1-based) number through the
+    // comment/blank filter.
+    let body: Vec<(usize, &str)> = lines
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
         .collect();
     let mut pos = 0;
     let mut nodes = Vec::new();
@@ -142,16 +149,41 @@ pub fn from_text(text: &str) -> Result<CompressedTrace, FormatError> {
     Ok(CompressedTrace::from_nodes(nodes))
 }
 
-fn parse_node(lines: &[&str], pos: usize) -> Result<(TraceNode, usize), FormatError> {
-    let line = lines
-        .get(pos)
-        .ok_or_else(|| FormatError(format!("unexpected end of trace at line {pos}")))?;
+/// Truncate a line for inclusion in an error message.
+fn snippet(line: &str) -> String {
+    const MAX: usize = 60;
+    if line.chars().count() > MAX {
+        let cut: String = line.chars().take(MAX).collect();
+        format!("{cut}…")
+    } else {
+        line.to_string()
+    }
+}
+
+/// Attach line context to an error bubbling out of a field-level parser.
+fn at_line(lineno: usize, line: &str, e: FormatError) -> FormatError {
+    FormatError(format!("line {lineno}: {} in {:?}", e.0, snippet(line)))
+}
+
+fn parse_node(lines: &[(usize, &str)], pos: usize) -> Result<(TraceNode, usize), FormatError> {
+    let &(lineno, line) = lines.get(pos).ok_or_else(|| {
+        let last = lines.last().map_or(1, |&(n, _)| n);
+        FormatError(format!(
+            "unexpected end of trace after line {last} (loop body shorter than declared)"
+        ))
+    })?;
     if let Some(rest) = line.strip_prefix("L ") {
         let mut parts = rest.split_whitespace();
-        let iters: u64 = parse_num(parts.next(), "loop iters")?;
-        let body_len: usize = parse_num(parts.next(), "loop body length")?;
+        let iters: u64 =
+            parse_num(parts.next(), "loop iters").map_err(|e| at_line(lineno, line, e))?;
+        let body_len: usize =
+            parse_num(parts.next(), "loop body length").map_err(|e| at_line(lineno, line, e))?;
         if iters == 0 {
-            return err("loop with zero iterations");
+            return Err(at_line(
+                lineno,
+                line,
+                FormatError("loop with zero iterations".into()),
+            ));
         }
         let mut body = Vec::with_capacity(body_len);
         let mut cursor = pos + 1;
@@ -162,9 +194,14 @@ fn parse_node(lines: &[&str], pos: usize) -> Result<(TraceNode, usize), FormatEr
         }
         Ok((TraceNode::Loop { iters, body }, cursor))
     } else if let Some(rest) = line.strip_prefix("E ") {
-        Ok((TraceNode::Event(parse_event(rest)?), pos + 1))
+        let event = parse_event(rest).map_err(|e| at_line(lineno, line, e))?;
+        Ok((TraceNode::Event(event), pos + 1))
     } else {
-        err(format!("unrecognized trace line: {line:?}"))
+        Err(at_line(
+            lineno,
+            line,
+            FormatError("unrecognized trace line".into()),
+        ))
     }
 }
 
@@ -504,6 +541,27 @@ mod tests {
             "{HEADER}\nE send sig=1 bogus=3 ranks=0 time=0,0,0,0\n"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn errors_cite_line_number_and_snippet() {
+        // Line 1 is the header, line 2 a comment, line 3 the bad event.
+        let text = format!(
+            "{HEADER}\n# a comment\nE send sig=ZZZ src=- dest=r1 tag=0 tag2=- count=8 comm=0 ranks=0 time=1,0,0,0\n"
+        );
+        let e = from_text(&text).unwrap_err();
+        assert!(e.0.contains("line 3:"), "got: {}", e.0);
+        assert!(e.0.contains("sig"), "got: {}", e.0);
+        assert!(e.0.contains("E send"), "snippet of the line, got: {}", e.0);
+    }
+
+    #[test]
+    fn long_offending_lines_are_truncated() {
+        let junk = "X".repeat(500);
+        let e = from_text(&format!("{HEADER}\n{junk}\n")).unwrap_err();
+        assert!(e.0.contains("line 2:"), "got: {}", e.0);
+        assert!(e.0.len() < 200, "snippet must be truncated, got: {}", e.0);
+        assert!(e.0.contains('…'));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use std::time::Duration;
 
-use mpisim::{Comm, Proc, RadixTree, Rank, Tag, WorkModel};
+use mpisim::{Comm, Proc, ProtocolError, RadixTree, Rank, RetryPolicy, Tag, WorkModel};
 
 use crate::format;
 use crate::merge::merge_into;
@@ -76,6 +76,11 @@ pub struct MergeOutcome {
     /// Per-level merge timing at this rank — empty for leaves, one entry
     /// (this rank's depth) for interior positions.
     pub timings: Vec<LevelTiming>,
+    /// Subtree contributions lost at this rank: a dead child, a payload
+    /// still corrupt after the retry budget, trace text that failed to
+    /// decode, or a dead parent that could not accept this rank's ship-up.
+    /// Zero on every rank means the merge is complete and exact.
+    pub degraded: u64,
 }
 
 /// Run one radix-tree trace reduction among `participants`.
@@ -108,46 +113,80 @@ pub fn radix_tree_merge(
     let work = WorkModel::calibrated();
     let mut compute = 0.0f64;
     let mut acc = my_trace.clone();
+    let mut degraded = 0u64;
     let children: Vec<Rank> = tree
         .children(my_pos)
         .into_iter()
         .map(|pos| participants[pos])
         .collect();
-    let mut pending: Vec<Rank> = children.clone();
-    let mut buffered: Vec<Option<mpisim::PendingRecv>> = vec![None; children.len()];
-    let mut next = 0usize;
     let mut timing = LevelTiming {
         level: tree.depth(my_pos),
         ..LevelTiming::default()
     };
-    while next < children.len() {
-        let Some(msg) = buffered[next].take() else {
-            let msg = proc.recv_from_set(&pending, TRACE_MERGE_TAG, Comm::TOOL);
-            pending.retain(|&r| r != msg.src);
-            let idx = children
-                .iter()
-                .position(|&r| r == msg.src)
-                .expect("sender is one of this position's children");
-            buffered[idx] = Some(msg);
-            continue;
-        };
-        // Clock accounting happens here, in canonical child order, so the
-        // modeled tool time never encodes the host's dequeue order.
-        proc.complete_recv(&msg, Comm::TOOL);
-        let child_trace =
-            format::from_text(std::str::from_utf8(&msg.payload).expect("merge payload is UTF-8"))
-                .expect("child sent a malformed trace");
-        let touched = acc.compressed_size() + child_trace.compressed_size();
-        let (folded, met) = merge_into(acc, &child_trace);
-        acc = folded;
-        let cost = work.codec(msg.payload.len()) + work.merge_measured(met.dp_cells, touched);
-        proc.tool_compute(cost);
-        compute += cost;
-        timing.merges += 1;
-        timing.seconds += cost;
-        timing.dp_cells += met.dp_cells;
-        timing.fast_path_hits += met.fast_path as usize;
-        next += 1;
+    let mut fold = |proc: &mut Proc,
+                    acc: &mut CompressedTrace,
+                    payload: &[u8],
+                    compute: &mut f64,
+                    degraded: &mut u64| {
+        match decode_wire_trace(payload) {
+            Ok(child_trace) => {
+                let touched = acc.compressed_size() + child_trace.compressed_size();
+                let (folded, met) =
+                    merge_into(std::mem::replace(acc, CompressedTrace::new()), &child_trace);
+                *acc = folded;
+                let cost = work.codec(payload.len()) + work.merge_measured(met.dp_cells, touched);
+                proc.tool_compute(cost);
+                *compute += cost;
+                timing.merges += 1;
+                timing.seconds += cost;
+                timing.dp_cells += met.dp_cells;
+                timing.fast_path_hits += met.fast_path as usize;
+            }
+            Err(_) => {
+                // The bytes arrived (CRC-clean when armed) but do not
+                // decode: drop this subtree's contribution and continue.
+                let cost = work.codec(payload.len());
+                proc.tool_compute(cost);
+                *compute += cost;
+                *degraded += 1;
+            }
+        }
+    };
+
+    if proc.faults_armed() {
+        // Armed worlds abandon pipelining for canonical-order reliable
+        // receives: each child transfer is CRC-framed with one re-request
+        // before degrading, and a dead child costs its whole subtree (no
+        // mid-merge rerouting — grandchildren shipped into the dead child
+        // are gone, and they count their own loss when their ship-up sees
+        // the dead parent).
+        for &child in &children {
+            match proc.reliable_recv(child, TRACE_MERGE_TAG, Comm::TOOL, RetryPolicy::Bounded(1)) {
+                Ok(bytes) => fold(proc, &mut acc, &bytes, &mut compute, &mut degraded),
+                Err(_) => degraded += 1,
+            }
+        }
+    } else {
+        let mut pending: Vec<Rank> = children.clone();
+        let mut buffered: Vec<Option<mpisim::PendingRecv>> = vec![None; children.len()];
+        let mut next = 0usize;
+        while next < children.len() {
+            let Some(msg) = buffered[next].take() else {
+                let msg = proc.recv_from_set(&pending, TRACE_MERGE_TAG, Comm::TOOL);
+                pending.retain(|&r| r != msg.src);
+                let idx = children
+                    .iter()
+                    .position(|&r| r == msg.src)
+                    .expect("sender is one of this position's children");
+                buffered[idx] = Some(msg);
+                continue;
+            };
+            // Clock accounting happens here, in canonical child order, so
+            // the modeled tool time never encodes the host's dequeue order.
+            proc.complete_recv(&msg, Comm::TOOL);
+            fold(proc, &mut acc, &msg.payload, &mut compute, &mut degraded);
+            next += 1;
+        }
     }
     let timings = if timing.merges > 0 {
         vec![timing]
@@ -163,7 +202,14 @@ pub fn radix_tree_merge(
             let cost = work.codec(wire.len());
             proc.tool_compute(cost);
             compute += cost;
-            proc.send(parent_rank, TRACE_MERGE_TAG, Comm::TOOL, wire.as_bytes());
+            if proc
+                .reliable_send(parent_rank, TRACE_MERGE_TAG, Comm::TOOL, wire.as_bytes())
+                .is_err()
+            {
+                // Dead parent (or a receiver that gave up): this rank's
+                // whole folded subtree is lost to the reduction.
+                degraded += 1;
+            }
             None
         }
         None => Some(acc),
@@ -172,7 +218,21 @@ pub fn radix_tree_merge(
         merged,
         compute: Duration::from_secs_f64(compute),
         timings,
+        degraded,
     }
+}
+
+/// Decode a wire trace payload (UTF-8 text in the trace format) into a
+/// [`CompressedTrace`], with a typed error instead of a panic.
+pub fn decode_wire_trace(payload: &[u8]) -> Result<CompressedTrace, ProtocolError> {
+    let text = std::str::from_utf8(payload).map_err(|e| ProtocolError::Decode {
+        what: "trace payload",
+        detail: format!("not UTF-8: {e}"),
+    })?;
+    format::from_text(text).map_err(|e| ProtocolError::Decode {
+        what: "trace text",
+        detail: e.to_string(),
+    })
 }
 
 #[cfg(test)]

@@ -303,6 +303,30 @@ impl<'a> TracedProc<'a> {
         info
     }
 
+    /// Traced `MPI_Recv` that tolerates a dead sender under an armed
+    /// fault plan: the event is recorded *unconditionally* (every rank's
+    /// recorded call-path must stay identical whether or not its
+    /// particular neighbor died — the clustering votes depend on it), then
+    /// the receive either completes or reports the peer's death as `None`.
+    pub fn recv_dead_aware(
+        &mut self,
+        site: CallSite,
+        src: Rank,
+        tag: Tag,
+        expected_len: usize,
+    ) -> Option<RecvInfo> {
+        let op = MpiOp::recv(
+            Endpoint::encode(self.proc.rank(), src),
+            tag,
+            expected_len,
+            Comm::WORLD,
+        );
+        self.record(site, op);
+        let info = self.proc.recv_or_dead(src, tag, Comm::WORLD);
+        self.mark_event_end();
+        info
+    }
+
     /// Traced `MPI_Recv` from a source the workload knows to be
     /// structurally absolute (a fixed master/root) — recorded absolutely
     /// so clustered replay does not transpose it.

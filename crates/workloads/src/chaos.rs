@@ -1,0 +1,178 @@
+//! Chaos harness: an NAS-style ring workload driven under a randomized
+//! fault plan.
+//!
+//! The harness exercises the whole shrink-and-continue stack at once: a
+//! rank crashes mid-run, the link corrupts/duplicates/delays tool
+//! payloads, and the run must still complete with a non-empty online
+//! trace at rank 0 plus counted degradation — never a hang. Fault plans
+//! are pure functions of a seed, so every CI failure is replayable from
+//! the seed alone (see FAULTS.md).
+
+use chameleon::{Chameleon, ChameleonConfig, ChameleonStats};
+use mpisim::{FaultPlan, FaultStats, Rank, World, WorldConfig};
+use scalatrace::{CompressedTrace, TracedProc};
+
+/// The fault plan for one chaos seed over `p` ranks: one mid-run rank
+/// crash (never rank 0 — it roots the online trace) plus a lossy link at
+/// 2% corruption, 0.5% duplication, and 0.5% delay. Deterministic in
+/// `(seed, p)`.
+pub fn chaos_plan(seed: u64, p: usize) -> FaultPlan {
+    assert!(p >= 2, "chaos needs a rank that can die and a survivor");
+    let victim = 1 + (seed as usize % (p - 1));
+    let at_op = 40 + seed % 80;
+    FaultPlan::new(seed)
+        .crash_rank(victim, at_op)
+        .corrupt_per_mille(20)
+        .duplicate_per_mille(5)
+        .delay(5, 2e-4)
+}
+
+/// Steps per behavioral phase: the frame label alternates every block,
+/// so the Call-Path changes and Chameleon re-clusters — each boundary
+/// drives a flush merge plus a fresh clustering through the armed
+/// protocol (NAS codes end phases with verification/norm steps the same
+/// way).
+pub const PHASE_LEN: usize = 10;
+
+/// One ring timestep over the *agreed* surviving participant set: each
+/// survivor sends to its successor and receives from its predecessor in
+/// the shrunk ring. The receive tolerates a predecessor that died after
+/// the last agreement (`recv_dead_aware`), so a mid-slice crash degrades
+/// the slice instead of wedging the ring.
+pub fn chaos_step(tp: &mut TracedProc, alive: &[Rank], step: usize) {
+    let ring: Vec<Rank> = if alive.is_empty() {
+        (0..tp.size()).collect()
+    } else {
+        alive.to_vec()
+    };
+    let me = tp.rank();
+    let i = ring
+        .iter()
+        .position(|&r| r == me)
+        .expect("a running rank is always in the agreed ring");
+    let frame: &'static str = if (step / PHASE_LEN).is_multiple_of(2) {
+        "chaos_ring_even"
+    } else {
+        "chaos_ring_odd"
+    };
+    tp.frame(frame, |tp| {
+        tp.compute(1e-5);
+        if ring.len() > 1 {
+            let next = ring[(i + 1) % ring.len()];
+            let prev = ring[(i + ring.len() - 1) % ring.len()];
+            tp.send("chaos_halo_send", next, 11, &[0u8; 64]);
+            let _ = tp.recv_dead_aware("chaos_halo_recv", prev, 11, 64);
+        }
+    });
+}
+
+/// Everything a chaos run produces, for assertions and failure artifacts.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The online global trace from rank 0 (rank 0 is immortal by plan
+    /// validation, so this is always present on a completed run).
+    pub online_trace: CompressedTrace,
+    /// Per-rank stats; `None` for the crashed rank.
+    pub stats: Vec<Option<ChameleonStats>>,
+    /// Ranks the plan killed.
+    pub crashed: Vec<Rank>,
+    /// Per-rank fault counters from the simulator.
+    pub fault_stats: Vec<FaultStats>,
+}
+
+/// Run `steps` chaos timesteps over `p` ranks under `plan` and return the
+/// survivors' outcome. K is set to `p` so the cluster budget never forces
+/// lead sharing — any behavioral split still elects per-group leads after
+/// the ring shrinks.
+pub fn run_chaos(p: usize, steps: usize, plan: FaultPlan) -> ChaosOutcome {
+    let report = World::new(WorldConfig::for_tests(p).with_faults(plan))
+        .run_faulty(move |proc| {
+            let mut tp = TracedProc::new(proc);
+            let mut cham = Chameleon::new(ChameleonConfig::with_k(p));
+            for step in 0..steps {
+                let alive = cham.alive().to_vec();
+                chaos_step(&mut tp, &alive, step);
+                cham.marker(&mut tp);
+            }
+            cham.finalize(&mut tp)
+        })
+        .expect("chaos run must degrade, not fail the world");
+    let mut stats = Vec::with_capacity(p);
+    let mut online_trace = None;
+    for (rank, result) in report.results.into_iter().enumerate() {
+        match result {
+            Some(outcome) => {
+                if rank == 0 {
+                    online_trace = outcome.online_trace.clone();
+                }
+                stats.push(Some(outcome.stats));
+            }
+            None => stats.push(None),
+        }
+    }
+    ChaosOutcome {
+        online_trace: online_trace.expect("rank 0 is immortal and roots the online trace"),
+        stats,
+        crashed: report.crashed,
+        fault_stats: report.fault_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_spares_rank_zero() {
+        for seed in 0..32 {
+            let a = chaos_plan(seed, 6);
+            let b = chaos_plan(seed, 6);
+            assert_eq!(format!("{a}"), format!("{b}"));
+            let crash = a.crash.expect("chaos always crashes someone");
+            assert!(crash.rank >= 1 && crash.rank < 6);
+        }
+    }
+
+    #[test]
+    fn fault_free_chaos_ring_completes() {
+        // The harness itself (shrink-aware ring + k=p config) must be a
+        // well-formed workload when nothing is armed.
+        let report = mpisim::World::new(mpisim::WorldConfig::for_tests(4))
+            .run(|proc| {
+                let mut tp = TracedProc::new(proc);
+                let mut cham = Chameleon::new(ChameleonConfig::with_k(4));
+                for step in 0..25 {
+                    let alive = cham.alive().to_vec();
+                    chaos_step(&mut tp, &alive, step);
+                    cham.marker(&mut tp);
+                }
+                cham.finalize(&mut tp)
+            })
+            .unwrap();
+        let online = report.results[0].online_trace.as_ref().unwrap();
+        assert!(online.dynamic_size() > 0);
+        for r in &report.results {
+            assert_eq!(
+                r.stats.degraded_slices, 0,
+                "fault-free run degrades nothing"
+            );
+            assert_eq!(r.stats.lead_reelections, 0);
+        }
+    }
+
+    #[test]
+    fn crashed_rank_is_excluded_and_run_degrades() {
+        let plan = chaos_plan(7, 4);
+        let victim = plan.crash.unwrap().rank;
+        let out = run_chaos(4, 40, plan);
+        assert_eq!(out.crashed, vec![victim]);
+        assert!(out.stats[victim].is_none());
+        assert!(out.fault_stats[victim].crashed);
+        assert!(out.online_trace.dynamic_size() > 0);
+        let s0 = out.stats[0].as_ref().unwrap();
+        assert!(
+            s0.degraded_slices >= 1,
+            "a mid-run crash must degrade at least one slice"
+        );
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod bt;
 pub mod cg;
+pub mod chaos;
 pub mod driver;
 pub mod emf;
 pub mod grid;

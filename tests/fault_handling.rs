@@ -119,6 +119,91 @@ fn malformed_trace_files_are_rejected_not_crashed() {
 }
 
 #[test]
+fn malformed_wire_payloads_error_never_panic() {
+    // Table-driven corpus over every wire decoder in the protocol:
+    // truncations must return Err, and *any* single byte flip must either
+    // decode (the flip landed in a don't-care position) or return Err —
+    // never panic. This is the contract the bounded-retry layer builds on.
+    use chameleon_repro::clusterkit::{ClusterMap, LeadSelection};
+    use chameleon_repro::scalatrace::reduction::decode_wire_trace;
+    use chameleon_repro::scalatrace::{CompressedTrace, Endpoint, EventRecord, MpiOp};
+    use chameleon_repro::sigkit::{CallPathSig, SignatureTriple, StackSig};
+
+    let triple = |cp, src, dest| SignatureTriple {
+        call_path: CallPathSig(cp),
+        src,
+        dest,
+    };
+    let mut map = ClusterMap::from_rank(0, &triple(1, 10, 20));
+    map.merge(ClusterMap::from_rank(1, &triple(1, 30, 40)));
+    map.merge(ClusterMap::from_rank(2, &triple(2, 50, 60)));
+    let sel = LeadSelection {
+        leads: map.leads(),
+        effective_k: 2,
+        map: map.clone(),
+    };
+    let mut small = CompressedTrace::new();
+    small.append(EventRecord::new(
+        MpiOp::send(Endpoint::Relative(1), 7, 64, Comm::WORLD),
+        StackSig(1),
+        0,
+        1e-6,
+    ));
+    small.append(EventRecord::new(
+        MpiOp::recv(Endpoint::Relative(-1), 7, 64, Comm::WORLD),
+        StackSig(2),
+        0,
+        2e-6,
+    ));
+    let trace_text = format::to_text(&small);
+
+    type Decoder = fn(&[u8]) -> bool;
+    let decoders: [(&str, Vec<u8>, Decoder); 3] = [
+        ("cluster map", map.encode(), |b| {
+            ClusterMap::decode(b).is_ok()
+        }),
+        ("lead selection", sel.encode(), |b| {
+            LeadSelection::decode(b).is_ok()
+        }),
+        ("wire trace", trace_text.into_bytes(), |b| {
+            decode_wire_trace(b).is_ok()
+        }),
+    ];
+
+    for (what, wire, decode_ok) in &decoders {
+        assert!(decode_ok(wire), "{what}: pristine payload must decode");
+        // Truncation at every length must be an error (or, for the text
+        // format, at worst a shorter-but-valid parse — never a panic).
+        for cut in 0..wire.len() {
+            let truncated = &wire[..cut];
+            let outcome = std::panic::catch_unwind(|| decode_ok(truncated));
+            assert!(outcome.is_ok(), "{what}: truncation at {cut} panicked");
+        }
+        // Binary decoders must reject all strict prefixes outright.
+        if *what != "wire trace" {
+            for cut in 0..wire.len() {
+                assert!(
+                    !decode_ok(&wire[..cut]),
+                    "{what}: truncation at {cut} decoded"
+                );
+            }
+        }
+        // Every single-byte flip: Err or clean decode, never a panic.
+        for pos in 0..wire.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = wire.clone();
+                bad[pos] ^= flip;
+                let outcome = std::panic::catch_unwind(|| decode_ok(&bad));
+                assert!(
+                    outcome.is_ok(),
+                    "{what}: byte flip {flip:#04x} at {pos} panicked"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn under_provisioned_k_grows_and_replays_cleanly() {
     // K=1 with three behavior groups: dynamic K growth ("Chameleon does
     // not miss any MPI event by selecting at least one representative

@@ -133,6 +133,23 @@ fn merge_output_golden() {
 }
 
 #[test]
+fn degraded_trace_golden() {
+    // Shrink-and-continue pinned byte-for-byte: a fixed fault plan (rank
+    // crash + lossy link) must always yield the *same* degraded online
+    // trace — fault handling is part of the deterministic protocol, not a
+    // best-effort scramble. Regenerate with REGEN_GOLDEN=1 only when the
+    // fault model or the shrink protocol intentionally changes.
+    use chameleon_repro::workloads::chaos::{chaos_plan, run_chaos};
+    let out = run_chaos(6, 40, chaos_plan(1, 6));
+    assert!(out.online_trace.dynamic_size() > 0);
+    assert!(out.stats[0].as_ref().unwrap().degraded_slices >= 1);
+    let text = format::to_text(&out.online_trace);
+    assert_golden("chaos_degraded_p6_seed1.txt", &text);
+    let parsed = format::from_text(&text).expect("degraded golden parses");
+    assert_eq!(format::to_text(&parsed), text);
+}
+
+#[test]
 fn workload_trace_golden() {
     // End-to-end: the BT pattern traced through the simulator. Pins the
     // whole pipeline — simulation determinism, compression, reduction
