@@ -761,6 +761,50 @@ pub fn ablation_radix(cfg: &HarnessConfig) -> Table {
 }
 
 /// Run everything (the `run_all` binary).
+/// Flight-recorder digest: one Chameleon run with the recorder armed,
+/// reported as per-event-kind totals from the run journal plus the
+/// rank-aggregated overhead split ([`chameleon::AggregatedStats`]). The
+/// journal's own text summary goes to stderr for quick triage; the table
+/// is the TSV artifact.
+pub fn observability(cfg: &HarnessConfig) -> Table {
+    let p = fixed_p(cfg, 8);
+    let rep = chameleon_run(
+        cfg,
+        "BT",
+        p,
+        Overrides {
+            journal: true,
+            ..Default::default()
+        },
+    );
+    let journal = rep.journal.expect("journal was requested");
+    eprint!("{}", journal.summary());
+    let agg = chameleon::AggregatedStats::from_ranks(rep.cham_stats.iter());
+    let mut t = Table::new(
+        format!("Flight recorder digest: BT({p}), Chameleon mode"),
+        &["metric", "value"],
+    );
+    let mut by_label: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for (_, e) in journal.events() {
+        *by_label.entry(e.kind.label()).or_insert(0) += 1;
+    }
+    for (label, n) in &by_label {
+        t.row(&[format!("events.{label}"), n.to_string()]);
+    }
+    t.row(&["overhead.total [s]".into(), secs(agg.total_overhead())]);
+    t.row(&["overhead.signature [s]".into(), secs(agg.signature_time)]);
+    t.row(&["overhead.vote [s]".into(), secs(agg.vote_time)]);
+    t.row(&["overhead.clustering [s]".into(), secs(agg.clustering_time)]);
+    t.row(&["overhead.intercomp [s]".into(), secs(agg.intercomp_time)]);
+    for (lvl, m) in &agg.merge_levels {
+        t.row(&[format!("merge.level{lvl}.merges"), m.merges.to_string()]);
+    }
+    t.row(&["marker_calls".into(), agg.marker_calls.to_string()]);
+    t.row(&["degraded_slices".into(), agg.degraded_slices.to_string()]);
+    t.row(&["lead_reelections".into(), agg.lead_reelections.to_string()]);
+    t
+}
+
 pub fn run_all(cfg: &HarnessConfig) -> Vec<(String, Table)> {
     type Experiment = fn(&HarnessConfig) -> Table;
     let experiments: Vec<(&str, Experiment)> = vec![
@@ -780,6 +824,7 @@ pub fn run_all(cfg: &HarnessConfig) -> Vec<(String, Table)> {
         ("ablation_k", ablation_k),
         ("ablation_radix", ablation_radix),
         ("energy", energy),
+        ("observability", observability),
     ];
     experiments
         .into_iter()
@@ -819,5 +864,15 @@ mod tests {
     fn fig9_sweeps_frequencies() {
         let t = fig9(&tiny());
         assert!(t.len() >= 2);
+    }
+
+    #[test]
+    fn observability_digest_has_events_and_overheads() {
+        let t = observability(&tiny());
+        let r = t.render();
+        assert!(r.contains("events.marker"));
+        assert!(r.contains("events.state"));
+        assert!(r.contains("overhead.total [s]"));
+        assert!(r.contains("marker_calls"));
     }
 }

@@ -42,4 +42,4 @@ pub use config::{AlgoChoice, ChameleonConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use runtime::{Chameleon, FinalizeOutcome};
 pub use state::{MarkerState, TransitionGraph};
-pub use stats::{ChameleonStats, MemAccount, StateCounts};
+pub use stats::{AggregatedStats, ChameleonStats, MemAccount, MergeLevelStats, StateCounts};

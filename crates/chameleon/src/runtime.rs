@@ -51,6 +51,27 @@ fn trace_triple(trace: &scalatrace::CompressedTrace) -> SignatureTriple {
     }
 }
 
+/// Journal label for a counted marker state (matches `obs::STATES`).
+fn state_label(state: MarkerState) -> &'static str {
+    match state {
+        MarkerState::AllTracing => "AT",
+        MarkerState::Clustering => "C",
+        MarkerState::Lead => "L",
+        MarkerState::Final => "F",
+    }
+}
+
+/// Journal label for a marker decision (matches `obs::DECISIONS`).
+fn decision_label(d: MarkerDecision) -> &'static str {
+    match d {
+        MarkerDecision::FirstMarker => "first",
+        MarkerDecision::AllTracing => "all_tracing",
+        MarkerDecision::StableLead => "stable_lead",
+        MarkerDecision::Cluster => "cluster",
+        MarkerDecision::FlushLead => "flush_lead",
+    }
+}
+
 /// Tool-comm tag for hierarchical cluster-map exchange.
 pub const CLUSTER_TAG: Tag = (1 << 29) + 1;
 /// Tool-comm tag for shipping the partial global trace to rank 0.
@@ -146,6 +167,8 @@ impl Chameleon {
     pub fn marker(&mut self, tp: &mut TracedProc) {
         assert!(!self.finalized, "marker after finalize");
         self.stats.marker_invocations += 1;
+        let n = self.stats.marker_invocations;
+        tp.inner().record(|| obs::EventKind::Marker { n });
         if self.alive.is_empty() {
             self.alive = (0..tp.size()).collect();
         }
@@ -181,6 +204,10 @@ impl Chameleon {
         let sig_cost = mpisim::WorkModel::calibrated().signature(events);
         tp.inner().tool_compute(sig_cost);
         self.stats.signature_time += Duration::from_secs_f64(sig_cost);
+        tp.inner().record(|| obs::EventKind::Signature {
+            events,
+            call_path: triple.call_path.0,
+        });
 
         // Collective vote (Algorithm 1): reduce + bcast of the mismatch
         // indicator, O(log P) modeled communication.
@@ -238,12 +265,19 @@ impl Chameleon {
             }
         }
 
+        let marker = self.stats.marker_invocations;
         if self.slice_degraded {
             self.stats.degraded_slices += 1;
             self.slice_degraded = false;
+            tp.inner().record(|| obs::EventKind::Degraded { marker });
         }
         let state = decision.counted_state();
         self.stats.states.bump(state);
+        tp.inner().record(|| obs::EventKind::State {
+            marker,
+            state: state_label(state),
+            decision: decision_label(decision),
+        });
         self.stats.reclusterings = self.stats.states.c;
         let post_online = if tp.rank() == 0 {
             self.online_trace_bytes()
@@ -320,11 +354,18 @@ impl Chameleon {
         }
         self.stats.intercomp_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
 
+        let marker = self.stats.marker_invocations;
         if self.slice_degraded {
             self.stats.degraded_slices += 1;
             self.slice_degraded = false;
+            tp.inner().record(|| obs::EventKind::Degraded { marker });
         }
         self.stats.states.bump(MarkerState::Final);
+        tp.inner().record(|| obs::EventKind::State {
+            marker,
+            state: state_label(MarkerState::Final),
+            decision: "finalize",
+        });
         let post_online = if tp.rank() == 0 {
             self.online_trace_bytes()
         } else {
@@ -352,7 +393,14 @@ impl Chameleon {
         self.slice_degraded = true;
         if let Some(sel) = &mut self.selection {
             let reelected = sel.map.reelect_leads(&alive_now);
-            self.stats.lead_reelections += reelected;
+            self.stats.lead_reelections += reelected.len() as u64;
+            for r in reelected {
+                tp.inner().record(|| obs::EventKind::Reelect {
+                    call_path: r.call_path,
+                    old: r.old as u64,
+                    new: r.new as u64,
+                });
+            }
             // Rebuild the lead roster over survivors; extinct clusters
             // (every member dead) drop out here.
             sel.leads = sel
@@ -390,6 +438,15 @@ impl Chameleon {
         // the maximum observed.
         self.stats.leads = self.stats.leads.max(sel.leads.len() as u64);
         self.stats.call_paths = self.stats.call_paths.max(sel.map.num_call_paths() as u64);
+        let marker = self.stats.marker_invocations;
+        let me = tp.rank();
+        let lead = sel.map.cluster_of(me).map(|e| e.lead).unwrap_or(me);
+        tp.inner().record(|| obs::EventKind::ClusterSel {
+            marker,
+            effective_k: sel.leads.len() as u64,
+            lead: lead as u64,
+            leads: sel.leads.iter().map(|&r| r as u64).collect(),
+        });
         sel
     }
 

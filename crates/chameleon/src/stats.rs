@@ -184,6 +184,20 @@ pub struct MergeLevelStats {
     pub fast_path_hits: u64,
 }
 
+impl MergeLevelStats {
+    /// Fold another level's tallies into this one. Aggregation across
+    /// ranks must *union* level keys — under fault plans different ranks
+    /// can observe disjoint level sets (a rank that died early never saw
+    /// the deep levels), and dropping any key would under-report the
+    /// profile.
+    pub fn absorb(&mut self, other: &MergeLevelStats) {
+        self.merges += other.merges;
+        self.seconds += other.seconds;
+        self.dp_cells += other.dp_cells;
+        self.fast_path_hits += other.fast_path_hits;
+    }
+}
+
 /// Aggregate several ranks' stats the way the paper reports them
 /// ("aggregated wall-clock times across all nodes").
 #[derive(Debug, Clone, Default)]
@@ -220,11 +234,7 @@ impl AggregatedStats {
             agg.clustering_time += s.clustering_time;
             agg.intercomp_time += s.intercomp_time;
             for (&lvl, m) in &s.merge_levels {
-                let slot = agg.merge_levels.entry(lvl).or_default();
-                slot.merges += m.merges;
-                slot.seconds += m.seconds;
-                slot.dp_cells += m.dp_cells;
-                slot.fast_path_hits += m.fast_path_hits;
+                agg.merge_levels.entry(lvl).or_default().absorb(m);
             }
             if first {
                 agg.states = s.states;
@@ -335,6 +345,51 @@ mod tests {
         assert_eq!(agg.merge_levels[&0].merges, 4);
         assert_eq!(agg.merge_levels[&1].merges, 2);
         assert!((agg.merge_levels[&1].seconds - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_unions_disjoint_level_sets() {
+        // Regression: ranks with *disjoint* merge-level keys (a rank that
+        // crashed early never reached the deep levels) must all appear in
+        // the aggregate — union semantics, not intersection.
+        let mut a = ChameleonStats::default();
+        a.record_merge_timings(&[LevelTiming {
+            level: 0,
+            merges: 3,
+            seconds: 0.125,
+            dp_cells: 10,
+            fast_path_hits: 2,
+        }]);
+        let mut b = ChameleonStats::default();
+        b.record_merge_timings(&[LevelTiming {
+            level: 2,
+            merges: 5,
+            seconds: 0.5,
+            dp_cells: 40,
+            fast_path_hits: 0,
+        }]);
+        let agg = AggregatedStats::from_ranks([&a, &b]);
+        assert_eq!(agg.merge_levels.len(), 2, "both levels survive");
+        assert_eq!(agg.merge_levels[&0].merges, 3);
+        assert_eq!(agg.merge_levels[&2].merges, 5);
+        assert_eq!(agg.merge_levels[&2].dp_cells, 40);
+    }
+
+    #[test]
+    fn absorb_sums_every_field() {
+        let mut acc = MergeLevelStats::default();
+        let x = MergeLevelStats {
+            merges: 1,
+            seconds: 0.25,
+            dp_cells: 7,
+            fast_path_hits: 1,
+        };
+        acc.absorb(&x);
+        acc.absorb(&x);
+        assert_eq!(acc.merges, 2);
+        assert_eq!(acc.dp_cells, 14);
+        assert_eq!(acc.fast_path_hits, 2);
+        assert!((acc.seconds - 0.5).abs() < 1e-12);
     }
 
     #[test]

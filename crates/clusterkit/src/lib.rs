@@ -28,5 +28,5 @@ pub mod topk;
 
 pub use algorithms::{ClusterAlgorithm, KFarthest, KMedoids, KRandom};
 pub use entry::ClusterEntry;
-pub use map::{ClusterMap, LeadSelection, WireError};
+pub use map::{ClusterMap, LeadSelection, Reelection, WireError};
 pub use topk::find_top_k;

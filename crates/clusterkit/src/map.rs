@@ -49,6 +49,18 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// One lead re-election performed by [`ClusterMap::reelect_leads`]:
+/// which cluster changed hands, from whom, to whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reelection {
+    /// Call-Path signature of the affected cluster.
+    pub call_path: u64,
+    /// The dead lead that was replaced.
+    pub old: Rank,
+    /// The minimum surviving member, now lead.
+    pub new: Rank,
+}
+
 /// Cluster entries grouped by Call-Path signature.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ClusterMap {
@@ -137,17 +149,23 @@ impl ClusterMap {
     /// elects identically without further communication. Entries with no
     /// surviving member keep their dead lead — callers drop extinct
     /// clusters by intersecting [`ClusterMap::leads`] with the alive set.
-    /// Returns the number of re-elections performed.
-    pub fn reelect_leads(&mut self, alive: &[Rank]) -> u64 {
-        let mut reelected = 0;
-        for entries in self.groups.values_mut() {
+    /// Returns the re-elections performed, in map order — each one names
+    /// the cluster, the dead lead, and its successor, so callers can count
+    /// them *and* journal them.
+    pub fn reelect_leads(&mut self, alive: &[Rank]) -> Vec<Reelection> {
+        let mut reelected = Vec::new();
+        for (&call_path, entries) in self.groups.iter_mut() {
             for e in entries.iter_mut() {
                 if alive.contains(&e.lead) {
                     continue;
                 }
                 if let Some(&new_lead) = e.members.expand().iter().find(|m| alive.contains(m)) {
+                    reelected.push(Reelection {
+                        call_path,
+                        old: e.lead,
+                        new: new_lead,
+                    });
                     e.lead = new_lead;
-                    reelected += 1;
                 }
             }
         }
@@ -425,16 +443,24 @@ mod tests {
         assert_eq!(m.total_clusters(), 1);
         let lead = m.leads()[0];
         let alive: Vec<Rank> = [2, 5, 9].into_iter().filter(|&r| r != lead).collect();
-        assert_eq!(m.reelect_leads(&alive), 1);
+        let re = m.reelect_leads(&alive);
+        assert_eq!(
+            re,
+            vec![Reelection {
+                call_path: 1,
+                old: lead,
+                new: alive[0],
+            }]
+        );
         assert_eq!(m.leads(), vec![alive[0]], "smallest survivor leads");
         // Idempotent: the new lead is alive, nothing more to do.
-        assert_eq!(m.reelect_leads(&alive), 0);
+        assert!(m.reelect_leads(&alive).is_empty());
     }
 
     #[test]
     fn reelection_leaves_extinct_cluster_lead() {
         let mut m = ClusterMap::from_rank(3, &triple(1, 0, 0));
-        assert_eq!(m.reelect_leads(&[0, 1]), 0, "no survivor to elect");
+        assert!(m.reelect_leads(&[0, 1]).is_empty(), "no survivor to elect");
         assert_eq!(m.leads(), vec![3], "dead lead kept for caller filtering");
     }
 

@@ -128,6 +128,12 @@ pub struct Proc {
     pub(crate) seq_out: HashMap<(Rank, Tag), u64>,
     /// Reliable-layer expected incoming sequence numbers per `(peer, tag)`.
     pub(crate) seq_in: HashMap<(Rank, Tag), u64>,
+    /// Flight recorder (see [`crate::WorldConfig::with_recorder`]).
+    /// Disabled by default: every emission site pays one `None` check and
+    /// nothing else, and the recorder is purely passive — it never sends
+    /// messages or touches either clock, so arming it cannot perturb
+    /// virtual times or traces.
+    pub(crate) recorder: obs::Recorder,
 }
 
 /// Base of the reserved tag space used by collective-internal messages.
@@ -135,7 +141,7 @@ pub struct Proc {
 pub const COLLECTIVE_TAG_BASE: Tag = 1 << 30;
 
 impl Proc {
-    pub(crate) fn new(rank: Rank, shared: Arc<Shared>) -> Self {
+    pub(crate) fn new(rank: Rank, shared: Arc<Shared>, recorder: obs::Recorder) -> Self {
         Proc {
             rank,
             shared,
@@ -148,6 +154,7 @@ impl Proc {
             fstats: FaultStats::default(),
             seq_out: HashMap::new(),
             seq_in: HashMap::new(),
+            recorder,
         }
     }
 
@@ -259,8 +266,15 @@ impl Proc {
             if faultable {
                 let fate = plan.fate(self.rank, self.send_nonce);
                 self.send_nonce += 1;
+                let (vt, tt) = (self.clock.now(), self.tool_clock.now());
+                let fired = |k: obs::FaultKind| obs::EventKind::Fault {
+                    kind: k,
+                    dest: dest as u64,
+                    tag: tag as u64,
+                };
                 if fate.drop && allow_drop {
                     self.fstats.drops += 1;
+                    self.recorder.emit(vt, tt, || fired(obs::FaultKind::Drop));
                     return false;
                 }
                 if fate.corrupt && !payload.is_empty() {
@@ -269,14 +283,19 @@ impl Proc {
                     // XOR with a non-zero mask so the flip is never a no-op.
                     bytes[idx] ^= 1 + ((fate.entropy >> 8) % 255) as u8;
                     self.fstats.corruptions += 1;
+                    self.recorder
+                        .emit(vt, tt, || fired(obs::FaultKind::Corrupt));
                     body = Some(bytes);
                 }
                 if fate.delay {
                     arrival += plan.delay_seconds;
                     self.fstats.delays += 1;
+                    self.recorder.emit(vt, tt, || fired(obs::FaultKind::Delay));
                 }
                 if fate.duplicate {
                     self.fstats.duplicates += 1;
+                    self.recorder
+                        .emit(vt, tt, || fired(obs::FaultKind::Duplicate));
                     duplicate = true;
                 }
             }
@@ -314,6 +333,10 @@ impl Proc {
         if let Some(c) = plan.crash {
             if c.rank == self.rank && op == c.at_op {
                 self.fstats.crashed = true;
+                self.recorder
+                    .emit(self.clock.now(), self.tool_clock.now(), || {
+                        obs::EventKind::Crash { op }
+                    });
                 // Publish death BEFORE unwinding: sends are eager, so once
                 // a peer observes this flag, everything this rank sent
                 // before dying is already in the peer's mailbox.
@@ -493,6 +516,29 @@ impl Proc {
         self.fstats
     }
 
+    /// Whether the flight recorder is armed on this rank.
+    #[inline]
+    pub fn obs_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// Record one flight-recorder event, stamped with both virtual clocks.
+    /// `make` runs only when recording is armed — callers can build event
+    /// payloads (allocate lead lists, format nothing) for free on ordinary
+    /// runs.
+    #[inline]
+    pub fn record(&mut self, make: impl FnOnce() -> obs::EventKind) {
+        self.recorder
+            .emit(self.clock.now(), self.tool_clock.now(), make);
+    }
+
+    /// Surrender this rank's flight log (used by the world at join time;
+    /// the log survives an injected crash because the unwind is caught
+    /// outside the rank body).
+    pub fn take_obs_log(&mut self) -> Option<obs::RankLog> {
+        self.recorder.take_log()
+    }
+
     /// Whether `rank` has died to an injected crash.
     pub fn is_dead(&self, rank: Rank) -> bool {
         self.shared.dead[rank].load(Ordering::SeqCst)
@@ -532,6 +578,7 @@ impl Proc {
                     return Some(self.finish_recv(env, comm));
                 }
                 self.fstats.peer_deaths_seen += 1;
+                self.record(|| obs::EventKind::PeerDead { peer: src as u64 });
                 return None;
             }
             if self.shared.poisoned.load(Ordering::SeqCst) {

@@ -104,7 +104,8 @@ impl std::fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
-/// Hand-rolled so `mpisim` keeps an empty `[dependencies]` table.
+/// Hand-rolled so `mpisim` stays free of third-party dependencies (its
+/// only dependency is the in-tree `obs` flight recorder).
 const fn crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
@@ -201,6 +202,10 @@ impl Proc {
                 // The plan dropped this attempt; the sender observes the
                 // drop (it *is* the lossy link) and retransmits at once.
                 self.fstats.retransmits += 1;
+                self.record(|| obs::EventKind::Retry {
+                    peer: dest as u64,
+                    tag: tag as u64,
+                });
                 continue 'attempt;
             }
             loop {
@@ -211,6 +216,10 @@ impl Proc {
                     Some((ACK_OK, s)) if s == seq => return Ok(()),
                     Some((ACK_NACK, s)) if s == seq => {
                         self.fstats.retransmits += 1;
+                        self.record(|| obs::EventKind::Retry {
+                            peer: dest as u64,
+                            tag: tag as u64,
+                        });
                         continue 'attempt;
                     }
                     Some((ACK_GIVEUP, s)) if s == seq => {
@@ -267,9 +276,17 @@ impl Proc {
                     if policy.allows(nacks) {
                         nacks += 1;
                         self.fstats.nacks_sent += 1;
+                        self.record(|| obs::EventKind::Nack {
+                            peer: src as u64,
+                            tag: tag as u64,
+                        });
                         self.send(src, ACK_TAG, comm, &ack_bytes(ACK_NACK, expected));
                     } else {
                         self.seq_in.insert((src, tag), expected + 1);
+                        self.record(|| obs::EventKind::GiveUp {
+                            peer: src as u64,
+                            tag: tag as u64,
+                        });
                         self.send(src, ACK_TAG, comm, &ack_bytes(ACK_GIVEUP, expected));
                         return Err(ProtocolError::Corrupt {
                             src,

@@ -26,6 +26,12 @@ pub struct WorldConfig {
     /// fault hook on its zero-cost path — fault-free runs are bit-identical
     /// to a build without the fault layer.
     pub faults: Option<FaultPlan>,
+    /// Arm the flight recorder: every rank buffers typed [`obs`] events and
+    /// the report carries the gathered [`obs::RunJournal`]. Off by default;
+    /// disabled recording costs one `None` check per emission site, and the
+    /// recorder is passive (no messages, no clock movement), so arming it
+    /// changes no simulated behavior.
+    pub record: bool,
 }
 
 impl WorldConfig {
@@ -36,6 +42,7 @@ impl WorldConfig {
             cost: CostModel::default(),
             stack_bytes: 256 * 1024,
             faults: None,
+            record: false,
         }
     }
 
@@ -63,6 +70,12 @@ impl WorldConfig {
         self.faults = Some(plan);
         self
     }
+
+    /// Arm the flight recorder (see [`WorldConfig::record`]).
+    pub fn with_recorder(mut self) -> Self {
+        self.record = true;
+        self
+    }
 }
 
 /// Result of running a world to completion.
@@ -81,6 +94,9 @@ pub struct WorldReport<R = ()> {
     pub results: Vec<R>,
     /// Per-rank fault counters (all zeros when no plan was armed).
     pub fault_stats: Vec<FaultStats>,
+    /// The gathered flight-recorder journal, present iff
+    /// [`WorldConfig::record`] was set.
+    pub journal: Option<obs::RunJournal>,
 }
 
 /// Result of a fault-tolerant run ([`World::run_faulty`]): injected
@@ -102,6 +118,10 @@ pub struct FaultyWorldReport<R = ()> {
     pub crashed: Vec<Rank>,
     /// Per-rank fault counters.
     pub fault_stats: Vec<FaultStats>,
+    /// The gathered flight-recorder journal, present iff
+    /// [`WorldConfig::record`] was set. A crashed rank's log ends at its
+    /// `crash` event.
+    pub journal: Option<obs::RunJournal>,
 }
 
 /// Error from a world run: at least one rank panicked.
@@ -150,7 +170,7 @@ impl World {
         R: Send + 'static,
         F: Fn(&mut Proc) -> R + Send + Sync + 'static,
     {
-        let (exits, vtimes, fstats, wall) = self.run_inner(false, program);
+        let (exits, vtimes, fstats, journal, wall) = self.run_inner(false, program);
         let p = exits.len();
         let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
         let mut failures = Vec::new();
@@ -175,6 +195,7 @@ impl World {
                 .map(|r| r.expect("no failure but missing result"))
                 .collect(),
             fault_stats: fstats,
+            journal,
         })
     }
 
@@ -187,7 +208,7 @@ impl World {
         R: Send + 'static,
         F: Fn(&mut Proc) -> R + Send + Sync + 'static,
     {
-        let (exits, vtimes, fstats, wall) = self.run_inner(true, program);
+        let (exits, vtimes, fstats, journal, wall) = self.run_inner(true, program);
         let p = exits.len();
         let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
         let mut crashed = Vec::new();
@@ -211,6 +232,7 @@ impl World {
             results,
             crashed,
             fault_stats: fstats,
+            journal,
         })
     }
 
@@ -226,6 +248,7 @@ impl World {
         Vec<RankExit<R>>,
         Vec<VirtualTime>,
         Vec<FaultStats>,
+        Option<obs::RunJournal>,
         Duration,
     )
     where
@@ -233,6 +256,8 @@ impl World {
         F: Fn(&mut Proc) -> R + Send + Sync + 'static,
     {
         let p = self.config.ranks;
+        let record = self.config.record;
+        let armed = self.config.faults.is_some();
         let shared = Arc::new(Shared {
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             cost: self.config.cost,
@@ -253,12 +278,19 @@ impl World {
                 .stack_size(self.config.stack_bytes);
             let handle = builder
                 .spawn(move || {
-                    let mut proc = Proc::new(rank, Arc::clone(&shared));
+                    let recorder = if record {
+                        obs::Recorder::enabled(rank)
+                    } else {
+                        obs::Recorder::disabled()
+                    };
+                    let mut proc = Proc::new(rank, Arc::clone(&shared), recorder);
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
-                    // Read clock and fault tallies after the unwind: both
-                    // stay meaningful for a crashed rank.
+                    // Read clock, fault tallies, and the flight log after
+                    // the unwind: all three stay meaningful for a crashed
+                    // rank (its log ends at the crash event).
                     let vtime = proc.now();
                     let fstats = proc.fault_stats();
+                    let obs_log = proc.take_obs_log();
                     let exit = match outcome {
                         Ok(r) => RankExit::Ok(r),
                         Err(payload) => match payload.downcast::<InjectedCrash>() {
@@ -273,7 +305,7 @@ impl World {
                             }
                         },
                     };
-                    (exit, vtime, fstats)
+                    (exit, vtime, fstats, obs_log)
                 })
                 .expect("failed to spawn rank thread");
             handles.push(handle);
@@ -282,19 +314,22 @@ impl World {
         let mut exits: Vec<RankExit<R>> = Vec::with_capacity(p);
         let mut vtimes = vec![0.0; p];
         let mut fstats = vec![FaultStats::default(); p];
+        let mut obs_logs = Vec::new();
         for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok((exit, vt, fs)) => {
+                Ok((exit, vt, fs, log)) => {
                     exits.push(exit);
                     vtimes[rank] = vt;
                     fstats[rank] = fs;
+                    obs_logs.extend(log);
                 }
                 // The thread died outside catch_unwind (e.g. a panic while
                 // panicking); report what we can.
                 Err(payload) => exits.push(RankExit::Panicked(panic_message(payload))),
             }
         }
-        (exits, vtimes, fstats, started.elapsed())
+        let journal = record.then(|| obs::RunJournal::gather(p, armed, obs_logs));
+        (exits, vtimes, fstats, journal, started.elapsed())
     }
 }
 
@@ -698,6 +733,66 @@ mod tests {
             .fault_stats
             .iter()
             .all(|s| *s == FaultStats::default()));
+    }
+
+    #[test]
+    fn unrecorded_world_has_no_journal() {
+        let report = World::new(WorldConfig::for_tests(2))
+            .run(|proc| proc.allreduce_sum(1))
+            .unwrap();
+        assert!(report.journal.is_none(), "recorder off => zero output");
+    }
+
+    #[test]
+    fn recorder_gathers_a_journal_with_crash_and_fault_events() {
+        let plan = FaultPlan::new(1).crash_rank(2, 5).corrupt_per_mille(1000);
+        let report = World::new(WorldConfig::for_tests(4).with_faults(plan).with_recorder())
+            .run_faulty(|proc| {
+                let me = proc.rank();
+                for i in 0..10u32 {
+                    proc.send(me, i, Comm::TOOL, &[i as u8]);
+                    proc.recv(SrcSel::Rank(me), TagSel::Tag(i), Comm::TOOL);
+                }
+                me
+            })
+            .unwrap();
+        let j = report.journal.expect("recorder armed");
+        assert!(j.armed);
+        assert_eq!(j.ranks, 4);
+        assert_eq!(j.logs.len(), 4);
+        // Exactly the planned crash, attributed to the right rank and op,
+        // survives the unwind into the gathered journal.
+        let crashes: Vec<(usize, u64)> = j
+            .events()
+            .filter_map(|(rank, e)| match e.kind {
+                obs::EventKind::Crash { op } => Some((rank, op)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes, vec![(2, 5)]);
+        // The 100% corruption plan fires on the (faultable) self-sends.
+        assert!(j.count("fault") > 0, "corruption events recorded");
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_virtual_times() {
+        let run_once = |record: bool| {
+            let cfg = if record {
+                WorldConfig::for_tests(3).with_recorder()
+            } else {
+                WorldConfig::for_tests(3)
+            };
+            World::new(cfg)
+                .run(|proc| {
+                    proc.compute(0.5);
+                    proc.allreduce_sum(proc.rank() as u64)
+                })
+                .unwrap()
+        };
+        let bare = run_once(false);
+        let recorded = run_once(true);
+        assert_eq!(bare.rank_vtimes, recorded.rank_vtimes);
+        assert_eq!(bare.results, recorded.results);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! The per-rank recorder: an append-only event buffer behind an `Option`.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+
+/// One rank's complete flight log.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RankLog {
+    /// The rank that wrote this log.
+    pub rank: usize,
+    /// Events in emission order; `events[i].seq == i`.
+    pub events: Vec<Event>,
+}
+
+impl RankLog {
+    /// Empty log for `rank`.
+    pub fn new(rank: usize) -> Self {
+        RankLog {
+            rank,
+            events: Vec::new(),
+        }
+    }
+
+    /// Monotonic per-label counters, derived from the events. Derived
+    /// rather than stored so a log can never disagree with itself.
+    pub fn counters(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            *out.entry(e.kind.label()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+/// A zero-cost-when-disabled handle every rank writes through.
+///
+/// Disabled is the default and costs one pointer-sized `None` check per
+/// [`Recorder::emit`]; the event payload is built inside a closure that is
+/// never invoked, so the hot paths allocate nothing. This mirrors the
+/// fault-plan gating idiom in `mpisim::proc`.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    log: Option<Box<RankLog>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the default for ordinary runs).
+    pub fn disabled() -> Self {
+        Recorder { log: None }
+    }
+
+    /// An armed recorder buffering into a fresh [`RankLog`] for `rank`.
+    pub fn enabled(rank: usize) -> Self {
+        Recorder {
+            log: Some(Box::new(RankLog::new(rank))),
+        }
+    }
+
+    /// Whether events are being kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Record one event stamped with the caller's two virtual clocks.
+    /// `make` runs only when the recorder is enabled.
+    #[inline]
+    pub fn emit(&mut self, vt: f64, tt: f64, make: impl FnOnce() -> EventKind) {
+        let Some(log) = &mut self.log else { return };
+        let seq = log.events.len() as u64;
+        log.events.push(Event {
+            seq,
+            vt,
+            tt,
+            kind: make(),
+        });
+    }
+
+    /// Surrender the buffered log (leaving the recorder disabled), or
+    /// `None` if recording was never armed.
+    pub fn take_log(&mut self) -> Option<RankLog> {
+        self.log.take().map(|b| *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_runs_the_closure() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.emit(0.0, 0.0, || panic!("payload built while disabled"));
+        assert!(r.take_log().is_none());
+    }
+
+    #[test]
+    fn enabled_buffers_in_order_with_seq() {
+        let mut r = Recorder::enabled(3);
+        assert!(r.is_enabled());
+        r.emit(1.0, 0.5, || EventKind::Marker { n: 1 });
+        r.emit(2.0, 0.75, || EventKind::Crash { op: 40 });
+        let log = r.take_log().expect("armed");
+        assert_eq!(log.rank, 3);
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.events[0].seq, 0);
+        assert_eq!(log.events[1].seq, 1);
+        assert_eq!(log.events[1].kind, EventKind::Crash { op: 40 });
+        assert!(!r.is_enabled(), "take_log disarms");
+    }
+
+    #[test]
+    fn counters_derive_from_events() {
+        let mut r = Recorder::enabled(0);
+        for n in 1..=3 {
+            r.emit(0.0, 0.0, || EventKind::Marker { n });
+        }
+        r.emit(0.0, 0.0, || EventKind::Degraded { marker: 3 });
+        let log = r.take_log().unwrap();
+        let c = log.counters();
+        assert_eq!(c.get("marker"), Some(&3));
+        assert_eq!(c.get("degraded"), Some(&1));
+        assert_eq!(c.get("crash"), None);
+    }
+}

@@ -104,6 +104,7 @@ pub fn radix_tree_merge(
         .position(|&r| r == me)
         .unwrap_or_else(|| panic!("rank {me} called radix_tree_merge without being a participant"));
     let tree = RadixTree::new(radix, participants.len());
+    let obs_t0 = proc.tool_time();
 
     // Receive children's subtree traces in arrival order (pipelining:
     // this rank works on an early subtree while a slow sibling subtree is
@@ -193,6 +194,20 @@ pub fn radix_tree_merge(
     } else {
         Vec::new()
     };
+    if let Some(t) = timings.first() {
+        // Span over this rank's fold work: tool time on entry vs after the
+        // last fold completed (receive waits included — that is the span a
+        // profiler would see).
+        let t1 = proc.tool_time();
+        proc.record(|| obs::EventKind::MergeLevel {
+            level: t.level as u64,
+            merges: t.merges as u64,
+            dp_cells: t.dp_cells,
+            fast_path: t.fast_path_hits as u64,
+            t0: obs_t0,
+            t1,
+        });
+    }
 
     // Ship up or return at the root.
     let merged = match tree.parent(my_pos) {

@@ -78,6 +78,8 @@ pub struct ChaosOutcome {
     pub crashed: Vec<Rank>,
     /// Per-rank fault counters from the simulator.
     pub fault_stats: Vec<FaultStats>,
+    /// The flight-recorder journal ([`run_chaos_recorded`] only).
+    pub journal: Option<obs::RunJournal>,
 }
 
 /// Run `steps` chaos timesteps over `p` ranks under `plan` and return the
@@ -85,7 +87,22 @@ pub struct ChaosOutcome {
 /// lead sharing — any behavioral split still elects per-group leads after
 /// the ring shrinks.
 pub fn run_chaos(p: usize, steps: usize, plan: FaultPlan) -> ChaosOutcome {
-    let report = World::new(WorldConfig::for_tests(p).with_faults(plan))
+    run_chaos_with(p, steps, plan, false)
+}
+
+/// [`run_chaos`] with the flight recorder armed: the outcome additionally
+/// carries the gathered run journal (crashed ranks included — their logs
+/// survive the unwind).
+pub fn run_chaos_recorded(p: usize, steps: usize, plan: FaultPlan) -> ChaosOutcome {
+    run_chaos_with(p, steps, plan, true)
+}
+
+fn run_chaos_with(p: usize, steps: usize, plan: FaultPlan, record: bool) -> ChaosOutcome {
+    let mut config = WorldConfig::for_tests(p).with_faults(plan);
+    if record {
+        config = config.with_recorder();
+    }
+    let report = World::new(config)
         .run_faulty(move |proc| {
             let mut tp = TracedProc::new(proc);
             let mut cham = Chameleon::new(ChameleonConfig::with_k(p));
@@ -115,6 +132,7 @@ pub fn run_chaos(p: usize, steps: usize, plan: FaultPlan) -> ChaosOutcome {
         stats,
         crashed: report.crashed,
         fault_stats: report.fault_stats,
+        journal: report.journal,
     }
 }
 
@@ -158,6 +176,34 @@ mod tests {
             );
             assert_eq!(r.stats.lead_reelections, 0);
         }
+    }
+
+    #[test]
+    fn recorded_chaos_journal_agrees_with_stats() {
+        let plan = chaos_plan(7, 4);
+        let crash = plan.crash.unwrap();
+        let out = run_chaos_recorded(4, 40, plan);
+        let j = out.journal.expect("recorded run must gather a journal");
+        assert!(j.armed);
+        // Exactly one crash event, on the planned victim at the planned op.
+        let crashes: Vec<(usize, u64)> = j
+            .events()
+            .filter_map(|(rank, e)| match e.kind {
+                obs::EventKind::Crash { op } => Some((rank, op)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes, vec![(crash.rank, crash.at_op)]);
+        // Every survivor logs the same re-elections the stats count.
+        let s0 = out.stats[0].as_ref().unwrap();
+        let reelects_rank0 = j
+            .rank_log(0)
+            .unwrap()
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::Reelect { .. }))
+            .count() as u64;
+        assert_eq!(reelects_rank0, s0.lead_reelections);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct Overrides {
     pub k: Option<usize>,
     /// Override the clustering algorithm (ablations).
     pub algo: Option<AlgoChoice>,
+    /// Arm the flight recorder and gather a run journal (off by default —
+    /// the recorder is zero-cost when disabled, but the journal itself
+    /// holds every event).
+    pub journal: bool,
 }
 
 /// Uniform measurements from one run.
@@ -71,6 +75,8 @@ pub struct RunReport {
     pub cham_stats: Vec<ChameleonStats>,
     /// Per-rank baseline outcomes (ScalaTrace/ACURDION modes only).
     pub baseline: Vec<BaselineSummary>,
+    /// The gathered flight-recorder journal (`Overrides::journal` only).
+    pub journal: Option<obs::RunJournal>,
     /// The spec the run used (after overrides).
     pub spec: RunSpec,
 }
@@ -206,7 +212,11 @@ pub fn run(
         Chameleon(chameleon::FinalizeOutcome),
     }
 
-    let report = World::new(WorldConfig::new(p))
+    let mut world_config = WorldConfig::new(p);
+    if overrides.journal {
+        world_config = world_config.with_recorder();
+    }
+    let report = World::new(world_config)
         .run(move |proc| {
             let mut tp = TracedProc::new(proc);
             let spec = &spec_for_ranks;
@@ -276,6 +286,7 @@ pub fn run(
         global_trace,
         cham_stats,
         baseline,
+        journal: report.journal,
         spec,
     }
 }
@@ -404,6 +415,38 @@ mod tests {
         );
         assert_eq!(rep.cham_stats[0].marker_calls, 5);
         assert_eq!(rep.spec.call_frequency, 2);
+    }
+
+    #[test]
+    fn journal_gathers_only_when_requested() {
+        let rep = run(
+            Arc::new(scaled(Bt, 25)),
+            Class::A,
+            4,
+            Mode::Chameleon,
+            Overrides::default(),
+        );
+        assert!(rep.journal.is_none(), "recorder is opt-in");
+
+        let rep = run(
+            Arc::new(scaled(Bt, 25)),
+            Class::A,
+            4,
+            Mode::Chameleon,
+            Overrides {
+                journal: true,
+                ..Default::default()
+            },
+        );
+        let j = rep.journal.expect("requested journal must be gathered");
+        assert!(!j.armed);
+        // Every rank logged its markers, signatures, and state
+        // transitions; the slice counts agree with the stats.
+        let markers_per_rank = rep.cham_stats[0].marker_invocations;
+        assert_eq!(j.count("marker"), markers_per_rank * 4);
+        assert!(j.count("signature") > 0);
+        assert!(j.count("state") > 0);
+        assert_eq!(j.count("fault"), 0, "fault-free run logs no faults");
     }
 
     #[test]

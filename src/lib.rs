@@ -8,6 +8,7 @@
 pub use chameleon;
 pub use clusterkit;
 pub use mpisim;
+pub use obs;
 pub use scalareplay;
 pub use scalatrace;
 pub use sigkit;

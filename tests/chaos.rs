@@ -4,13 +4,24 @@
 //! payload-corruption link — with a non-empty online trace at rank 0,
 //! counted degraded slices, and zero hangs (a wedged run trips the fault
 //! plan's hang backstop and fails loudly instead of timing out CI).
+//!
+//! Runs are made with the flight recorder armed, and the counters the
+//! suite used to trust blindly are cross-checked against the journal's
+//! event sequences: the planned crash is witnessed exactly once and is
+//! the victim's final recorded act, re-elections move leadership away
+//! from dead ranks only, and death detection never names a living peer.
+//!
 //! On failure the offending fault plan is written to
-//! `experiments_out/chaos_seed_<seed>.plan` so the run is replayable.
+//! `experiments_out/chaos_seed_<seed>.plan` and the full journal to
+//! `experiments_out/chaos_seed_<seed>.journal.jsonl` so the run is
+//! replayable and inspectable offline (see OBSERVABILITY.md).
 
+use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 
+use chameleon_repro::obs::EventKind;
 use chameleon_repro::scalatrace::format;
-use chameleon_repro::workloads::chaos::{chaos_plan, run_chaos, ChaosOutcome};
+use chameleon_repro::workloads::chaos::{chaos_plan, run_chaos, run_chaos_recorded, ChaosOutcome};
 
 /// The fixed CI seed set. Deliberately spread so victims, crash times,
 /// and corruption patterns differ across entries.
@@ -19,48 +30,132 @@ const CI_SEEDS: [u64; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 0xBAD5EED, 0xC0FFEE];
 const RANKS: usize = 6;
 const STEPS: usize = 40;
 
-fn artifact_path(seed: u64) -> PathBuf {
+fn artifact_path(seed: u64, ext: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("experiments_out")
-        .join(format!("chaos_seed_{seed:#x}.plan"))
+        .join(format!("chaos_seed_{seed:#x}.{ext}"))
 }
 
-/// Run one seed, dumping the fault plan as a replay artifact if any
-/// assertion fails.
+/// Dump the replay recipe (and the journal, when one was gathered) next
+/// to the test binary's output so a CI failure is a file, not a log line.
+fn dump_artifacts(seed: u64, recipe: &str, outcome: Option<&ChaosOutcome>) {
+    let plan_path = artifact_path(seed, "plan");
+    let _ = std::fs::create_dir_all(plan_path.parent().unwrap());
+    let _ = std::fs::write(&plan_path, recipe);
+    eprintln!(
+        "chaos seed {seed:#x} failed; plan written to {}",
+        plan_path.display()
+    );
+    if let Some(journal) = outcome.and_then(|o| o.journal.as_ref()) {
+        let journal_path = artifact_path(seed, "journal.jsonl");
+        let _ = std::fs::write(&journal_path, journal.to_jsonl());
+        eprintln!("journal written to {}", journal_path.display());
+    }
+}
+
+/// Run one seed with the recorder armed and check both the coarse
+/// counters and the journal's event sequences, dumping the artifacts if
+/// any assertion fails.
 fn run_seed(seed: u64) -> ChaosOutcome {
     let plan = chaos_plan(seed, RANKS);
     let recipe = format!("{plan}\nranks={RANKS} steps={STEPS}\n");
-    let result = std::panic::catch_unwind(|| {
-        let out = run_chaos(RANKS, STEPS, chaos_plan(seed, RANKS));
-        let victim = chaos_plan(seed, RANKS).crash.expect("chaos crashes").rank;
-
-        assert_eq!(out.crashed, vec![victim], "exactly the planned rank dies");
-        assert!(out.stats[victim].is_none(), "dead rank reports nothing");
-        assert!(out.fault_stats[victim].crashed);
-        assert!(
-            out.online_trace.dynamic_size() > 0,
-            "online trace at rank 0 must be non-empty"
-        );
-        let s0 = out.stats[0].as_ref().expect("rank 0 is immortal");
-        assert!(
-            s0.degraded_slices >= 1,
-            "a mid-run crash must be counted as degradation"
-        );
-        out
-    });
-    match result {
+    let out = match std::panic::catch_unwind(|| {
+        run_chaos_recorded(RANKS, STEPS, chaos_plan(seed, RANKS))
+    }) {
         Ok(out) => out,
         Err(payload) => {
-            let path = artifact_path(seed);
-            let _ = std::fs::create_dir_all(path.parent().unwrap());
-            let _ = std::fs::write(&path, &recipe);
-            eprintln!(
-                "chaos seed {seed:#x} failed; plan written to {}",
-                path.display()
-            );
+            dump_artifacts(seed, &recipe, None);
             std::panic::resume_unwind(payload);
         }
+    };
+    if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| check_seed(seed, &out))) {
+        dump_artifacts(seed, &recipe, Some(&out));
+        std::panic::resume_unwind(payload);
     }
+    out
+}
+
+fn check_seed(seed: u64, out: &ChaosOutcome) {
+    let crash = chaos_plan(seed, RANKS).crash.expect("chaos crashes");
+    let victim = crash.rank;
+
+    assert_eq!(out.crashed, vec![victim], "exactly the planned rank dies");
+    assert!(out.stats[victim].is_none(), "dead rank reports nothing");
+    assert!(out.fault_stats[victim].crashed);
+    assert!(
+        out.online_trace.dynamic_size() > 0,
+        "online trace at rank 0 must be non-empty"
+    );
+    let s0 = out.stats[0].as_ref().expect("rank 0 is immortal");
+    assert!(
+        s0.degraded_slices >= 1,
+        "a mid-run crash must be counted as degradation"
+    );
+
+    // Event-sequence checks against the journal: the counters above say
+    // *how much* happened; the journal must agree on *what, where, and in
+    // which order*.
+    let journal = out
+        .journal
+        .as_ref()
+        .expect("recorded run gathers a journal");
+    assert!(journal.armed, "a chaos journal is always armed");
+
+    let crashes: Vec<(usize, u64)> = journal
+        .events()
+        .filter_map(|(rank, e)| match e.kind {
+            EventKind::Crash { op } => Some((rank, op)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        crashes,
+        vec![(victim, crash.at_op)],
+        "the journal witnesses exactly the planned crash"
+    );
+
+    // Dying is the last thing the victim does: nothing may be recorded
+    // on that rank after its crash event.
+    let victim_log = journal.rank_log(victim).expect("victim's log survives");
+    assert!(
+        matches!(
+            victim_log.events.last().map(|e| &e.kind),
+            Some(EventKind::Crash { .. })
+        ),
+        "the crash must be the victim's final recorded event"
+    );
+
+    // Re-elections move leadership off dead ranks and only onto living
+    // ones; rank 0's event count must match its stats counter.
+    for (rank, e) in journal.events() {
+        if let EventKind::Reelect { old, new, .. } = e.kind {
+            assert_eq!(
+                old as usize, victim,
+                "rank {rank} re-elected away from a living lead"
+            );
+            assert!(
+                !out.crashed.contains(&(new as usize)),
+                "rank {rank} elected the dead rank {new}"
+            );
+        }
+        if let EventKind::PeerDead { peer } = e.kind {
+            assert_eq!(
+                peer as usize, victim,
+                "rank {rank} declared a living peer dead"
+            );
+        }
+    }
+    let reelects_rank0 = journal
+        .rank_log(0)
+        .unwrap()
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Reelect { .. }))
+        .count() as u64;
+    assert_eq!(
+        reelects_rank0, s0.lead_reelections,
+        "rank 0's re-election events must match its counter"
+    );
 }
 
 #[test]
@@ -90,7 +185,8 @@ fn same_plan_same_seed_is_bit_identical() {
     // hashed from (seed, sender, nonce), death detection is
     // message-driven, and retransmits are sender-observed. Two runs of
     // the same plan must therefore produce byte-identical degraded
-    // online traces and identical degradation counters.
+    // online traces, identical degradation counters, and byte-identical
+    // journals.
     for &seed in &CI_SEEDS[..3] {
         let a = run_seed(seed);
         let b = run_seed(seed);
@@ -103,6 +199,11 @@ fn same_plan_same_seed_is_bit_identical() {
         assert_eq!(sa.degraded_slices, sb.degraded_slices);
         assert_eq!(sa.lead_reelections, sb.lead_reelections);
         assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(
+            a.journal.unwrap().to_jsonl(),
+            b.journal.unwrap().to_jsonl(),
+            "seed {seed:#x}: armed journal must be byte-reproducible"
+        );
     }
 }
 

@@ -150,6 +150,61 @@ fn degraded_trace_golden() {
 }
 
 #[test]
+fn journal_golden_roundtrip() {
+    // The flight-recorder journal is a deterministic artifact like the
+    // traces above: fixed seed -> byte-identical JSONL. The fixture pins
+    // the schema (field order, number formatting, event taxonomy); the
+    // round-trip pins the parser as its exact inverse.
+    use chameleon_repro::obs::RunJournal;
+    let run_once = || {
+        let rep = run(
+            Arc::new(ScaledWorkload::new(Bt, 25)),
+            Class::A,
+            4,
+            Mode::Chameleon,
+            Overrides {
+                journal: true,
+                ..Default::default()
+            },
+        );
+        rep.journal.expect("journal requested")
+    };
+    let journal = run_once();
+    let text = journal.to_jsonl();
+    assert_golden("bt4_chameleon.journal.jsonl", &text);
+
+    let parsed = RunJournal::from_jsonl(&text).expect("journal parses");
+    assert_eq!(parsed, journal, "parse is lossless");
+    assert_eq!(parsed.to_jsonl(), text, "reserialization is stable");
+
+    let again = run_once();
+    assert_eq!(
+        again.to_jsonl(),
+        text,
+        "same-seed runs produce byte-identical journals"
+    );
+}
+
+#[test]
+fn armed_journal_is_reproducible() {
+    // Same property with a fault plan armed: drops, retries, a crash and
+    // the resulting re-elections all land in the journal at the same
+    // virtual times, run after run.
+    use chameleon_repro::obs::RunJournal;
+    use chameleon_repro::workloads::chaos::{chaos_plan, run_chaos_recorded};
+    let a = run_chaos_recorded(6, 40, chaos_plan(1, 6)).journal.unwrap();
+    let b = run_chaos_recorded(6, 40, chaos_plan(1, 6)).journal.unwrap();
+    assert!(a.armed);
+    assert_eq!(
+        a.to_jsonl(),
+        b.to_jsonl(),
+        "armed same-seed journals are byte-identical"
+    );
+    let parsed = RunJournal::from_jsonl(&a.to_jsonl()).expect("armed journal parses");
+    assert_eq!(parsed.to_jsonl(), a.to_jsonl());
+}
+
+#[test]
 fn workload_trace_golden() {
     // End-to-end: the BT pattern traced through the simulator. Pins the
     // whole pipeline — simulation determinism, compression, reduction

@@ -1,0 +1,125 @@
+//! Differential suite: online Chameleon vs offline ScalaTrace.
+//!
+//! On a fault-free run, Chameleon's incrementally grown online trace must
+//! be *observationally equivalent* to the offline full-merge ScalaTrace
+//! produces at finalize: every rank extracts the same dynamic event stream
+//! (operation, endpoints, call-site) from either trace, and both traces
+//! replay to completion with identical event counts.
+//!
+//! Two deliberate exclusions, both properties of the approach rather than
+//! defects:
+//!
+//! - **Timing statistics.** Chameleon merges only the lead ranks' traces,
+//!   so its `count=`/time aggregates draw from a different sample set than
+//!   the all-rank offline merge.
+//! - **Payload sizes within a cluster.** A lead's trace *represents* its
+//!   cluster members; where a workload gives cluster members slightly
+//!   different message sizes (BT's `count_jitter` models 2-D decomposition
+//!   remainders), the online trace reports the lead's size for everyone.
+//!   The test quantifies this: deviations may only appear in the `count`
+//!   field and must stay within the jitter spread.
+
+use std::sync::Arc;
+
+use chameleon_repro::mpisim::CostModel;
+use chameleon_repro::scalareplay::replay;
+use chameleon_repro::scalatrace::CompressedTrace;
+use chameleon_repro::workloads::driver::{run, Mode, Overrides, ScaledWorkload};
+use chameleon_repro::workloads::{bt::Bt, emf::Emf, lu::Lu, Class, Workload};
+
+/// Rank `rank`'s dynamic event stream in replay order, as
+/// `(projection-without-count, count)` pairs. Timing stats are excluded by
+/// construction.
+fn stream_of(trace: &CompressedTrace, rank: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    trace.walk(&mut |e| {
+        if e.ranks.contains(rank) {
+            let op = &e.op;
+            out.push((
+                format!(
+                    "{:?} src={:?} dest={:?} tag={:?}/{:?} comm={:?} sig={:?}",
+                    op.kind, op.src, op.dest, op.tag, op.recv_tag, op.comm, e.stack_sig
+                ),
+                op.count,
+            ));
+        }
+    });
+    out
+}
+
+/// `count_tolerance` is the workload's intra-cluster payload spread: 0
+/// demands byte-exact equality, a positive bound permits the documented
+/// lead-represents-member approximation on the `count` field only.
+fn assert_equivalent(workload: Arc<dyn Workload>, class: Class, p: usize, count_tolerance: usize) {
+    let name = workload.name();
+    let online = run(
+        workload.clone(),
+        class,
+        p,
+        Mode::Chameleon,
+        Overrides::default(),
+    );
+    let offline = run(workload, class, p, Mode::ScalaTrace, Overrides::default());
+    let on = online.global_trace.expect("online trace on rank 0");
+    let off = offline.global_trace.expect("offline trace on rank 0");
+
+    for rank in 0..p {
+        let a = stream_of(&on, rank);
+        let b = stream_of(&off, rank);
+        assert!(!b.is_empty(), "{name}: rank {rank} traced nothing offline");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "{name}: rank {rank} has a different number of dynamic events"
+        );
+        for (i, ((op_a, count_a), (op_b, count_b))) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                op_a, op_b,
+                "{name}: rank {rank} event {i} diverged structurally"
+            );
+            assert!(
+                count_a.abs_diff(*count_b) <= count_tolerance,
+                "{name}: rank {rank} event {i} count {count_a} vs {count_b} \
+                 exceeds the cluster-representative tolerance {count_tolerance}"
+            );
+        }
+    }
+
+    let rp_on = replay(&on, p, CostModel::default()).expect("online trace replays");
+    let rp_off = replay(&off, p, CostModel::default()).expect("offline trace replays");
+    assert_eq!(
+        rp_on.dropped_events, 0,
+        "{name}: online replay dropped events"
+    );
+    assert_eq!(
+        rp_off.dropped_events, 0,
+        "{name}: offline replay dropped events"
+    );
+    assert_eq!(
+        rp_on.events_executed, rp_off.events_executed,
+        "{name}: replays executed different event counts"
+    );
+}
+
+#[test]
+fn bt_online_matches_offline_up_to_cluster_representation() {
+    // BT's count_jitter gives interior cluster members payload sizes that
+    // differ by one 8-byte size class at p=4 — the lead's size stands in
+    // for its member's, bounded by exactly that spread.
+    assert_equivalent(Arc::new(ScaledWorkload::new(Bt, 5)), Class::A, 4, 8);
+}
+
+#[test]
+fn lu_online_matches_offline() {
+    assert_equivalent(
+        Arc::new(ScaledWorkload::new(Lu::strong(), 5)),
+        Class::D,
+        4,
+        0,
+    );
+}
+
+#[test]
+fn emf_online_matches_offline() {
+    assert_equivalent(Arc::new(Emf), Class::A, 5, 0);
+}

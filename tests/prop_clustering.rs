@@ -1,0 +1,244 @@
+//! Property-based clustering suite (xrand-seeded).
+//!
+//! Randomized instances pin down the clustering layer's contracts:
+//!
+//! - relabeling ranks permutes the partition, nothing more (on
+//!   well-separated data, where the partition is unique);
+//! - ranks with byte-identical signatures always share a cluster;
+//! - `reelect_leads` always hands an orphaned cluster to its minimum
+//!   surviving member, exactly once;
+//! - duplicate distances cannot destabilize the top-K partition.
+//!
+//! The separation caveat on the first property is load-bearing: greedy
+//! farthest-point selection is seed-dependent on ambiguous data (points on
+//! a line can split either way), so permutation invariance is only a
+//! theorem when every inter-cluster gap dwarfs every intra-cluster one.
+//! The generators construct exactly that regime: centers ~1e6 apart,
+//! jitter within ±500.
+
+use chameleon_repro::clusterkit::{find_top_k, ClusterEntry, ClusterMap, KFarthest, LeadSelection};
+use chameleon_repro::mpisim::Rank;
+use chameleon_repro::sigkit::{CallPathSig, SignatureTriple};
+use xrand::Xoshiro256;
+
+fn triple(call_path: u64, src: u64, dest: u64) -> SignatureTriple {
+    SignatureTriple {
+        call_path: CallPathSig(call_path),
+        src,
+        dest,
+    }
+}
+
+/// Well-separated instance: `m` centers ~1e6 apart, each point jittered
+/// within ±500 of its center. Returns each rank's center index and triple.
+fn separated_instance(
+    rng: &mut Xoshiro256,
+    m: usize,
+    n: usize,
+) -> (Vec<usize>, Vec<SignatureTriple>) {
+    let centers: Vec<(u64, u64)> = (0..m)
+        .map(|i| {
+            (
+                1_000_000 * (i as u64 + 1),
+                1_000_000 * (m as u64 - i as u64),
+            )
+        })
+        .collect();
+    let mut owner = Vec::with_capacity(n);
+    let mut triples = Vec::with_capacity(n);
+    for i in 0..n {
+        // Every center owns at least one rank; the rest land randomly.
+        let c = if i < m { i } else { rng.usize_below(m) };
+        let (sx, sy) = centers[c];
+        owner.push(c);
+        triples.push(triple(
+            7,
+            sx - 500 + rng.below(1000),
+            sy - 500 + rng.below(1000),
+        ));
+    }
+    (owner, triples)
+}
+
+/// Cluster `triples` (rank i holds `triples[i]`) and return the partition
+/// as sorted ranklists, sorted by first member.
+fn cluster_partition(triples: &[SignatureTriple], k: usize) -> Vec<Vec<Rank>> {
+    let mut map = ClusterMap::new();
+    for (rank, t) in triples.iter().enumerate() {
+        map.merge(ClusterMap::from_rank(rank, t));
+    }
+    let sel = LeadSelection::select(map, k, &KFarthest);
+    let mut partition: Vec<Vec<Rank>> = sel
+        .map
+        .groups()
+        .flat_map(|(_, entries)| entries.iter().map(|e| e.members.expand()))
+        .collect();
+    partition.sort();
+    partition
+}
+
+#[test]
+fn relabeling_ranks_permutes_the_partition() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5E9A);
+    for _case in 0..100 {
+        let m = rng.range_usize(2, 5);
+        let n = rng.range_usize(m + 2, 24);
+        let (_, triples) = separated_instance(&mut rng, m, n);
+        let base = cluster_partition(&triples, m);
+
+        // Relabel: rank r in the permuted instance holds the signature
+        // originally held by perm[r].
+        let mut perm: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut perm);
+        let permuted: Vec<SignatureTriple> = perm.iter().map(|&p| triples[p]).collect();
+        let got = cluster_partition(&permuted, m);
+
+        // Push the base partition through the relabeling: original rank p
+        // is now called inv[p].
+        let mut inv = vec![0usize; n];
+        for (r, &p) in perm.iter().enumerate() {
+            inv[p] = r;
+        }
+        let mut want: Vec<Vec<Rank>> = base
+            .iter()
+            .map(|group| {
+                let mut g: Vec<Rank> = group.iter().map(|&p| inv[p]).collect();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        want.sort();
+        assert_eq!(got, want, "partition must commute with rank relabeling");
+    }
+}
+
+#[test]
+fn equal_signatures_share_a_cluster() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5165);
+    for _case in 0..200 {
+        // Signatures drawn from a small pool guarantee collisions; n > k
+        // guarantees the pruning path actually runs.
+        let n = rng.range_usize(8, 30);
+        let k = rng.range_usize(1, 6);
+        let pool: Vec<(u64, u64)> = (0..rng.range_usize(2, 6))
+            .map(|_| (rng.below(5000), rng.below(5000)))
+            .collect();
+        let picks: Vec<(u64, u64)> = (0..n).map(|_| pool[rng.usize_below(pool.len())]).collect();
+        let singletons: Vec<ClusterEntry> = picks
+            .iter()
+            .enumerate()
+            .map(|(r, &(s, d))| ClusterEntry::singleton(r, &triple(1, s, d)))
+            .collect();
+        let out = find_top_k(singletons, k, &KFarthest);
+        let cluster_of = |rank: Rank| {
+            out.iter()
+                .position(|e| e.members.contains(rank))
+                .expect("partition covers every rank")
+        };
+        for a in 0..n {
+            for b in a + 1..n {
+                if picks[a] == picks[b] {
+                    assert_eq!(
+                        cluster_of(a),
+                        cluster_of(b),
+                        "ranks {a} and {b} have identical signatures"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reelection_hands_orphans_to_minimum_survivor() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDEAD);
+    for _case in 0..200 {
+        let n = rng.range_usize(4, 16);
+        let (_, triples) = separated_instance(&mut rng, 2, n);
+        let mut map = ClusterMap::new();
+        for (rank, t) in triples.iter().enumerate() {
+            map.merge(ClusterMap::from_rank(rank, t));
+        }
+        let sel = LeadSelection::select(map, 2, &KFarthest);
+        let mut m = sel.map;
+        let before: Vec<(Rank, Vec<Rank>)> = m
+            .groups()
+            .flat_map(|(_, es)| es.iter().map(|e| (e.lead, e.members.expand())))
+            .collect();
+
+        // Kill a random subset (possibly including leads).
+        let alive: Vec<Rank> = (0..n).filter(|_| rng.gen_bool(0.6)).collect();
+        let reelections = m.reelect_leads(&alive);
+
+        for (old_lead, members) in &before {
+            let survivors: Vec<Rank> = members
+                .iter()
+                .copied()
+                .filter(|r| alive.contains(r))
+                .collect();
+            let entry = m
+                .groups()
+                .flat_map(|(_, es)| es.iter())
+                .find(|e| e.members.expand() == *members)
+                .expect("entries are only re-led, never removed")
+                .clone();
+            if alive.contains(old_lead) {
+                assert_eq!(entry.lead, *old_lead, "living leads keep their seat");
+            } else if let Some(&min_survivor) = survivors.first() {
+                assert_eq!(entry.lead, min_survivor, "minimum survivor takes over");
+                assert!(reelections
+                    .iter()
+                    .any(|re| re.old == *old_lead && re.new == min_survivor));
+            } else {
+                assert_eq!(entry.lead, *old_lead, "extinct clusters keep dead leads");
+            }
+        }
+        // Exactly one reelection per orphaned-but-survivable cluster, and
+        // a second pass finds nothing left to do.
+        let orphaned = before
+            .iter()
+            .filter(|(lead, members)| {
+                !alive.contains(lead) && members.iter().any(|r| alive.contains(r))
+            })
+            .count();
+        assert_eq!(reelections.len(), orphaned);
+        assert!(
+            m.reelect_leads(&alive).is_empty(),
+            "re-election is idempotent"
+        );
+    }
+}
+
+#[test]
+fn topk_is_stable_under_duplicate_distances() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD0BB1E);
+    for _case in 0..200 {
+        // m well-separated coordinate values, each duplicated many times:
+        // every pairwise distance is one of a handful of tied values, the
+        // adversarial case for greedy selection. The partition must still
+        // be exactly "group by coordinate", whatever the input order.
+        let m = rng.range_usize(2, 5);
+        let n = rng.range_usize(m + 3, 28);
+        let coord = |c: usize| 1_000_000u64 * (c as u64 + 1);
+        let owner: Vec<usize> = (0..n)
+            .map(|i| if i < m { i } else { rng.usize_below(m) })
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let singletons: Vec<ClusterEntry> = order
+            .iter()
+            .map(|&r| ClusterEntry::singleton(r, &triple(1, coord(owner[r]), 0)))
+            .collect();
+        let out = find_top_k(singletons, m, &KFarthest);
+        assert_eq!(out.len(), m, "one cluster per distinct coordinate");
+        for e in &out {
+            let members = e.members.expand();
+            let c = owner[members[0]];
+            assert!(
+                members.iter().all(|&r| owner[r] == c),
+                "cluster mixes coordinates: {members:?}"
+            );
+            assert_eq!(e.src, coord(c), "representative sits on the coordinate");
+        }
+    }
+}
