@@ -6,9 +6,20 @@
 //! chamtrace dump   <trace-file>             # pretty event listing
 //! chamtrace check  <trace-file>             # parse + invariant checks
 //! chamtrace replay <trace-file> <ranks>     # replay, print virtual time
+//!
+//! chamtrace journal summarize <journal>     # header + per-label counts
+//! chamtrace journal timeline  <journal> <r> # one rank's events in order
+//! chamtrace journal spans     <journal>     # merge levels + critical path
+//! chamtrace journal metrics   <journal>     # metrics-plane snapshots
+//! chamtrace journal diff      <a> <b>       # first divergence (exit 1)
 //! ```
+//!
+//! Journal files are the flight recorder's canonical JSONL
+//! (`chameleon-obs-v1`, see OBSERVABILITY.md); malformed input fails
+//! with the offending line number and exit code 2.
 
 use mpisim::CostModel;
+use obs::{query, RunJournal};
 use scalatrace::{format, CompressedTrace, RankSet};
 
 fn load(path: &str) -> CompressedTrace {
@@ -89,6 +100,51 @@ fn replay_cmd(path: &str, ranks: usize) {
     }
 }
 
+fn load_journal(path: &str) -> RunJournal {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    RunJournal::from_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn journal_summarize(path: &str) {
+    print!("{}", load_journal(path).summary());
+}
+
+fn journal_timeline(path: &str, rank: usize) {
+    match query::timeline(&load_journal(path), rank) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn journal_spans(path: &str) {
+    print!("{}", query::span_report(&load_journal(path)));
+}
+
+fn journal_metrics(path: &str) {
+    print!("{}", query::metrics_report(&load_journal(path)));
+}
+
+fn journal_diff(path_a: &str, path_b: &str) {
+    let a = load_journal(path_a);
+    let b = load_journal(path_b);
+    match query::diff(&a, &b) {
+        None => println!("identical: {path_a} and {path_b}"),
+        Some(divergence) => {
+            println!("divergence: {divergence}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -102,9 +158,23 @@ fn main() {
             });
             replay_cmd(path, ranks);
         }
+        [j, cmd, path] if j == "journal" && cmd == "summarize" => journal_summarize(path),
+        [j, cmd, path, rank] if j == "journal" && cmd == "timeline" => {
+            let rank = rank.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid rank {rank:?}");
+                std::process::exit(2);
+            });
+            journal_timeline(path, rank);
+        }
+        [j, cmd, path] if j == "journal" && cmd == "spans" => journal_spans(path),
+        [j, cmd, path] if j == "journal" && cmd == "metrics" => journal_metrics(path),
+        [j, cmd, a, b] if j == "journal" && cmd == "diff" => journal_diff(a, b),
         _ => {
             eprintln!("usage: chamtrace info|dump|check <trace-file>");
             eprintln!("       chamtrace replay <trace-file> <ranks>");
+            eprintln!("       chamtrace journal summarize|spans|metrics <journal>");
+            eprintln!("       chamtrace journal timeline <journal> <rank>");
+            eprintln!("       chamtrace journal diff <journal-a> <journal-b>");
             std::process::exit(2);
         }
     }

@@ -763,9 +763,11 @@ pub fn ablation_radix(cfg: &HarnessConfig) -> Table {
 /// Run everything (the `run_all` binary).
 /// Flight-recorder digest: one Chameleon run with the recorder armed,
 /// reported as per-event-kind totals from the run journal plus the
-/// rank-aggregated overhead split ([`chameleon::AggregatedStats`]). The
-/// journal's own text summary goes to stderr for quick triage; the table
-/// is the TSV artifact.
+/// rank-aggregated overhead split ([`chameleon::AggregatedStats`]) and a
+/// snapshot-over-markers table from the metrics plane. The journal's own
+/// text summary goes to stderr for quick triage; the table is the TSV
+/// artifact. Set `CHAM_JOURNAL=<path>` to also drop the raw journal
+/// JSONL to disk for `chamtrace journal` queries.
 pub fn observability(cfg: &HarnessConfig) -> Table {
     let p = fixed_p(cfg, 8);
     let rep = chameleon_run(
@@ -774,6 +776,7 @@ pub fn observability(cfg: &HarnessConfig) -> Table {
         p,
         Overrides {
             journal: true,
+            journal_path: std::env::var_os("CHAM_JOURNAL").map(Into::into),
             ..Default::default()
         },
     );
@@ -802,6 +805,30 @@ pub fn observability(cfg: &HarnessConfig) -> Table {
     t.row(&["marker_calls".into(), agg.marker_calls.to_string()]);
     t.row(&["degraded_slices".into(), agg.degraded_slices.to_string()]);
     t.row(&["lead_reelections".into(), agg.lead_reelections.to_string()]);
+    // Snapshot-over-markers: the metrics plane's per-marker world deltas,
+    // one row per snapshot with the headline counters and the receive-wait
+    // p99 from the reduced histogram digest.
+    let snaps = obs::query::snapshots(&journal);
+    t.row(&["snapshot.count".into(), snaps.len().to_string()]);
+    for s in &snaps {
+        let ctr = |c: obs::Counter| s.ctrs.get(c as usize).copied().unwrap_or(0);
+        let wait_p99 = s
+            .hists
+            .get(obs::HistId::RecvWaitNs as usize * obs::metrics::HIST_DIGEST_STRIDE + 2)
+            .copied()
+            .unwrap_or(0);
+        t.row(&[
+            format!("snapshot.m{}", s.marker),
+            format!(
+                "ranks={} signatures={} merges={} dp_cells={} recv_wait_p99_ns={}",
+                s.ranks,
+                ctr(obs::Counter::Signatures),
+                ctr(obs::Counter::Merges),
+                ctr(obs::Counter::DpCells),
+                wait_p99
+            ),
+        ]);
+    }
     t
 }
 
@@ -872,7 +899,11 @@ mod tests {
         let r = t.render();
         assert!(r.contains("events.marker"));
         assert!(r.contains("events.state"));
+        assert!(r.contains("events.snapshot"));
         assert!(r.contains("overhead.total [s]"));
         assert!(r.contains("marker_calls"));
+        assert!(r.contains("snapshot.count"));
+        assert!(r.contains("snapshot.m1"), "{r}");
+        assert!(r.contains("recv_wait_p99_ns="), "{r}");
     }
 }

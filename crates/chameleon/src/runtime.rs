@@ -52,6 +52,17 @@ fn trace_triple(trace: &scalatrace::CompressedTrace) -> SignatureTriple {
 }
 
 /// Journal label for a counted marker state (matches `obs::STATES`).
+/// The metrics-plane histogram charged with a marker interval's tool-time
+/// cost, by the state the interval counted as.
+fn state_hist(state: MarkerState) -> obs::HistId {
+    match state {
+        MarkerState::AllTracing => obs::HistId::StateAtNs,
+        MarkerState::Clustering => obs::HistId::StateCNs,
+        MarkerState::Lead => obs::HistId::StateLNs,
+        MarkerState::Final => obs::HistId::StateFNs,
+    }
+}
+
 fn state_label(state: MarkerState) -> &'static str {
     match state {
         MarkerState::AllTracing => "AT",
@@ -168,6 +179,7 @@ impl Chameleon {
         assert!(!self.finalized, "marker after finalize");
         self.stats.marker_invocations += 1;
         let n = self.stats.marker_invocations;
+        let mtool0 = tp.inner().tool_time();
         tp.inner().record(|| obs::EventKind::Marker { n });
         if self.alive.is_empty() {
             self.alive = (0..tp.size()).collect();
@@ -193,6 +205,10 @@ impl Chameleon {
             .marker_invocations
             .is_multiple_of(self.config.call_frequency)
         {
+            // Even skipped markers close a metrics-plane snapshot: the
+            // whole point of the in-flight plane is per-marker visibility,
+            // not per-*processed*-marker visibility.
+            self.snapshot_metrics(tp);
             return; // Algorithm 3 lines 1-3
         }
         self.stats.marker_calls += 1;
@@ -208,6 +224,8 @@ impl Chameleon {
             events,
             call_path: triple.call_path.0,
         });
+        tp.inner().metric_add(obs::Counter::Signatures, 1);
+        tp.inner().metric_add(obs::Counter::SigEvents, events);
 
         // Collective vote (Algorithm 1): reduce + bcast of the mismatch
         // indicator, O(log P) modeled communication.
@@ -285,6 +303,10 @@ impl Chameleon {
             0
         };
         self.stats.mem.record(state, pre_bytes + post_online);
+        let interval_cost = tp.inner().tool_time() - mtool0;
+        tp.inner()
+            .metric_observe_seconds(state_hist(state), interval_cost);
+        self.snapshot_metrics(tp);
     }
 
     /// The `MPI_Finalize` wrapper: flush the last interval into the online
@@ -298,6 +320,7 @@ impl Chameleon {
     pub fn finalize(&mut self, tp: &mut TracedProc) -> FinalizeOutcome {
         assert!(!self.finalized, "finalize called twice");
         self.finalized = true;
+        let mtool0 = tp.inner().tool_time();
         if self.alive.is_empty() {
             self.alive = (0..tp.size()).collect();
         }
@@ -319,6 +342,8 @@ impl Chameleon {
         let sig_cost = mpisim::WorkModel::calibrated().signature(events);
         tp.inner().tool_compute(sig_cost);
         self.stats.signature_time += Duration::from_secs_f64(sig_cost);
+        tp.inner().metric_add(obs::Counter::Signatures, 1);
+        tp.inner().metric_add(obs::Counter::SigEvents, events);
 
         let pre_bytes = tp.tracer().trace_bytes();
 
@@ -374,6 +399,10 @@ impl Chameleon {
         self.stats
             .mem
             .record(MarkerState::Final, pre_bytes + post_online);
+        let interval_cost = tp.inner().tool_time() - mtool0;
+        tp.inner()
+            .metric_observe_seconds(state_hist(MarkerState::Final), interval_cost);
+        self.snapshot_metrics(tp);
 
         FinalizeOutcome {
             online_trace: (tp.rank() == 0).then(|| std::mem::take(&mut self.online_trace)),
@@ -394,6 +423,8 @@ impl Chameleon {
         if let Some(sel) = &mut self.selection {
             let reelected = sel.map.reelect_leads(&alive_now);
             self.stats.lead_reelections += reelected.len() as u64;
+            tp.inner()
+                .metric_add(obs::Counter::Reelections, reelected.len() as u64);
             for r in reelected {
                 tp.inner().record(|| obs::EventKind::Reelect {
                     call_path: r.call_path,
@@ -417,6 +448,32 @@ impl Chameleon {
             }
         }
         self.alive = alive_now;
+    }
+
+    /// Close the metrics-plane delta for this marker: every participant's
+    /// sketch is drained and reduced over the out-of-band tree
+    /// ([`mpisim::Comm::OBS`]), and the root — rank 0, which is immortal —
+    /// witnesses the world's delta as one bounded `snapshot` event. Runs
+    /// at *every* marker invocation (call-frequency-skipped ones included)
+    /// and at finalize, whenever the recorder is armed; a no-op branch
+    /// otherwise. The reduction is simulation-passive, so arming it never
+    /// changes virtual times, traces, or fault schedules.
+    fn snapshot_metrics(&mut self, tp: &mut TracedProc) {
+        if !tp.inner().metrics_enabled() {
+            return;
+        }
+        let marker = self.stats.marker_invocations;
+        let participants = self.alive.clone();
+        if let Some((delta, ranks)) = tp.inner().reduce_metrics_delta(&participants) {
+            let ctrs = delta.counter_values();
+            let hists = delta.hist_digest();
+            tp.inner().record(move || obs::EventKind::Snapshot {
+                marker,
+                ranks,
+                ctrs,
+                hists,
+            });
+        }
     }
 
     /// Hierarchical signature clustering over the radix tree of all ranks
@@ -447,6 +504,7 @@ impl Chameleon {
             lead: lead as u64,
             leads: sel.leads.iter().map(|&r| r as u64).collect(),
         });
+        tp.inner().metric_add(obs::Counter::ClusterRounds, 1);
         sel
     }
 

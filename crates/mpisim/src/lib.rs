@@ -71,6 +71,12 @@ impl Comm {
     /// Reserved communicator for tool-internal (PMPI wrapper) traffic that
     /// must never be recorded in traces.
     pub const TOOL: Comm = Comm(u32::MAX - 1);
+    /// Reserved out-of-band channel for the in-flight metrics plane's
+    /// snapshot reductions. Traffic here bypasses *all* simulation
+    /// accounting — no op ticks, no clock movement, no stats, no fault
+    /// coins — so arming observability cannot perturb the run it
+    /// observes (see [`Proc::reduce_metrics_delta`]).
+    pub const OBS: Comm = Comm(u32::MAX - 2);
 }
 
 #[cfg(test)]
@@ -79,8 +85,11 @@ mod tests {
 
     #[test]
     fn comm_constants_distinct() {
-        assert_ne!(Comm::WORLD, Comm::MARKER);
-        assert_ne!(Comm::WORLD, Comm::TOOL);
-        assert_ne!(Comm::MARKER, Comm::TOOL);
+        let reserved = [Comm::WORLD, Comm::MARKER, Comm::TOOL, Comm::OBS];
+        for (i, a) in reserved.iter().enumerate() {
+            for b in &reserved[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 }

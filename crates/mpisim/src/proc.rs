@@ -134,14 +134,31 @@ pub struct Proc {
     /// messages or touches either clock, so arming it cannot perturb
     /// virtual times or traces.
     pub(crate) recorder: obs::Recorder,
+    /// The in-flight metrics plane's per-rank sketch, armed exactly when
+    /// the recorder is (so all ranks agree on whether snapshot reductions
+    /// happen). `None` keeps every metric hook on a one-branch zero-cost
+    /// path. The sketch shares the recorder's passivity contract: its
+    /// *reduction* rides a dedicated out-of-band channel ([`Comm::OBS`])
+    /// that never ticks the op counter, advances a clock, spends a fault
+    /// coin, or touches [`ProcStats`] — see [`Proc::reduce_metrics_delta`].
+    metrics: Option<Box<obs::MetricSet>>,
 }
 
 /// Base of the reserved tag space used by collective-internal messages.
 /// Application tags must stay below this.
 pub const COLLECTIVE_TAG_BASE: Tag = 1 << 30;
 
+/// Tag of the metrics plane's snapshot reduction on [`Comm::OBS`].
+/// Snapshot reductions run in lockstep (every participant folds the same
+/// marker in the same program order) and mailbox matching is FIFO per
+/// `(src, tag, comm)`, so a single tag can never cross-match rounds.
+pub(crate) const OBS_REDUCE_TAG: Tag = 0;
+
 impl Proc {
     pub(crate) fn new(rank: Rank, shared: Arc<Shared>, recorder: obs::Recorder) -> Self {
+        let metrics = recorder
+            .is_enabled()
+            .then(|| Box::new(obs::MetricSet::new()));
         Proc {
             rank,
             shared,
@@ -155,6 +172,7 @@ impl Proc {
             seq_out: HashMap::new(),
             seq_in: HashMap::new(),
             recorder,
+            metrics,
         }
     }
 
@@ -406,7 +424,9 @@ impl Proc {
     /// host's actual message timing.
     pub fn complete_recv(&mut self, msg: &PendingRecv, comm: Comm) {
         self.tick_op();
-        if comm == Comm::TOOL || comm == Comm::MARKER {
+        let tool = comm == Comm::TOOL || comm == Comm::MARKER;
+        self.observe_recv_wait(tool, msg.arrival);
+        if tool {
             self.tool_clock.sync_to(msg.arrival);
             self.tool_clock.advance(self.shared.cost.overhead);
         } else {
@@ -420,7 +440,9 @@ impl Proc {
     /// Clock synchronization and accounting for a completed receive.
     fn finish_recv(&mut self, env: Envelope, comm: Comm) -> RecvInfo {
         self.tick_op();
-        if comm == Comm::TOOL || comm == Comm::MARKER {
+        let tool = comm == Comm::TOOL || comm == Comm::MARKER;
+        self.observe_recv_wait(tool, env.arrival);
+        if tool {
             // Arrival is in the tool-clock domain: waiting for a late
             // sender (e.g. a merge partner still computing) shows up as
             // tool time, which is exactly the semantics of a blocked
@@ -437,6 +459,24 @@ impl Proc {
             src: env.src,
             tag: env.tag,
             payload: env.payload,
+        }
+    }
+
+    /// Record the modeled queue wait of a receive — how far ahead of this
+    /// rank's clock the message's arrival stamp sits (0 when the message
+    /// was already waiting). Read-only on the clocks; quantized to ns.
+    #[inline]
+    fn observe_recv_wait(&mut self, tool: bool, arrival: f64) {
+        if self.metrics.is_some() {
+            let now = if tool {
+                self.tool_clock.now()
+            } else {
+                self.clock.now()
+            };
+            self.metric_observe(
+                obs::HistId::RecvWaitNs,
+                obs::metrics::ns_from_seconds(arrival - now),
+            );
         }
     }
 
@@ -537,6 +577,143 @@ impl Proc {
     /// outside the rank body).
     pub fn take_obs_log(&mut self) -> Option<obs::RankLog> {
         self.recorder.take_log()
+    }
+
+    /// Whether the in-flight metrics plane is armed on this rank (it is
+    /// exactly when the recorder is, a world-wide property — so every
+    /// rank agrees on whether snapshot reductions run).
+    #[inline]
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Bump a metrics counter. One branch and nothing else when disabled.
+    #[inline]
+    pub fn metric_add(&mut self, c: obs::Counter, n: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.add(c, n);
+        }
+    }
+
+    /// Record a value into a metrics histogram. One branch when disabled.
+    #[inline]
+    pub fn metric_observe(&mut self, h: obs::HistId, v: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.observe(h, v);
+        }
+    }
+
+    /// Record a duration (seconds, quantized to ns) into a histogram.
+    #[inline]
+    pub fn metric_observe_seconds(&mut self, h: obs::HistId, dt: f64) {
+        if self.metrics.is_some() {
+            self.metric_observe(h, obs::metrics::ns_from_seconds(dt));
+        }
+    }
+
+    /// Drain this rank's metric delta since the previous drain, resetting
+    /// the sketch to the merge identity. `None` when the plane is off.
+    pub fn metrics_delta(&mut self) -> Option<obs::MetricSet> {
+        self.metrics
+            .as_mut()
+            .map(|m| std::mem::replace(m.as_mut(), obs::MetricSet::new()))
+    }
+
+    /// Reduce every participant's metric delta up a binary radix tree
+    /// positioned over `participants` (ascending ranks; the caller passes
+    /// the agreed alive set). Returns `Some((delta, contributors))` at the
+    /// tree root — `participants[0]` — and `None` on every other rank and
+    /// whenever the plane is off.
+    ///
+    /// This rides the out-of-band observability channel ([`Comm::OBS`]):
+    /// direct mailbox delivery with **no** op tick, clock movement, stats,
+    /// send nonce, or fault coin. That passivity is load-bearing — the
+    /// metrics plane must observe the run it measures, not perturb it:
+    /// arming the recorder may not change virtual times, traces, crash
+    /// schedules, or fault coins (see
+    /// `world::recorder_does_not_perturb_virtual_times`).
+    ///
+    /// Dead peers are handled like [`Proc::recv_or_dead`], with the same
+    /// determinism argument (death flag published before unwinding, sends
+    /// eager, final zero-timeout recheck): a child that died before its
+    /// contribution deterministically drops its subtree's delta for this
+    /// snapshot, nothing more.
+    pub fn reduce_metrics_delta(&mut self, participants: &[Rank]) -> Option<(obs::MetricSet, u64)> {
+        self.metrics.as_ref()?;
+        let me = self.rank;
+        let my_pos = participants.iter().position(|&r| r == me)?;
+        let mut delta = self.metrics_delta().expect("metrics plane armed");
+        let mut contributors = 1u64;
+        let tree = crate::RadixTree::binary(participants.len());
+        for child_pos in tree.children(my_pos) {
+            let child = participants[child_pos];
+            if let Some(bytes) = self.obs_recv_or_dead(child, OBS_REDUCE_TAG) {
+                match obs::MetricSet::decode_with_count(&bytes) {
+                    Ok((set, n)) => {
+                        delta.merge(&set);
+                        contributors += n;
+                    }
+                    Err(what) => panic!(
+                        "rank {me}: malformed metrics frame from rank {child}: {what} \
+                         (the OBS channel is fault-exempt, so this is a bug)"
+                    ),
+                }
+            }
+        }
+        match tree.parent(my_pos) {
+            Some(parent_pos) => {
+                let frame = delta.encode_with_count(contributors);
+                self.obs_send(participants[parent_pos], OBS_REDUCE_TAG, frame);
+                None
+            }
+            None => Some((delta, contributors)),
+        }
+    }
+
+    /// Out-of-band send on [`Comm::OBS`]: direct delivery, zero
+    /// simulation-visible side effects (no op tick, no clock, no stats,
+    /// no fault coin). The arrival stamp is 0 — nothing on this channel
+    /// ever synchronizes a clock to it.
+    fn obs_send(&mut self, dest: Rank, tag: Tag, payload: Vec<u8>) {
+        self.shared.mailboxes[dest].deliver(Envelope {
+            src: self.rank,
+            tag,
+            comm: Comm::OBS,
+            payload,
+            arrival: 0.0,
+        });
+    }
+
+    /// Out-of-band receive on [`Comm::OBS`] with dead-peer detection.
+    /// Mirrors [`Proc::recv_or_dead`]'s loop but performs no accounting
+    /// and records no events (peer death is *witnessed* by the regular
+    /// planes; the metrics plane merely degrades).
+    fn obs_recv_or_dead(&mut self, src: Rank, tag: Tag) -> Option<Vec<u8>> {
+        let deadline = self.hang_deadline();
+        loop {
+            if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(
+                SrcSel::Rank(src),
+                TagSel::Tag(tag),
+                Comm::OBS,
+                5,
+            ) {
+                return Some(env.payload);
+            }
+            if self.shared.dead[src].load(Ordering::SeqCst) {
+                // Final recheck, same as recv_or_dead: flag-then-message
+                // races resolve deterministically because sends are eager.
+                return self.shared.mailboxes[self.rank]
+                    .recv_timeout(SrcSel::Rank(src), TagSel::Tag(tag), Comm::OBS, 0)
+                    .map(|env| env.payload);
+            }
+            if self.shared.poisoned.load(Ordering::SeqCst) {
+                panic!(
+                    "world poisoned: another rank panicked while rank {} was receiving",
+                    self.rank
+                );
+            }
+            self.check_hang(deadline, src, tag);
+        }
     }
 
     /// Whether `rank` has died to an injected crash.

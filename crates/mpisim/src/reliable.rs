@@ -202,6 +202,7 @@ impl Proc {
                 // The plan dropped this attempt; the sender observes the
                 // drop (it *is* the lossy link) and retransmits at once.
                 self.fstats.retransmits += 1;
+                self.metric_add(obs::Counter::Retries, 1);
                 self.record(|| obs::EventKind::Retry {
                     peer: dest as u64,
                     tag: tag as u64,
@@ -216,6 +217,7 @@ impl Proc {
                     Some((ACK_OK, s)) if s == seq => return Ok(()),
                     Some((ACK_NACK, s)) if s == seq => {
                         self.fstats.retransmits += 1;
+                        self.metric_add(obs::Counter::Retries, 1);
                         self.record(|| obs::EventKind::Retry {
                             peer: dest as u64,
                             tag: tag as u64,
@@ -276,6 +278,7 @@ impl Proc {
                     if policy.allows(nacks) {
                         nacks += 1;
                         self.fstats.nacks_sent += 1;
+                        self.metric_add(obs::Counter::Nacks, 1);
                         self.record(|| obs::EventKind::Nack {
                             peer: src as u64,
                             tag: tag as u64,
@@ -283,6 +286,7 @@ impl Proc {
                         self.send(src, ACK_TAG, comm, &ack_bytes(ACK_NACK, expected));
                     } else {
                         self.seq_in.insert((src, tag), expected + 1);
+                        self.metric_add(obs::Counter::GiveUps, 1);
                         self.record(|| obs::EventKind::GiveUp {
                             peer: src as u64,
                             tag: tag as u64,

@@ -159,6 +159,23 @@ pub enum EventKind {
         /// Message tag.
         tag: u64,
     },
+    /// A reduced metrics-plane snapshot landed at the tree root (rank 0):
+    /// the world's metric *delta* since the previous snapshot, merged over
+    /// the tool plane. Bounded size by construction — the arrays are fixed
+    /// slot-order digests, never per-value data.
+    Snapshot {
+        /// Marker invocation the snapshot closed (the final invocation
+        /// count for the finalize snapshot).
+        marker: u64,
+        /// Ranks whose deltas were merged in (a dead subtree drops out
+        /// deterministically for that marker).
+        ranks: u64,
+        /// Counter values in [`crate::metrics::Counter`] slot order.
+        ctrs: Vec<u64>,
+        /// Histogram digests in [`crate::metrics::HistId`] slot order:
+        /// `(count, p50, p99, max)` per histogram.
+        hists: Vec<u64>,
+    },
     /// This rank's planned crash fired.
     Crash {
         /// Operation count at which the crash struck.
@@ -186,6 +203,7 @@ impl EventKind {
             EventKind::Nack { .. } => "nack",
             EventKind::GiveUp { .. } => "giveup",
             EventKind::Fault { .. } => "fault",
+            EventKind::Snapshot { .. } => "snapshot",
             EventKind::Crash { .. } => "crash",
             EventKind::PeerDead { .. } => "peer_dead",
         }
@@ -263,6 +281,12 @@ mod tests {
                 kind: FaultKind::Drop,
                 dest: 0,
                 tag: 0,
+            },
+            EventKind::Snapshot {
+                marker: 1,
+                ranks: 4,
+                ctrs: vec![0],
+                hists: vec![0],
             },
             EventKind::Crash { op: 0 },
             EventKind::PeerDead { peer: 0 },

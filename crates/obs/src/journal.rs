@@ -284,6 +284,20 @@ fn write_event(out: &mut String, rank: usize, e: &Event) {
             ",\"kind\":\"{}\",\"dest\":{dest},\"tag\":{tag}",
             kind.label()
         )),
+        EventKind::Snapshot {
+            marker,
+            ranks,
+            ctrs,
+            hists,
+        } => {
+            let c: Vec<String> = ctrs.iter().map(u64::to_string).collect();
+            let h: Vec<String> = hists.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                ",\"marker\":{marker},\"ranks\":{ranks},\"ctrs\":[{}],\"hists\":[{}]",
+                c.join(","),
+                h.join(",")
+            ));
+        }
         EventKind::Crash { op } => out.push_str(&format!(",\"op\":{op}")),
         EventKind::PeerDead { peer } => out.push_str(&format!(",\"peer\":{peer}")),
     }
@@ -396,6 +410,12 @@ fn parse_kind(sc: &mut Scan<'_>, label: &str) -> Result<EventKind, String> {
                 .ok_or_else(|| "unknown fault kind".to_string())?,
             dest: sc.field_u64("dest")?,
             tag: sc.field_u64("tag")?,
+        },
+        "snapshot" => EventKind::Snapshot {
+            marker: sc.field_u64("marker")?,
+            ranks: sc.field_u64("ranks")?,
+            ctrs: sc.field_u64_array("ctrs")?,
+            hists: sc.field_u64_array("hists")?,
         },
         "crash" => EventKind::Crash {
             op: sc.field_u64("op")?,
@@ -606,6 +626,17 @@ mod tests {
         );
         push(&mut a, 3e-5, 1e-6, EventKind::Degraded { marker: 2 });
         push(&mut a, 3e-5, 1e-6, EventKind::PeerDead { peer: 3 });
+        push(
+            &mut a,
+            3e-5,
+            2e-6,
+            EventKind::Snapshot {
+                marker: 2,
+                ranks: 3,
+                ctrs: vec![1, 0, 3, 120, 1, 1, 1, 1, 1, 1],
+                hists: vec![2, 100, 104, 105],
+            },
+        );
         let mut b = RankLog::new(3);
         push(
             &mut b,
@@ -693,7 +724,7 @@ mod tests {
         assert_eq!(j.count("fault"), 1);
         assert_eq!(j.count("crash"), 1);
         let s = j.summary();
-        assert!(s.contains("ranks=4 armed=yes events=13"), "{s}");
+        assert!(s.contains("ranks=4 armed=yes events=14"), "{s}");
         assert!(s.contains("crash=1"), "{s}");
         assert!(s.contains("rank 3: 2 events"), "{s}");
     }

@@ -23,8 +23,11 @@
 
 pub mod event;
 pub mod journal;
+pub mod metrics;
+pub mod query;
 pub mod recorder;
 
 pub use event::{Event, EventKind, FaultKind};
 pub use journal::{JournalError, RunJournal};
+pub use metrics::{Counter, HistId, Histogram, MetricSet};
 pub use recorder::{RankLog, Recorder};

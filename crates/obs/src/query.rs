@@ -1,0 +1,458 @@
+//! The journal query engine: a journal file is an artifact to *query*,
+//! not a grep target.
+//!
+//! Everything here is a pure function over a parsed [`RunJournal`]:
+//!
+//! - [`filter`] — event selection by rank and/or label;
+//! - [`timeline`] — one rank's events in sequence, human-readable;
+//! - [`merge_spans`] / [`span_report`] — per-level merge spans and the
+//!   critical path of the reduction wave, off `merge_level` events;
+//! - [`snapshots`] / [`metrics_report`] — the metrics plane's per-marker
+//!   `snapshot` deltas, decoded back into labeled counters and histogram
+//!   digests;
+//! - [`diff`] — structural comparison of two journals reporting the
+//!   *first divergence* (rank, seq, and both sides), the tool for "these
+//!   two runs were supposed to be identical — where did they fork?".
+//!
+//! All report strings are deterministic: iteration orders are fixed
+//! (rank-major, slot order) and floats print with `{:?}` exactly as the
+//! journal serializes them.
+
+use crate::event::{Event, EventKind};
+use crate::journal::RunJournal;
+use crate::metrics::{Counter, HistId, HIST_DIGEST_STRIDE};
+
+/// One-line human description of an event payload.
+pub fn describe(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Marker { n } => format!("marker n={n}"),
+        EventKind::Signature { events, call_path } => {
+            format!("signature events={events} cp={call_path:#x}")
+        }
+        EventKind::ClusterSel {
+            marker,
+            effective_k,
+            lead,
+            leads,
+        } => format!("cluster marker={marker} k={effective_k} lead={lead} leads={leads:?}"),
+        EventKind::State {
+            marker,
+            state,
+            decision,
+        } => format!("state marker={marker} state={state} decision={decision}"),
+        EventKind::Degraded { marker } => format!("degraded marker={marker}"),
+        EventKind::Reelect {
+            call_path,
+            old,
+            new,
+        } => format!("reelect cp={call_path:#x} old={old} new={new}"),
+        EventKind::MergeLevel {
+            level,
+            merges,
+            dp_cells,
+            fast_path,
+            t0,
+            t1,
+        } => format!(
+            "merge_level level={level} merges={merges} dp_cells={dp_cells} fast_path={fast_path} t0={t0:?} t1={t1:?}"
+        ),
+        EventKind::Retry { peer, tag } => format!("retry peer={peer} tag={tag}"),
+        EventKind::Nack { peer, tag } => format!("nack peer={peer} tag={tag}"),
+        EventKind::GiveUp { peer, tag } => format!("giveup peer={peer} tag={tag}"),
+        EventKind::Fault { kind, dest, tag } => {
+            format!("fault kind={} dest={dest} tag={tag}", kind.label())
+        }
+        EventKind::Snapshot { marker, ranks, .. } => {
+            format!("snapshot marker={marker} ranks={ranks}")
+        }
+        EventKind::Crash { op } => format!("crash op={op}"),
+        EventKind::PeerDead { peer } => format!("peer_dead peer={peer}"),
+    }
+}
+
+/// Events matching an optional rank and an optional label, rank-major.
+pub fn filter<'a>(
+    journal: &'a RunJournal,
+    rank: Option<usize>,
+    label: Option<&str>,
+) -> Vec<(usize, &'a Event)> {
+    journal
+        .events()
+        .filter(|(r, e)| {
+            rank.is_none_or(|want| *r == want) && label.is_none_or(|want| e.kind.label() == want)
+        })
+        .collect()
+}
+
+/// One rank's events in sequence order, one line each.
+pub fn timeline(journal: &RunJournal, rank: usize) -> Result<String, String> {
+    let log = journal
+        .rank_log(rank)
+        .ok_or_else(|| format!("rank {rank} out of range (world size {})", journal.ranks))?;
+    let mut out = format!("rank {rank}: {} events\n", log.events.len());
+    for e in &log.events {
+        out.push_str(&format!(
+            "  seq {:>4}  vt {:?}  tt {:?}  {}\n",
+            e.seq,
+            e.vt,
+            e.tt,
+            describe(&e.kind)
+        ));
+    }
+    Ok(out)
+}
+
+/// One rank's completed merge level, spanning tool time `t0..t1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeSpan {
+    /// Rank that folded this level.
+    pub rank: usize,
+    /// Tree level (0 = leaves).
+    pub level: u64,
+    /// Pairwise merges folded.
+    pub merges: u64,
+    /// LCS cells touched.
+    pub dp_cells: u64,
+    /// Merges served by the fast path.
+    pub fast_path: u64,
+    /// Tool time the level began.
+    pub t0: f64,
+    /// Tool time the level ended.
+    pub t1: f64,
+}
+
+/// All `merge_level` events as spans, rank-major.
+pub fn merge_spans(journal: &RunJournal) -> Vec<MergeSpan> {
+    journal
+        .events()
+        .filter_map(|(rank, e)| match &e.kind {
+            EventKind::MergeLevel {
+                level,
+                merges,
+                dp_cells,
+                fast_path,
+                t0,
+                t1,
+            } => Some(MergeSpan {
+                rank,
+                level: *level,
+                merges: *merges,
+                dp_cells: *dp_cells,
+                fast_path: *fast_path,
+                t0: *t0,
+                t1: *t1,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Per-level aggregation plus the critical path of the merge waves: the
+/// wall between the earliest level start and the latest level end, and
+/// the single slowest rank-level span that bounds it from below.
+pub fn span_report(journal: &RunJournal) -> String {
+    let spans = merge_spans(journal);
+    if spans.is_empty() {
+        return "no merge_level spans recorded\n".to_string();
+    }
+    let mut levels: Vec<u64> = spans.iter().map(|s| s.level).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    let mut out = format!("{} merge spans over {} levels\n", spans.len(), levels.len());
+    for lvl in &levels {
+        let at: Vec<&MergeSpan> = spans.iter().filter(|s| s.level == *lvl).collect();
+        let merges: u64 = at.iter().map(|s| s.merges).sum();
+        let dp: u64 = at.iter().map(|s| s.dp_cells).sum();
+        let fast: u64 = at.iter().map(|s| s.fast_path).sum();
+        let t0 = at.iter().map(|s| s.t0).fold(f64::INFINITY, f64::min);
+        let t1 = at.iter().map(|s| s.t1).fold(f64::NEG_INFINITY, f64::max);
+        out.push_str(&format!(
+            "  level {lvl}: ranks={} merges={merges} dp_cells={dp} fast_path={fast} t0={t0:?} t1={t1:?} width={:?}\n",
+            at.len(),
+            t1 - t0
+        ));
+    }
+    let first = spans.iter().map(|s| s.t0).fold(f64::INFINITY, f64::min);
+    let last = spans.iter().map(|s| s.t1).fold(f64::NEG_INFINITY, f64::max);
+    let slowest = spans
+        .iter()
+        .max_by(|a, b| (a.t1 - a.t0).total_cmp(&(b.t1 - b.t0)))
+        .expect("non-empty spans");
+    out.push_str(&format!(
+        "  critical path: {:?} (first t0 to last t1); slowest span rank {} level {} at {:?}\n",
+        last - first,
+        slowest.rank,
+        slowest.level,
+        slowest.t1 - slowest.t0
+    ));
+    out
+}
+
+/// One decoded `snapshot` event: the world's metric delta for one marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotRow {
+    /// Rank the snapshot was recorded on (the reduction root).
+    pub rank: usize,
+    /// Marker invocation the snapshot closed.
+    pub marker: u64,
+    /// Ranks whose deltas were merged in.
+    pub ranks: u64,
+    /// Counter values in [`Counter`] slot order.
+    pub ctrs: Vec<u64>,
+    /// Histogram digests, [`HIST_DIGEST_STRIDE`] slots per [`HistId`].
+    pub hists: Vec<u64>,
+}
+
+/// All `snapshot` events in journal order.
+pub fn snapshots(journal: &RunJournal) -> Vec<SnapshotRow> {
+    journal
+        .events()
+        .filter_map(|(rank, e)| match &e.kind {
+            EventKind::Snapshot {
+                marker,
+                ranks,
+                ctrs,
+                hists,
+            } => Some(SnapshotRow {
+                rank,
+                marker: *marker,
+                ranks: *ranks,
+                ctrs: ctrs.clone(),
+                hists: hists.clone(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The metrics plane over markers: per-snapshot deltas with labeled
+/// counters (non-zero only, to stay readable), histogram digests, and a
+/// cumulative totals line.
+pub fn metrics_report(journal: &RunJournal) -> String {
+    let rows = snapshots(journal);
+    if rows.is_empty() {
+        return "no snapshot events recorded (run with the recorder on)\n".to_string();
+    }
+    let mut out = format!("{} snapshots\n", rows.len());
+    let mut totals = [0u64; Counter::COUNT];
+    for row in &rows {
+        out.push_str(&format!("  marker {} (ranks={}):", row.marker, row.ranks));
+        let mut any = false;
+        for c in Counter::ALL {
+            let v = row.ctrs.get(c as usize).copied().unwrap_or(0);
+            totals[c as usize] = totals[c as usize].saturating_add(v);
+            if v != 0 {
+                out.push_str(&format!(" {}={v}", c.label()));
+                any = true;
+            }
+        }
+        if !any {
+            out.push_str(" (quiet)");
+        }
+        out.push('\n');
+        for h in HistId::ALL {
+            let base = (h as usize) * HIST_DIGEST_STRIDE;
+            if let Some([count, p50, p99, max]) = row.hists.get(base..base + HIST_DIGEST_STRIDE) {
+                if *count != 0 {
+                    out.push_str(&format!(
+                        "    {}: count={count} p50={p50} p99={p99} max={max}\n",
+                        h.label()
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("  totals:");
+    for c in Counter::ALL {
+        out.push_str(&format!(" {}={}", c.label(), totals[c as usize]));
+    }
+    out.push('\n');
+    out
+}
+
+/// Structural diff: `None` when the journals are identical, otherwise a
+/// description of the *first* divergence (header, then rank-major by
+/// event, then counters implied by events).
+pub fn diff(a: &RunJournal, b: &RunJournal) -> Option<String> {
+    if a.ranks != b.ranks {
+        return Some(format!("world size differs: {} vs {}", a.ranks, b.ranks));
+    }
+    if a.armed != b.armed {
+        return Some(format!("armed flag differs: {} vs {}", a.armed, b.armed));
+    }
+    for rank in 0..a.ranks {
+        let (la, lb) = (a.rank_log(rank), b.rank_log(rank));
+        let ea: &[Event] = la.map(|l| l.events.as_slice()).unwrap_or(&[]);
+        let eb: &[Event] = lb.map(|l| l.events.as_slice()).unwrap_or(&[]);
+        for (i, (x, y)) in ea.iter().zip(eb.iter()).enumerate() {
+            if x == y {
+                continue;
+            }
+            let what = if x.kind != y.kind {
+                format!("{} vs {}", describe(&x.kind), describe(&y.kind))
+            } else {
+                format!(
+                    "same event ({}), timestamps differ: vt {:?} vs {:?}, tt {:?} vs {:?}",
+                    describe(&x.kind),
+                    x.vt,
+                    y.vt,
+                    x.tt,
+                    y.tt
+                )
+            };
+            return Some(format!("rank {rank} seq {i}: {what}"));
+        }
+        if ea.len() != eb.len() {
+            let (short, long, which) = if ea.len() < eb.len() {
+                (ea.len(), eb.len(), "second")
+            } else {
+                (eb.len(), ea.len(), "first")
+            };
+            return Some(format!(
+                "rank {rank}: logs fork at seq {short}: the {which} journal has {} more event(s) (first extra: {})",
+                long - short,
+                describe(
+                    &if ea.len() > eb.len() { &ea[short] } else { &eb[short] }.kind
+                )
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricSet;
+    use crate::recorder::RankLog;
+
+    fn push(log: &mut RankLog, vt: f64, tt: f64, kind: EventKind) {
+        let seq = log.events.len() as u64;
+        log.events.push(Event { seq, vt, tt, kind });
+    }
+
+    fn sample() -> RunJournal {
+        let mut a = RankLog::new(0);
+        push(&mut a, 0.0, 0.0, EventKind::Marker { n: 1 });
+        push(
+            &mut a,
+            1e-5,
+            1e-7,
+            EventKind::MergeLevel {
+                level: 0,
+                merges: 2,
+                dp_cells: 80,
+                fast_path: 1,
+                t0: 1e-7,
+                t1: 3e-7,
+            },
+        );
+        let mut m = MetricSet::new();
+        m.add(Counter::Merges, 2);
+        m.add(Counter::DpCells, 80);
+        m.observe(HistId::DpCellsPerMerge, 40);
+        m.observe(HistId::DpCellsPerMerge, 40);
+        push(
+            &mut a,
+            1e-5,
+            4e-7,
+            EventKind::Snapshot {
+                marker: 1,
+                ranks: 2,
+                ctrs: m.counter_values(),
+                hists: m.hist_digest(),
+            },
+        );
+        let mut b = RankLog::new(1);
+        push(&mut b, 0.0, 0.0, EventKind::Marker { n: 1 });
+        push(
+            &mut b,
+            1e-5,
+            2e-7,
+            EventKind::MergeLevel {
+                level: 1,
+                merges: 1,
+                dp_cells: 40,
+                fast_path: 0,
+                t0: 2e-7,
+                t1: 8e-7,
+            },
+        );
+        RunJournal::gather(2, false, vec![a, b])
+    }
+
+    #[test]
+    fn filter_selects_by_rank_and_label() {
+        let j = sample();
+        assert_eq!(filter(&j, None, Some("marker")).len(), 2);
+        assert_eq!(filter(&j, Some(0), Some("marker")).len(), 1);
+        assert_eq!(filter(&j, Some(1), Some("snapshot")).len(), 0);
+        assert_eq!(filter(&j, None, None).len(), 5);
+    }
+
+    #[test]
+    fn timeline_lists_each_event_once() {
+        let j = sample();
+        let t = timeline(&j, 0).unwrap();
+        assert_eq!(t.lines().count(), 1 + 3, "{t}");
+        assert!(t.contains("snapshot marker=1 ranks=2"), "{t}");
+        assert!(timeline(&j, 9).is_err());
+    }
+
+    #[test]
+    fn span_report_aggregates_levels_and_critical_path() {
+        let j = sample();
+        let spans = merge_spans(&j);
+        assert_eq!(spans.len(), 2);
+        let r = span_report(&j);
+        assert!(r.contains("level 0: ranks=1 merges=2 dp_cells=80"), "{r}");
+        assert!(r.contains("level 1: ranks=1 merges=1"), "{r}");
+        // Wave runs 1e-7 .. 8e-7; the slowest single span is rank 1 level 1.
+        assert!(r.contains("slowest span rank 1 level 1"), "{r}");
+    }
+
+    #[test]
+    fn metrics_report_decodes_snapshot_rows() {
+        let j = sample();
+        let rows = snapshots(&j);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].ctrs[Counter::Merges as usize], 2);
+        let r = metrics_report(&j);
+        assert!(
+            r.contains("marker 1 (ranks=2): merges=2 dp_cells=80"),
+            "{r}"
+        );
+        assert!(r.contains("dp_cells_per_merge: count=2"), "{r}");
+        assert!(r.contains("totals:"), "{r}");
+    }
+
+    #[test]
+    fn diff_reports_first_divergence_only() {
+        let j = sample();
+        assert_eq!(diff(&j, &j), None, "self-diff is clean");
+
+        // Mutate one payload: kinds differ at rank 1 seq 0.
+        let mut other = sample();
+        other.logs[1].events[0].kind = EventKind::Marker { n: 2 };
+        let d = diff(&j, &other).unwrap();
+        assert!(d.contains("rank 1 seq 0"), "{d}");
+        assert!(d.contains("marker n=1 vs marker n=2"), "{d}");
+
+        // Same kind, different stamp.
+        let mut other = sample();
+        other.logs[0].events[1].tt = 9e-7;
+        let d = diff(&j, &other).unwrap();
+        assert!(d.contains("timestamps differ"), "{d}");
+
+        // One log is a strict prefix of the other.
+        let mut other = sample();
+        other.logs[1].events.pop();
+        let d = diff(&j, &other).unwrap();
+        assert!(d.contains("rank 1: logs fork at seq 1"), "{d}");
+
+        // Header mismatches win over event mismatches.
+        let mut other = sample();
+        other.armed = true;
+        assert!(diff(&j, &other).unwrap().contains("armed flag differs"));
+    }
+}

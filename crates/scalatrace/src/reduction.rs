@@ -142,6 +142,10 @@ pub fn radix_tree_merge(
                 timing.seconds += cost;
                 timing.dp_cells += met.dp_cells;
                 timing.fast_path_hits += met.fast_path as usize;
+                proc.metric_add(obs::Counter::Merges, 1);
+                proc.metric_add(obs::Counter::DpCells, met.dp_cells);
+                proc.metric_add(obs::Counter::FastPath, met.fast_path as u64);
+                proc.metric_observe(obs::HistId::DpCellsPerMerge, met.dp_cells);
             }
             Err(_) => {
                 // The bytes arrived (CRC-clean when armed) but do not

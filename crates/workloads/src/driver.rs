@@ -56,6 +56,11 @@ pub struct Overrides {
     /// the recorder is zero-cost when disabled, but the journal itself
     /// holds every event).
     pub journal: bool,
+    /// Write the gathered journal to this path as canonical JSONL after
+    /// the run (implies `journal`). This is the no-Rust-required exit
+    /// ramp: point it at a file, then query it with
+    /// `chamtrace journal <summarize|timeline|spans|metrics|diff>`.
+    pub journal_path: Option<std::path::PathBuf>,
 }
 
 /// Uniform measurements from one run.
@@ -213,7 +218,7 @@ pub fn run(
     }
 
     let mut world_config = WorldConfig::new(p);
-    if overrides.journal {
+    if overrides.journal || overrides.journal_path.is_some() {
         world_config = world_config.with_recorder();
     }
     let report = World::new(world_config)
@@ -275,6 +280,12 @@ pub fn run(
                 }
                 cham_stats.push(f.stats.clone());
             }
+        }
+    }
+
+    if let (Some(path), Some(journal)) = (&overrides.journal_path, &report.journal) {
+        if let Err(e) = std::fs::write(path, journal.to_jsonl()) {
+            eprintln!("journal_path {}: write failed: {e}", path.display());
         }
     }
 
@@ -447,6 +458,37 @@ mod tests {
         assert!(j.count("signature") > 0);
         assert!(j.count("state") > 0);
         assert_eq!(j.count("fault"), 0, "fault-free run logs no faults");
+        // The metrics plane snapshots at every marker plus finalize, on
+        // the reduction root only.
+        assert_eq!(j.count("snapshot"), markers_per_rank + 1);
+        assert!(j
+            .rank_log(0)
+            .is_some_and(|l| l.counters().get("snapshot").copied() == Some(markers_per_rank + 1)));
+    }
+
+    #[test]
+    fn journal_path_writes_canonical_jsonl() {
+        let path = std::env::temp_dir().join(format!(
+            "cham_journal_path_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let rep = run(
+            Arc::new(scaled(Bt, 25)),
+            Class::A,
+            4,
+            Mode::Chameleon,
+            Overrides {
+                journal_path: Some(path.clone()),
+                ..Default::default()
+            },
+        );
+        let journal = rep.journal.expect("journal_path implies the recorder");
+        let text = std::fs::read_to_string(&path).expect("journal file written");
+        assert_eq!(text, journal.to_jsonl(), "file holds the canonical form");
+        let parsed = obs::RunJournal::from_jsonl(&text).expect("canonical form parses");
+        assert_eq!(parsed, journal);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -183,6 +183,39 @@ fn journal_golden_roundtrip() {
         text,
         "same-seed runs produce byte-identical journals"
     );
+
+    // The metrics plane is part of the deterministic artifact: rank 0
+    // emits one snapshot per marker reduction, with byte-stable payloads.
+    let snapshots = journal
+        .events()
+        .filter(|(_, e)| matches!(e.kind, chameleon_repro::obs::EventKind::Snapshot { .. }))
+        .count();
+    assert!(
+        snapshots > 0,
+        "a recorded chameleon run must carry metric snapshots"
+    );
+}
+
+#[test]
+fn v1_journal_without_snapshots_still_parses() {
+    // Schema compatibility: journals written before the metrics plane
+    // existed (same magic, no `snapshot` lines) must keep parsing, and
+    // must reserialize byte-identically — old artifacts stay readable.
+    use chameleon_repro::obs::RunJournal;
+    let path = fixture_path("bt4_chameleon_nosnap.journal.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing v1 fixture {} ({e})", path.display()));
+    let parsed = RunJournal::from_jsonl(&text).expect("pre-snapshot v1 journal parses");
+    let snapshots = parsed
+        .events()
+        .filter(|(_, e)| matches!(e.kind, chameleon_repro::obs::EventKind::Snapshot { .. }))
+        .count();
+    assert_eq!(snapshots, 0, "v1 fixture predates the metrics plane");
+    assert_eq!(
+        parsed.to_jsonl(),
+        text,
+        "v1 journal reserializes byte-identically"
+    );
 }
 
 #[test]

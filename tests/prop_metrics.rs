@@ -1,0 +1,175 @@
+//! Property suite for the metrics-plane sketches (xrand-seeded).
+//!
+//! The snapshot reduction folds per-rank [`MetricSet`] deltas over the
+//! radix tree, so the journal's byte-determinism rests on three algebraic
+//! contracts the unit tests only spot-check:
+//!
+//! - `merge` is associative and commutative with the empty set as its
+//!   identity — the fold's *shape* (tree arity, child order, dead-rank
+//!   dropouts) can never change the reduced sketch;
+//! - equal sketches serialize to equal bytes, so *any* merge order of the
+//!   same multiset of deltas yields the identical wire frame and hence
+//!   the identical `snapshot` journal line;
+//! - a recorded quantile is the lower bound of its log bucket: never
+//!   above the exact empirical quantile, and within the documented
+//!   `2^-SUB_BITS` relative error below it (exact under `2*2^SUB_BITS`).
+//!
+//! Generators draw values across the full dynamic range (unit-bucket
+//! integers through 2^50-scale durations) so both the exact and the
+//! bucketed regimes are exercised every run.
+
+use chameleon_repro::obs::metrics::{
+    bucket_lo, bucket_of, Counter, HistId, MetricSet, NUM_BUCKETS, SUB_BITS,
+};
+use xrand::Xoshiro256;
+
+/// A random metric set: every counter touched with probability 1/2, every
+/// histogram fed 0..24 values spanning the exact and bucketed ranges.
+fn random_set(rng: &mut Xoshiro256) -> MetricSet {
+    let mut m = MetricSet::new();
+    for c in Counter::ALL {
+        if rng.gen_bool(0.5) {
+            m.add(c, rng.below(1 << 30));
+        }
+    }
+    for h in HistId::ALL {
+        for _ in 0..rng.usize_below(24) {
+            m.observe(h, random_value(rng));
+        }
+    }
+    m
+}
+
+/// Values spread over the sketch's whole range: small exact integers,
+/// mid-range, and up to 2^50 (a ~13-day duration in nanoseconds).
+fn random_value(rng: &mut Xoshiro256) -> u64 {
+    match rng.usize_below(3) {
+        0 => rng.below(16),
+        1 => rng.below(1 << 20),
+        _ => rng.below(1 << 50),
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative_with_identity() {
+    let mut rng = Xoshiro256::seed_from_u64(0x5EED_A19E);
+    for _ in 0..200 {
+        let a = random_set(&mut rng);
+        let b = random_set(&mut rng);
+        let c = random_set(&mut rng);
+
+        // (a + b) + c == a + (b + c)
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge is associative");
+
+        // a + b == b + a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+
+        // a + 0 == a, both ways.
+        let mut a0 = a.clone();
+        a0.merge(&MetricSet::new());
+        assert_eq!(a0, a, "empty set is a right identity");
+        let mut zero_a = MetricSet::new();
+        zero_a.merge(&a);
+        assert_eq!(zero_a, a, "empty set is a left identity");
+    }
+}
+
+#[test]
+fn merge_order_never_changes_serialized_bytes() {
+    // The property the snapshot event leans on directly: however the
+    // radix fold associates and orders the same per-rank deltas, the
+    // reduced sketch encodes to the same bytes.
+    let mut rng = Xoshiro256::seed_from_u64(0xB17E_0DE7);
+    for _ in 0..100 {
+        let parts: Vec<MetricSet> = (0..rng.range_usize(2, 9))
+            .map(|_| random_set(&mut rng))
+            .collect();
+
+        // Reference: left fold in natural order.
+        let mut reference = MetricSet::new();
+        for p in &parts {
+            reference.merge(p);
+        }
+        let want = reference.encode();
+
+        for _ in 0..4 {
+            // Random order...
+            let mut order: Vec<usize> = (0..parts.len()).collect();
+            rng.shuffle(&mut order);
+            // ...and a random association: fold random pairs of partial
+            // sums until one remains, like an arbitrary reduction tree.
+            let mut pool: Vec<MetricSet> = order.iter().map(|&i| parts[i].clone()).collect();
+            while pool.len() > 1 {
+                let i = rng.usize_below(pool.len());
+                let taken = pool.swap_remove(i);
+                let j = rng.usize_below(pool.len());
+                pool[j].merge(&taken);
+            }
+            assert_eq!(
+                pool[0].encode(),
+                want,
+                "merge shape must not leak into the wire bytes"
+            );
+        }
+
+        // And the wire frame round-trips losslessly.
+        let (back, n) = MetricSet::decode_with_count(&reference.encode_with_count(7)).unwrap();
+        assert_eq!((back, n), (reference, 7));
+    }
+}
+
+#[test]
+fn quantiles_respect_the_bucket_error_bound() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0DD_B0C5);
+    for _ in 0..200 {
+        let n = rng.range_usize(1, 64);
+        let mut values: Vec<u64> = (0..n).map(|_| random_value(&mut rng)).collect();
+        let mut m = MetricSet::new();
+        for &v in &values {
+            m.observe(HistId::RecvWaitNs, v);
+        }
+        values.sort_unstable();
+        let h = m.hist(HistId::RecvWaitNs);
+
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            // Exact empirical quantile under the same ceil-rank rule.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            let got = h.quantile(q);
+            assert!(
+                got <= exact,
+                "quantile reports a bucket lower bound: q={q} got={got} exact={exact}"
+            );
+            assert!(
+                exact - got <= got >> SUB_BITS,
+                "bucket error bound: q={q} got={got} exact={exact}"
+            );
+            if exact < (2 << SUB_BITS) {
+                assert_eq!(got, exact, "unit buckets are exact below 2*2^SUB_BITS");
+            }
+        }
+        assert_eq!(h.count(), n as u64);
+        assert_eq!(h.max(), *values.last().unwrap());
+    }
+
+    // The bound above is inherited from the bucket geometry; pin that
+    // geometry over random values too, not just the unit-test grid.
+    for _ in 0..2000 {
+        let v = rng.next_u64();
+        let b = bucket_of(v);
+        assert!(b < NUM_BUCKETS);
+        let lo = bucket_lo(b);
+        assert!(lo <= v && v - lo <= lo >> SUB_BITS, "v={v} b={b} lo={lo}");
+    }
+}
