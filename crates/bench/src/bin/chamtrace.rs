@@ -12,15 +12,26 @@
 //! chamtrace journal spans     <journal>     # merge levels + critical path
 //! chamtrace journal metrics   <journal>     # metrics-plane snapshots
 //! chamtrace journal diff      <a> <b>       # first divergence (exit 1)
+//!
+//! chamtrace ckpt info   <blob>              # decode a CKPT1 checkpoint
+//! chamtrace ckpt latest <dir>               # newest ckpt-*.bin in a dir
+//! chamtrace chaos supervise <ranks> <steps> <seed> <marker> <dir>
+//!                                           # root-crash + restart demo
 //! ```
 //!
 //! Journal files are the flight recorder's canonical JSONL
 //! (`chameleon-obs-v1`, see OBSERVABILITY.md); malformed input fails
-//! with the offending line number and exit code 2.
+//! with the offending line number and exit code 2. Checkpoint blobs are
+//! the versioned `CKPT1` binary format (see FAULTS.md "Recovery");
+//! corrupt or truncated blobs also exit 2.
 
+use chameleon::Checkpoint;
 use mpisim::CostModel;
 use obs::{query, RunJournal};
 use scalatrace::{format, CompressedTrace, RankSet};
+use workloads::chaos::{
+    latest_checkpoint, marker_entry_ops, root_crash_plan, run_chaos_supervised,
+};
 
 fn load(path: &str) -> CompressedTrace {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -145,6 +156,111 @@ fn journal_diff(path_a: &str, path_b: &str) {
     }
 }
 
+fn load_ckpt(path: &str) -> Checkpoint {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Checkpoint::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn ckpt_info(path: &str) {
+    let c = load_ckpt(path);
+    println!("checkpoint:      {path}");
+    println!("marker:          {}", c.marker);
+    println!("marker calls:    {}", c.marker_calls);
+    println!("root:            {}", c.root);
+    println!("alive:           {} ranks {:?}", c.alive.len(), c.alive);
+    println!("journal hwm:     {}", c.journal_hwm);
+    println!(
+        "graph:           old_call_path={:#x} re_clustering={} lead_flag={}",
+        c.old_call_path.0, c.re_clustering, c.lead_flag
+    );
+    match &c.selection {
+        Some(sel) => println!(
+            "selection:       k={} leads={:?}",
+            sel.effective_k, sel.leads
+        ),
+        None => println!("selection:       none (pre-clustering)"),
+    }
+    println!(
+        "online trace:    {} nodes, {} dynamic events",
+        c.trace.compressed_size(),
+        c.trace.dynamic_size()
+    );
+    println!("metric payload:  {} bytes", c.metrics.len());
+}
+
+fn ckpt_latest(dir: &str) {
+    match latest_checkpoint(std::path::Path::new(dir)) {
+        Some((marker, path)) => println!("marker {marker}: {}", path.display()),
+        None => {
+            eprintln!("error: no ckpt-*.bin under {dir}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Demo/debug driver for the tentpole scenario: crash rank 0 at the given
+/// marker's entry under the standard lossy link, checkpointing every other
+/// marker into `dir`, and let the supervisor restart from the latest blob
+/// if the in-place failover cannot complete.
+fn chaos_supervise(ranks: usize, steps: usize, seed: u64, marker: usize, dir: &str) {
+    if marker >= steps {
+        eprintln!("error: marker {marker} out of range (steps={steps})");
+        std::process::exit(2);
+    }
+    let dir = std::path::Path::new(dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    let ops = marker_entry_ops(ranks, steps, root_crash_plan(seed, 0));
+    let sup = run_chaos_supervised(
+        ranks,
+        steps,
+        root_crash_plan(seed, ops[marker]),
+        2,
+        dir,
+        true,
+    );
+    println!("crashed ranks:   {:?}", sup.outcome.crashed);
+    println!("restarts:        {}", sup.restarts);
+    match sup.resumed_marker {
+        Some(m) => println!("resumed from:    marker {m}"),
+        None => println!("resumed from:    (in-place failover, no restart)"),
+    }
+    println!(
+        "online trace:    {} nodes, {} dynamic events",
+        sup.outcome.online_trace.compressed_size(),
+        sup.outcome.online_trace.dynamic_size()
+    );
+    let promotions: u64 = sup
+        .outcome
+        .stats
+        .iter()
+        .flatten()
+        .map(|s| s.promotions)
+        .max()
+        .unwrap_or(0);
+    println!("promotions:      {promotions}");
+    if let Some(journal) = &sup.outcome.journal {
+        println!(
+            "journal:         {} events ({} checkpoint, {} promote, {} resume)",
+            journal.events().count(),
+            journal.count("checkpoint"),
+            journal.count("promote"),
+            journal.count("resume"),
+        );
+    }
+    if let Some((m, path)) = latest_checkpoint(dir) {
+        println!("latest ckpt:     marker {m} at {}", path.display());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -169,12 +285,35 @@ fn main() {
         [j, cmd, path] if j == "journal" && cmd == "spans" => journal_spans(path),
         [j, cmd, path] if j == "journal" && cmd == "metrics" => journal_metrics(path),
         [j, cmd, a, b] if j == "journal" && cmd == "diff" => journal_diff(a, b),
+        [c, cmd, path] if c == "ckpt" && cmd == "info" => ckpt_info(path),
+        [c, cmd, dir] if c == "ckpt" && cmd == "latest" => ckpt_latest(dir),
+        [c, cmd, ranks, steps, seed, marker, dir] if c == "chaos" && cmd == "supervise" => {
+            let parse = |what: &str, v: &str| -> usize {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid {what} {v:?}");
+                    std::process::exit(2);
+                })
+            };
+            let seed = seed.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid seed {seed:?}");
+                std::process::exit(2);
+            });
+            chaos_supervise(
+                parse("rank count", ranks),
+                parse("step count", steps),
+                seed,
+                parse("marker", marker),
+                dir,
+            );
+        }
         _ => {
             eprintln!("usage: chamtrace info|dump|check <trace-file>");
             eprintln!("       chamtrace replay <trace-file> <ranks>");
             eprintln!("       chamtrace journal summarize|spans|metrics <journal>");
             eprintln!("       chamtrace journal timeline <journal> <rank>");
             eprintln!("       chamtrace journal diff <journal-a> <journal-b>");
+            eprintln!("       chamtrace ckpt info <blob> | ckpt latest <dir>");
+            eprintln!("       chamtrace chaos supervise <ranks> <steps> <seed> <marker> <dir>");
             std::process::exit(2);
         }
     }

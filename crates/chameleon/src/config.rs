@@ -1,6 +1,10 @@
 //! Chameleon configuration.
 
+use std::path::PathBuf;
+
 use clusterkit::{ClusterAlgorithm, KFarthest, KMedoids, KRandom};
+
+use crate::checkpoint::Checkpoint;
 
 /// Which representative-selection algorithm clustering uses. The paper:
 /// "Users could select any clustering algorithm (e.g., K-Medoid,
@@ -43,6 +47,21 @@ pub struct ChameleonConfig {
     pub radix: usize,
     /// Clustering algorithm.
     pub algo: AlgoChoice,
+    /// Durable-checkpoint stride: every `ckpt_stride`-th *processed*
+    /// marker the online-trace root serializes its recovery state and
+    /// replicates it to the deputy (the next-smallest survivor) over the
+    /// passive obs plane. 0 (the default) disables checkpointing
+    /// entirely, keeping fault-free goldens untouched.
+    pub ckpt_stride: u64,
+    /// Directory the root persists `ckpt-<marker>.bin` blobs into at each
+    /// checkpoint. Wall-clock I/O only, invisible to the simulation;
+    /// `None` keeps checkpoints replica-only.
+    pub ckpt_dir: Option<PathBuf>,
+    /// Resume payload from a supervisor restart: the run replays from
+    /// step 0, fast-forwards (merges and checkpoint ships skipped) to the
+    /// checkpoint's marker, installs its online trace on the root, and
+    /// continues normally.
+    pub resume: Option<Checkpoint>,
 }
 
 impl ChameleonConfig {
@@ -54,6 +73,9 @@ impl ChameleonConfig {
             call_frequency: 1,
             radix: 2,
             algo: AlgoChoice::default(),
+            ckpt_stride: 0,
+            ckpt_dir: None,
+            resume: None,
         }
     }
 
@@ -76,6 +98,25 @@ impl ChameleonConfig {
         self.radix = radix;
         self
     }
+
+    /// Enable durable checkpoints every `stride` processed markers.
+    pub fn with_checkpoint_stride(mut self, stride: u64) -> Self {
+        self.ckpt_stride = stride;
+        self
+    }
+
+    /// Persist checkpoint blobs into `dir` (in addition to deputy
+    /// replication).
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from a decoded checkpoint (supervisor restart).
+    pub fn with_resume(mut self, ckpt: Checkpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
+    }
 }
 
 impl Default for ChameleonConfig {
@@ -95,6 +136,21 @@ mod tests {
         assert_eq!(c.call_frequency, 1);
         assert_eq!(c.radix, 2);
         assert_eq!(c.algo, AlgoChoice::Farthest);
+        assert_eq!(c.ckpt_stride, 0, "checkpointing is opt-in");
+        assert!(c.ckpt_dir.is_none());
+        assert!(c.resume.is_none());
+    }
+
+    #[test]
+    fn checkpoint_builders() {
+        let c = ChameleonConfig::with_k(3)
+            .with_checkpoint_stride(2)
+            .with_checkpoint_dir("/tmp/ckpts");
+        assert_eq!(c.ckpt_stride, 2);
+        assert_eq!(
+            c.ckpt_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ckpts"))
+        );
     }
 
     #[test]

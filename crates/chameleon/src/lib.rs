@@ -21,7 +21,11 @@
 //!
 //! Modules:
 //!
-//! * [`config`] — K, `Call_Frequency`, clustering algorithm, tree radix;
+//! * [`checkpoint`] — durable marker checkpoints: the root's recovery
+//!   state as a versioned, CRC-framed blob, replicated to a deputy so a
+//!   root crash loses at most one marker interval;
+//! * [`config`] — K, `Call_Frequency`, clustering algorithm, tree radix,
+//!   checkpoint stride/dir/resume;
 //! * [`state`] — the pure transition graph (Algorithm 1), unit-testable
 //!   without any MPI;
 //! * [`stats`] — per-rank overhead timers, state counts (Table II), and
@@ -32,12 +36,14 @@
 //!   ACURDION (signature clustering at finalize) comparators.
 
 pub mod baselines;
+pub mod checkpoint;
 pub mod config;
 pub mod energy;
 pub mod runtime;
 pub mod state;
 pub mod stats;
 
+pub use checkpoint::{Checkpoint, CkptError};
 pub use config::{AlgoChoice, ChameleonConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use runtime::{Chameleon, FinalizeOutcome};

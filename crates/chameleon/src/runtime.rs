@@ -18,6 +18,7 @@ use scalatrace::reduction::{decode_wire_trace, radix_tree_merge};
 use scalatrace::{CompressedTrace, TracedProc};
 use sigkit::SignatureTriple;
 
+use crate::checkpoint::Checkpoint;
 use crate::config::ChameleonConfig;
 use crate::state::{LocalVote, MarkerDecision, MarkerState, TransitionGraph};
 use crate::stats::ChameleonStats;
@@ -85,18 +86,26 @@ fn decision_label(d: MarkerDecision) -> &'static str {
 
 /// Tool-comm tag for hierarchical cluster-map exchange.
 pub const CLUSTER_TAG: Tag = (1 << 29) + 1;
-/// Tool-comm tag for shipping the partial global trace to rank 0.
+/// Tool-comm tag for shipping the partial global trace to the online
+/// root (rank 0, or the promoted deputy after a root failover).
 pub const ONLINE_TAG: Tag = (1 << 29) + 2;
 /// Tool-comm tag for the root's star distribution of the lead selection
 /// under an armed fault plan (a tree broadcast would cut a subtree off
 /// from the selection if its interior relay died; lock-step requires every
 /// survivor to learn the same leads).
 pub const SELECT_TAG: Tag = (1 << 29) + 3;
+/// Obs-plane tag for shipping the root's checkpoint replica to the deputy
+/// (obs tag 0 is reserved for the metrics reduction).
+pub const CKPT_SHIP_TAG: Tag = 1;
+/// Obs-plane tag for the deputy's replication acknowledgement.
+pub const CKPT_ACK_TAG: Tag = 2;
 
-/// Result of `finalize`: the online trace materializes on rank 0.
+/// Result of `finalize`: the online trace materializes on the online
+/// root.
 #[derive(Debug, Clone)]
 pub struct FinalizeOutcome {
-    /// The complete online global trace (rank 0 only, `None` elsewhere).
+    /// The complete online global trace, held by the online root — rank 0,
+    /// or the promoted deputy after a root failover; `None` elsewhere.
     pub online_trace: Option<CompressedTrace>,
     /// This rank's accumulated instrumentation.
     pub stats: ChameleonStats,
@@ -110,9 +119,18 @@ pub struct Chameleon {
     /// Lead selection from the most recent Clustering marker; `Some`
     /// exactly while in a lead phase.
     selection: Option<LeadSelection>,
-    /// The incrementally grown global trace (rank 0 keeps it; empty
-    /// elsewhere).
+    /// The incrementally grown global trace (the online root keeps it;
+    /// empty elsewhere).
     online_trace: CompressedTrace,
+    /// The deputy's copy of the root's latest checkpoint blob. `None` on
+    /// every other rank and before the first replication; consumed on
+    /// promotion.
+    replica: Option<Vec<u8>>,
+    /// Resume fast-forward window: while `Some`, markers up to and
+    /// including the checkpoint's merge nothing (the checkpoint already
+    /// holds their contributions); at the checkpoint's marker the trace
+    /// is installed on the root and the window closes.
+    resume: Option<Checkpoint>,
     /// The agreed surviving participant set, ascending. All ranks until a
     /// resilient collective reports a smaller snapshot; never shrinks on a
     /// fault-free run. Every survivor holds the same copy (it comes from
@@ -130,12 +148,15 @@ pub struct Chameleon {
 impl Chameleon {
     /// Create the per-rank driver.
     pub fn new(config: ChameleonConfig) -> Self {
+        let resume = config.resume.clone();
         Chameleon {
             config,
             graph: TransitionGraph::new(),
             stats: ChameleonStats::default(),
             selection: None,
             online_trace: CompressedTrace::new(),
+            replica: None,
+            resume,
             alive: Vec::new(),
             slice_degraded: false,
             finalized: false,
@@ -155,7 +176,23 @@ impl Chameleon {
         &self.alive
     }
 
-    /// Current online-trace size in bytes (only meaningful on rank 0).
+    /// The online-trace root: the smallest agreed-alive rank. Rank 0
+    /// until it dies and the deputy is promoted.
+    pub fn online_root(&self) -> Rank {
+        self.alive.first().copied().unwrap_or(0)
+    }
+
+    /// Whether the current marker sits inside a resume replay's
+    /// fast-forward window (merges and checkpoint ships are skipped; the
+    /// checkpoint already holds their outcome).
+    fn replaying(&self) -> bool {
+        self.resume
+            .as_ref()
+            .is_some_and(|c| self.stats.marker_invocations <= c.marker)
+    }
+
+    /// Current online-trace size in bytes (only meaningful on the online
+    /// root).
     pub fn online_trace_bytes(&self) -> usize {
         if self.online_trace.is_empty() {
             0
@@ -297,7 +334,7 @@ impl Chameleon {
             decision: decision_label(decision),
         });
         self.stats.reclusterings = self.stats.states.c;
-        let post_online = if tp.rank() == 0 {
+        let post_online = if tp.rank() == self.online_root() {
             self.online_trace_bytes()
         } else {
             0
@@ -306,6 +343,12 @@ impl Chameleon {
         let interval_cost = tp.inner().tool_time() - mtool0;
         tp.inner()
             .metric_observe_seconds(state_hist(state), interval_cost);
+        // Checkpoint before installing a resume payload: during a replay
+        // the stride markers up to the resume point are skipped (they were
+        // already persisted by the pre-kill run), and the install below
+        // closes the window so checkpointing restarts at the next stride.
+        self.checkpoint_if_due(tp);
+        self.maybe_install_resume(tp);
         self.snapshot_metrics(tp);
     }
 
@@ -346,6 +389,11 @@ impl Chameleon {
         tp.inner().metric_add(obs::Counter::SigEvents, events);
 
         let pre_bytes = tp.tracer().trace_bytes();
+
+        // A resume window that outlived the run's markers means the
+        // checkpoint came from a longer run; drop it so the final flush
+        // still merges whatever the replay holds.
+        self.resume = None;
 
         match self.selection.take() {
             Some(sel) => {
@@ -391,7 +439,7 @@ impl Chameleon {
             state: state_label(MarkerState::Final),
             decision: "finalize",
         });
-        let post_online = if tp.rank() == 0 {
+        let post_online = if tp.rank() == self.online_root() {
             self.online_trace_bytes()
         } else {
             0
@@ -405,7 +453,8 @@ impl Chameleon {
         self.snapshot_metrics(tp);
 
         FinalizeOutcome {
-            online_trace: (tp.rank() == 0).then(|| std::mem::take(&mut self.online_trace)),
+            online_trace: (tp.rank() == self.online_root())
+                .then(|| std::mem::take(&mut self.online_trace)),
             stats: self.stats.clone(),
         }
     }
@@ -419,6 +468,7 @@ impl Chameleon {
         if alive_now.len() == self.alive.len() {
             return; // the alive set only ever shrinks
         }
+        let old_root = self.online_root();
         self.slice_degraded = true;
         if let Some(sel) = &mut self.selection {
             let reelected = sel.map.reelect_leads(&alive_now);
@@ -447,13 +497,141 @@ impl Chameleon {
                 tp.tracer_mut().set_enabled(true);
             }
         }
+        // Root failover: the dead root's deputy — now the smallest
+        // survivor — inherits the online trace. Every survivor counts the
+        // same promotion (the snapshot is agreed); only the promoted rank
+        // restores from its replica and journals the event.
+        let new_root = alive_now.first().copied().unwrap_or(0);
+        if new_root != old_root {
+            self.stats.promotions += 1;
+            let marker = self.stats.marker_invocations;
+            if tp.rank() == new_root {
+                let restored = match self.replica.take().map(|b| Checkpoint::decode(&b)) {
+                    Some(Ok(ckpt)) => {
+                        self.online_trace = ckpt.trace;
+                        true
+                    }
+                    // No replica yet (the root died before the first
+                    // checkpoint ship) or an undecodable one: the online
+                    // trace restarts empty; everything merged before this
+                    // marker died with the root. `degraded_slices`
+                    // already charges the slice.
+                    _ => false,
+                };
+                tp.inner().record(|| obs::EventKind::Promote {
+                    marker,
+                    old_root: old_root as u64,
+                    restored: u64::from(restored),
+                });
+            }
+        }
         self.alive = alive_now;
+    }
+
+    /// Durable-checkpoint protocol, run at the close of every processed
+    /// marker whose invocation count is a multiple of `ckpt_stride`: the
+    /// online-trace root serializes its recovery state ([`Checkpoint`]),
+    /// optionally persists it to `ckpt_dir` (wall-clock I/O, invisible to
+    /// the simulation), and replicates it to the deputy — the
+    /// next-smallest survivor — over the passive obs plane. Obs traffic
+    /// never ticks the op counter, so a planned crash cannot strike
+    /// mid-replication: the ship/ack pair is crash-atomic.
+    fn checkpoint_if_due(&mut self, tp: &mut TracedProc) {
+        let stride = self.config.ckpt_stride;
+        if stride == 0 || !self.stats.marker_invocations.is_multiple_of(stride) || self.replaying()
+        {
+            return;
+        }
+        let me = tp.rank();
+        let root = self.online_root();
+        let deputy = self.alive.get(1).copied();
+        if me == root {
+            let ckpt = self.capture(tp);
+            let bytes = ckpt.encode();
+            if let Some(dir) = &self.config.ckpt_dir {
+                let path = dir.join(format!("ckpt-{:06}.bin", ckpt.marker));
+                // Persistence failure must degrade durability, not the
+                // run: the deputy replica still covers a root crash.
+                if let Err(e) = std::fs::write(&path, &bytes) {
+                    eprintln!("chameleon: checkpoint write {} failed: {e}", path.display());
+                }
+            }
+            if let Some(dep) = deputy {
+                tp.inner().obs_ship(dep, CKPT_SHIP_TAG, bytes.clone());
+                // Block for the ack so replication completes before the
+                // next faultable op; a dead deputy resolves to `None`.
+                let _ = tp.inner().obs_collect_or_dead(dep, CKPT_ACK_TAG);
+            }
+            let marker = ckpt.marker;
+            let nbytes = bytes.len() as u64;
+            let deputy_field = deputy.map_or(u64::MAX, |d| d as u64);
+            tp.inner().record(|| obs::EventKind::Checkpoint {
+                marker,
+                bytes: nbytes,
+                deputy: deputy_field,
+            });
+        } else if Some(me) == deputy {
+            // Lock-step with the root: both sides derive the same stride
+            // schedule from the agreed alive set, and a root that died
+            // mid-slice resolves the collect to `None`.
+            if let Some(bytes) = tp.inner().obs_collect_or_dead(root, CKPT_SHIP_TAG) {
+                self.replica = Some(bytes);
+                tp.inner().obs_ship(root, CKPT_ACK_TAG, vec![1]);
+            }
+        }
+    }
+
+    /// Capture this rank's recovery state (valid only on the online
+    /// root).
+    fn capture(&self, tp: &mut TracedProc) -> Checkpoint {
+        let (old_call_path, re_clustering, lead_flag) = self.graph.snapshot();
+        Checkpoint {
+            marker: self.stats.marker_invocations,
+            marker_calls: self.stats.marker_calls,
+            root: tp.rank() as u64,
+            alive: self.alive.clone(),
+            old_call_path,
+            re_clustering,
+            lead_flag,
+            selection: self.selection.clone(),
+            trace: self.online_trace.clone(),
+            metrics: tp.inner().metrics_encode().unwrap_or_default(),
+            journal_hwm: tp.inner().obs_len() as u64,
+        }
+    }
+
+    /// Close a resume replay's fast-forward window: at the checkpoint's
+    /// marker, install its online trace on the root and journal the
+    /// resume. The replayed transition graph must agree with the
+    /// checkpointed one — both are deterministic functions of the same
+    /// vote history.
+    fn maybe_install_resume(&mut self, tp: &mut TracedProc) {
+        let due = self
+            .resume
+            .as_ref()
+            .is_some_and(|c| self.stats.marker_invocations == c.marker);
+        if !due {
+            return;
+        }
+        let ckpt = self.resume.take().expect("due implies present");
+        debug_assert_eq!(
+            self.graph.snapshot(),
+            (ckpt.old_call_path, ckpt.re_clustering, ckpt.lead_flag),
+            "resume replay diverged from the checkpointed transition graph"
+        );
+        if tp.rank() == self.online_root() {
+            let marker = ckpt.marker;
+            let hwm = ckpt.journal_hwm;
+            self.online_trace = ckpt.trace;
+            tp.inner().record(|| obs::EventKind::Resume { marker, hwm });
+        }
     }
 
     /// Close the metrics-plane delta for this marker: every participant's
     /// sketch is drained and reduced over the out-of-band tree
-    /// ([`mpisim::Comm::OBS`]), and the root — rank 0, which is immortal —
-    /// witnesses the world's delta as one bounded `snapshot` event. Runs
+    /// ([`mpisim::Comm::OBS`]), and the tree root — the smallest agreed
+    /// survivor — witnesses the world's delta as one bounded `snapshot`
+    /// event. Runs
     /// at *every* marker invocation (call-frequency-skipped ones included)
     /// and at finalize, whenever the recorder is armed; a no-op branch
     /// otherwise. The reduction is simulation-passive, so arming it never
@@ -610,21 +788,33 @@ impl Chameleon {
                 // Dead parent: this subtree's entries miss the selection.
                 self.slice_degraded = true;
             }
-            // The selection always comes straight from the root. Rank 0 is
-            // immortal (FaultPlan validation) and the frames are
-            // CRC-checked, so unbounded retry converges.
-            let enc = tp
-                .inner()
-                .reliable_recv(
-                    participants[0],
-                    SELECT_TAG,
-                    Comm::TOOL,
-                    RetryPolicy::Unlimited,
-                )
-                .expect("rank 0 is immortal under FaultPlan validation");
-            tp.inner().tool_compute(work.codec(enc.len()));
-            LeadSelection::decode(&enc)
-                .unwrap_or_else(|e| panic!("cluster protocol bug on a CRC-clean channel: {e}"))
+            // The selection always comes straight from the root. The
+            // frames are CRC-checked, so unbounded retry converges —
+            // unless the root itself dies mid-star.
+            match tp.inner().reliable_recv(
+                participants[0],
+                SELECT_TAG,
+                Comm::TOOL,
+                RetryPolicy::Unlimited,
+            ) {
+                Ok(enc) => {
+                    tp.inner().tool_compute(work.codec(enc.len()));
+                    LeadSelection::decode(&enc).unwrap_or_else(|e| {
+                        panic!("cluster protocol bug on a CRC-clean channel: {e}")
+                    })
+                }
+                Err(_) => {
+                    // The selection root died mid-distribution. Degrade
+                    // to a singleton self-selection: this rank keeps
+                    // tracing as its own lead, and the next resilient
+                    // collective re-agrees membership. Ranks that already
+                    // received the real selection may merge without us —
+                    // that divergence is bounded by the hang backstop
+                    // (FAULTS.md, "mid-slice root death").
+                    self.slice_degraded = true;
+                    LeadSelection::select(ClusterMap::from_rank(me, triple), 1, algo)
+                }
+            }
         } else {
             tp.inner().tool_compute(work.cluster(map.total_clusters()));
             let sel = LeadSelection::select(map, self.config.k, algo);
@@ -648,12 +838,22 @@ impl Chameleon {
     /// Online inter-compression (Algorithm 3, merge branch): leads
     /// substitute their cluster ranklists into their partial traces, merge
     /// over the radix tree of the Top K ("temp ranks"), ship the partial
-    /// global trace to rank 0, fold it into the online trace, and then
+    /// global trace to the online root (rank 0, or the promoted deputy
+    /// after a root failover), fold it into the online trace, and then
     /// every rank deletes its partial trace.
     fn merge_leads_into_online(&mut self, tp: &mut TracedProc, sel: &LeadSelection) {
         let tool0 = tp.inner().tool_time();
         let me = tp.rank();
         let armed = tp.inner().faults_armed();
+        if self.replaying() {
+            // Resume fast-forward: every contribution this merge would
+            // produce is already inside the checkpoint that will be
+            // installed at the resume marker. Clear partials exactly like
+            // a real merge; ship nothing.
+            tp.tracer_mut().clear_trace();
+            self.stats.intercomp_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
+            return;
+        }
         // Merge over the leads still in the agreed alive set. A lead that
         // died mid-slice (after the last resilient collective) is still
         // listed — survivors cannot re-agree without another collective —
@@ -676,6 +876,9 @@ impl Chameleon {
         }
         let am_lead = participants.contains(&me);
         let merge_root: Rank = participants[0];
+        // The rank the merged partial folds into: rank 0 for its whole
+        // life, the promoted deputy after a root failover.
+        let online_root = self.online_root();
 
         let work = mpisim::WorkModel::calibrated();
         if am_lead {
@@ -695,7 +898,7 @@ impl Chameleon {
             }
             if let Some(partial) = outcome.merged {
                 // This rank is the root of the Top-K tree.
-                if me == 0 {
+                if me == online_root {
                     tp.inner().tool_compute(work.merge(
                         self.online_trace.compressed_size(),
                         partial.compressed_size(),
@@ -707,18 +910,19 @@ impl Chameleon {
                     if armed {
                         if tp
                             .inner()
-                            .reliable_send(0, ONLINE_TAG, Comm::TOOL, wire.as_bytes())
+                            .reliable_send(online_root, ONLINE_TAG, Comm::TOOL, wire.as_bytes())
                             .is_err()
                         {
                             self.slice_degraded = true;
                         }
                     } else {
-                        tp.inner().send(0, ONLINE_TAG, Comm::TOOL, wire.as_bytes());
+                        tp.inner()
+                            .send(online_root, ONLINE_TAG, Comm::TOOL, wire.as_bytes());
                     }
                 }
             }
         }
-        if me == 0 && merge_root != 0 {
+        if me == online_root && merge_root != online_root {
             let payload = if armed {
                 match tp.inner().reliable_recv(
                     merge_root,

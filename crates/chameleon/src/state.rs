@@ -118,6 +118,22 @@ impl TransitionGraph {
         self.lead_flag
     }
 
+    /// Serializable image of the persistent state, in declaration order:
+    /// `(OldCallPath, Re-Clustering Flag, Lead Flag)`. Paired with
+    /// [`TransitionGraph::restore`] by the checkpoint codec.
+    pub fn snapshot(&self) -> (CallPathSig, bool, bool) {
+        (self.old_call_path, self.re_clustering, self.lead_flag)
+    }
+
+    /// Rebuild a graph from a [`TransitionGraph::snapshot`] image.
+    pub fn restore(old_call_path: CallPathSig, re_clustering: bool, lead_flag: bool) -> Self {
+        TransitionGraph {
+            old_call_path,
+            re_clustering,
+            lead_flag,
+        }
+    }
+
     /// Step 1: compare against the previous interval and update
     /// `OldCallPath`.
     pub fn local_vote(&mut self, current: CallPathSig) -> LocalVote {
@@ -284,6 +300,20 @@ mod tests {
         assert_eq!(global, 1);
         assert_eq!(g0.decide(global), MarkerDecision::AllTracing);
         assert_eq!(g1.decide(global), MarkerDecision::AllTracing);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_mid_run() {
+        let mut g = TransitionGraph::new();
+        drive(&mut g, sig(1)); // first
+        drive(&mut g, sig(1)); // cluster -> lead phase
+        let (cp, rc, lf) = g.snapshot();
+        let mut restored = TransitionGraph::restore(cp, rc, lf);
+        assert_eq!(restored.snapshot(), g.snapshot());
+        // Both copies must keep deciding identically.
+        for s in [1u64, 1, 2, 2, 2] {
+            assert_eq!(drive(&mut g, sig(s)), drive(&mut restored, sig(s)));
+        }
     }
 
     #[test]

@@ -148,6 +148,10 @@ pub struct ChameleonStats {
     /// lead died. Every surviving rank computes the same re-election, so
     /// this is identical across survivors.
     pub lead_reelections: u64,
+    /// Root promotions witnessed: the online-trace root died and the
+    /// deputy (the smallest survivor) took over. A pure function of the
+    /// agreed alive snapshots, so identical across survivors.
+    pub promotions: u64,
 }
 
 impl ChameleonStats {
@@ -221,6 +225,8 @@ pub struct AggregatedStats {
     pub degraded_slices: u64,
     /// Lead re-elections (first rank's count, same reasoning).
     pub lead_reelections: u64,
+    /// Root promotions (first rank's count, same reasoning).
+    pub promotions: u64,
 }
 
 impl AggregatedStats {
@@ -241,6 +247,7 @@ impl AggregatedStats {
                 agg.marker_calls = s.marker_calls;
                 agg.degraded_slices = s.degraded_slices;
                 agg.lead_reelections = s.lead_reelections;
+                agg.promotions = s.promotions;
                 first = false;
             }
         }

@@ -189,13 +189,25 @@ impl Proc {
     }
 
     /// Death-tolerant allreduce over whoever is still alive, as a star
-    /// through rank 0 (kept immortal by [`crate::FaultPlan`] validation).
-    /// Returns `(result, alive)` where `alive` is the ascending list of
-    /// ranks whose contributions made it into `result` — rank 0's snapshot,
-    /// broadcast back down, so **every survivor receives the identical
-    /// set**. Chameleon uses that snapshot as the agreed participant set
-    /// for the phase the vote opens: lock-step is preserved because the
-    /// agreement is made once, at the root, not inferred per-rank.
+    /// through the smallest surviving rank. Returns `(result, alive)`
+    /// where `alive` is the ascending list of ranks whose contributions
+    /// made it into `result` — the root's snapshot, distributed back down,
+    /// so **every survivor receives the identical set**. Chameleon uses
+    /// that snapshot as the agreed participant set for the phase the vote
+    /// opens: lock-step is preserved because the agreement is made once,
+    /// at the root, not inferred per-rank.
+    ///
+    /// **Root failover.** The root is no longer immortal: attempt `a`
+    /// stars through candidate root `a` on a fresh tag pair, and every
+    /// survivor that fails to get a reply (the candidate died) advances to
+    /// the next candidate in lock-step. Consistency relies on the reply
+    /// fan-out being *crash-atomic*: the root ticks the op counter once
+    /// before the fan-out and then uses non-ticking sends, so the plan's
+    /// crash either fires before any reply exists (all survivors observe
+    /// the death and fail over together) or after all replies are
+    /// delivered (nobody fails over). With at most one crash per plan
+    /// (`FaultPlan` holds a single `CrashFault`), at most two candidates
+    /// are ever tried.
     ///
     /// A rank that dies *after* contributing stays in the snapshot; the
     /// phase that trusted the snapshot must tolerate its silence (that is
@@ -217,40 +229,52 @@ impl Proc {
             return (value, vec![0]);
         }
         let me = self.rank();
-        let up = Proc::coll_tag(seq, 0);
-        let down = Proc::coll_tag(seq, 1);
-        if me == 0 {
-            let mut acc = value;
-            let mut alive: Vec<Rank> = vec![0];
-            for r in 1..p {
-                if let Some(info) = self.recv_or_dead(r, up, comm) {
-                    let v = u64::from_le_bytes(
-                        info.payload
-                            .as_slice()
-                            .try_into()
-                            .expect("resilient allreduce contribution is 8 bytes"),
-                    );
-                    acc = op.apply(acc, v);
-                    alive.push(r);
+        // `coll_tag` budgets 64 rounds per instance → 32 candidate roots;
+        // one crash per plan means attempts 0 and 1 are the only ones ever
+        // reachable, so the cap is a formality.
+        for attempt in 0..p.min(32) {
+            let root = attempt;
+            let up = Proc::coll_tag(seq, (2 * attempt) as u32);
+            let down = Proc::coll_tag(seq, (2 * attempt + 1) as u32);
+            if me == root {
+                let mut acc = value;
+                let mut alive: Vec<Rank> = vec![me];
+                for r in (0..p).filter(|&r| r != me) {
+                    if let Some(info) = self.recv_or_dead(r, up, comm) {
+                        let v = u64::from_le_bytes(
+                            info.payload
+                                .as_slice()
+                                .try_into()
+                                .expect("resilient allreduce contribution is 8 bytes"),
+                        );
+                        acc = op.apply(acc, v);
+                        alive.push(r);
+                    }
                 }
-            }
-            let mut reply = Vec::with_capacity(16 + 8 * alive.len());
-            reply.extend_from_slice(&acc.to_le_bytes());
-            reply.extend_from_slice(&(alive.len() as u64).to_le_bytes());
-            for &r in &alive {
-                reply.extend_from_slice(&(r as u64).to_le_bytes());
-            }
-            for &r in &alive {
-                if r != 0 {
-                    self.send(r, down, comm, &reply);
+                alive.sort_unstable();
+                let mut reply = Vec::with_capacity(16 + 8 * alive.len());
+                reply.extend_from_slice(&acc.to_le_bytes());
+                reply.extend_from_slice(&(alive.len() as u64).to_le_bytes());
+                for &r in &alive {
+                    reply.extend_from_slice(&(r as u64).to_le_bytes());
                 }
+                // Crash-atomic fan-out: one tick, then non-ticking sends.
+                self.tick_op();
+                for &r in &alive {
+                    if r != me {
+                        self.send_no_tick(r, down, comm, &reply);
+                    }
+                }
+                return (acc, alive);
             }
-            (acc, alive)
-        } else {
-            self.send(0, up, comm, &value.to_le_bytes());
-            let info = self
-                .recv_or_dead(0, down, comm)
-                .expect("rank 0 is immortal by FaultPlan validation");
+            // Non-root: contribute, then wait for the reply or the root's
+            // death. Never peek at the death flag to skip the send — a
+            // non-blocking check would race real time; the blocking wait
+            // resolves message-vs-death deterministically.
+            self.send(root, up, comm, &value.to_le_bytes());
+            let Some(info) = self.recv_or_dead(root, down, comm) else {
+                continue; // candidate root died: fail over in lock-step
+            };
             let buf = info.payload;
             assert!(buf.len() >= 16, "resilient allreduce reply framing");
             let result = u64::from_le_bytes(buf[..8].try_into().unwrap());
@@ -261,8 +285,9 @@ impl Proc {
                     u64::from_le_bytes(buf[16 + 8 * i..24 + 8 * i].try_into().unwrap()) as Rank
                 })
                 .collect();
-            (result, alive)
+            return (result, alive);
         }
+        unreachable!("every candidate root died; plans inject at most one crash")
     }
 
     /// Binomial-tree gather of variable-length payloads to `root`.

@@ -35,7 +35,9 @@ pub(crate) fn splitmix64(x: u64) -> u64 {
 /// ones).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashFault {
-    /// The rank to kill. Never rank 0: it owns the online trace.
+    /// The rank to kill. Rank 0 is a legal victim: the checkpoint/deputy
+    /// protocol (see FAULTS.md "Recovery") promotes a survivor to own the
+    /// online trace when the root dies.
     pub rank: Rank,
     /// Operation index at which the crash fires (0-based: `at_op = 10`
     /// dies attempting its 11th operation).
@@ -90,15 +92,11 @@ impl FaultPlan {
 
     /// Crash `rank` at its `at_op`-th simulated operation.
     ///
-    /// Panics if `rank == 0`: rank 0 hosts the online trace and is the
-    /// fixed root of the resilient collectives, so the fault model keeps
-    /// it immortal (real deployments restart the tool if the head node
-    /// dies — there is no trace left to salvage).
+    /// Any rank is a legal victim, including rank 0: the resilient
+    /// collectives fail over to the smallest surviving rank, and the
+    /// Chameleon runtime promotes a deputy that restores the online trace
+    /// from its checkpoint replica (see FAULTS.md "Recovery").
     pub fn crash_rank(mut self, rank: Rank, at_op: u64) -> Self {
-        assert!(
-            rank != 0,
-            "rank 0 is the online-trace root; it cannot be crashed"
-        );
         self.crash = Some(CrashFault { rank, at_op });
         self
     }
@@ -208,6 +206,10 @@ pub struct FaultStats {
     pub nacks_sent: u64,
     /// Times this rank observed a peer's death while waiting on it.
     pub peer_deaths_seen: u64,
+    /// Hang-backstop firings: blocking receives that exceeded the plan's
+    /// `hang_timeout_ms` and aborted with a typed
+    /// [`crate::ProtocolError::Timeout`] instead of hanging forever.
+    pub timeouts: u64,
 }
 
 /// Panic payload used for plan-injected crashes, so the world harness can
@@ -283,9 +285,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rank 0")]
-    fn crashing_rank_zero_rejected() {
-        let _ = FaultPlan::new(0).crash_rank(0, 5);
+    fn crashing_rank_zero_accepted() {
+        // The root is no longer immortal: deputy replication + failover
+        // (FAULTS.md "Recovery") make rank 0 a legal crash victim.
+        let plan = FaultPlan::new(0).crash_rank(0, 5);
+        assert_eq!(plan.crash, Some(CrashFault { rank: 0, at_op: 5 }));
     }
 
     #[test]

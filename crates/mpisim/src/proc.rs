@@ -338,6 +338,65 @@ impl Proc {
         true
     }
 
+    /// [`Proc::send`] without the op tick: clock movement, stats, and
+    /// delivery are identical, but the operation counter does not advance,
+    /// so the plan's crash fault cannot fire mid-call. Resilient-collective
+    /// roots use this to make their reply fan-out crash-atomic: the root
+    /// ticks once *before* the fan-out, so it either dies with no reply
+    /// sent (every survivor observes the death and fails over together) or
+    /// survives to send all of them — survivors can never see a
+    /// half-distributed result. Only collective-internal (fault-exempt)
+    /// tags ride this path, so skipping the fault coin is not a behavior
+    /// change.
+    pub(crate) fn send_no_tick(&mut self, dest: Rank, tag: Tag, comm: Comm, payload: &[u8]) {
+        assert!(
+            dest < self.shared.size,
+            "send to rank {dest} in world of {}",
+            self.shared.size
+        );
+        let tool = comm == Comm::TOOL || comm == Comm::MARKER;
+        let arrival = if tool {
+            self.tool_clock.advance(self.shared.cost.overhead);
+            self.tool_clock.now() + self.shared.cost.transfer(payload.len())
+        } else {
+            self.clock.advance(self.shared.cost.overhead);
+            self.clock.now() + self.shared.cost.transfer(payload.len())
+        };
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += payload.len();
+        self.shared.mailboxes[dest].deliver(Envelope {
+            src: self.rank,
+            tag,
+            comm,
+            payload: payload.to_vec(),
+            arrival,
+        });
+    }
+
+    /// Seeded exponential backoff before a reliable-layer retransmission:
+    /// advances the *tool* clock by `base * 2^min(attempt-1, cap)` scaled
+    /// by a jitter factor in `[0.5, 1.5)` hashed from the fault-plan seed
+    /// and the transfer coordinates. Virtual time only — retransmission
+    /// storms back off in the model without costing wall time, and the
+    /// delays are a pure function of `(seed, ranks, tag, attempt)` so
+    /// armed runs stay bit-reproducible.
+    pub(crate) fn retransmit_backoff(&mut self, dest: Rank, tag: Tag, attempt: u32) {
+        let Some(plan) = &self.shared.faults else {
+            return;
+        };
+        const BASE_S: f64 = 2e-6;
+        const EXP_CAP: u32 = 10;
+        let exp = attempt.saturating_sub(1).min(EXP_CAP);
+        let mut h = plan.seed;
+        for v in [self.rank as u64, dest as u64, tag as u64, attempt as u64] {
+            h = crate::fault::splitmix64(h ^ v);
+        }
+        // Top 53 bits → uniform in [0, 1); shifted to [0.5, 1.5).
+        let jitter = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
+        self.tool_clock
+            .advance(BASE_S * f64::from(1u32 << exp) * jitter);
+    }
+
     /// Advance the operation counter and fire the plan's crash fault if
     /// this is the scheduled operation. A no-op (one branch) when no plan
     /// is armed.
@@ -546,6 +605,15 @@ impl Proc {
         self.shared.faults.is_some()
     }
 
+    /// Simulated operations performed so far (the counter that drives
+    /// [`crate::fault::CrashFault`] scheduling). Deterministic per rank,
+    /// so a probe run can read off the op index of a marker boundary and
+    /// a second run can schedule a crash exactly there.
+    #[inline]
+    pub fn op_count(&self) -> u64 {
+        self.op_count
+    }
+
     /// The armed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.shared.faults.as_ref()
@@ -570,6 +638,13 @@ impl Proc {
     pub fn record(&mut self, make: impl FnOnce() -> obs::EventKind) {
         self.recorder
             .emit(self.clock.now(), self.tool_clock.now(), make);
+    }
+
+    /// Events this rank's flight recorder has buffered so far (0 when
+    /// disabled) — the journal high-water mark stored in checkpoints.
+    #[inline]
+    pub fn obs_len(&self) -> usize {
+        self.recorder.len()
     }
 
     /// Surrender this rank's flight log (used by the world at join time;
@@ -617,6 +692,14 @@ impl Proc {
         self.metrics
             .as_mut()
             .map(|m| std::mem::replace(m.as_mut(), obs::MetricSet::new()))
+    }
+
+    /// Encode the current (undrained) metric sketch, for checkpoint
+    /// capture. Unlike [`Proc::metrics_delta`] this does not reset the
+    /// sketch, so peeking never perturbs the snapshot reductions. `None`
+    /// when the plane is off.
+    pub fn metrics_encode(&self) -> Option<Vec<u8>> {
+        self.metrics.as_ref().map(|m| m.encode_with_count(1))
     }
 
     /// Reduce every participant's metric delta up a binary radix tree
@@ -716,6 +799,25 @@ impl Proc {
         }
     }
 
+    /// Ship an opaque blob to `dest` over the out-of-band observability
+    /// plane ([`Comm::OBS`]): direct delivery with zero simulation-visible
+    /// side effects — no op tick, no clock movement, no stats, no fault
+    /// coin. The checkpoint/deputy replication protocol rides this channel
+    /// so that arming checkpoints cannot perturb virtual times or traces.
+    /// Tags must be ≥ 1 (tag 0 is reserved for the metrics reduction).
+    pub fn obs_ship(&mut self, dest: Rank, tag: Tag, payload: Vec<u8>) {
+        debug_assert!(tag != OBS_REDUCE_TAG, "OBS tag 0 is the metrics plane");
+        self.obs_send(dest, tag, payload);
+    }
+
+    /// Receive a blob shipped with [`Proc::obs_ship`], giving up
+    /// deterministically if `src` dies first (same flag-then-recheck
+    /// argument as [`Proc::recv_or_dead`]). Performs no accounting.
+    pub fn obs_collect_or_dead(&mut self, src: Rank, tag: Tag) -> Option<Vec<u8>> {
+        debug_assert!(tag != OBS_REDUCE_TAG, "OBS tag 0 is the metrics plane");
+        self.obs_recv_or_dead(src, tag)
+    }
+
     /// Whether `rank` has died to an injected crash.
     pub fn is_dead(&self, rank: Rank) -> bool {
         self.shared.dead[rank].load(Ordering::SeqCst)
@@ -777,14 +879,29 @@ impl Proc {
             .map(|p| Instant::now() + Duration::from_millis(p.hang_timeout_ms))
     }
 
-    fn check_hang(&self, deadline: Option<Instant>, src: Rank, tag: Tag) {
+    fn check_hang(&mut self, deadline: Option<Instant>, src: Rank, tag: Tag) {
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                panic!(
-                    "fault backstop: rank {} stuck waiting on rank {src} tag {tag} \
-                     past the plan's hang timeout",
-                    self.rank
-                );
+                let waited = self
+                    .shared
+                    .faults
+                    .as_ref()
+                    .map(|p| p.hang_timeout_ms)
+                    .unwrap_or(0);
+                self.fstats.timeouts += 1;
+                self.record(|| obs::EventKind::Timeout {
+                    peer: src as u64,
+                    tag: tag as u64,
+                    waited,
+                });
+                // A typed payload, not a bare string: the world harness
+                // surfaces it via `panic_message`, and the chaos supervisor
+                // keys restart-from-checkpoint on it (FAULTS.md "Recovery").
+                std::panic::panic_any(crate::reliable::ProtocolError::Timeout {
+                    rank: self.rank,
+                    op: format!("recv src={src} tag={tag}"),
+                    waited,
+                });
             }
         }
     }
@@ -823,7 +940,7 @@ impl Proc {
         COLLECTIVE_TAG_BASE + ((seq % 0xFFFF) as Tag) * 64 + round
     }
 
-    fn recv_envelope(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Envelope {
+    fn recv_envelope(&mut self, src: SrcSel, tag: TagSel, comm: Comm) -> Envelope {
         // Poll with a timeout so that a panic on any rank unblocks everyone
         // instead of deadlocking the whole world.
         let deadline = self.hang_deadline();

@@ -84,6 +84,18 @@ pub enum ProtocolError {
         /// Decoder-specific detail.
         detail: String,
     },
+    /// The hang backstop fired: a blocking receive waited longer than the
+    /// fault plan's real-time budget. Carried as a panic payload out of
+    /// the stuck rank so the world harness (and the chaos supervisor) can
+    /// tell a wedged protocol from a genuine bug.
+    Timeout {
+        /// The rank that was stuck waiting.
+        rank: Rank,
+        /// The operation it was stuck in, e.g. `"recv src=2 tag=11"`.
+        op: String,
+        /// How long it waited before giving up, in milliseconds.
+        waited: u64,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -96,6 +108,9 @@ impl std::fmt::Display for ProtocolError {
             ),
             ProtocolError::Decode { what, detail } => {
                 write!(f, "malformed {what}: {detail}")
+            }
+            ProtocolError::Timeout { rank, op, waited } => {
+                write!(f, "rank {rank} timed out after {waited} ms stuck in {op}")
             }
         }
     }
@@ -200,13 +215,15 @@ impl Proc {
             attempts += 1;
             if !self.send_faulty(dest, tag, comm, &framed, true) {
                 // The plan dropped this attempt; the sender observes the
-                // drop (it *is* the lossy link) and retransmits at once.
+                // drop (it *is* the lossy link) and retransmits after a
+                // seeded exponential backoff (virtual time only).
                 self.fstats.retransmits += 1;
                 self.metric_add(obs::Counter::Retries, 1);
                 self.record(|| obs::EventKind::Retry {
                     peer: dest as u64,
                     tag: tag as u64,
                 });
+                self.retransmit_backoff(dest, tag, attempts);
                 continue 'attempt;
             }
             loop {
@@ -222,6 +239,7 @@ impl Proc {
                             peer: dest as u64,
                             tag: tag as u64,
                         });
+                        self.retransmit_backoff(dest, tag, attempts);
                         continue 'attempt;
                     }
                     Some((ACK_GIVEUP, s)) if s == seq => {
@@ -368,5 +386,12 @@ mod tests {
         assert!(ProtocolError::PeerDead { rank: 5 }
             .to_string()
             .contains("5"));
+        let t = ProtocolError::Timeout {
+            rank: 2,
+            op: "recv src=0 tag=11".into(),
+            waited: 30_000,
+        };
+        let s = t.to_string();
+        assert!(s.contains("rank 2") && s.contains("30000 ms") && s.contains("tag=11"));
     }
 }

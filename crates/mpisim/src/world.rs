@@ -350,6 +350,8 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
         c.to_string()
+    } else if let Some(e) = payload.downcast_ref::<crate::reliable::ProtocolError>() {
+        e.to_string()
     } else {
         "<non-string panic payload>".to_string()
     }

@@ -186,6 +186,46 @@ pub enum EventKind {
         /// The dead peer.
         peer: u64,
     },
+    /// The hang backstop fired: a blocking receive exceeded the plan's
+    /// real-time budget and aborted with a typed timeout.
+    Timeout {
+        /// The peer that never answered.
+        peer: u64,
+        /// The tag the receive was stuck on.
+        tag: u64,
+        /// How long the receive waited, in milliseconds.
+        waited: u64,
+    },
+    /// The online-trace root encoded and replicated a durable checkpoint.
+    Checkpoint {
+        /// Marker invocation the checkpoint closed.
+        marker: u64,
+        /// Encoded checkpoint size in bytes.
+        bytes: u64,
+        /// The deputy the replica was shipped to (`u64::MAX` when the
+        /// root had no living deputy to ship to).
+        deputy: u64,
+    },
+    /// This rank was promoted to online-trace root after the old root
+    /// died.
+    Promote {
+        /// Marker invocation at which the promotion was agreed.
+        marker: u64,
+        /// The dead root.
+        old_root: u64,
+        /// Whether the promoted deputy restored the trace from its
+        /// checkpoint replica (0 = no replica, started empty).
+        restored: u64,
+    },
+    /// A run resumed from a durable checkpoint (supervisor restart): the
+    /// replay fast-forwards to the checkpoint marker, then continues.
+    Resume {
+        /// Marker invocation the checkpoint was taken at.
+        marker: u64,
+        /// The journal high-water mark recorded in the checkpoint (events
+        /// the pre-kill run had logged on the root).
+        hwm: u64,
+    },
 }
 
 impl EventKind {
@@ -206,6 +246,10 @@ impl EventKind {
             EventKind::Snapshot { .. } => "snapshot",
             EventKind::Crash { .. } => "crash",
             EventKind::PeerDead { .. } => "peer_dead",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::Promote { .. } => "promote",
+            EventKind::Resume { .. } => "resume",
         }
     }
 }
@@ -290,6 +334,22 @@ mod tests {
             },
             EventKind::Crash { op: 0 },
             EventKind::PeerDead { peer: 0 },
+            EventKind::Timeout {
+                peer: 0,
+                tag: 0,
+                waited: 1,
+            },
+            EventKind::Checkpoint {
+                marker: 1,
+                bytes: 64,
+                deputy: 1,
+            },
+            EventKind::Promote {
+                marker: 1,
+                old_root: 0,
+                restored: 1,
+            },
+            EventKind::Resume { marker: 1, hwm: 9 },
         ];
         let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();

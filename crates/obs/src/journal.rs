@@ -300,6 +300,26 @@ fn write_event(out: &mut String, rank: usize, e: &Event) {
         }
         EventKind::Crash { op } => out.push_str(&format!(",\"op\":{op}")),
         EventKind::PeerDead { peer } => out.push_str(&format!(",\"peer\":{peer}")),
+        EventKind::Timeout { peer, tag, waited } => {
+            out.push_str(&format!(",\"peer\":{peer},\"tag\":{tag},\"waited\":{waited}"))
+        }
+        EventKind::Checkpoint {
+            marker,
+            bytes,
+            deputy,
+        } => out.push_str(&format!(
+            ",\"marker\":{marker},\"bytes\":{bytes},\"deputy\":{deputy}"
+        )),
+        EventKind::Promote {
+            marker,
+            old_root,
+            restored,
+        } => out.push_str(&format!(
+            ",\"marker\":{marker},\"old_root\":{old_root},\"restored\":{restored}"
+        )),
+        EventKind::Resume { marker, hwm } => {
+            out.push_str(&format!(",\"marker\":{marker},\"hwm\":{hwm}"))
+        }
     }
     out.push_str("}\n");
 }
@@ -422,6 +442,25 @@ fn parse_kind(sc: &mut Scan<'_>, label: &str) -> Result<EventKind, String> {
         },
         "peer_dead" => EventKind::PeerDead {
             peer: sc.field_u64("peer")?,
+        },
+        "timeout" => EventKind::Timeout {
+            peer: sc.field_u64("peer")?,
+            tag: sc.field_u64("tag")?,
+            waited: sc.field_u64("waited")?,
+        },
+        "checkpoint" => EventKind::Checkpoint {
+            marker: sc.field_u64("marker")?,
+            bytes: sc.field_u64("bytes")?,
+            deputy: sc.field_u64("deputy")?,
+        },
+        "promote" => EventKind::Promote {
+            marker: sc.field_u64("marker")?,
+            old_root: sc.field_u64("old_root")?,
+            restored: sc.field_u64("restored")?,
+        },
+        "resume" => EventKind::Resume {
+            marker: sc.field_u64("marker")?,
+            hwm: sc.field_u64("hwm")?,
         },
         other => return Err(format!("unknown event label {other:?}")),
     })
@@ -637,6 +676,17 @@ mod tests {
                 hists: vec![2, 100, 104, 105],
             },
         );
+        push(
+            &mut a,
+            3e-5,
+            2e-6,
+            EventKind::Checkpoint {
+                marker: 2,
+                bytes: 512,
+                deputy: 1,
+            },
+        );
+        push(&mut a, 3e-5, 2e-6, EventKind::Resume { marker: 2, hwm: 12 });
         let mut b = RankLog::new(3);
         push(
             &mut b,
@@ -649,6 +699,26 @@ mod tests {
             },
         );
         push(&mut b, 1.5e-5, 0.0, EventKind::Crash { op: 40 });
+        push(
+            &mut b,
+            1.5e-5,
+            0.0,
+            EventKind::Timeout {
+                peer: 0,
+                tag: 9,
+                waited: 30000,
+            },
+        );
+        push(
+            &mut b,
+            1.5e-5,
+            0.0,
+            EventKind::Promote {
+                marker: 2,
+                old_root: 0,
+                restored: 1,
+            },
+        );
         RunJournal::gather(4, true, vec![b, a])
     }
 
@@ -723,10 +793,12 @@ mod tests {
         assert_eq!(j.count("marker"), 1);
         assert_eq!(j.count("fault"), 1);
         assert_eq!(j.count("crash"), 1);
+        assert_eq!(j.count("checkpoint"), 1);
+        assert_eq!(j.count("promote"), 1);
         let s = j.summary();
-        assert!(s.contains("ranks=4 armed=yes events=14"), "{s}");
+        assert!(s.contains("ranks=4 armed=yes events=18"), "{s}");
         assert!(s.contains("crash=1"), "{s}");
-        assert!(s.contains("rank 3: 2 events"), "{s}");
+        assert!(s.contains("rank 3: 4 events"), "{s}");
     }
 
     #[test]

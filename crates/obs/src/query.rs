@@ -67,6 +67,20 @@ pub fn describe(kind: &EventKind) -> String {
         }
         EventKind::Crash { op } => format!("crash op={op}"),
         EventKind::PeerDead { peer } => format!("peer_dead peer={peer}"),
+        EventKind::Timeout { peer, tag, waited } => {
+            format!("timeout peer={peer} tag={tag} waited={waited}ms")
+        }
+        EventKind::Checkpoint {
+            marker,
+            bytes,
+            deputy,
+        } => format!("checkpoint marker={marker} bytes={bytes} deputy={deputy}"),
+        EventKind::Promote {
+            marker,
+            old_root,
+            restored,
+        } => format!("promote marker={marker} old_root={old_root} restored={restored}"),
+        EventKind::Resume { marker, hwm } => format!("resume marker={marker} hwm={hwm}"),
     }
 }
 

@@ -77,6 +77,20 @@ impl Recorder {
         });
     }
 
+    /// Number of events buffered so far (0 when disabled). Checkpoints
+    /// record this as the journal high-water mark, so a resumed run can
+    /// state how much flight history the pre-kill run had logged.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.log.as_ref().map_or(0, |l| l.events.len())
+    }
+
+    /// Whether no events are buffered (always true when disabled).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Surrender the buffered log (leaving the recorder disabled), or
     /// `None` if recording was never armed.
     pub fn take_log(&mut self) -> Option<RankLog> {

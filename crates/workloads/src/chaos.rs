@@ -4,18 +4,31 @@
 //! The harness exercises the whole shrink-and-continue stack at once: a
 //! rank crashes mid-run, the link corrupts/duplicates/delays tool
 //! payloads, and the run must still complete with a non-empty online
-//! trace at rank 0 plus counted degradation — never a hang. Fault plans
-//! are pure functions of a seed, so every CI failure is replayable from
-//! the seed alone (see FAULTS.md).
+//! trace at the online root plus counted degradation — never a hang.
+//! Fault plans are pure functions of a seed, so every CI failure is
+//! replayable from the seed alone (see FAULTS.md).
+//!
+//! Two fault shapes are exercised:
+//!
+//! * [`chaos_plan`] — a non-root rank dies mid-run; the run shrinks and
+//!   continues in-place.
+//! * [`root_crash_plan`] — rank 0 itself dies. With durable checkpoints
+//!   armed ([`run_chaos_supervised`]) the deputy is promoted in-place and
+//!   restores the online trace from its replica; if the run nevertheless
+//!   aborts (a mid-slice wedge caught by the typed timeout backstop), the
+//!   supervisor restarts from the latest on-disk checkpoint and replays
+//!   forward deterministically.
 
-use chameleon::{Chameleon, ChameleonConfig, ChameleonStats};
+use std::path::{Path, PathBuf};
+
+use chameleon::{Chameleon, ChameleonConfig, ChameleonStats, Checkpoint};
 use mpisim::{FaultPlan, FaultStats, Rank, World, WorldConfig};
 use scalatrace::{CompressedTrace, TracedProc};
 
 /// The fault plan for one chaos seed over `p` ranks: one mid-run rank
-/// crash (never rank 0 — it roots the online trace) plus a lossy link at
-/// 2% corruption, 0.5% duplication, and 0.5% delay. Deterministic in
-/// `(seed, p)`.
+/// crash (never rank 0 — root death is [`root_crash_plan`]'s job) plus a
+/// lossy link at 2% corruption, 0.5% duplication, and 0.5% delay.
+/// Deterministic in `(seed, p)`.
 pub fn chaos_plan(seed: u64, p: usize) -> FaultPlan {
     assert!(p >= 2, "chaos needs a rank that can die and a survivor");
     let victim = 1 + (seed as usize % (p - 1));
@@ -25,6 +38,47 @@ pub fn chaos_plan(seed: u64, p: usize) -> FaultPlan {
         .corrupt_per_mille(20)
         .duplicate_per_mille(5)
         .delay(5, 2e-4)
+}
+
+/// A chaos plan that kills rank 0 — the online-trace root — at `at_op`,
+/// under the same lossy link as [`chaos_plan`]. Schedule `at_op` from
+/// [`marker_entry_ops`] to land the crash on a marker boundary, where the
+/// resilient collectives detect it cleanly and promote the deputy.
+pub fn root_crash_plan(seed: u64, at_op: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .crash_rank(0, at_op)
+        .corrupt_per_mille(20)
+        .duplicate_per_mille(5)
+        .delay(5, 2e-4)
+}
+
+/// Probe run: execute the chaos workload under `plan` with its crash
+/// stripped and return rank 0's op count at the entry of each marker.
+/// Fault coins are pure in `(seed, sender, send_nonce)` and a crash only
+/// perturbs the victim's own timeline after it fires, so scheduling
+/// `crash_rank(0, ops[m])` in a second run kills rank 0 exactly at its
+/// next op — the marker-`m+1` resilient barrier.
+pub fn marker_entry_ops(p: usize, steps: usize, mut plan: FaultPlan) -> Vec<u64> {
+    plan.crash = None;
+    let config = WorldConfig::for_tests(p).with_faults(plan);
+    let report = World::new(config)
+        .run_faulty(move |proc| {
+            let mut tp = TracedProc::new(proc);
+            let mut cham = Chameleon::new(ChameleonConfig::with_k(p));
+            let mut ops = Vec::with_capacity(steps);
+            for step in 0..steps {
+                let alive = cham.alive().to_vec();
+                chaos_step(&mut tp, &alive, step);
+                ops.push(tp.inner().op_count());
+                cham.marker(&mut tp);
+            }
+            cham.finalize(&mut tp);
+            ops
+        })
+        .expect("crash-free probe run cannot fail");
+    report.results[0]
+        .clone()
+        .expect("rank 0 survives a crash-free probe")
 }
 
 /// Steps per behavioral phase: the frame label alternates every block,
@@ -69,8 +123,8 @@ pub fn chaos_step(tp: &mut TracedProc, alive: &[Rank], step: usize) {
 /// Everything a chaos run produces, for assertions and failure artifacts.
 #[derive(Debug)]
 pub struct ChaosOutcome {
-    /// The online global trace from rank 0 (rank 0 is immortal by plan
-    /// validation, so this is always present on a completed run).
+    /// The online global trace, from whichever survivor roots it — rank 0
+    /// normally, the promoted deputy after a root crash.
     pub online_trace: CompressedTrace,
     /// Per-rank stats; `None` for the crashed rank.
     pub stats: Vec<Option<ChameleonStats>>,
@@ -98,6 +152,21 @@ pub fn run_chaos_recorded(p: usize, steps: usize, plan: FaultPlan) -> ChaosOutco
 }
 
 fn run_chaos_with(p: usize, steps: usize, plan: FaultPlan, record: bool) -> ChaosOutcome {
+    run_chaos_result(p, steps, plan, record, ChameleonConfig::with_k(p))
+        .expect("chaos run must degrade, not fail the world")
+}
+
+/// Run the chaos workload under an explicit Chameleon configuration
+/// (checkpoint stride/dir/resume included) and surface a fatal world
+/// abort — a wedge caught by the typed timeout backstop, or a non-crash
+/// panic — as `Err` instead of panicking, so a supervisor can restart.
+pub fn run_chaos_result(
+    p: usize,
+    steps: usize,
+    plan: FaultPlan,
+    record: bool,
+    cham_cfg: ChameleonConfig,
+) -> Result<ChaosOutcome, String> {
     let mut config = WorldConfig::for_tests(p).with_faults(plan);
     if record {
         config = config.with_recorder();
@@ -105,7 +174,7 @@ fn run_chaos_with(p: usize, steps: usize, plan: FaultPlan, record: bool) -> Chao
     let report = World::new(config)
         .run_faulty(move |proc| {
             let mut tp = TracedProc::new(proc);
-            let mut cham = Chameleon::new(ChameleonConfig::with_k(p));
+            let mut cham = Chameleon::new(cham_cfg.clone());
             for step in 0..steps {
                 let alive = cham.alive().to_vec();
                 chaos_step(&mut tp, &alive, step);
@@ -113,14 +182,14 @@ fn run_chaos_with(p: usize, steps: usize, plan: FaultPlan, record: bool) -> Chao
             }
             cham.finalize(&mut tp)
         })
-        .expect("chaos run must degrade, not fail the world");
+        .map_err(|e| e.to_string())?;
     let mut stats = Vec::with_capacity(p);
     let mut online_trace = None;
-    for (rank, result) in report.results.into_iter().enumerate() {
+    for result in report.results.into_iter() {
         match result {
             Some(outcome) => {
-                if rank == 0 {
-                    online_trace = outcome.online_trace.clone();
+                if let Some(trace) = outcome.online_trace {
+                    online_trace = Some(trace);
                 }
                 stats.push(Some(outcome.stats));
             }
@@ -134,13 +203,106 @@ fn run_chaos_with(p: usize, steps: usize, plan: FaultPlan, record: bool) -> Chao
             eprintln!("CHAM_JOURNAL {}: write failed: {e}", path.to_string_lossy());
         }
     }
-    ChaosOutcome {
-        online_trace: online_trace.expect("rank 0 is immortal and roots the online trace"),
+    Ok(ChaosOutcome {
+        online_trace: online_trace.expect("some survivor roots the online trace"),
         stats,
         crashed: report.crashed,
         fault_stats: report.fault_stats,
         journal: report.journal,
+    })
+}
+
+/// Outcome of a supervised chaos run.
+#[derive(Debug)]
+pub struct SupervisedOutcome {
+    /// The final completed run's outcome.
+    pub outcome: ChaosOutcome,
+    /// Supervisor restarts performed (0 = the first attempt completed).
+    pub restarts: u32,
+    /// Marker of the on-disk checkpoint the restart resumed from, if any.
+    pub resumed_marker: Option<u64>,
+}
+
+/// Supervisor mode: run the chaos workload with durable checkpoints
+/// (every `stride` markers, persisted into `ckpt_dir`). If the attempt
+/// aborts fatally — a mid-slice wedge the typed timeout backstop turned
+/// into a world failure — restart once from the latest on-disk
+/// checkpoint: the crash is consumed (it already fired; the restarted
+/// job gets fresh nodes), the lossy link stays armed so the replay's
+/// votes are deterministic, and the run fast-forwards to the checkpoint
+/// marker before continuing normally.
+pub fn run_chaos_supervised(
+    p: usize,
+    steps: usize,
+    plan: FaultPlan,
+    stride: u64,
+    ckpt_dir: &Path,
+    record: bool,
+) -> SupervisedOutcome {
+    let base_cfg = || {
+        ChameleonConfig::with_k(p)
+            .with_checkpoint_stride(stride)
+            .with_checkpoint_dir(ckpt_dir)
+    };
+    match run_chaos_result(p, steps, plan.clone(), record, base_cfg()) {
+        Ok(outcome) => SupervisedOutcome {
+            outcome,
+            restarts: 0,
+            resumed_marker: None,
+        },
+        Err(first) => {
+            let mut retry_plan = plan;
+            retry_plan.crash = None;
+            let mut cfg = base_cfg();
+            let mut resumed_marker = None;
+            match latest_checkpoint(ckpt_dir) {
+                Some((marker, path)) => match std::fs::read(&path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|b| Checkpoint::decode(&b).map_err(|e| e.to_string()))
+                {
+                    Ok(ckpt) => {
+                        cfg = cfg.with_resume(ckpt);
+                        resumed_marker = Some(marker);
+                    }
+                    Err(e) => eprintln!(
+                        "supervisor: checkpoint {} unusable ({e}); replaying from scratch",
+                        path.display()
+                    ),
+                },
+                None => eprintln!(
+                    "supervisor: no checkpoint in {}; replaying from scratch",
+                    ckpt_dir.display()
+                ),
+            }
+            let outcome =
+                run_chaos_result(p, steps, retry_plan, record, cfg).unwrap_or_else(|second| {
+                    panic!("supervised restart failed twice: first [{first}]; second [{second}]")
+                });
+            SupervisedOutcome {
+                outcome,
+                restarts: 1,
+                resumed_marker,
+            }
+        }
     }
+}
+
+/// The highest-marker `ckpt-<marker>.bin` blob in `dir`, if any.
+pub fn latest_checkpoint(dir: &Path) -> Option<(u64, PathBuf)> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    entries
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            let marker: u64 = name
+                .to_str()?
+                .strip_prefix("ckpt-")?
+                .strip_suffix(".bin")?
+                .parse()
+                .ok()?;
+            Some((marker, entry.path()))
+        })
+        .max_by_key(|&(marker, _)| marker)
 }
 
 #[cfg(test)]
@@ -156,6 +318,39 @@ mod tests {
             let crash = a.crash.expect("chaos always crashes someone");
             assert!(crash.rank >= 1 && crash.rank < 6);
         }
+    }
+
+    #[test]
+    fn root_crash_plan_targets_rank_zero() {
+        let plan = root_crash_plan(3, 99);
+        let crash = plan.crash.expect("root crash plan always crashes");
+        assert_eq!(crash.rank, 0);
+        assert_eq!(crash.at_op, 99);
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_highest_marker() {
+        let dir = std::env::temp_dir().join(format!("cham_ckpt_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in [
+            "ckpt-000002.bin",
+            "ckpt-000010.bin",
+            "notes.txt",
+            "ckpt-x.bin",
+        ] {
+            std::fs::write(dir.join(name), b"x").unwrap();
+        }
+        let (marker, path) = latest_checkpoint(&dir).expect("two well-formed blobs");
+        assert_eq!(marker, 10);
+        assert!(path.ends_with("ckpt-000010.bin"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn probe_ops_are_strictly_increasing() {
+        let ops = marker_entry_ops(4, 12, chaos_plan(5, 4));
+        assert_eq!(ops.len(), 12);
+        assert!(ops.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

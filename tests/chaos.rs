@@ -21,7 +21,10 @@ use std::path::PathBuf;
 
 use chameleon_repro::obs::EventKind;
 use chameleon_repro::scalatrace::format;
-use chameleon_repro::workloads::chaos::{chaos_plan, run_chaos, run_chaos_recorded, ChaosOutcome};
+use chameleon_repro::workloads::chaos::{
+    chaos_plan, marker_entry_ops, root_crash_plan, run_chaos, run_chaos_recorded,
+    run_chaos_supervised, ChaosOutcome,
+};
 
 /// The fixed CI seed set. Deliberately spread so victims, crash times,
 /// and corruption patterns differ across entries.
@@ -204,6 +207,70 @@ fn same_plan_same_seed_is_bit_identical() {
             b.journal.unwrap().to_jsonl(),
             "seed {seed:#x}: armed journal must be byte-reproducible"
         );
+    }
+}
+
+#[test]
+fn root_crash_matrix_completes_with_promoted_deputy() {
+    // The CI root-crash matrix (FAULTS.md "Recovery"): kill rank 0 at the
+    // first, a middle, and the last marker boundary across three seeds.
+    // Every cell must complete with the deputy promoted and a non-empty
+    // online trace. Artifacts — the final on-disk checkpoint set and the
+    // armed journal — are written under `experiments_out/rootcrash_*` so
+    // CI uploads them as run evidence, not just on failure.
+    const MATRIX_SEEDS: [u64; 3] = [7, 1009, 0xDEAD];
+    const STRIDE: u64 = 4;
+    for &seed in &MATRIX_SEEDS {
+        // One fault-free probe per seed maps marker index -> rank 0's op
+        // count at the marker's entry tick (coins are pure in the seed,
+        // so the probe schedule matches the armed run's pre-crash path).
+        let ops = marker_entry_ops(RANKS, STEPS, root_crash_plan(seed, 0));
+        for m in [0, STEPS / 2, STEPS - 1] {
+            let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("experiments_out")
+                .join(format!("rootcrash_{seed:#x}_m{m}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let sup = run_chaos_supervised(
+                RANKS,
+                STEPS,
+                root_crash_plan(seed, ops[m]),
+                STRIDE,
+                &dir,
+                true,
+            );
+
+            assert_eq!(
+                sup.outcome.crashed,
+                vec![0],
+                "seed {seed:#x} marker {m}: rank 0 must be the only victim"
+            );
+            assert!(
+                sup.outcome.online_trace.dynamic_size() > 0,
+                "seed {seed:#x} marker {m}: promoted deputy roots an empty trace"
+            );
+            for s in sup.outcome.stats.iter().flatten() {
+                assert_eq!(
+                    s.promotions, 1,
+                    "seed {seed:#x} marker {m}: survivors disagree on the promotion"
+                );
+            }
+            let journal = sup
+                .outcome
+                .journal
+                .as_ref()
+                .expect("matrix runs are recorded");
+            let promoted: Vec<usize> = journal
+                .events()
+                .filter_map(|(rank, e)| matches!(e.kind, EventKind::Promote { .. }).then_some(rank))
+                .collect();
+            assert_eq!(
+                promoted,
+                vec![1],
+                "seed {seed:#x} marker {m}: exactly the deputy records the promotion"
+            );
+            let _ = std::fs::write(dir.join("run.journal.jsonl"), journal.to_jsonl());
+        }
     }
 }
 
