@@ -17,6 +17,12 @@
 //!   oracle (shares the trim prefilters, so it is also fast on SPMD
 //!   traces; quadratic only in the untrimmed middle).
 //!
+//! The axes — merge cases, trace sizes, and fold widths — come from the
+//! committed scenario-matrix plan `plans/merge_scaling.plan.json` (cases
+//! from its `workloads`, sizes from `classes × merge_base_n`, fold
+//! widths from `ranks`), so this bench and `chamtrace matrix run`
+//! exercise the same sweep.
+//!
 //! Results (plus derived speedups) land in
 //! `experiments_out/merge_scaling.json`; the run asserts the fast path's
 //! ≥2× speedup over the baseline on near-identical (SPMD) traces at
@@ -30,6 +36,7 @@ use mpisim::Comm;
 use scalatrace::merge::{merge_all, merge_traces, merge_traces_baseline, merge_traces_reference};
 use scalatrace::{CompressedTrace, Endpoint, EventRecord, MpiOp};
 use sigkit::StackSig;
+use workloads::matrix::MatrixPlan;
 
 /// A trace of `n` distinct sites with signatures starting at `base + 1`.
 fn trace_with_sites(rank: usize, n: usize, base: u64) -> CompressedTrace {
@@ -66,51 +73,50 @@ fn near_identical(rank: usize, n: usize) -> CompressedTrace {
 }
 
 fn main() {
+    let plan = MatrixPlan::load(
+        &Path::new(env!("CARGO_MANIFEST_DIR")).join("../../plans/merge_scaling.plan.json"),
+    )
+    .expect("committed merge-scaling plan parses and validates");
+    let cases: Vec<&str> = plan
+        .workloads
+        .iter()
+        .map(|w| match w.as_str() {
+            "MERGE_IDENTICAL" => "identical",
+            "MERGE_NEAR" => "near_identical",
+            "MERGE_DISJOINT" => "disjoint",
+            other => panic!("merge-scaling plan lists a non-merge workload {other:?}"),
+        })
+        .collect();
+    let sizes: Vec<usize> = plan
+        .classes
+        .iter()
+        .map(|c| plan.merge_base_n * c.multiplier())
+        .collect();
+
     let mut h = Harness::new();
-    let sizes = [64usize, 128, 256, 512, 1024];
-
     for &n in &sizes {
-        let label = |case: &str| format!("{case}/{n}");
-
-        let a = trace_with_sites(0, n, 0);
-        let b = trace_with_sites(1, n, 0);
-        h.bench("pairwise_fast", &label("identical"), || {
-            merge_traces(&a, &b)
-        });
-        h.bench("pairwise_baseline", &label("identical"), || {
-            merge_traces_baseline(&a, &b)
-        });
-        h.bench("pairwise_reference", &label("identical"), || {
-            merge_traces_reference(&a, &b)
-        });
-
-        let a = near_identical(0, n);
-        let b = near_identical(1, n);
-        h.bench("pairwise_fast", &label("near_identical"), || {
-            merge_traces(&a, &b)
-        });
-        h.bench("pairwise_baseline", &label("near_identical"), || {
-            merge_traces_baseline(&a, &b)
-        });
-        h.bench("pairwise_reference", &label("near_identical"), || {
-            merge_traces_reference(&a, &b)
-        });
-
-        let a = trace_with_sites(0, n, 0);
-        let b = trace_with_sites(1, n, n as u64);
-        h.bench("pairwise_fast", &label("disjoint"), || merge_traces(&a, &b));
-        h.bench("pairwise_baseline", &label("disjoint"), || {
-            merge_traces_baseline(&a, &b)
-        });
-        h.bench("pairwise_reference", &label("disjoint"), || {
-            merge_traces_reference(&a, &b)
-        });
+        for &case in &cases {
+            let label = format!("{case}/{n}");
+            let (a, b) = match case {
+                "identical" => (trace_with_sites(0, n, 0), trace_with_sites(1, n, 0)),
+                "near_identical" => (near_identical(0, n), near_identical(1, n)),
+                "disjoint" => (trace_with_sites(0, n, 0), trace_with_sites(1, n, n as u64)),
+                _ => unreachable!(),
+            };
+            h.bench("pairwise_fast", &label, || merge_traces(&a, &b));
+            h.bench("pairwise_baseline", &label, || {
+                merge_traces_baseline(&a, &b)
+            });
+            h.bench("pairwise_reference", &label, || {
+                merge_traces_reference(&a, &b)
+            });
+        }
     }
 
     // Folding P SPMD traces: the work ScalaTrace does at finalize (P
     // traces) vs Chameleon online (K traces). The P-axis is the paper's
     // whole point.
-    for p in [4usize, 16, 64, 256] {
+    for &p in &plan.ranks {
         let traces: Vec<CompressedTrace> = (0..p).map(|r| trace_with_sites(r, 24, 0)).collect();
         h.bench("merge_p_traces", &format!("spmd/{p}"), || {
             merge_all(traces.iter())
@@ -124,7 +130,7 @@ fn main() {
     // Derived speedups: baseline median / fast median per case and size
     // (the before/after this PR claims).
     let mut derived: Vec<(String, f64)> = Vec::new();
-    for case in ["identical", "near_identical", "disjoint"] {
+    for &case in &cases {
         for &n in &sizes {
             let label = format!("{case}/{n}");
             let fast = h

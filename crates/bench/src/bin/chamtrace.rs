@@ -11,19 +11,34 @@
 //! chamtrace journal timeline  <journal> <r> # one rank's events in order
 //! chamtrace journal spans     <journal>     # merge levels + critical path
 //! chamtrace journal metrics   <journal>     # metrics-plane snapshots
-//! chamtrace journal diff      <a> <b>       # first divergence (exit 1)
+//! chamtrace journal diff      <a> <b>       # exit 1 on divergence,
+//!                                           # 2 if either file is bad
 //!
 //! chamtrace ckpt info   <blob>              # decode a CKPT1 checkpoint
 //! chamtrace ckpt latest <dir>               # newest ckpt-*.bin in a dir
 //! chamtrace chaos supervise <ranks> <steps> <seed> <marker> <dir>
 //!                                           # root-crash + restart demo
+//!
+//! chamtrace matrix expand <plan>            # list the trial cross product
+//! chamtrace matrix run <plan> [--jobs N] [--out DIR]
+//!                                           # run a scenario matrix
+//! chamtrace matrix diff <baseline.json> <results.json>
+//!                                           # regression gate (exit 1 on
+//!                                           # first divergence)
 //! ```
 //!
 //! Journal files are the flight recorder's canonical JSONL
 //! (`chameleon-obs-v1`, see OBSERVABILITY.md); malformed input fails
-//! with the offending line number and exit code 2. Checkpoint blobs are
-//! the versioned `CKPT1` binary format (see FAULTS.md "Recovery");
-//! corrupt or truncated blobs also exit 2.
+//! with the offending line number and exit code 2 — for `journal diff`
+//! that applies to *both* operands: a parse failure in either file is
+//! exit 2, never the divergence code 1. Checkpoint blobs are the
+//! versioned `CKPT1` binary format (see FAULTS.md "Recovery"); corrupt
+//! or truncated blobs also exit 2.
+//!
+//! Matrix plans are declarative JSON scenario matrices (see
+//! EXPERIMENTS.md "Running a matrix"); `matrix run` exits 1 when any
+//! trial fails its invariants, `matrix diff` exits 1 naming the first
+//! diverging trial + metric, and both exit 2 on malformed plans/tables.
 
 use chameleon::Checkpoint;
 use mpisim::CostModel;
@@ -31,6 +46,10 @@ use obs::{query, RunJournal};
 use scalatrace::{format, CompressedTrace, RankSet};
 use workloads::chaos::{
     latest_checkpoint, marker_entry_ops, root_crash_plan, run_chaos_supervised,
+};
+use workloads::matrix::{
+    diff_results, diff_timings, journal_drilldown, run_plan, timings_from_json, MatrixPlan,
+    MatrixResults,
 };
 
 fn load(path: &str) -> CompressedTrace {
@@ -261,6 +280,101 @@ fn chaos_supervise(ranks: usize, steps: usize, seed: u64, marker: usize, dir: &s
     }
 }
 
+fn load_plan(path: &str) -> MatrixPlan {
+    MatrixPlan::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn matrix_expand(path: &str) {
+    let plan = load_plan(path);
+    let trials = plan.expand();
+    for t in &trials {
+        println!("{}", t.id);
+    }
+    eprintln!("{} trial(s) in plan {:?}", trials.len(), plan.name);
+}
+
+fn matrix_run(path: &str, jobs: usize, out: &str) {
+    let plan = load_plan(path);
+    let out_root = std::path::Path::new(out);
+    let (results, _timings) = run_plan(&plan, out_root, jobs).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let failed: Vec<&str> = results
+        .trials
+        .iter()
+        .filter(|t| !t.ok)
+        .map(|t| t.id.as_str())
+        .collect();
+    println!(
+        "plan {:?}: {} trial(s), {} failed; tables under {}",
+        plan.name,
+        results.trials.len(),
+        failed.len(),
+        out_root.join(&plan.name).display(),
+    );
+    for id in &failed {
+        eprintln!("FAILED: {id}");
+    }
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn load_results(path: &str) -> MatrixResults {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    MatrixResults::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Gate `current` against the stored `baseline`: exact on every
+/// deterministic field, then (when both sides ship a `timings.json` next
+/// to their result table) percentage-banded on wall clocks. When a
+/// journal digest diverges and both runs left per-trial `journal.jsonl`
+/// artifacts, the first diverging journal event is printed too.
+fn matrix_diff(baseline: &str, current: &str) {
+    let base = load_results(baseline);
+    let cur = load_results(current);
+    if let Some(d) = diff_results(&base, &cur) {
+        println!("divergence: {d}");
+        if d.metric == "journal_digest" {
+            let dir_of = |p: &str| {
+                std::path::Path::new(p)
+                    .parent()
+                    .map(|d| d.to_path_buf())
+                    .unwrap_or_default()
+            };
+            if let Some(detail) = journal_drilldown(&dir_of(baseline), &dir_of(current), &d.trial) {
+                println!("journal drill-down: {detail}");
+            }
+        }
+        std::process::exit(1);
+    }
+    let side_timings = |p: &str| -> Option<std::collections::BTreeMap<String, u64>> {
+        let path = std::path::Path::new(p).parent()?.join("timings.json");
+        timings_from_json(&std::fs::read_to_string(path).ok()?).ok()
+    };
+    if let (Some(bt), Some(ct)) = (side_timings(baseline), side_timings(current)) {
+        if let Some(d) = diff_timings(&bt, &ct, base.timing_tolerance_pct) {
+            println!("timing divergence (advisory band): {d}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "identical: {} trial(s) of plan {:?} match the baseline",
+        cur.trials.len(),
+        cur.plan
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -287,6 +401,36 @@ fn main() {
         [j, cmd, a, b] if j == "journal" && cmd == "diff" => journal_diff(a, b),
         [c, cmd, path] if c == "ckpt" && cmd == "info" => ckpt_info(path),
         [c, cmd, dir] if c == "ckpt" && cmd == "latest" => ckpt_latest(dir),
+        [m, cmd, path] if m == "matrix" && cmd == "expand" => matrix_expand(path),
+        [m, cmd, path, tail @ ..] if m == "matrix" && cmd == "run" => {
+            let mut jobs = 2usize;
+            let mut out = "experiments_out/matrix".to_string();
+            let mut rest = tail;
+            while let [flag, value, more @ ..] = rest {
+                match flag.as_str() {
+                    "--jobs" => {
+                        jobs = value.parse().unwrap_or_else(|_| {
+                            eprintln!("error: invalid job count {value:?}");
+                            std::process::exit(2);
+                        });
+                    }
+                    "--out" => out = value.clone(),
+                    other => {
+                        eprintln!("error: unknown matrix run flag {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+                rest = more;
+            }
+            if !rest.is_empty() {
+                eprintln!("error: dangling matrix run argument {:?}", rest[0]);
+                std::process::exit(2);
+            }
+            matrix_run(path, jobs, &out);
+        }
+        [m, cmd, baseline, current] if m == "matrix" && cmd == "diff" => {
+            matrix_diff(baseline, current);
+        }
         [c, cmd, ranks, steps, seed, marker, dir] if c == "chaos" && cmd == "supervise" => {
             let parse = |what: &str, v: &str| -> usize {
                 v.parse().unwrap_or_else(|_| {
@@ -314,6 +458,9 @@ fn main() {
             eprintln!("       chamtrace journal diff <journal-a> <journal-b>");
             eprintln!("       chamtrace ckpt info <blob> | ckpt latest <dir>");
             eprintln!("       chamtrace chaos supervise <ranks> <steps> <seed> <marker> <dir>");
+            eprintln!("       chamtrace matrix expand <plan>");
+            eprintln!("       chamtrace matrix run <plan> [--jobs N] [--out DIR]");
+            eprintln!("       chamtrace matrix diff <baseline.json> <results.json>");
             std::process::exit(2);
         }
     }

@@ -1,71 +1,8 @@
 //! Named workload constructors for the harness binaries.
+//!
+//! The name→constructor map itself lives in [`workloads::registry`] so
+//! the scenario-matrix runner (`workloads::matrix`) can resolve plan
+//! workload names without depending on the bench crate; this module
+//! re-exports it for the existing harness call sites.
 
-use std::sync::Arc;
-
-use workloads::driver::ScaledWorkload;
-use workloads::{bt::Bt, cg::Cg, emf::Emf, lu::Lu, pop::Pop, sp::Sp, sweep3d::Sweep3d, Workload};
-
-/// The strong-scaling benchmark set of Figures 4 and 5.
-pub const STRONG_SET: [&str; 5] = ["BT", "SP", "LU", "POP", "EMF"];
-
-/// The weak-scaling set of Figures 6 and 7.
-pub const WEAK_SET: [&str; 2] = ["LUW", "S3DW"];
-
-/// Everything Table II covers.
-pub const TABLE2_SET: [&str; 7] = ["BT", "LU", "SP", "POP", "S3D", "LUW", "EMF"];
-
-/// Construct a workload by name, scaled by `scale` (1 = paper-faithful).
-///
-/// Panics on unknown names — harness binaries only use the constants
-/// above.
-pub fn workload(name: &str, scale: usize) -> Arc<dyn Workload> {
-    match name {
-        "BT" => Arc::new(ScaledWorkload::new(Bt, scale)),
-        "SP" => Arc::new(ScaledWorkload::new(Sp, scale)),
-        "LU" => Arc::new(ScaledWorkload::new(Lu::strong(), scale)),
-        "LUW" => Arc::new(ScaledWorkload::new(Lu::weak(), scale)),
-        "POP" => Arc::new(ScaledWorkload::new(Pop, scale)),
-        "S3D" => Arc::new(ScaledWorkload::new(Sweep3d::strong(), scale)),
-        "S3DW" => Arc::new(ScaledWorkload::new(Sweep3d::weak(), scale)),
-        "CG" => Arc::new(ScaledWorkload::new(Cg, scale)),
-        "EMF" => Arc::new(ScaledWorkload::new(Emf, scale)),
-        other => panic!("unknown workload {other:?}"),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use workloads::Class;
-
-    #[test]
-    fn all_names_resolve() {
-        for name in TABLE2_SET
-            .iter()
-            .chain(WEAK_SET.iter())
-            .chain(["CG"].iter())
-        {
-            let w = workload(name, 10);
-            assert_eq!(&w.name(), name);
-            let spec = w.spec(Class::A, 16);
-            assert!(spec.total_steps() >= 1);
-            assert!(spec.k >= 1);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown workload")]
-    fn unknown_name_panics() {
-        workload("NOPE", 1);
-    }
-
-    #[test]
-    fn scale_one_matches_paper_iterations() {
-        assert_eq!(workload("BT", 1).spec(Class::D, 1024).total_steps(), 250);
-        assert_eq!(workload("LU", 1).spec(Class::D, 1024).total_steps(), 300);
-        assert_eq!(workload("SP", 1).spec(Class::D, 1024).total_steps(), 500);
-        assert_eq!(workload("POP", 1).spec(Class::D, 1024).total_steps(), 20);
-        assert_eq!(workload("S3D", 1).spec(Class::D, 1024).total_steps(), 10);
-        assert_eq!(workload("LUW", 1).spec(Class::D, 1024).total_steps(), 250);
-    }
-}
+pub use workloads::registry::{try_workload, workload, STRONG_SET, TABLE2_SET, WEAK_SET};

@@ -1,0 +1,181 @@
+//! Exit-code contract of the `chamtrace` binary.
+//!
+//! The documented contract (see the binary's header): exit 0 on success /
+//! identity, 1 on a *semantic* divergence or failed trial, 2 on usage
+//! errors and malformed input. The subtle case this suite pins: `journal
+//! diff` must exit 2 — not the divergence code 1 — when *either* operand
+//! fails to parse, including the second one (a malformed second file is a
+//! broken input, not evidence of divergence).
+//!
+//! The matrix subcommands are covered end to end: `matrix run` on the
+//! committed smoke plan, then `matrix diff` against the committed
+//! baseline (exit 0), against a tampered table (exit 1, naming trial and
+//! metric), and against garbage (exit 2).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn chamtrace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chamtrace"))
+        .args(args)
+        .output()
+        .expect("chamtrace spawns")
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn fixture(name: &str) -> String {
+    repo_path("tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cham_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("chamtrace exits, not killed")
+}
+
+#[test]
+fn no_args_is_usage_error() {
+    let out = chamtrace(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn journal_diff_exit_codes() {
+    let valid_a = fixture("bt4_chameleon.journal.jsonl");
+    let valid_b = fixture("bt4_chameleon_nosnap.journal.jsonl");
+
+    // Identity: 0.
+    let out = chamtrace(&["journal", "diff", &valid_a, &valid_a]);
+    assert_eq!(code(&out), 0, "self-diff must exit 0");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("identical"));
+
+    // Two valid journals that differ: 1, with the divergence named.
+    let out = chamtrace(&["journal", "diff", &valid_a, &valid_b]);
+    assert_eq!(code(&out), 1, "semantic divergence must exit 1");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("divergence"));
+
+    // Malformed input is exit 2 in *both* operand positions. The second
+    // position is the regression this test pins: a parse failure there
+    // must not fall through to the divergence code.
+    let dir = scratch("journal_diff");
+    let malformed = dir.join("broken.journal.jsonl");
+    let mut bytes = std::fs::read_to_string(&valid_a).unwrap();
+    bytes.truncate(bytes.len() / 2);
+    bytes.push_str("\n{not json");
+    std::fs::write(&malformed, bytes).unwrap();
+    let malformed = malformed.to_string_lossy().into_owned();
+
+    let out = chamtrace(&["journal", "diff", &malformed, &valid_a]);
+    assert_eq!(code(&out), 2, "malformed FIRST file must exit 2");
+    let out = chamtrace(&["journal", "diff", &valid_a, &malformed]);
+    assert_eq!(code(&out), 2, "malformed SECOND file must exit 2, not 1");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error"),
+        "parse failure goes to stderr"
+    );
+
+    // A missing file is malformed input too, in either position.
+    let gone = dir.join("nope.jsonl").to_string_lossy().into_owned();
+    assert_eq!(code(&chamtrace(&["journal", "diff", &gone, &valid_a])), 2);
+    assert_eq!(code(&chamtrace(&["journal", "diff", &valid_a, &gone])), 2);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn matrix_expand_lists_the_cross_product() {
+    let plan = repo_path("plans/ci_smoke.plan.json");
+    let out = chamtrace(&["matrix", "expand", &plan.to_string_lossy()]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let ids: Vec<&str> = stdout.lines().collect();
+    assert_eq!(ids.len(), 4, "2 workloads x 2 seeds");
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    assert_eq!(ids, sorted, "canonical ID order");
+    // Malformed plans are usage errors.
+    let out = chamtrace(&["matrix", "expand", "/nonexistent.plan.json"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn matrix_run_and_diff_gate_round_trip() {
+    let plan = repo_path("plans/ci_smoke.plan.json");
+    let baseline = fixture("matrix_smoke.baseline.json");
+    let dir = scratch("matrix_gate");
+
+    // Run the committed smoke plan: all trials pass (exit 0).
+    let out = chamtrace(&[
+        "matrix",
+        "run",
+        &plan.to_string_lossy(),
+        "--jobs",
+        "2",
+        "--out",
+        &dir.to_string_lossy(),
+    ]);
+    assert_eq!(
+        code(&out),
+        0,
+        "smoke plan failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let results = dir.join("ci-smoke/results.json");
+    assert!(results.exists(), "run writes the canonical table");
+    assert!(dir.join("ci-smoke/timings.json").exists());
+
+    // Gate against the committed baseline: identical, exit 0.
+    let out = chamtrace(&["matrix", "diff", &baseline, &results.to_string_lossy()]);
+    assert_eq!(
+        code(&out),
+        0,
+        "fresh run diverged from the committed baseline: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("identical"));
+
+    // Tamper with one determinism field: exit 1, naming trial + metric.
+    let text = std::fs::read_to_string(&results).unwrap();
+    let tampered_text = text.replacen("\"trace_digest\": \"0x", "\"trace_digest\": \"0y", 1);
+    assert_ne!(text, tampered_text, "fixture contains a trace digest");
+    let tampered = dir.join("tampered.json");
+    std::fs::write(&tampered, tampered_text).unwrap();
+    let out = chamtrace(&["matrix", "diff", &baseline, &tampered.to_string_lossy()]);
+    assert_eq!(code(&out), 1, "tampered digest must trip the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace_digest"), "metric named: {stdout}");
+    assert!(stdout.contains("trial "), "trial named: {stdout}");
+
+    // Garbage operands are exit 2, in either position.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "{]").unwrap();
+    let garbage = garbage.to_string_lossy().into_owned();
+    assert_eq!(
+        code(&chamtrace(&[
+            "matrix",
+            "diff",
+            &garbage,
+            &results.to_string_lossy()
+        ])),
+        2
+    );
+    assert_eq!(
+        code(&chamtrace(&["matrix", "diff", &baseline, &garbage])),
+        2
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -62,6 +62,13 @@ pub struct ChameleonConfig {
     /// checkpoint's marker, installs its online trace on the root, and
     /// continues normally.
     pub resume: Option<Checkpoint>,
+    /// Retry budget of the reliable tool-plane receives the runtime
+    /// performs during cluster folds and online-trace hand-offs
+    /// (`RetryPolicy::Bounded(retry_budget)`). 1 — the default — matches
+    /// the protocol's historical behavior: one retransmission round before
+    /// the slice degrades. Larger budgets trade tool time for fewer
+    /// degraded slices on very lossy links.
+    pub retry_budget: u32,
 }
 
 impl ChameleonConfig {
@@ -76,6 +83,7 @@ impl ChameleonConfig {
             ckpt_stride: 0,
             ckpt_dir: None,
             resume: None,
+            retry_budget: 1,
         }
     }
 
@@ -117,6 +125,14 @@ impl ChameleonConfig {
         self.resume = Some(ckpt);
         self
     }
+
+    /// Set the reliable-protocol retry budget for the runtime's
+    /// tool-plane receives.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        assert!(budget >= 1, "retry budget must be at least 1");
+        self.retry_budget = budget;
+        self
+    }
 }
 
 impl Default for ChameleonConfig {
@@ -139,6 +155,7 @@ mod tests {
         assert_eq!(c.ckpt_stride, 0, "checkpointing is opt-in");
         assert!(c.ckpt_dir.is_none());
         assert!(c.resume.is_none());
+        assert_eq!(c.retry_budget, 1, "one retransmission round by default");
     }
 
     #[test]
@@ -176,5 +193,17 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_frequency_rejected() {
         ChameleonConfig::with_k(3).with_frequency(0);
+    }
+
+    #[test]
+    fn retry_budget_builder() {
+        let c = ChameleonConfig::with_k(3).with_retry_budget(4);
+        assert_eq!(c.retry_budget, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_retry_budget_rejected() {
+        ChameleonConfig::with_k(3).with_retry_budget(0);
     }
 }

@@ -761,10 +761,12 @@ impl Chameleon {
         let mut map = ClusterMap::from_rank(me, triple);
         for child_pos in tree.children(my_pos) {
             let child = participants[child_pos];
-            match tp
-                .inner()
-                .reliable_recv(child, CLUSTER_TAG, Comm::TOOL, RetryPolicy::Bounded(1))
-            {
+            match tp.inner().reliable_recv(
+                child,
+                CLUSTER_TAG,
+                Comm::TOOL,
+                RetryPolicy::Bounded(self.config.retry_budget),
+            ) {
                 Ok(payload) => {
                     tp.inner().tool_compute(work.codec(payload.len()));
                     match ClusterMap::decode(&payload) {
@@ -928,7 +930,7 @@ impl Chameleon {
                     merge_root,
                     ONLINE_TAG,
                     Comm::TOOL,
-                    RetryPolicy::Bounded(1),
+                    RetryPolicy::Bounded(self.config.retry_budget),
                 ) {
                     Ok(bytes) => Some(bytes),
                     // The merge root died or its payload stayed corrupt

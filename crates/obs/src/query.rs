@@ -22,6 +22,27 @@ use crate::event::{Event, EventKind};
 use crate::journal::RunJournal;
 use crate::metrics::{Counter, HistId, HIST_DIGEST_STRIDE};
 
+/// 64-bit FNV-1a over a byte string. Used to digest deterministic
+/// artifacts (canonical journals, trace text) into a single comparable
+/// word for regression tables — not a cryptographic hash.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a journal's canonical JSONL form. Two journals share a
+/// digest iff [`RunJournal::to_jsonl`] produces identical bytes — the
+/// same relation [`diff`] decides, collapsed to one word. When a digest
+/// comparison fails, run [`diff`] on the two journals for the first
+/// diverging event.
+pub fn journal_digest(journal: &RunJournal) -> u64 {
+    fnv64(journal.to_jsonl().as_bytes())
+}
+
 /// One-line human description of an event payload.
 pub fn describe(kind: &EventKind) -> String {
     match kind {
@@ -393,6 +414,24 @@ mod tests {
             },
         );
         RunJournal::gather(2, false, vec![a, b])
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn journal_digest_tracks_canonical_bytes() {
+        let j = sample();
+        assert_eq!(journal_digest(&j), fnv64(j.to_jsonl().as_bytes()));
+        let mut other = sample();
+        other.logs[0].events[0].kind = EventKind::Marker { n: 2 };
+        assert_ne!(journal_digest(&j), journal_digest(&other));
+        assert!(diff(&j, &other).is_some(), "digest and diff must agree");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use chameleon::baselines::{acurdion_finalize, scalatrace_finalize, BaselineOutcome};
 use chameleon::{AlgoChoice, Chameleon, ChameleonConfig, ChameleonStats};
-use mpisim::{World, WorldConfig};
+use mpisim::{FaultPlan, FaultStats, World, WorldConfig};
 use scalatrace::{CompressedTrace, TracedProc};
 
 use crate::{Class, RunSpec, Workload, PHASE_FRAMES};
@@ -61,6 +61,19 @@ pub struct Overrides {
     /// ramp: point it at a file, then query it with
     /// `chamtrace journal <summarize|timeline|spans|metrics|diff>`.
     pub journal_path: Option<std::path::PathBuf>,
+    /// Arm this fault plan on the world: the run goes through
+    /// [`World::run_faulty`], crashed ranks report `None`, and the report
+    /// carries `crashed` plus per-rank fault counters. Used by the
+    /// scenario-matrix runner to drive named workloads over lossy links.
+    pub faults: Option<FaultPlan>,
+    /// Override the Chameleon reliable-protocol retry budget
+    /// ([`ChameleonConfig::with_retry_budget`]; Chameleon mode only).
+    pub retry_budget: Option<u32>,
+    /// Arm durable checkpoints every N processed markers (Chameleon mode
+    /// only; see [`ChameleonConfig::with_checkpoint_stride`]).
+    pub ckpt_stride: Option<u64>,
+    /// Persist checkpoint blobs into this directory (with `ckpt_stride`).
+    pub ckpt_dir: Option<std::path::PathBuf>,
 }
 
 /// Uniform measurements from one run.
@@ -82,6 +95,11 @@ pub struct RunReport {
     pub baseline: Vec<BaselineSummary>,
     /// The gathered flight-recorder journal (`Overrides::journal` only).
     pub journal: Option<obs::RunJournal>,
+    /// Ranks killed by the armed fault plan, ascending (empty without
+    /// `Overrides::faults`).
+    pub crashed: Vec<usize>,
+    /// Per-rank fault counters (all zeros without `Overrides::faults`).
+    pub fault_stats: Vec<FaultStats>,
     /// The spec the run used (after overrides).
     pub spec: RunSpec,
 }
@@ -210,6 +228,9 @@ pub fn run(
     let name = workload.name();
     let spec_for_ranks = spec.clone();
     let mode_for_ranks = mode.clone();
+    let retry_budget = overrides.retry_budget;
+    let ckpt_stride = overrides.ckpt_stride.unwrap_or(0);
+    let ckpt_dir = overrides.ckpt_dir.clone();
 
     enum RankOutcome {
         App,
@@ -217,73 +238,125 @@ pub fn run(
         Chameleon(chameleon::FinalizeOutcome),
     }
 
+    let program = move |proc: &mut mpisim::Proc| {
+        let mut tp = TracedProc::new(proc);
+        let spec = &spec_for_ranks;
+        let mut cham = match mode_for_ranks {
+            Mode::Chameleon => {
+                let mut cfg = ChameleonConfig::with_k(spec.k)
+                    .with_frequency(spec.call_frequency)
+                    .with_algo(algo);
+                if let Some(budget) = retry_budget {
+                    cfg = cfg.with_retry_budget(budget);
+                }
+                if ckpt_stride > 0 {
+                    cfg = cfg.with_checkpoint_stride(ckpt_stride);
+                    if let Some(dir) = &ckpt_dir {
+                        cfg = cfg.with_checkpoint_dir(dir.clone());
+                    }
+                }
+                Some(Chameleon::new(cfg))
+            }
+            Mode::AppOnly => {
+                tp.tracer_mut().set_enabled(false);
+                None
+            }
+            _ => None,
+        };
+        for step in 0..spec.total_steps() {
+            match spec.phase_of(step) {
+                None => workload.step(&mut tp, class, step),
+                Some(phase) => tp.frame(PHASE_FRAMES[phase % PHASE_FRAMES.len()], |tp| {
+                    workload.step(tp, class, step)
+                }),
+            }
+            if let Some(cham) = cham.as_mut() {
+                cham.marker(&mut tp);
+            }
+        }
+        match mode_for_ranks {
+            Mode::AppOnly => RankOutcome::App,
+            Mode::ScalaTrace => RankOutcome::Baseline(scalatrace_finalize(&mut tp, 2)),
+            Mode::Acurdion => RankOutcome::Baseline(acurdion_finalize(
+                &mut tp,
+                &ChameleonConfig::with_k(spec.k).with_algo(algo),
+            )),
+            Mode::Chameleon => {
+                RankOutcome::Chameleon(cham.take().expect("driver built it").finalize(&mut tp))
+            }
+        }
+    };
+
     let mut world_config = WorldConfig::new(p);
     if overrides.journal || overrides.journal_path.is_some() {
         world_config = world_config.with_recorder();
     }
-    let report = World::new(world_config)
-        .run(move |proc| {
-            let mut tp = TracedProc::new(proc);
-            let spec = &spec_for_ranks;
-            let mut cham = match mode_for_ranks {
-                Mode::Chameleon => Some(Chameleon::new(
-                    ChameleonConfig::with_k(spec.k)
-                        .with_frequency(spec.call_frequency)
-                        .with_algo(algo),
-                )),
-                Mode::AppOnly => {
-                    tp.tracer_mut().set_enabled(false);
-                    None
-                }
-                _ => None,
-            };
-            for step in 0..spec.total_steps() {
-                match spec.phase_of(step) {
-                    None => workload.step(&mut tp, class, step),
-                    Some(phase) => tp.frame(PHASE_FRAMES[phase % PHASE_FRAMES.len()], |tp| {
-                        workload.step(tp, class, step)
-                    }),
-                }
-                if let Some(cham) = cham.as_mut() {
-                    cham.marker(&mut tp);
-                }
+    // Fault-armed runs go through the faulty world so a planned crash is
+    // an outcome, not a failure: crashed ranks report `None` and the run
+    // degrades instead of panicking the driver.
+    type Pieces<R> = (
+        Vec<Option<R>>,
+        Vec<usize>,
+        Vec<FaultStats>,
+        Option<obs::RunJournal>,
+        f64,
+        Duration,
+    );
+    let (results, crashed, fault_stats, journal, max_vtime, wall): Pieces<RankOutcome> =
+        match overrides.faults.clone() {
+            Some(plan) => {
+                let report = World::new(world_config.with_faults(plan))
+                    .run_faulty(program)
+                    .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+                (
+                    report.results,
+                    report.crashed,
+                    report.fault_stats,
+                    report.journal,
+                    report.max_vtime,
+                    report.wall,
+                )
             }
-            match mode_for_ranks {
-                Mode::AppOnly => RankOutcome::App,
-                Mode::ScalaTrace => RankOutcome::Baseline(scalatrace_finalize(&mut tp, 2)),
-                Mode::Acurdion => RankOutcome::Baseline(acurdion_finalize(
-                    &mut tp,
-                    &ChameleonConfig::with_k(spec.k).with_algo(algo),
-                )),
-                Mode::Chameleon => {
-                    RankOutcome::Chameleon(cham.take().expect("driver built it").finalize(&mut tp))
-                }
+            None => {
+                let report = World::new(world_config)
+                    .run(program)
+                    .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+                (
+                    report.results.into_iter().map(Some).collect(),
+                    Vec::new(),
+                    report.fault_stats,
+                    report.journal,
+                    report.max_vtime,
+                    report.wall,
+                )
             }
-        })
-        .unwrap_or_else(|e| panic!("workload {name} failed: {e}"));
+        };
 
     let mut global_trace = None;
     let mut cham_stats = Vec::new();
     let mut baseline = Vec::new();
-    for (rank, outcome) in report.results.iter().enumerate() {
+    for (rank, outcome) in results.iter().enumerate() {
         match outcome {
-            RankOutcome::App => {}
-            RankOutcome::Baseline(b) => {
+            None => {} // killed by the plan
+            Some(RankOutcome::App) => {}
+            Some(RankOutcome::Baseline(b)) => {
                 if rank == 0 {
                     global_trace = b.global_trace.clone();
                 }
                 baseline.push(BaselineSummary::from(b));
             }
-            RankOutcome::Chameleon(f) => {
-                if rank == 0 {
-                    global_trace = f.online_trace.clone();
+            Some(RankOutcome::Chameleon(f)) => {
+                // Whichever survivor roots the online trace surfaces it —
+                // rank 0 normally, the promoted deputy after a root crash.
+                if let Some(trace) = &f.online_trace {
+                    global_trace = Some(trace.clone());
                 }
                 cham_stats.push(f.stats.clone());
             }
         }
     }
 
-    if let (Some(path), Some(journal)) = (&overrides.journal_path, &report.journal) {
+    if let (Some(path), Some(journal)) = (&overrides.journal_path, &journal) {
         if let Err(e) = std::fs::write(path, journal.to_jsonl()) {
             eprintln!("journal_path {}: write failed: {e}", path.display());
         }
@@ -292,12 +365,14 @@ pub fn run(
     RunReport {
         workload: name,
         p,
-        app_vtime: report.max_vtime,
-        wall: report.wall,
+        app_vtime: max_vtime,
+        wall,
         global_trace,
         cham_stats,
         baseline,
-        journal: report.journal,
+        journal,
+        crashed,
+        fault_stats,
         spec,
     }
 }
@@ -489,6 +564,45 @@ mod tests {
         let parsed = obs::RunJournal::from_jsonl(&text).expect("canonical form parses");
         assert_eq!(parsed, journal);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_armed_lossy_run_completes_and_counts() {
+        // A crash-free lossy link: the run must complete with an online
+        // trace, no crashed ranks, and the injected-fault counters (and
+        // their byte-reproducibility) surfaced on the report.
+        let armed = || {
+            run(
+                Arc::new(scaled(Bt, 25)),
+                Class::A,
+                4,
+                Mode::Chameleon,
+                Overrides {
+                    journal: true,
+                    faults: Some(
+                        mpisim::FaultPlan::new(11)
+                            .corrupt_per_mille(200)
+                            .duplicate_per_mille(50),
+                    ),
+                    retry_budget: Some(2),
+                    ..Default::default()
+                },
+            )
+        };
+        let rep = armed();
+        assert!(rep.crashed.is_empty(), "no crash was planned");
+        assert!(rep.global_trace.is_some());
+        assert_eq!(rep.cham_stats.len(), 4);
+        assert_eq!(rep.fault_stats.len(), 4);
+        let journal = rep.journal.as_ref().expect("recorder armed");
+        assert!(journal.armed, "fault-armed runs arm the recorder");
+        let again = armed();
+        assert_eq!(
+            journal.to_jsonl(),
+            again.journal.unwrap().to_jsonl(),
+            "same-plan fault-armed runs are byte-identical"
+        );
+        assert_eq!(rep.fault_stats, again.fault_stats);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod driver;
 pub mod emf;
 pub mod grid;
 pub mod lu;
+pub mod matrix;
 pub mod pop;
+pub mod registry;
 pub mod sp;
 pub mod sweep3d;
 

@@ -1,0 +1,1810 @@
+//! `chamrun` — the declarative scenario-matrix experiment runner.
+//!
+//! The paper's claims are re-validated by suites that used to be
+//! hand-rolled loops: the chaos 10-seed sweep, the root-crash 3×3 matrix,
+//! and the merge-scaling sweep each reinvented trial execution, seeding,
+//! and artifact capture. This module turns them into *plans*: a JSON file
+//! declares the axes — workload × class × rank count × fault plan × seed ×
+//! feature toggles (journal on/off, checkpoint stride, reliable-protocol
+//! retry budget) — and the runner expands the cross product, executes the
+//! trials on a bounded worker pool, and writes per-trial artifacts under
+//! `experiments_out/matrix/<plan>/<trial>/`.
+//!
+//! ## Determinism contract
+//!
+//! Everything in `results.json` is a pure function of the plan: trial IDs
+//! derive only from trial coordinates, the canonical trial order is the
+//! ID sort (so worker-pool parallelism and axis-list order are
+//! invisible), and every recorded field is a deterministic outcome of the
+//! simulation (digests, counters, virtual times — never wall clocks).
+//! Re-running a plan must reproduce `results.json` byte-for-byte; the
+//! committed baselines under `tests/fixtures/` pin that down and
+//! [`diff_results`] names the first divergence (trial + metric) when it
+//! breaks. Wall-clock timings go to the separate `timings.json`, compared
+//! only with percentage bands ([`diff_timings`]).
+//!
+//! ## Scenario kinds
+//!
+//! The workload name selects the executor:
+//!
+//! - `"CHAOS"` — the fault-injection ring ([`crate::chaos`]); the only
+//!   workload that accepts crash-bearing fault specs (`"chaos"`,
+//!   `"rootcrash@first|mid|last"` — the latter runs under the checkpoint
+//!   supervisor).
+//! - `"MERGE_IDENTICAL" | "MERGE_NEAR" | "MERGE_DISJOINT"` — synthetic
+//!   pairwise/fold merge trials (the merge-scaling sweep); `class` scales
+//!   the trace size (`merge_base_n × multiplier`), `ranks` is the fold
+//!   width.
+//! - anything else — a named benchmark skeleton ([`crate::registry`]) run
+//!   through [`crate::driver`] in Chameleon mode; fault specs are limited
+//!   to `"none"` and `"lossy"` (app-plane receives of the skeletons are
+//!   not dead-aware).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use chameleon::ChameleonConfig;
+use mpisim::{Comm, FaultPlan};
+use obs::query::fnv64;
+use scalatrace::merge::{merge_all, merge_traces, merge_traces_reference};
+use scalatrace::{format as trace_format, CompressedTrace, Endpoint, EventRecord, MpiOp};
+use sigkit::StackSig;
+
+use crate::chaos::{
+    chaos_plan, latest_checkpoint, marker_entry_ops, root_crash_plan, run_chaos_result,
+    run_chaos_supervised,
+};
+use crate::driver::{run as drive, Mode, Overrides};
+use crate::registry::try_workload;
+use crate::Class;
+
+// ---------------------------------------------------------------------
+// Minimal JSON (the workspace is hermetic: no serde)
+// ---------------------------------------------------------------------
+
+/// A JSON value. Objects keep insertion order so the writer is
+/// deterministic; the canonical artifacts below always insert keys in
+/// sorted order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (plans only use values exact in an `f64`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Pretty canonical text: 2-space indent, insertion key order, `\n`
+    /// separators, no trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // Integers print without a fractional part so counters and
+                // seeds stay readable; everything else uses the shortest
+                // roundtrip form.
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n:?}"));
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    write_json_string(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer payload exact in an `f64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n < 9.0e15).then_some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("\\u{hex} is not a scalar value"))?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("unknown escape \\{}", char::from(other)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault specs
+// ---------------------------------------------------------------------
+
+/// Which marker boundary a root-crash trial kills rank 0 at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashPoint {
+    /// The first marker.
+    First,
+    /// `steps / 2`.
+    Mid,
+    /// The last marker.
+    Last,
+}
+
+impl CrashPoint {
+    /// The marker index for a run of `steps` markers.
+    pub fn marker(self, steps: usize) -> usize {
+        match self {
+            CrashPoint::First => 0,
+            CrashPoint::Mid => steps / 2,
+            CrashPoint::Last => steps - 1,
+        }
+    }
+}
+
+/// One value of the plan's fault axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSpec {
+    /// Armed fault layer, nothing injected.
+    None,
+    /// The standard lossy link (2% corruption, 0.5% duplication, 0.5%
+    /// delay) with no crash — legal on every workload.
+    Lossy,
+    /// [`chaos_plan`]: one non-root rank crash plus the lossy link
+    /// (`CHAOS` workload only).
+    Chaos,
+    /// [`root_crash_plan`] at a marker boundary, run under the checkpoint
+    /// supervisor (`CHAOS` workload only; needs `ckpt_stride >= 1`).
+    RootCrash(CrashPoint),
+}
+
+impl FaultSpec {
+    /// Parse a plan-file fault string.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        match s {
+            "none" => Ok(FaultSpec::None),
+            "lossy" => Ok(FaultSpec::Lossy),
+            "chaos" => Ok(FaultSpec::Chaos),
+            "rootcrash@first" => Ok(FaultSpec::RootCrash(CrashPoint::First)),
+            "rootcrash@mid" => Ok(FaultSpec::RootCrash(CrashPoint::Mid)),
+            "rootcrash@last" => Ok(FaultSpec::RootCrash(CrashPoint::Last)),
+            other => Err(format!(
+                "unknown fault spec {other:?} (want none | lossy | chaos | rootcrash@first|mid|last)"
+            )),
+        }
+    }
+
+    /// Filesystem- and ID-safe tag.
+    pub fn id(self) -> &'static str {
+        match self {
+            FaultSpec::None => "none",
+            FaultSpec::Lossy => "lossy",
+            FaultSpec::Chaos => "chaos",
+            FaultSpec::RootCrash(CrashPoint::First) => "rootcrash_first",
+            FaultSpec::RootCrash(CrashPoint::Mid) => "rootcrash_mid",
+            FaultSpec::RootCrash(CrashPoint::Last) => "rootcrash_last",
+        }
+    }
+
+    /// Does this spec kill a rank?
+    pub fn crashes(self) -> bool {
+        matches!(self, FaultSpec::Chaos | FaultSpec::RootCrash(_))
+    }
+
+    /// The crash-free lossy link shared by `lossy`, `chaos`, and
+    /// `rootcrash` specs.
+    fn lossy_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .corrupt_per_mille(20)
+            .duplicate_per_mille(5)
+            .delay(5, 2e-4)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plans and trials
+// ---------------------------------------------------------------------
+
+/// One expanded point of the cross product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Canonical ID, a pure function of the coordinates below.
+    pub id: String,
+    /// Workload name (`CHAOS`, `MERGE_*`, or a registry name).
+    pub workload: String,
+    /// Input class.
+    pub class: Class,
+    /// World size (fold width for `MERGE_*`).
+    pub p: usize,
+    /// Fault-plan / generator seed.
+    pub seed: u64,
+    /// Fault axis value.
+    pub fault: FaultSpec,
+    /// Flight recorder on?
+    pub journal: bool,
+    /// Durable-checkpoint stride (0 = off).
+    pub ckpt_stride: u64,
+    /// Reliable-protocol retry budget.
+    pub retry_budget: u32,
+}
+
+#[allow(clippy::too_many_arguments)] // one parameter per matrix axis, by design
+fn trial_id(
+    workload: &str,
+    class: Class,
+    p: usize,
+    fault: FaultSpec,
+    seed: u64,
+    journal: bool,
+    ckpt_stride: u64,
+    retry_budget: u32,
+) -> String {
+    // Zero-padded numeric fields make the lexicographic ID sort agree
+    // with the numeric axis order, so the canonical trial sequence is
+    // stable under any axis-list or JSON-key reordering.
+    format!(
+        "{workload}-{}-p{p:04}-{}-s{seed:016x}-j{}-k{ckpt_stride:02}-r{retry_budget:02}",
+        class.label(),
+        fault.id(),
+        u8::from(journal),
+    )
+}
+
+/// A parsed, validated scenario-matrix plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixPlan {
+    /// Plan name (directory under the matrix output root).
+    pub name: String,
+    /// Workload axis.
+    pub workloads: Vec<String>,
+    /// Class axis (default `["A"]`).
+    pub classes: Vec<Class>,
+    /// Rank-count axis.
+    pub ranks: Vec<usize>,
+    /// Seed axis.
+    pub seeds: Vec<u64>,
+    /// Fault axis (default `["none"]`).
+    pub faults: Vec<FaultSpec>,
+    /// Journal toggle axis (default `[true]`).
+    pub journal: Vec<bool>,
+    /// Checkpoint-stride axis (default `[0]`).
+    pub ckpt_strides: Vec<u64>,
+    /// Retry-budget axis (default `[1]`).
+    pub retry_budgets: Vec<u32>,
+    /// Chaos-ring markers per trial (default 40; `CHAOS` only).
+    pub steps: usize,
+    /// Named-workload iteration divisor (default 25; see
+    /// [`crate::driver::ScaledWorkload`]).
+    pub scale: usize,
+    /// Class-A merged-trace size for `MERGE_*` trials (default 128).
+    pub merge_base_n: usize,
+    /// Timing band for [`diff_timings`], in percent (default 50).
+    pub timing_tolerance_pct: f64,
+}
+
+fn axis_u64(v: &Json, what: &str) -> Result<Vec<u64>, String> {
+    v.as_array()
+        .ok_or(format!("{what} must be an array"))?
+        .iter()
+        .map(|x| x.as_u64().ok_or(format!("{what} holds a non-integer")))
+        .collect()
+}
+
+impl MatrixPlan {
+    /// Parse a plan document. Unknown keys are errors — a typo in a
+    /// declarative config must not silently become a default.
+    pub fn from_json(text: &str) -> Result<MatrixPlan, String> {
+        let doc = Json::parse(text)?;
+        let obj = match &doc {
+            Json::Obj(entries) => entries,
+            _ => return Err("plan must be a JSON object".to_string()),
+        };
+        const KNOWN: [&str; 13] = [
+            "name",
+            "workloads",
+            "classes",
+            "ranks",
+            "seeds",
+            "faults",
+            "journal",
+            "ckpt_strides",
+            "retry_budgets",
+            "steps",
+            "scale",
+            "merge_base_n",
+            "timing_tolerance_pct",
+        ];
+        for (key, _) in obj {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!("unknown plan key {key:?}"));
+            }
+        }
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("plan needs a string \"name\"")?
+            .to_string();
+        let workloads: Vec<String> = doc
+            .get("workloads")
+            .and_then(Json::as_array)
+            .ok_or("plan needs a \"workloads\" array")?
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(str::to_string)
+                    .ok_or("workloads holds a non-string".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let classes = match doc.get("classes") {
+            None => vec![Class::A],
+            Some(v) => v
+                .as_array()
+                .ok_or("classes must be an array")?
+                .iter()
+                .map(|c| match c.as_str() {
+                    Some("A") => Ok(Class::A),
+                    Some("B") => Ok(Class::B),
+                    Some("C") => Ok(Class::C),
+                    Some("D") => Ok(Class::D),
+                    _ => Err(format!("bad class {c:?} (want \"A\"..\"D\")")),
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let ranks = axis_u64(
+            doc.get("ranks").ok_or("plan needs a \"ranks\" array")?,
+            "ranks",
+        )?
+        .into_iter()
+        .map(|r| r as usize)
+        .collect();
+        let seeds = axis_u64(
+            doc.get("seeds").ok_or("plan needs a \"seeds\" array")?,
+            "seeds",
+        )?;
+        let faults = match doc.get("faults") {
+            None => vec![FaultSpec::None],
+            Some(v) => v
+                .as_array()
+                .ok_or("faults must be an array")?
+                .iter()
+                .map(|f| FaultSpec::parse(f.as_str().ok_or("faults holds a non-string")?))
+                .collect::<Result<_, _>>()?,
+        };
+        let journal = match doc.get("journal") {
+            None => vec![true],
+            Some(v) => v
+                .as_array()
+                .ok_or("journal must be an array")?
+                .iter()
+                .map(|b| b.as_bool().ok_or("journal holds a non-boolean".to_string()))
+                .collect::<Result<_, _>>()?,
+        };
+        let ckpt_strides = match doc.get("ckpt_strides") {
+            None => vec![0],
+            Some(v) => axis_u64(v, "ckpt_strides")?,
+        };
+        let retry_budgets = match doc.get("retry_budgets") {
+            None => vec![1],
+            Some(v) => axis_u64(v, "retry_budgets")?
+                .into_iter()
+                .map(|b| b as u32)
+                .collect(),
+        };
+        let scalar = |key: &str, default: u64| -> Result<u64, String> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or(format!("{key} must be an integer")),
+            }
+        };
+        let steps = scalar("steps", 40)? as usize;
+        let scale = scalar("scale", 25)? as usize;
+        let merge_base_n = scalar("merge_base_n", 128)? as usize;
+        let timing_tolerance_pct = match doc.get("timing_tolerance_pct") {
+            None => 50.0,
+            Some(v) => v.as_f64().ok_or("timing_tolerance_pct must be a number")?,
+        };
+        Ok(MatrixPlan {
+            name,
+            workloads,
+            classes,
+            ranks,
+            seeds,
+            faults,
+            journal,
+            ckpt_strides,
+            retry_budgets,
+            steps,
+            scale,
+            merge_base_n,
+            timing_tolerance_pct,
+        })
+    }
+
+    /// Read, parse, and validate a plan file.
+    pub fn load(path: &Path) -> Result<MatrixPlan, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let plan = MatrixPlan::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        plan.validate()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(plan)
+    }
+
+    /// Reject plans the executors cannot honor. Duplicate axis values are
+    /// errors too: they would silently collapse the cross product (trial
+    /// IDs collide), breaking the cardinality contract.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!(
+                "plan name {:?} must be non-empty [A-Za-z0-9_-]",
+                self.name
+            ));
+        }
+        fn no_dupes<T: PartialEq + fmt::Debug>(axis: &[T], what: &str) -> Result<(), String> {
+            if axis.is_empty() {
+                return Err(format!("{what} axis is empty"));
+            }
+            for (i, v) in axis.iter().enumerate() {
+                if axis[..i].contains(v) {
+                    return Err(format!("{what} axis repeats {v:?}"));
+                }
+            }
+            Ok(())
+        }
+        no_dupes(&self.workloads, "workloads")?;
+        no_dupes(&self.classes, "classes")?;
+        no_dupes(&self.ranks, "ranks")?;
+        no_dupes(&self.seeds, "seeds")?;
+        no_dupes(&self.faults, "faults")?;
+        no_dupes(&self.journal, "journal")?;
+        no_dupes(&self.ckpt_strides, "ckpt_strides")?;
+        no_dupes(&self.retry_budgets, "retry_budgets")?;
+        if self.retry_budgets.contains(&0) {
+            return Err("retry budgets must be >= 1".to_string());
+        }
+        if self.steps == 0 || self.scale == 0 || self.merge_base_n == 0 {
+            return Err("steps, scale, and merge_base_n must be >= 1".to_string());
+        }
+        let crash_faults = self.faults.iter().any(|f| f.crashes());
+        let rootcrash = self
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::RootCrash(_)));
+        for w in &self.workloads {
+            if w == "CHAOS" {
+                if self.ranks.iter().any(|&p| p < 2) {
+                    return Err("CHAOS needs at least 2 ranks".to_string());
+                }
+                continue;
+            }
+            if crash_faults {
+                return Err(format!(
+                    "crash-bearing faults require the CHAOS workload; {w:?} cannot host them \
+                     (its app-plane receives are not dead-aware)"
+                ));
+            }
+            if w.starts_with("MERGE_") {
+                if !matches!(
+                    w.as_str(),
+                    "MERGE_IDENTICAL" | "MERGE_NEAR" | "MERGE_DISJOINT"
+                ) {
+                    return Err(format!("unknown merge case {w:?}"));
+                }
+                if self.faults.iter().any(|f| *f != FaultSpec::None) {
+                    return Err(
+                        "MERGE_* trials take no fault plan (use faults [\"none\"])".to_string()
+                    );
+                }
+                continue;
+            }
+            if try_workload(w, 1).is_none() {
+                return Err(format!("unknown workload {w:?}"));
+            }
+        }
+        if rootcrash {
+            if self.ckpt_strides.contains(&0) {
+                return Err(
+                    "rootcrash faults need ckpt_strides >= 1 (the supervisor resumes from disk)"
+                        .to_string(),
+                );
+            }
+            if self.retry_budgets != [1] {
+                return Err(
+                    "rootcrash faults pin retry_budgets to [1] (the supervised path uses the \
+                     protocol default)"
+                        .to_string(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Cross-product cardinality.
+    pub fn cardinality(&self) -> usize {
+        self.workloads.len()
+            * self.classes.len()
+            * self.ranks.len()
+            * self.seeds.len()
+            * self.faults.len()
+            * self.journal.len()
+            * self.ckpt_strides.len()
+            * self.retry_budgets.len()
+    }
+
+    /// Expand the full cross product into trials in canonical (ID-sorted)
+    /// order. IDs are pure functions of trial coordinates, so the result
+    /// is identical for any reordering of plan fields or axis lists.
+    pub fn expand(&self) -> Vec<Trial> {
+        let mut trials = Vec::with_capacity(self.cardinality());
+        for workload in &self.workloads {
+            for &class in &self.classes {
+                for &p in &self.ranks {
+                    for &fault in &self.faults {
+                        for &seed in &self.seeds {
+                            for &journal in &self.journal {
+                                for &ckpt_stride in &self.ckpt_strides {
+                                    for &retry_budget in &self.retry_budgets {
+                                        trials.push(Trial {
+                                            id: trial_id(
+                                                workload,
+                                                class,
+                                                p,
+                                                fault,
+                                                seed,
+                                                journal,
+                                                ckpt_stride,
+                                                retry_budget,
+                                            ),
+                                            workload: workload.clone(),
+                                            class,
+                                            p,
+                                            seed,
+                                            fault,
+                                            journal,
+                                            ckpt_stride,
+                                            retry_budget,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        trials.sort_by(|a, b| a.id.cmp(&b.id));
+        trials
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded worker pool
+// ---------------------------------------------------------------------
+
+/// Run `f` over every item on at most `jobs` worker threads, returning
+/// results in *item order* regardless of scheduling: workers claim items
+/// from a shared counter and deposit results by index.
+pub fn run_pool<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Trial execution
+// ---------------------------------------------------------------------
+
+/// One executed trial's row in the result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Trial ID (also the artifact directory name).
+    pub id: String,
+    /// Did the trial meet its executor's invariants?
+    pub ok: bool,
+    /// Deterministic outcome fields, sorted by key.
+    pub fields: BTreeMap<String, String>,
+    /// Real wall-clock nanoseconds (goes to `timings.json` only).
+    pub wall_ns: u64,
+}
+
+fn hex64(v: u64) -> String {
+    format!("{v:#018x}")
+}
+
+fn trace_fields(fields: &mut BTreeMap<String, String>, prefix: &str, trace: &CompressedTrace) {
+    let text = trace_format::to_text(trace);
+    fields.insert(
+        format!("{prefix}_nodes"),
+        trace.compressed_size().to_string(),
+    );
+    fields.insert(format!("{prefix}_events"), trace.dynamic_size().to_string());
+    fields.insert(format!("{prefix}_digest"), hex64(fnv64(text.as_bytes())));
+}
+
+fn journal_fields(
+    fields: &mut BTreeMap<String, String>,
+    journal: Option<&obs::RunJournal>,
+    dir: &Path,
+) {
+    if let Some(journal) = journal {
+        fields.insert(
+            "journal_events".to_string(),
+            journal.events().count().to_string(),
+        );
+        fields.insert(
+            "journal_digest".to_string(),
+            hex64(obs::query::journal_digest(journal)),
+        );
+        let _ = std::fs::write(dir.join("journal.jsonl"), journal.to_jsonl());
+    }
+}
+
+fn fault_stat_fields(fields: &mut BTreeMap<String, String>, stats: &[mpisim::FaultStats]) {
+    let injected: u64 = stats
+        .iter()
+        .map(|f| f.drops + f.corruptions + f.duplicates + f.delays)
+        .sum();
+    let retransmits: u64 = stats.iter().map(|f| f.retransmits).sum();
+    fields.insert("faults_injected".to_string(), injected.to_string());
+    fields.insert("retransmits".to_string(), retransmits.to_string());
+}
+
+fn chaos_trial(
+    plan: &MatrixPlan,
+    trial: &Trial,
+    dir: &Path,
+    fields: &mut BTreeMap<String, String>,
+) -> bool {
+    let steps = plan.steps;
+    fields.insert("marker_steps".to_string(), steps.to_string());
+    let (outcome, expected_crashes) = match trial.fault {
+        FaultSpec::RootCrash(point) => {
+            let marker = point.marker(steps);
+            let ops = marker_entry_ops(trial.p, steps, root_crash_plan(trial.seed, 0));
+            let sup = run_chaos_supervised(
+                trial.p,
+                steps,
+                root_crash_plan(trial.seed, ops[marker]),
+                trial.ckpt_stride,
+                dir,
+                trial.journal,
+            );
+            fields.insert("restarts".to_string(), sup.restarts.to_string());
+            fields.insert(
+                "resumed_marker".to_string(),
+                sup.resumed_marker
+                    .map_or("none".to_string(), |m| m.to_string()),
+            );
+            (sup.outcome, 1usize)
+        }
+        fault => {
+            let fault_plan = match fault {
+                FaultSpec::None => FaultPlan::new(trial.seed),
+                FaultSpec::Lossy => FaultSpec::lossy_plan(trial.seed),
+                FaultSpec::Chaos => chaos_plan(trial.seed, trial.p),
+                FaultSpec::RootCrash(_) => unreachable!("handled above"),
+            };
+            let mut cfg = ChameleonConfig::with_k(trial.p).with_retry_budget(trial.retry_budget);
+            if trial.ckpt_stride > 0 {
+                cfg = cfg
+                    .with_checkpoint_stride(trial.ckpt_stride)
+                    .with_checkpoint_dir(dir);
+            }
+            let expected = usize::from(fault == FaultSpec::Chaos);
+            match run_chaos_result(trial.p, steps, fault_plan, trial.journal, cfg) {
+                Ok(outcome) => (outcome, expected),
+                Err(e) => {
+                    fields.insert("error".to_string(), e);
+                    return false;
+                }
+            }
+        }
+    };
+    fields.insert("crashed".to_string(), format!("{:?}", outcome.crashed));
+    let survivors = outcome.stats.iter().flatten().count();
+    fields.insert("survivors".to_string(), survivors.to_string());
+    if let Some(root) = outcome.stats.iter().flatten().next() {
+        fields.insert("marker_calls".to_string(), root.marker_calls.to_string());
+        fields.insert(
+            "states".to_string(),
+            format!(
+                "c={} l={} at={} f={}",
+                root.states.c, root.states.l, root.states.at, root.states.f
+            ),
+        );
+        fields.insert(
+            "degraded_slices".to_string(),
+            root.degraded_slices.to_string(),
+        );
+        fields.insert(
+            "lead_reelections".to_string(),
+            root.lead_reelections.to_string(),
+        );
+        fields.insert("promotions".to_string(), root.promotions.to_string());
+    }
+    trace_fields(fields, "trace", &outcome.online_trace);
+    fault_stat_fields(fields, &outcome.fault_stats);
+    journal_fields(fields, outcome.journal.as_ref(), dir);
+    if trial.ckpt_stride > 0 {
+        if let Some((marker, _)) = latest_checkpoint(dir) {
+            fields.insert("ckpt_latest_marker".to_string(), marker.to_string());
+        }
+    }
+    outcome.online_trace.dynamic_size() > 0 && outcome.crashed.len() == expected_crashes
+}
+
+/// A trace of `n` distinct sites with signatures starting at `base + 1`.
+fn trace_with_sites(rank: usize, n: usize, base: u64) -> CompressedTrace {
+    let mut t = CompressedTrace::new();
+    for s in 0..n {
+        t.append(EventRecord::new(
+            MpiOp::send(Endpoint::Relative(1), 0, 64, Comm::WORLD),
+            StackSig(base + s as u64 + 1),
+            rank,
+            1e-6,
+        ));
+    }
+    t
+}
+
+/// SPMD with one rank-private site in the middle: the shared backbone
+/// trims away; only the divergence reaches the aligner.
+fn near_identical_trace(rank: usize, n: usize, base: u64) -> CompressedTrace {
+    let mut t = CompressedTrace::new();
+    for s in 0..n {
+        let sig = if s == n / 2 {
+            1_000_000 + base + rank as u64
+        } else {
+            base + s as u64 + 1
+        };
+        t.append(EventRecord::new(
+            MpiOp::send(Endpoint::Relative(1), 0, 64, Comm::WORLD),
+            StackSig(sig),
+            rank,
+            1e-6,
+        ));
+    }
+    t
+}
+
+fn merge_trial(plan: &MatrixPlan, trial: &Trial, fields: &mut BTreeMap<String, String>) -> bool {
+    let n = plan.merge_base_n * trial.class.multiplier();
+    fields.insert("n".to_string(), n.to_string());
+    // Seeds offset the signature space so every seed coordinate produces
+    // (and pins) a distinct merged artifact.
+    let base = trial.seed.wrapping_mul(1 << 20);
+    let make = |rank: usize| match trial.workload.as_str() {
+        "MERGE_IDENTICAL" => trace_with_sites(rank, n, base),
+        "MERGE_NEAR" => near_identical_trace(rank, n, base),
+        "MERGE_DISJOINT" => trace_with_sites(rank, n, base + (rank as u64) * n as u64),
+        other => unreachable!("validated merge case {other:?}"),
+    };
+    let a = make(0);
+    let b = make(1);
+    let fast = merge_traces(&a, &b);
+    let reference = merge_traces_reference(&a, &b);
+    let fast_text = trace_format::to_text(&fast);
+    let agrees = fast_text == trace_format::to_text(&reference);
+    fields.insert("fast_matches_reference".to_string(), agrees.to_string());
+    trace_fields(fields, "merged", &fast);
+    // The fold axis: merging p traces, ScalaTrace-at-finalize style.
+    let traces: Vec<CompressedTrace> = (0..trial.p).map(make).collect();
+    let folded = merge_all(traces.iter());
+    trace_fields(fields, "fold", &folded);
+    agrees && folded.dynamic_size() > 0
+}
+
+fn driver_trial(
+    plan: &MatrixPlan,
+    trial: &Trial,
+    dir: &Path,
+    fields: &mut BTreeMap<String, String>,
+) -> bool {
+    let workload = try_workload(&trial.workload, plan.scale).expect("validated name");
+    let faults = match trial.fault {
+        FaultSpec::None => None,
+        FaultSpec::Lossy => Some(FaultSpec::lossy_plan(trial.seed)),
+        other => unreachable!("validated: {other:?} needs CHAOS"),
+    };
+    let rep = drive(
+        workload,
+        trial.class,
+        trial.p,
+        Mode::Chameleon,
+        Overrides {
+            journal: trial.journal,
+            faults,
+            retry_budget: Some(trial.retry_budget),
+            ckpt_stride: (trial.ckpt_stride > 0).then_some(trial.ckpt_stride),
+            ckpt_dir: (trial.ckpt_stride > 0).then(|| dir.to_path_buf()),
+            ..Default::default()
+        },
+    );
+    fields.insert("crashed".to_string(), format!("{:?}", rep.crashed));
+    fields.insert("app_vtime".to_string(), format!("{:?}", rep.app_vtime));
+    if let Some(stats) = rep.cham_stats.first() {
+        fields.insert("marker_calls".to_string(), stats.marker_calls.to_string());
+        fields.insert(
+            "states".to_string(),
+            format!(
+                "c={} l={} at={} f={}",
+                stats.states.c, stats.states.l, stats.states.at, stats.states.f
+            ),
+        );
+        fields.insert("leads".to_string(), stats.leads.to_string());
+        fields.insert("call_paths".to_string(), stats.call_paths.to_string());
+        fields.insert(
+            "degraded_slices".to_string(),
+            stats.degraded_slices.to_string(),
+        );
+    }
+    fault_stat_fields(fields, &rep.fault_stats);
+    journal_fields(fields, rep.journal.as_ref(), dir);
+    if trial.ckpt_stride > 0 {
+        if let Some((marker, _)) = latest_checkpoint(dir) {
+            fields.insert("ckpt_latest_marker".to_string(), marker.to_string());
+        }
+    }
+    match &rep.global_trace {
+        Some(trace) => {
+            trace_fields(fields, "trace", trace);
+            trace.dynamic_size() > 0 && rep.crashed.is_empty()
+        }
+        None => false,
+    }
+}
+
+/// Execute one trial, writing its artifacts (`trial_input.json`,
+/// `trial_output.json`, `journal.jsonl`, checkpoint blobs) under `dir`.
+/// Panics inside an executor are contained: the trial records `ok =
+/// false` with the panic text instead of killing the whole run.
+pub fn run_trial(plan: &MatrixPlan, trial: &Trial, dir: &Path) -> TrialRecord {
+    let _ = std::fs::remove_dir_all(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        let mut fields = BTreeMap::new();
+        fields.insert(
+            "error".to_string(),
+            format!("create {}: {e}", dir.display()),
+        );
+        return TrialRecord {
+            id: trial.id.clone(),
+            ok: false,
+            fields,
+            wall_ns: 0,
+        };
+    }
+    let input = Json::Obj(vec![
+        ("id".to_string(), Json::Str(trial.id.clone())),
+        ("workload".to_string(), Json::Str(trial.workload.clone())),
+        (
+            "class".to_string(),
+            Json::Str(trial.class.label().to_string()),
+        ),
+        ("ranks".to_string(), Json::Num(trial.p as f64)),
+        ("seed".to_string(), Json::Str(hex64(trial.seed))),
+        ("fault".to_string(), Json::Str(trial.fault.id().to_string())),
+        ("journal".to_string(), Json::Bool(trial.journal)),
+        (
+            "ckpt_stride".to_string(),
+            Json::Num(trial.ckpt_stride as f64),
+        ),
+        (
+            "retry_budget".to_string(),
+            Json::Num(f64::from(trial.retry_budget)),
+        ),
+    ]);
+    let _ = std::fs::write(dir.join("trial_input.json"), input.to_pretty() + "\n");
+
+    let start = Instant::now();
+    let mut fields = BTreeMap::new();
+    fields.insert(
+        "kind".to_string(),
+        scenario_kind(&trial.workload).to_string(),
+    );
+    fields.insert("fault".to_string(), trial.fault.id().to_string());
+    fields.insert("seed".to_string(), hex64(trial.seed));
+    let ok =
+        match std::panic::catch_unwind(AssertUnwindSafe(|| match scenario_kind(&trial.workload) {
+            "chaos" => chaos_trial(plan, trial, dir, &mut fields),
+            "merge" => merge_trial(plan, trial, &mut fields),
+            _ => driver_trial(plan, trial, dir, &mut fields),
+        })) {
+            Ok(ok) => ok,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "executor panicked".to_string());
+                fields.insert("error".to_string(), msg);
+                false
+            }
+        };
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let output = Json::Obj(vec![
+        ("id".to_string(), Json::Str(trial.id.clone())),
+        ("ok".to_string(), Json::Bool(ok)),
+        (
+            "fields".to_string(),
+            Json::Obj(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+    ]);
+    let _ = std::fs::write(dir.join("trial_output.json"), output.to_pretty() + "\n");
+
+    TrialRecord {
+        id: trial.id.clone(),
+        ok,
+        fields,
+        wall_ns,
+    }
+}
+
+fn scenario_kind(workload: &str) -> &'static str {
+    if workload == "CHAOS" {
+        "chaos"
+    } else if workload.starts_with("MERGE_") {
+        "merge"
+    } else {
+        "driver"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Result tables
+// ---------------------------------------------------------------------
+
+/// Magic of a canonical result table.
+pub const RESULTS_FORMAT: &str = "chameleon-matrix-results-v1";
+/// Magic of a timing side-table.
+pub const TIMINGS_FORMAT: &str = "chameleon-matrix-timings-v1";
+
+/// The canonical (deterministic) result table of one plan run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixResults {
+    /// Plan name.
+    pub plan: String,
+    /// The plan's timing band, carried so a diff knows the tolerance.
+    pub timing_tolerance_pct: f64,
+    /// Trial rows in canonical (ID-sorted) order.
+    pub trials: Vec<TrialRecord>,
+}
+
+impl MatrixResults {
+    /// Canonical JSON text (byte-stable across reruns of the same plan).
+    pub fn to_json(&self) -> String {
+        let trials = self
+            .trials
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("id".to_string(), Json::Str(t.id.clone())),
+                    ("ok".to_string(), Json::Bool(t.ok)),
+                    (
+                        "fields".to_string(),
+                        Json::Obj(
+                            t.fields
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("format".to_string(), Json::Str(RESULTS_FORMAT.to_string())),
+            ("plan".to_string(), Json::Str(self.plan.clone())),
+            (
+                "timing_tolerance_pct".to_string(),
+                Json::Num(self.timing_tolerance_pct),
+            ),
+            ("trials".to_string(), Json::Arr(trials)),
+        ]);
+        doc.to_pretty() + "\n"
+    }
+
+    /// Parse a result table written by [`MatrixResults::to_json`].
+    pub fn from_json(text: &str) -> Result<MatrixResults, String> {
+        let doc = Json::parse(text)?;
+        match doc.get("format").and_then(Json::as_str) {
+            Some(RESULTS_FORMAT) => {}
+            other => return Err(format!("not a matrix result table (format {other:?})")),
+        }
+        let plan = doc
+            .get("plan")
+            .and_then(Json::as_str)
+            .ok_or("missing plan name")?
+            .to_string();
+        let timing_tolerance_pct = doc
+            .get("timing_tolerance_pct")
+            .and_then(Json::as_f64)
+            .ok_or("missing timing_tolerance_pct")?;
+        let mut trials = Vec::new();
+        for row in doc
+            .get("trials")
+            .and_then(Json::as_array)
+            .ok_or("missing trials array")?
+        {
+            let id = row
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("trial row without id")?
+                .to_string();
+            let ok = row
+                .get("ok")
+                .and_then(Json::as_bool)
+                .ok_or(format!("trial {id} without ok flag"))?;
+            let mut fields = BTreeMap::new();
+            match row.get("fields") {
+                Some(Json::Obj(entries)) => {
+                    for (k, v) in entries {
+                        let v = v
+                            .as_str()
+                            .ok_or(format!("trial {id} field {k} is not a string"))?;
+                        fields.insert(k.clone(), v.to_string());
+                    }
+                }
+                _ => return Err(format!("trial {id} without fields object")),
+            }
+            trials.push(TrialRecord {
+                id,
+                ok,
+                fields,
+                wall_ns: 0,
+            });
+        }
+        Ok(MatrixResults {
+            plan,
+            timing_tolerance_pct,
+            trials,
+        })
+    }
+}
+
+/// Serialize a timing side-table (trial ID → wall nanoseconds).
+pub fn timings_to_json(plan: &str, timings: &BTreeMap<String, u64>) -> String {
+    let doc = Json::Obj(vec![
+        ("format".to_string(), Json::Str(TIMINGS_FORMAT.to_string())),
+        ("plan".to_string(), Json::Str(plan.to_string())),
+        (
+            "wall_ns".to_string(),
+            Json::Obj(
+                timings
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    doc.to_pretty() + "\n"
+}
+
+/// Parse a timing side-table.
+pub fn timings_from_json(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("format").and_then(Json::as_str) {
+        Some(TIMINGS_FORMAT) => {}
+        other => return Err(format!("not a matrix timing table (format {other:?})")),
+    }
+    let mut out = BTreeMap::new();
+    match doc.get("wall_ns") {
+        Some(Json::Obj(entries)) => {
+            for (k, v) in entries {
+                out.insert(
+                    k.clone(),
+                    v.as_u64().ok_or(format!("timing {k} is not an integer"))?,
+                );
+            }
+        }
+        _ => return Err("missing wall_ns object".to_string()),
+    }
+    Ok(out)
+}
+
+/// Run every trial of a validated plan under `out_root/<plan-name>/`,
+/// with at most `jobs` concurrent trials, and write `results.json` plus
+/// `timings.json` there. Returns the canonical results and the timings.
+pub fn run_plan(
+    plan: &MatrixPlan,
+    out_root: &Path,
+    jobs: usize,
+) -> Result<(MatrixResults, BTreeMap<String, u64>), String> {
+    plan.validate()?;
+    let plan_dir = out_root.join(&plan.name);
+    std::fs::create_dir_all(&plan_dir)
+        .map_err(|e| format!("cannot create {}: {e}", plan_dir.display()))?;
+    let trials = plan.expand();
+    let records = run_pool(&trials, jobs, |_, trial| {
+        run_trial(plan, trial, &plan_dir.join(&trial.id))
+    });
+    let timings: BTreeMap<String, u64> =
+        records.iter().map(|r| (r.id.clone(), r.wall_ns)).collect();
+    let results = MatrixResults {
+        plan: plan.name.clone(),
+        timing_tolerance_pct: plan.timing_tolerance_pct,
+        trials: records,
+    };
+    std::fs::write(plan_dir.join("results.json"), results.to_json())
+        .map_err(|e| format!("write results.json: {e}"))?;
+    std::fs::write(
+        plan_dir.join("timings.json"),
+        timings_to_json(&plan.name, &timings),
+    )
+    .map_err(|e| format!("write timings.json: {e}"))?;
+    Ok((results, timings))
+}
+
+// ---------------------------------------------------------------------
+// Regression diff
+// ---------------------------------------------------------------------
+
+/// The first divergence between two result tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Trial the divergence is in ("-" for table-level mismatches).
+    pub trial: String,
+    /// Metric (field key) that diverged.
+    pub metric: String,
+    /// Baseline value.
+    pub want: String,
+    /// Current value.
+    pub got: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trial {} metric {}: baseline {}, got {}",
+            self.trial, self.metric, self.want, self.got
+        )
+    }
+}
+
+/// Exact comparison of the deterministic tables: every baseline trial
+/// must be present with identical `ok` and identical fields (and no
+/// extra trials or fields may appear). Returns the *first* divergence in
+/// canonical order, or `None` when the tables agree.
+pub fn diff_results(base: &MatrixResults, cur: &MatrixResults) -> Option<Divergence> {
+    if base.plan != cur.plan {
+        return Some(Divergence {
+            trial: "-".to_string(),
+            metric: "plan".to_string(),
+            want: base.plan.clone(),
+            got: cur.plan.clone(),
+        });
+    }
+    let cur_by_id: BTreeMap<&str, &TrialRecord> =
+        cur.trials.iter().map(|t| (t.id.as_str(), t)).collect();
+    for b in &base.trials {
+        let Some(c) = cur_by_id.get(b.id.as_str()) else {
+            return Some(Divergence {
+                trial: b.id.clone(),
+                metric: "presence".to_string(),
+                want: "present".to_string(),
+                got: "missing".to_string(),
+            });
+        };
+        if b.ok != c.ok {
+            return Some(Divergence {
+                trial: b.id.clone(),
+                metric: "ok".to_string(),
+                want: b.ok.to_string(),
+                got: c.ok.to_string(),
+            });
+        }
+        for (key, want) in &b.fields {
+            match c.fields.get(key) {
+                Some(got) if got == want => {}
+                got => {
+                    return Some(Divergence {
+                        trial: b.id.clone(),
+                        metric: key.clone(),
+                        want: want.clone(),
+                        got: got.cloned().unwrap_or_else(|| "missing".to_string()),
+                    });
+                }
+            }
+        }
+        if let Some((key, got)) = c.fields.iter().find(|(k, _)| !b.fields.contains_key(*k)) {
+            return Some(Divergence {
+                trial: b.id.clone(),
+                metric: key.clone(),
+                want: "absent".to_string(),
+                got: got.clone(),
+            });
+        }
+    }
+    let base_ids: BTreeMap<&str, ()> = base.trials.iter().map(|t| (t.id.as_str(), ())).collect();
+    if let Some(extra) = cur
+        .trials
+        .iter()
+        .find(|t| !base_ids.contains_key(t.id.as_str()))
+    {
+        return Some(Divergence {
+            trial: extra.id.clone(),
+            metric: "presence".to_string(),
+            want: "absent".to_string(),
+            got: "present".to_string(),
+        });
+    }
+    None
+}
+
+/// Percentage-band comparison of wall timings for trials present in both
+/// tables: |cur − base| must stay within `tol_pct`% of the baseline.
+/// Trials only one side timed are skipped — wall clocks are advisory,
+/// not part of the determinism contract.
+pub fn diff_timings(
+    base: &BTreeMap<String, u64>,
+    cur: &BTreeMap<String, u64>,
+    tol_pct: f64,
+) -> Option<Divergence> {
+    for (id, &want) in base {
+        let Some(&got) = cur.get(id) else { continue };
+        let delta = got.abs_diff(want) as f64;
+        if delta > (want as f64) * tol_pct / 100.0 {
+            return Some(Divergence {
+                trial: id.clone(),
+                metric: "wall_ns".to_string(),
+                want: format!("{want} (±{tol_pct}%)"),
+                got: got.to_string(),
+            });
+        }
+    }
+    None
+}
+
+/// When a `journal_digest` divergence names a trial and both runs left
+/// `journal.jsonl` artifacts on disk, drill into the first diverging
+/// event via [`obs::query::diff`]. `base_dir` / `cur_dir` are the plan
+/// output directories (the parents of the per-trial dirs).
+pub fn journal_drilldown(base_dir: &Path, cur_dir: &Path, trial: &str) -> Option<String> {
+    let load = |dir: &Path| -> Option<obs::RunJournal> {
+        let text = std::fs::read_to_string(dir.join(trial).join("journal.jsonl")).ok()?;
+        obs::RunJournal::from_jsonl(&text).ok()
+    };
+    let a = load(base_dir)?;
+    let b = load(cur_dir)?;
+    obs::query::diff(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plan_text() -> &'static str {
+        r#"{
+            "name": "unit",
+            "workloads": ["CHAOS", "BT"],
+            "ranks": [4],
+            "seeds": [1, 2],
+            "faults": ["lossy"],
+            "journal": [true, false],
+            "steps": 12
+        }"#
+    }
+
+    #[test]
+    fn json_roundtrip_and_accessors() {
+        let text = r#"{"a": [1, 2.5, -3], "b": "x\nyA", "c": true, "d": null}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x\nyA"));
+        assert_eq!(v.get("c").and_then(Json::as_bool), Some(true));
+        let arr = v.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_u64(), None, "negative is not a u64");
+        // Pretty output reparses to the same value.
+        assert_eq!(Json::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn plan_parses_with_defaults() {
+        let plan = MatrixPlan::from_json(small_plan_text()).unwrap();
+        plan.validate().unwrap();
+        assert_eq!(plan.classes, vec![Class::A]);
+        assert_eq!(plan.ckpt_strides, vec![0]);
+        assert_eq!(plan.retry_budgets, vec![1]);
+        assert_eq!(plan.steps, 12);
+        assert_eq!(plan.scale, 25);
+        // workloads x classes x ranks x seeds x faults x journal x strides x budgets
+        #[allow(clippy::identity_op)]
+        let want = 2 * 1 * 1 * 2 * 1 * 2 * 1 * 1;
+        assert_eq!(plan.cardinality(), want);
+    }
+
+    #[test]
+    fn plan_rejects_typos_and_bad_axes() {
+        assert!(MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["BT"],"ranks":[2],"seeds":[1],"stepz":3}"#
+        )
+        .unwrap_err()
+        .contains("unknown plan key"));
+        let dup =
+            MatrixPlan::from_json(r#"{"name":"x","workloads":["BT"],"ranks":[2,2],"seeds":[1]}"#)
+                .unwrap();
+        assert!(dup.validate().unwrap_err().contains("repeats"));
+        let crashy = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["BT"],"ranks":[2],"seeds":[1],"faults":["chaos"]}"#,
+        )
+        .unwrap();
+        assert!(crashy.validate().unwrap_err().contains("CHAOS"));
+        let rc = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["CHAOS"],"ranks":[4],"seeds":[1],"faults":["rootcrash@mid"]}"#,
+        )
+        .unwrap();
+        assert!(rc.validate().unwrap_err().contains("ckpt_strides"));
+        let merge_faulty = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["MERGE_NEAR"],"ranks":[4],"seeds":[1],"faults":["lossy"]}"#,
+        )
+        .unwrap();
+        assert!(merge_faulty.validate().unwrap_err().contains("MERGE_"));
+    }
+
+    #[test]
+    fn expansion_is_sorted_and_exact() {
+        let plan = MatrixPlan::from_json(small_plan_text()).unwrap();
+        let trials = plan.expand();
+        assert_eq!(trials.len(), plan.cardinality());
+        let ids: Vec<&str> = trials.iter().map(|t| t.id.as_str()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "canonical order is the ID sort");
+        let mut deduped = sorted.clone();
+        deduped.dedup();
+        assert_eq!(deduped.len(), ids.len(), "IDs are unique");
+    }
+
+    #[test]
+    fn pool_preserves_item_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for jobs in [1, 3, 8] {
+            let out = run_pool(&items, jobs, |i, &v| {
+                // Stagger completion to shake out ordering bugs.
+                std::thread::sleep(std::time::Duration::from_micros((v % 7) as u64 * 50));
+                (i, v * 2)
+            });
+            assert_eq!(out, items.iter().map(|&v| (v, v * 2)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fault_specs_parse_and_tag() {
+        for (s, id) in [
+            ("none", "none"),
+            ("lossy", "lossy"),
+            ("chaos", "chaos"),
+            ("rootcrash@first", "rootcrash_first"),
+            ("rootcrash@mid", "rootcrash_mid"),
+            ("rootcrash@last", "rootcrash_last"),
+        ] {
+            assert_eq!(FaultSpec::parse(s).unwrap().id(), id);
+        }
+        assert!(FaultSpec::parse("rootcrash@soon").is_err());
+        assert!(FaultSpec::RootCrash(CrashPoint::Mid).crashes());
+        assert!(!FaultSpec::Lossy.crashes());
+        assert_eq!(CrashPoint::Mid.marker(40), 20);
+        assert_eq!(CrashPoint::Last.marker(40), 39);
+    }
+
+    #[test]
+    fn merge_trial_is_deterministic_and_seed_sensitive() {
+        let plan = MatrixPlan::from_json(
+            r#"{"name":"m","workloads":["MERGE_NEAR"],"ranks":[4],"seeds":[1,2],"merge_base_n":64}"#,
+        )
+        .unwrap();
+        plan.validate().unwrap();
+        let trials = plan.expand();
+        let mut digests = Vec::new();
+        for trial in &trials {
+            let mut a = BTreeMap::new();
+            let mut b = BTreeMap::new();
+            assert!(merge_trial(&plan, trial, &mut a));
+            assert!(merge_trial(&plan, trial, &mut b));
+            assert_eq!(a, b, "merge trials are pure");
+            assert_eq!(a["fast_matches_reference"], "true");
+            digests.push(a["merged_digest"].clone());
+        }
+        assert_ne!(digests[0], digests[1], "seeds produce distinct artifacts");
+    }
+
+    #[test]
+    fn results_roundtrip_and_diff_names_first_divergence() {
+        let mk = |ok: bool, digest: &str| {
+            let mut fields = BTreeMap::new();
+            fields.insert("trace_digest".to_string(), digest.to_string());
+            fields.insert("crashed".to_string(), "[]".to_string());
+            TrialRecord {
+                id: "BT-A-p0004-none-s0000000000000001-j1-k00-r01".to_string(),
+                ok,
+                fields,
+                wall_ns: 123,
+            }
+        };
+        let base = MatrixResults {
+            plan: "unit".to_string(),
+            timing_tolerance_pct: 50.0,
+            trials: vec![mk(true, "0xaa")],
+        };
+        let parsed = MatrixResults::from_json(&base.to_json()).unwrap();
+        assert_eq!(parsed.plan, base.plan);
+        assert_eq!(parsed.trials[0].fields, base.trials[0].fields);
+        assert_eq!(diff_results(&base, &parsed), None);
+
+        let mut cur = base.clone();
+        cur.trials[0]
+            .fields
+            .insert("trace_digest".to_string(), "0xbb".to_string());
+        let d = diff_results(&base, &cur).unwrap();
+        assert_eq!(d.metric, "trace_digest");
+        assert_eq!((d.want.as_str(), d.got.as_str()), ("0xaa", "0xbb"));
+        assert!(d.to_string().contains("BT-A-p0004"), "{d}");
+
+        let mut missing = base.clone();
+        missing.trials.clear();
+        assert_eq!(diff_results(&base, &missing).unwrap().metric, "presence");
+        assert_eq!(
+            diff_results(&missing, &base).unwrap().got,
+            "present",
+            "extra trials diverge too"
+        );
+
+        let mut flipped = base.clone();
+        flipped.trials[0].ok = false;
+        assert_eq!(diff_results(&base, &flipped).unwrap().metric, "ok");
+    }
+
+    #[test]
+    fn timing_bands_tolerate_noise_but_not_regressions() {
+        let mut base = BTreeMap::new();
+        base.insert("t".to_string(), 1_000u64);
+        let mut cur = BTreeMap::new();
+        cur.insert("t".to_string(), 1_400u64);
+        assert_eq!(diff_timings(&base, &cur, 50.0), None);
+        cur.insert("t".to_string(), 1_600u64);
+        let d = diff_timings(&base, &cur, 50.0).unwrap();
+        assert_eq!(d.metric, "wall_ns");
+        // A trial only one side timed is skipped.
+        cur.clear();
+        assert_eq!(diff_timings(&base, &cur, 50.0), None);
+    }
+
+    #[test]
+    fn timings_table_roundtrips() {
+        let mut t = BTreeMap::new();
+        t.insert("a".to_string(), 42u64);
+        t.insert("b".to_string(), 7_000_000_000u64);
+        let text = timings_to_json("unit", &t);
+        assert_eq!(timings_from_json(&text).unwrap(), t);
+    }
+}

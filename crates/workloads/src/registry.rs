@@ -1,0 +1,86 @@
+//! Named workload constructors shared by the harness binaries and the
+//! scenario-matrix runner ([`crate::matrix`]): one place maps the names
+//! plans and CLI flags use onto skeleton constructors.
+
+use std::sync::Arc;
+
+use crate::driver::ScaledWorkload;
+use crate::{bt::Bt, cg::Cg, emf::Emf, lu::Lu, pop::Pop, sp::Sp, sweep3d::Sweep3d, Workload};
+
+/// The strong-scaling benchmark set of Figures 4 and 5.
+pub const STRONG_SET: [&str; 5] = ["BT", "SP", "LU", "POP", "EMF"];
+
+/// The weak-scaling set of Figures 6 and 7.
+pub const WEAK_SET: [&str; 2] = ["LUW", "S3DW"];
+
+/// Everything Table II covers.
+pub const TABLE2_SET: [&str; 7] = ["BT", "LU", "SP", "POP", "S3D", "LUW", "EMF"];
+
+/// Construct a workload by name, scaled by `scale` (1 = paper-faithful),
+/// or `None` for an unknown name.
+pub fn try_workload(name: &str, scale: usize) -> Option<Arc<dyn Workload>> {
+    Some(match name {
+        "BT" => Arc::new(ScaledWorkload::new(Bt, scale)),
+        "SP" => Arc::new(ScaledWorkload::new(Sp, scale)),
+        "LU" => Arc::new(ScaledWorkload::new(Lu::strong(), scale)),
+        "LUW" => Arc::new(ScaledWorkload::new(Lu::weak(), scale)),
+        "POP" => Arc::new(ScaledWorkload::new(Pop, scale)),
+        "S3D" => Arc::new(ScaledWorkload::new(Sweep3d::strong(), scale)),
+        "S3DW" => Arc::new(ScaledWorkload::new(Sweep3d::weak(), scale)),
+        "CG" => Arc::new(ScaledWorkload::new(Cg, scale)),
+        "EMF" => Arc::new(ScaledWorkload::new(Emf, scale)),
+        _ => return None,
+    })
+}
+
+/// Construct a workload by name, scaled by `scale` (1 = paper-faithful).
+///
+/// Panics on unknown names — harness binaries only use the constants
+/// above; plan files are validated with [`try_workload`] before any trial
+/// runs.
+pub fn workload(name: &str, scale: usize) -> Arc<dyn Workload> {
+    try_workload(name, scale).unwrap_or_else(|| panic!("unknown workload {name:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Class;
+
+    #[test]
+    fn all_names_resolve() {
+        for name in TABLE2_SET
+            .iter()
+            .chain(WEAK_SET.iter())
+            .chain(["CG"].iter())
+        {
+            let w = workload(name, 10);
+            assert_eq!(&w.name(), name);
+            let spec = w.spec(Class::A, 16);
+            assert!(spec.total_steps() >= 1);
+            assert!(spec.k >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        workload("NOPE", 1);
+    }
+
+    #[test]
+    fn try_workload_is_total() {
+        assert!(try_workload("BT", 1).is_some());
+        assert!(try_workload("NOPE", 1).is_none());
+    }
+
+    #[test]
+    fn scale_one_matches_paper_iterations() {
+        assert_eq!(workload("BT", 1).spec(Class::D, 1024).total_steps(), 250);
+        assert_eq!(workload("LU", 1).spec(Class::D, 1024).total_steps(), 300);
+        assert_eq!(workload("SP", 1).spec(Class::D, 1024).total_steps(), 500);
+        assert_eq!(workload("POP", 1).spec(Class::D, 1024).total_steps(), 20);
+        assert_eq!(workload("S3D", 1).spec(Class::D, 1024).total_steps(), 10);
+        assert_eq!(workload("LUW", 1).spec(Class::D, 1024).total_steps(), 250);
+    }
+}

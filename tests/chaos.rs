@@ -25,13 +25,21 @@ use chameleon_repro::workloads::chaos::{
     chaos_plan, marker_entry_ops, root_crash_plan, run_chaos, run_chaos_recorded,
     run_chaos_supervised, ChaosOutcome,
 };
+use chameleon_repro::workloads::matrix::{FaultSpec, MatrixPlan, Trial};
 
-/// The fixed CI seed set. Deliberately spread so victims, crash times,
-/// and corruption patterns differ across entries.
-const CI_SEEDS: [u64; 10] = [1, 2, 3, 5, 8, 13, 21, 34, 0xBAD5EED, 0xC0FFEE];
-
-const RANKS: usize = 6;
-const STEPS: usize = 40;
+/// The seed set, rank count, and step count now live in the committed
+/// scenario-matrix plan — the same file `chamtrace matrix run` replays —
+/// so the suite and the runner can never drift apart. The seeds are
+/// deliberately spread so victims, crash times, and corruption patterns
+/// differ across entries.
+fn load_plan(file: &str) -> MatrixPlan {
+    MatrixPlan::load(
+        &PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("plans")
+            .join(file),
+    )
+    .expect("committed plan parses and validates")
+}
 
 fn artifact_path(seed: u64, ext: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -56,14 +64,20 @@ fn dump_artifacts(seed: u64, recipe: &str, outcome: Option<&ChaosOutcome>) {
     }
 }
 
-/// Run one seed with the recorder armed and check both the coarse
-/// counters and the journal's event sequences, dumping the artifacts if
-/// any assertion fails.
-fn run_seed(seed: u64) -> ChaosOutcome {
-    let plan = chaos_plan(seed, RANKS);
-    let recipe = format!("{plan}\nranks={RANKS} steps={STEPS}\n");
+/// Run one expanded trial with the recorder armed and check both the
+/// coarse counters and the journal's event sequences, dumping the
+/// artifacts if any assertion fails.
+fn run_seed(trial: &Trial, steps: usize) -> ChaosOutcome {
+    let (seed, ranks) = (trial.seed, trial.p);
+    assert_eq!(
+        trial.fault,
+        FaultSpec::Chaos,
+        "chaos10 is a chaos-fault plan"
+    );
+    let plan = chaos_plan(seed, ranks);
+    let recipe = format!("{plan}\nranks={ranks} steps={steps}\n");
     let out = match std::panic::catch_unwind(|| {
-        run_chaos_recorded(RANKS, STEPS, chaos_plan(seed, RANKS))
+        run_chaos_recorded(ranks, steps, chaos_plan(seed, ranks))
     }) {
         Ok(out) => out,
         Err(payload) => {
@@ -71,15 +85,17 @@ fn run_seed(seed: u64) -> ChaosOutcome {
             std::panic::resume_unwind(payload);
         }
     };
-    if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| check_seed(seed, &out))) {
+    if let Err(payload) =
+        std::panic::catch_unwind(AssertUnwindSafe(|| check_seed(seed, ranks, &out)))
+    {
         dump_artifacts(seed, &recipe, Some(&out));
         std::panic::resume_unwind(payload);
     }
     out
 }
 
-fn check_seed(seed: u64, out: &ChaosOutcome) {
-    let crash = chaos_plan(seed, RANKS).crash.expect("chaos crashes");
+fn check_seed(seed: u64, ranks: usize, out: &ChaosOutcome) {
+    let crash = chaos_plan(seed, ranks).crash.expect("chaos crashes");
     let victim = crash.rank;
 
     assert_eq!(out.crashed, vec![victim], "exactly the planned rank dies");
@@ -166,9 +182,12 @@ fn every_ci_seed_completes_degraded_but_alive() {
     // Whether a particular seed's corruption coins land on the (few) tool
     // payloads is deterministic per seed but varies across seeds, so the
     // lossy-link evidence is asserted over the whole set.
+    let plan = load_plan("chaos10.plan.json");
+    let trials = plan.expand();
+    assert_eq!(trials.len(), 10, "the chaos plan carries the 10 CI seeds");
     let mut corruptions = 0u64;
-    for &seed in &CI_SEEDS {
-        let out = run_seed(seed);
+    for trial in &trials {
+        let out = run_seed(trial, plan.steps);
         corruptions += out
             .fault_stats
             .iter()
@@ -178,7 +197,7 @@ fn every_ci_seed_completes_degraded_but_alive() {
     assert!(
         corruptions > 0,
         "the 2% lossy link never touched a payload across {} seeds",
-        CI_SEEDS.len()
+        trials.len()
     );
 }
 
@@ -190,9 +209,11 @@ fn same_plan_same_seed_is_bit_identical() {
     // the same plan must therefore produce byte-identical degraded
     // online traces, identical degradation counters, and byte-identical
     // journals.
-    for &seed in &CI_SEEDS[..3] {
-        let a = run_seed(seed);
-        let b = run_seed(seed);
+    let plan = load_plan("chaos10.plan.json");
+    for trial in &plan.expand()[..3] {
+        let seed = trial.seed;
+        let a = run_seed(trial, plan.steps);
+        let b = run_seed(trial, plan.steps);
         assert_eq!(
             format::to_text(&a.online_trace),
             format::to_text(&b.online_trace),
@@ -218,59 +239,63 @@ fn root_crash_matrix_completes_with_promoted_deputy() {
     // online trace. Artifacts — the final on-disk checkpoint set and the
     // armed journal — are written under `experiments_out/rootcrash_*` so
     // CI uploads them as run evidence, not just on failure.
-    const MATRIX_SEEDS: [u64; 3] = [7, 1009, 0xDEAD];
-    const STRIDE: u64 = 4;
-    for &seed in &MATRIX_SEEDS {
-        // One fault-free probe per seed maps marker index -> rank 0's op
+    let plan = load_plan("rootcrash.plan.json");
+    let trials = plan.expand();
+    assert_eq!(trials.len(), 9, "3 seeds x 3 crash points");
+    for trial in &trials {
+        let seed = trial.seed;
+        let m = match trial.fault {
+            FaultSpec::RootCrash(point) => point.marker(plan.steps),
+            other => panic!("rootcrash plan expanded a {other:?} trial"),
+        };
+        // One fault-free probe per trial maps marker index -> rank 0's op
         // count at the marker's entry tick (coins are pure in the seed,
         // so the probe schedule matches the armed run's pre-crash path).
-        let ops = marker_entry_ops(RANKS, STEPS, root_crash_plan(seed, 0));
-        for m in [0, STEPS / 2, STEPS - 1] {
-            let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("experiments_out")
-                .join(format!("rootcrash_{seed:#x}_m{m}"));
-            let _ = std::fs::remove_dir_all(&dir);
-            std::fs::create_dir_all(&dir).unwrap();
-            let sup = run_chaos_supervised(
-                RANKS,
-                STEPS,
-                root_crash_plan(seed, ops[m]),
-                STRIDE,
-                &dir,
-                true,
-            );
+        let ops = marker_entry_ops(trial.p, plan.steps, root_crash_plan(seed, 0));
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("experiments_out")
+            .join(format!("rootcrash_{seed:#x}_m{m}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let sup = run_chaos_supervised(
+            trial.p,
+            plan.steps,
+            root_crash_plan(seed, ops[m]),
+            trial.ckpt_stride,
+            &dir,
+            trial.journal,
+        );
 
+        assert_eq!(
+            sup.outcome.crashed,
+            vec![0],
+            "seed {seed:#x} marker {m}: rank 0 must be the only victim"
+        );
+        assert!(
+            sup.outcome.online_trace.dynamic_size() > 0,
+            "seed {seed:#x} marker {m}: promoted deputy roots an empty trace"
+        );
+        for s in sup.outcome.stats.iter().flatten() {
             assert_eq!(
-                sup.outcome.crashed,
-                vec![0],
-                "seed {seed:#x} marker {m}: rank 0 must be the only victim"
+                s.promotions, 1,
+                "seed {seed:#x} marker {m}: survivors disagree on the promotion"
             );
-            assert!(
-                sup.outcome.online_trace.dynamic_size() > 0,
-                "seed {seed:#x} marker {m}: promoted deputy roots an empty trace"
-            );
-            for s in sup.outcome.stats.iter().flatten() {
-                assert_eq!(
-                    s.promotions, 1,
-                    "seed {seed:#x} marker {m}: survivors disagree on the promotion"
-                );
-            }
-            let journal = sup
-                .outcome
-                .journal
-                .as_ref()
-                .expect("matrix runs are recorded");
-            let promoted: Vec<usize> = journal
-                .events()
-                .filter_map(|(rank, e)| matches!(e.kind, EventKind::Promote { .. }).then_some(rank))
-                .collect();
-            assert_eq!(
-                promoted,
-                vec![1],
-                "seed {seed:#x} marker {m}: exactly the deputy records the promotion"
-            );
-            let _ = std::fs::write(dir.join("run.journal.jsonl"), journal.to_jsonl());
         }
+        let journal = sup
+            .outcome
+            .journal
+            .as_ref()
+            .expect("matrix runs are recorded");
+        let promoted: Vec<usize> = journal
+            .events()
+            .filter_map(|(rank, e)| matches!(e.kind, EventKind::Promote { .. }).then_some(rank))
+            .collect();
+        assert_eq!(
+            promoted,
+            vec![1],
+            "seed {seed:#x} marker {m}: exactly the deputy records the promotion"
+        );
+        let _ = std::fs::write(dir.join("run.journal.jsonl"), journal.to_jsonl());
     }
 }
 

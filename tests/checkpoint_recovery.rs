@@ -14,11 +14,14 @@
 use std::path::{Path, PathBuf};
 
 use chameleon::{Chameleon, ChameleonConfig, Checkpoint};
-use mpisim::{World, WorldConfig};
-use scalatrace::TracedProc;
+use clusterkit::{ClusterEntry, ClusterMap, LeadSelection};
+use mpisim::{Comm, World, WorldConfig};
+use scalatrace::{CompressedTrace, Endpoint, EventRecord, MpiOp, TracedProc};
+use sigkit::{CallPathSig, SignatureTriple, StackSig};
 use workloads::chaos::{
     chaos_step, latest_checkpoint, marker_entry_ops, root_crash_plan, run_chaos_supervised,
 };
+use xrand::Xoshiro256;
 
 /// Fresh per-test scratch directory under the system temp dir.
 fn scratch(tag: &str) -> PathBuf {
@@ -175,6 +178,150 @@ fn live_checkpoint_blob_survives_truncate_and_flip() {
         );
     }
     let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A random (but structurally valid) checkpoint: every field drawn from
+/// its full legal shape — empty through populated traces, optional lead
+/// selections, arbitrary metric payloads, sparse alive sets.
+fn random_checkpoint(rng: &mut Xoshiro256) -> Checkpoint {
+    let p = 2 + rng.usize_below(7);
+    // Ascending sparse alive set that always contains at least one rank.
+    let alive: Vec<usize> = (0..p).filter(|&r| r == 0 || rng.gen_bool(0.7)).collect();
+    let mut trace = CompressedTrace::new();
+    for s in 0..rng.usize_below(24) {
+        trace.append(EventRecord::new(
+            MpiOp::send(
+                Endpoint::Relative(1),
+                0,
+                32 + rng.usize_below(256),
+                Comm::WORLD,
+            ),
+            StackSig(1 + rng.below(1 << 40)),
+            rng.usize_below(p),
+            1e-6 * (1 + s) as f64,
+        ));
+    }
+    let selection = rng.gen_bool(0.5).then(|| {
+        let mut map = ClusterMap::new();
+        for &r in &alive {
+            let triple = SignatureTriple {
+                call_path: CallPathSig(1 + rng.below(1 << 30)),
+                src: rng.below(1 << 20),
+                dest: rng.below(1 << 20),
+            };
+            map.insert(triple.call_path, ClusterEntry::singleton(r, &triple));
+        }
+        let leads = map.leads();
+        let effective_k = leads.len();
+        LeadSelection {
+            map,
+            leads,
+            effective_k,
+        }
+    });
+    // The metric payload is either absent (plane off) or a valid
+    // `MetricSet::encode_with_count` frame — the decoder validates it.
+    let metrics = if rng.gen_bool(0.5) {
+        Vec::new()
+    } else {
+        let mut m = obs::metrics::MetricSet::new();
+        for c in obs::metrics::Counter::ALL {
+            if rng.gen_bool(0.5) {
+                m.add(c, rng.below(1 << 30));
+            }
+        }
+        for h in obs::metrics::HistId::ALL {
+            for _ in 0..rng.usize_below(8) {
+                m.observe(h, rng.below(1 << 40));
+            }
+        }
+        m.encode_with_count(1 + rng.below(64))
+    };
+    Checkpoint {
+        marker: rng.below(1 << 32),
+        marker_calls: rng.below(1 << 32),
+        root: alive[rng.usize_below(alive.len())] as u64,
+        alive,
+        old_call_path: CallPathSig(rng.below(u64::MAX)),
+        re_clustering: rng.gen_bool(0.5),
+        lead_flag: rng.gen_bool(0.5),
+        selection,
+        trace,
+        metrics,
+        journal_hwm: rng.below(1 << 32),
+    }
+}
+
+#[test]
+fn random_blobs_roundtrip_byte_identical_across_all_strides() {
+    // Fuzz-style table test for the CKPT1 codec, two layers:
+    //
+    // 1. Synthetic: random valid checkpoints must encode → decode →
+    //    re-encode to byte-identical wire (a canonical encoding; any
+    //    normalization drift would silently invalidate stored blobs).
+    // 2. Live: a checkpointing ring run at *every* stride 1..=8 leaves
+    //    blobs on disk, each of which must round-trip byte-identical —
+    //    the stride axis changes capture cadence, never the wire format.
+    let mut rng = Xoshiro256::seed_from_u64(0xCC_B10B);
+    for i in 0..200 {
+        let ckpt = random_checkpoint(&mut rng);
+        let wire = ckpt.encode();
+        let decoded = Checkpoint::decode(&wire)
+            .unwrap_or_else(|e| panic!("blob {i} failed to decode: {e:?}"));
+        assert_eq!(decoded.marker, ckpt.marker, "blob {i}");
+        assert_eq!(decoded.alive, ckpt.alive, "blob {i}");
+        assert_eq!(
+            decoded.selection.is_some(),
+            ckpt.selection.is_some(),
+            "blob {i}"
+        );
+        assert_eq!(
+            decoded.encode(),
+            wire,
+            "blob {i}: re-encode is not byte-identical"
+        );
+    }
+
+    for stride in 1..=8u64 {
+        let dir = scratch(&format!("stride{stride}"));
+        run_ring(
+            P,
+            STEPS,
+            None,
+            ChameleonConfig::with_k(P)
+                .with_checkpoint_stride(stride)
+                .with_checkpoint_dir(&dir),
+        )
+        .expect("root trace");
+        let mut blobs = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "bin") {
+                let wire = std::fs::read(&path).unwrap();
+                let ckpt = Checkpoint::decode(&wire).unwrap_or_else(|e| {
+                    panic!(
+                        "stride {stride}: {} failed to decode: {e:?}",
+                        path.display()
+                    )
+                });
+                assert_eq!(
+                    ckpt.encode(),
+                    wire,
+                    "stride {stride}: {} re-encode drifted",
+                    path.display()
+                );
+                blobs += 1;
+            }
+        }
+        // One blob per stride-closing marker: markers are 1-based on
+        // capture, so a 12-marker run at stride s leaves floor(12/s).
+        assert_eq!(
+            blobs,
+            (STEPS as u64 / stride) as usize,
+            "stride {stride}: wrong number of durable blobs"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 #[test]

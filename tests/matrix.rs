@@ -1,0 +1,170 @@
+//! Scenario-matrix runner: end-to-end determinism and the stored-baseline
+//! regression gate.
+//!
+//! The committed fixtures under `tests/fixtures/` pin the *entire
+//! canonical result table* of two plans byte-for-byte:
+//!
+//! - `matrix_chaos.baseline.json` — the ported chaos 10-seed suite
+//!   (`plans/chaos10.plan.json`);
+//! - `matrix_smoke.baseline.json` — the small CI smoke plan
+//!   (`plans/ci_smoke.plan.json`), the baseline the `matrix-smoke` CI job
+//!   gates against.
+//!
+//! Every digest, counter, and partition field in those tables is a pure
+//! function of the plan, so any drift — in the simulator, the fault
+//! layer, the clustering runtime, the journal encoding, or the matrix
+//! runner itself — shows up as a named (trial, metric) divergence. On
+//! intentional changes regenerate with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test matrix
+//! ```
+//!
+//! and review the fixture diff like source code.
+
+use std::path::PathBuf;
+
+use chameleon_repro::workloads::matrix::{diff_results, run_plan, MatrixPlan, MatrixResults};
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn load_plan(file: &str) -> MatrixPlan {
+    MatrixPlan::load(&repo_path("plans").join(file)).expect("committed plan loads")
+}
+
+/// Fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cham_matrix_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Compare `text` against the named fixture, or rewrite the fixture when
+/// `REGEN_GOLDEN` is set (same convention as `golden_traces.rs`).
+fn assert_golden(name: &str, text: &str) {
+    let path = repo_path("tests/fixtures").join(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, text).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, want,
+        "{name} drifted from its golden fixture; if the change is \
+         intentional, regenerate with REGEN_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn chaos_plan_results_match_committed_baseline() {
+    let plan = load_plan("chaos10.plan.json");
+    let out = scratch("chaos_golden");
+    let (results, timings) = run_plan(&plan, &out, 3).expect("chaos plan runs");
+    assert_eq!(results.trials.len(), 10);
+    assert!(
+        results.trials.iter().all(|t| t.ok),
+        "every chaos trial passes"
+    );
+    assert_eq!(timings.len(), 10, "every trial is timed");
+    assert_golden("matrix_chaos.baseline.json", &results.to_json());
+    // The on-disk table is exactly the canonical serialization.
+    let disk = std::fs::read_to_string(out.join(&plan.name).join("results.json")).unwrap();
+    assert_eq!(disk, results.to_json());
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn smoke_plan_results_match_committed_baseline() {
+    let plan = load_plan("ci_smoke.plan.json");
+    let out = scratch("smoke_golden");
+    let (results, _) = run_plan(&plan, &out, 2).expect("smoke plan runs");
+    assert_eq!(results.trials.len(), 4, "2 workloads x 2 seeds");
+    assert!(
+        results.trials.iter().all(|t| t.ok),
+        "every smoke trial passes"
+    );
+    assert_golden("matrix_smoke.baseline.json", &results.to_json());
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn rerun_is_byte_stable_across_worker_counts() {
+    // The acceptance criterion: same plan, same seeds → byte-identical
+    // result tables, no matter how the worker pool schedules trials and
+    // where the artifacts land.
+    let plan = load_plan("ci_smoke.plan.json");
+    let out_a = scratch("stable_a");
+    let out_b = scratch("stable_b");
+    let (a, _) = run_plan(&plan, &out_a, 1).unwrap();
+    let (b, _) = run_plan(&plan, &out_b, 4).unwrap();
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "worker-pool parallelism or output location leaked into the table"
+    );
+    // Per-trial journals are byte-stable too.
+    for trial in &a.trials {
+        let read = |root: &PathBuf| {
+            std::fs::read_to_string(root.join(&plan.name).join(&trial.id).join("journal.jsonl"))
+                .expect("journal artifact exists")
+        };
+        assert_eq!(read(&out_a), read(&out_b), "journal drift in {}", trial.id);
+    }
+    let _ = std::fs::remove_dir_all(out_a);
+    let _ = std::fs::remove_dir_all(out_b);
+}
+
+#[test]
+fn rootcrash_plan_replays_supervised_recovery() {
+    // The ported 3×3 root-crash matrix, through the runner itself: every
+    // trial restarts from a durable checkpoint (or fails over in place)
+    // and completes with the deputy promoted.
+    let plan = load_plan("rootcrash.plan.json");
+    let out = scratch("rootcrash_plan");
+    let (results, _) = run_plan(&plan, &out, 3).expect("rootcrash plan runs");
+    assert_eq!(results.trials.len(), 9, "3 seeds x 3 crash points");
+    for t in &results.trials {
+        assert!(t.ok, "trial {} failed: {:?}", t.id, t.fields.get("error"));
+        assert_eq!(t.fields["crashed"], "[0]", "trial {}", t.id);
+        assert_eq!(t.fields["promotions"], "1", "trial {}", t.id);
+        assert!(t.fields.contains_key("restarts"), "trial {}", t.id);
+    }
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn diff_gate_flags_tampered_determinism_fields() {
+    // Gate semantics on the committed chaos baseline itself: identical
+    // tables pass; perturbing any determinism field names the trial and
+    // the metric.
+    let text = std::fs::read_to_string(repo_path("tests/fixtures/matrix_chaos.baseline.json"))
+        .expect("committed baseline exists (REGEN_GOLDEN=1 cargo test --test matrix)");
+    let base = MatrixResults::from_json(&text).expect("baseline parses");
+    assert_eq!(diff_results(&base, &base), None, "self-diff is clean");
+
+    for metric in ["journal_digest", "trace_digest", "states"] {
+        let mut cur = base.clone();
+        let victim = cur.trials.len() / 2;
+        cur.trials[victim]
+            .fields
+            .insert(metric.to_string(), "tampered".to_string());
+        let d = diff_results(&base, &cur).expect("tampering must be caught");
+        assert_eq!(d.trial, base.trials[victim].id);
+        assert_eq!(d.metric, metric);
+        assert_eq!(d.got, "tampered");
+    }
+
+    // Dropping a trial is a presence divergence.
+    let mut cur = base.clone();
+    cur.trials.pop();
+    assert_eq!(diff_results(&base, &cur).unwrap().metric, "presence");
+}

@@ -1,0 +1,186 @@
+//! Property suite for the scenario-matrix plan expander (xrand-seeded).
+//!
+//! The regression gate's whole premise is that a plan names a *fixed,
+//! canonical* set of trials: `results.json` rows are keyed by trial ID,
+//! baselines are committed once, and any drift in expansion order or ID
+//! assignment would read as a spurious divergence. Three contracts carry
+//! that premise, checked here over randomly generated plans:
+//!
+//! - **cardinality** — `expand()` yields exactly the cross product of the
+//!   axis lengths, with all IDs distinct (nothing collapses silently);
+//! - **schedule independence** — executing trials through the bounded
+//!   worker pool returns results in canonical order for *any* worker
+//!   count, so parallelism never leaks into the result table;
+//! - **representation independence** — reordering a plan's axis lists
+//!   (or its JSON keys) changes neither the trial IDs nor their order:
+//!   the expansion is a pure function of the plan's *set* semantics.
+
+use chameleon_repro::workloads::matrix::{run_pool, MatrixPlan};
+use xrand::Xoshiro256;
+
+/// A random valid crash-free plan: axis values drawn without replacement
+/// (duplicates are rejected by validation) over driver-safe workloads.
+fn random_plan(rng: &mut Xoshiro256) -> MatrixPlan {
+    fn pick<T: Clone>(rng: &mut Xoshiro256, pool: &[T], n: usize) -> Vec<T> {
+        let mut pool = pool.to_vec();
+        rng.shuffle(&mut pool);
+        pool.truncate(n);
+        pool
+    }
+    let n = 1 + rng.usize_below(3);
+    let workloads = pick(rng, &["BT", "SP", "LU", "CG", "CHAOS", "MERGE_NEAR"], n);
+    // MERGE_* and crash faults exclude each other; stay crash-free and
+    // keep the fault axis legal for every drawn workload.
+    let faults = if workloads.iter().any(|w| w.starts_with("MERGE_")) {
+        vec!["none"]
+    } else {
+        let n = 1 + rng.usize_below(2);
+        pick(rng, &["none", "lossy"], n)
+    };
+    let n = 1 + rng.usize_below(4);
+    let seeds = pick(rng, &[1u64, 7, 42, 0xBEEF, 0xC0FFEE], n);
+    let n = 1 + rng.usize_below(3);
+    let ranks = pick(rng, &[2usize, 4, 6, 8], n);
+    let n = 1 + rng.usize_below(4);
+    let classes = pick(rng, &["A", "B", "C", "D"], n);
+    let n = 1 + rng.usize_below(2);
+    let journal = pick(rng, &[true, false], n);
+    let json = format!(
+        r#"{{
+            "name": "prop",
+            "workloads": [{}],
+            "classes": [{}],
+            "ranks": [{}],
+            "seeds": [{}],
+            "faults": [{}],
+            "journal": [{}]
+        }}"#,
+        quote_list(&workloads),
+        quote_list(&classes),
+        num_list(&ranks),
+        num_list(&seeds),
+        quote_list(&faults),
+        journal
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let plan = MatrixPlan::from_json(&json).expect("generated plan parses");
+    plan.validate().expect("generated plan validates");
+    plan
+}
+
+fn quote_list(items: &[&str]) -> String {
+    items
+        .iter()
+        .map(|s| format!("{s:?}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn num_list<T: std::fmt::Display>(items: &[T]) -> String {
+    items
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[test]
+fn expansion_matches_cross_product_cardinality_with_unique_ids() {
+    let mut rng = Xoshiro256::seed_from_u64(0x3A7_81C5);
+    for _ in 0..200 {
+        let plan = random_plan(&mut rng);
+        let trials = plan.expand();
+        assert_eq!(
+            trials.len(),
+            plan.cardinality(),
+            "expansion must be exactly the cross product: {plan:?}"
+        );
+        let mut ids: Vec<&str> = trials.iter().map(|t| t.id.as_str()).collect();
+        let sorted = ids.clone();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            trials.len(),
+            "trial IDs must be unique: {plan:?}"
+        );
+        assert_eq!(ids, sorted, "canonical order must be the ID sort: {plan:?}");
+    }
+}
+
+#[test]
+fn pool_parallelism_never_reorders_trials() {
+    let mut rng = Xoshiro256::seed_from_u64(0xDE7E_2311);
+    for _ in 0..40 {
+        let plan = random_plan(&mut rng);
+        let trials = plan.expand();
+        // A stand-in executor with scheduling jitter: if result order
+        // depended on completion order, unequal worker counts would
+        // disagree.
+        let jitter: Vec<u64> = (0..trials.len()).map(|_| rng.below(5) * 200).collect();
+        let reference: Vec<String> = trials.iter().map(|t| t.id.clone()).collect();
+        for jobs in [1, 2, 5, 16] {
+            let out = run_pool(&trials, jobs, |i, t| {
+                std::thread::sleep(std::time::Duration::from_micros(jitter[i]));
+                t.id.clone()
+            });
+            assert_eq!(
+                out, reference,
+                "worker count {jobs} must not reorder results"
+            );
+        }
+    }
+}
+
+#[test]
+fn trial_ids_are_stable_under_plan_field_reordering() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0F1E_55AB);
+    for _ in 0..100 {
+        let plan = random_plan(&mut rng);
+        // Shuffle every axis list (the plan's set semantics are
+        // unchanged) — the expansion must be identical.
+        let mut shuffled = plan.clone();
+        rng.shuffle(&mut shuffled.workloads);
+        rng.shuffle(&mut shuffled.classes);
+        rng.shuffle(&mut shuffled.ranks);
+        rng.shuffle(&mut shuffled.seeds);
+        rng.shuffle(&mut shuffled.faults);
+        rng.shuffle(&mut shuffled.journal);
+        assert_eq!(
+            plan.expand(),
+            shuffled.expand(),
+            "axis order leaked into the expansion: {plan:?}"
+        );
+    }
+}
+
+#[test]
+fn json_key_order_is_irrelevant() {
+    // The same plan written with its keys permuted (and axis lists
+    // reversed) parses to the same expansion.
+    let a = MatrixPlan::from_json(
+        r#"{
+            "name": "kv",
+            "workloads": ["BT", "CHAOS"],
+            "ranks": [4, 2],
+            "seeds": [3, 1],
+            "faults": ["lossy", "none"],
+            "journal": [true, false]
+        }"#,
+    )
+    .unwrap();
+    let b = MatrixPlan::from_json(
+        r#"{
+            "journal": [false, true],
+            "faults": ["none", "lossy"],
+            "seeds": [1, 3],
+            "ranks": [2, 4],
+            "workloads": ["CHAOS", "BT"],
+            "name": "kv"
+        }"#,
+    )
+    .unwrap();
+    assert_eq!(a.expand(), b.expand());
+}
