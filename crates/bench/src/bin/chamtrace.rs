@@ -11,6 +11,7 @@
 //! chamtrace journal timeline  <journal> <r> # one rank's events in order
 //! chamtrace journal spans     <journal>     # merge levels + critical path
 //! chamtrace journal metrics   <journal>     # metrics-plane snapshots
+//! chamtrace journal anomalies <journal>     # detector verdicts per rank
 //! chamtrace journal diff      <a> <b>       # exit 1 on divergence,
 //!                                           # 2 if either file is bad
 //!
@@ -161,6 +162,10 @@ fn journal_spans(path: &str) {
 
 fn journal_metrics(path: &str) {
     print!("{}", query::metrics_report(&load_journal(path)));
+}
+
+fn journal_anomalies(path: &str) {
+    print!("{}", query::anomaly_report(&load_journal(path)));
 }
 
 fn journal_diff(path_a: &str, path_b: &str) {
@@ -398,6 +403,7 @@ fn main() {
         }
         [j, cmd, path] if j == "journal" && cmd == "spans" => journal_spans(path),
         [j, cmd, path] if j == "journal" && cmd == "metrics" => journal_metrics(path),
+        [j, cmd, path] if j == "journal" && cmd == "anomalies" => journal_anomalies(path),
         [j, cmd, a, b] if j == "journal" && cmd == "diff" => journal_diff(a, b),
         [c, cmd, path] if c == "ckpt" && cmd == "info" => ckpt_info(path),
         [c, cmd, dir] if c == "ckpt" && cmd == "latest" => ckpt_latest(dir),
@@ -453,7 +459,7 @@ fn main() {
         _ => {
             eprintln!("usage: chamtrace info|dump|check <trace-file>");
             eprintln!("       chamtrace replay <trace-file> <ranks>");
-            eprintln!("       chamtrace journal summarize|spans|metrics <journal>");
+            eprintln!("       chamtrace journal summarize|spans|metrics|anomalies <journal>");
             eprintln!("       chamtrace journal timeline <journal> <rank>");
             eprintln!("       chamtrace journal diff <journal-a> <journal-b>");
             eprintln!("       chamtrace ckpt info <blob> | ckpt latest <dir>");

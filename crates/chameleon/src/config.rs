@@ -69,6 +69,14 @@ pub struct ChameleonConfig {
     /// the slice degrades. Larger budgets trade tool time for fewer
     /// degraded slices on very lossy links.
     pub retry_budget: u32,
+    /// Streaming anomaly detector. `None` — the default — keeps the
+    /// health plane completely out of the run: no health gathers, no
+    /// anomaly events, byte-identical journals. `Some(cfg)` arms the
+    /// detector: rank 0 scores every rank's per-marker compute time and
+    /// retransmit count against its cluster cohort at each full marker
+    /// and drives the mitigation ladder (lead demotion, retry-budget
+    /// escalation, quarantine) from the flags.
+    pub detector: Option<obs::DetectorConfig>,
 }
 
 impl ChameleonConfig {
@@ -84,6 +92,7 @@ impl ChameleonConfig {
             ckpt_dir: None,
             resume: None,
             retry_budget: 1,
+            detector: None,
         }
     }
 
@@ -133,6 +142,13 @@ impl ChameleonConfig {
         self.retry_budget = budget;
         self
     }
+
+    /// Arm the streaming anomaly detector (and the mitigation ladder it
+    /// drives) with the given thresholds.
+    pub fn with_detector(mut self, detector: obs::DetectorConfig) -> Self {
+        self.detector = Some(detector);
+        self
+    }
 }
 
 impl Default for ChameleonConfig {
@@ -156,6 +172,7 @@ mod tests {
         assert!(c.ckpt_dir.is_none());
         assert!(c.resume.is_none());
         assert_eq!(c.retry_budget, 1, "one retransmission round by default");
+        assert!(c.detector.is_none(), "health plane is opt-in");
     }
 
     #[test]
@@ -205,5 +222,13 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_retry_budget_rejected() {
         ChameleonConfig::with_k(3).with_retry_budget(0);
+    }
+
+    #[test]
+    fn detector_builder() {
+        let c = ChameleonConfig::with_k(3).with_detector(obs::DetectorConfig::default());
+        let d = c.detector.expect("armed");
+        assert_eq!(d.threshold, 4.0);
+        assert_eq!(d.sustain, 3);
     }
 }

@@ -99,6 +99,18 @@ pub const SELECT_TAG: Tag = (1 << 29) + 3;
 pub const CKPT_SHIP_TAG: Tag = 1;
 /// Obs-plane tag for the deputy's replication acknowledgement.
 pub const CKPT_ACK_TAG: Tag = 2;
+/// Obs-plane tag for the per-marker health star-gather: each rank ships
+/// its `(compute_ns, retransmits)` delta to the online root.
+pub const HEALTH_TAG: Tag = 3;
+/// Obs-plane tag for the root's flag-set broadcast back to every
+/// survivor (the mitigation ladder runs in lock-step off this set).
+pub const FLAG_TAG: Tag = 4;
+
+/// Multiplier applied to the reliable-receive retry budget toward a
+/// currently-flagged peer: a degrading link earns more retransmission
+/// rounds (and therefore deeper exponential backoff) before its slice is
+/// written off as degraded.
+const HEALTH_RETRY_ESCALATION: u32 = 4;
 
 /// Result of `finalize`: the online trace materializes on the online
 /// root.
@@ -142,6 +154,21 @@ pub struct Chameleon {
     /// wire bytes). Folded into `stats.degraded_slices` — at most once per
     /// slice — when the slice closes.
     slice_degraded: bool,
+    /// Ranks flagged by the detector at the most recent marker, ascending.
+    /// Shipped by the online root and applied identically on every rank,
+    /// so the mitigation ladder stays in lock-step. Always empty when the
+    /// detector is off.
+    flagged: Vec<Rank>,
+    /// Consecutive-flag streaks (the quarantine trigger), driven in
+    /// lock-step from the shipped flag sets.
+    sustain: obs::SustainTracker,
+    /// Ranks quarantined for sustained degradation, ascending. Grows
+    /// monotonically; each is walled into a singleton cluster at every
+    /// subsequent selection.
+    quarantined: Vec<Rank>,
+    /// Last-sampled `(compute_ns, retransmits)` totals, so each marker
+    /// ships a per-interval delta rather than a lifetime sum.
+    health_base: (u64, u64),
     finalized: bool,
 }
 
@@ -159,6 +186,10 @@ impl Chameleon {
             resume,
             alive: Vec::new(),
             slice_degraded: false,
+            flagged: Vec::new(),
+            sustain: obs::SustainTracker::new(),
+            quarantined: Vec::new(),
+            health_base: (0, 0),
             finalized: false,
         }
     }
@@ -246,6 +277,7 @@ impl Chameleon {
             // whole point of the in-flight plane is per-marker visibility,
             // not per-*processed*-marker visibility.
             self.snapshot_metrics(tp);
+            self.health_check(tp);
             return; // Algorithm 3 lines 1-3
         }
         self.stats.marker_calls += 1;
@@ -350,6 +382,7 @@ impl Chameleon {
         self.checkpoint_if_due(tp);
         self.maybe_install_resume(tp);
         self.snapshot_metrics(tp);
+        self.health_check(tp);
     }
 
     /// The `MPI_Finalize` wrapper: flush the last interval into the online
@@ -627,6 +660,174 @@ impl Chameleon {
         }
     }
 
+    /// The closed-loop health plane, run at the close of *every* marker
+    /// invocation when a detector is configured; a single `Option` check
+    /// otherwise, so detector-off runs stay byte-identical to the seed.
+    ///
+    /// Every rank ships its per-marker `(compute_ns, retransmits)` delta
+    /// to the online root over the passive OBS plane; the root scores the
+    /// batch per cluster cohort ([`obs::detect::detect`]), journals one
+    /// `anomaly` event per flag, ships the flagged-rank set back to every
+    /// survivor, and all ranks — root included — fold the identical set
+    /// into the mitigation state ([`Chameleon::apply_flags`]). OBS traffic
+    /// never ticks virtual clocks or the fault schedule, so a fault-free
+    /// run with the detector armed produces the same journal bytes as one
+    /// without it (the floored robust score of a byte-identical cohort is
+    /// exactly zero — no flags, no events, no mitigation).
+    fn health_check(&mut self, tp: &mut TracedProc) {
+        let Some(cfg) = self.config.detector else {
+            return;
+        };
+        let me = tp.rank();
+        let marker = self.stats.marker_invocations;
+        let compute_total = tp.inner().consumed_compute_ns();
+        let retrans_total = tp.inner().fault_stats().retransmits;
+        let (compute_base, retrans_base) = self.health_base;
+        self.health_base = (compute_total, retrans_total);
+        let delta = (compute_total - compute_base, retrans_total - retrans_base);
+        let root = self.online_root();
+        if me != root {
+            let mut payload = Vec::with_capacity(16);
+            payload.extend_from_slice(&delta.0.to_le_bytes());
+            payload.extend_from_slice(&delta.1.to_le_bytes());
+            tp.inner().obs_ship(root, HEALTH_TAG, payload);
+            let flagged: Vec<u64> = match tp.inner().obs_collect_or_dead(root, FLAG_TAG) {
+                Some(bytes) => bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")) as u64)
+                    .collect(),
+                // The root died mid-slice: skip this round; the next
+                // resilient collective re-agrees membership and the new
+                // root takes over the gather.
+                None => Vec::new(),
+            };
+            self.apply_flags(&flagged);
+            return;
+        }
+        let participants = self.alive.clone();
+        let mut samples = Vec::with_capacity(participants.len());
+        for &r in &participants {
+            let (compute_ns, retransmits) = if r == me {
+                delta
+            } else {
+                match tp.inner().obs_collect_or_dead(r, HEALTH_TAG) {
+                    Some(b) if b.len() == 16 => (
+                        u64::from_le_bytes(b[..8].try_into().expect("8 bytes")),
+                        u64::from_le_bytes(b[8..].try_into().expect("8 bytes")),
+                    ),
+                    // Died mid-slice (or malformed): no sample this round.
+                    _ => continue,
+                }
+            };
+            samples.push(obs::HealthSample {
+                rank: r as u64,
+                cluster: self.cohort_of(r),
+                compute_ns,
+                retransmits,
+            });
+        }
+        let flags = obs::detect::detect(&cfg, &samples);
+        for f in &flags {
+            let (rank, kind, score, cluster) = (f.rank, f.kind, f.score, f.cluster);
+            tp.inner().record(move || obs::EventKind::Anomaly {
+                rank,
+                marker,
+                kind,
+                score,
+                cluster,
+            });
+        }
+        // A rank flagged on both signals mitigates once: ship the deduped
+        // rank set (flags arrive sorted by rank).
+        let mut flagged: Vec<u64> = flags.iter().map(|f| f.rank).collect();
+        flagged.dedup();
+        let mut wire = Vec::with_capacity(4 * flagged.len());
+        for &r in &flagged {
+            wire.extend_from_slice(&(r as u32).to_le_bytes());
+        }
+        for &r in &participants {
+            if r != me {
+                tp.inner().obs_ship(r, FLAG_TAG, wire.clone());
+            }
+        }
+        self.apply_flags(&flagged);
+    }
+
+    /// The cohort `rank` is scored against: its cluster's lead under the
+    /// current selection, or `u64::MAX` — the whole world as one cohort —
+    /// before any selection exists.
+    fn cohort_of(&self, rank: Rank) -> u64 {
+        self.selection
+            .as_ref()
+            .and_then(|sel| sel.map.cluster_of(rank))
+            .map(|e| e.lead as u64)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Fold one marker's agreed flag set into the mitigation state —
+    /// a pure function of the set, run identically on every rank.
+    fn apply_flags(&mut self, flagged: &[u64]) {
+        self.flagged = flagged.iter().map(|&r| r as Rank).collect();
+        self.stats.anomaly_flags += flagged.len() as u64;
+        self.sustain.observe(flagged);
+        let need = self.config.detector.map_or(u64::MAX, |d| d.sustain);
+        for r in self.sustain.sustained(need) {
+            let r = r as Rank;
+            if !self.quarantined.contains(&r) {
+                self.quarantined.push(r);
+                self.quarantined.sort_unstable();
+                self.stats.quarantines += 1;
+            }
+        }
+    }
+
+    /// Mitigation at selection time, applied identically on every rank to
+    /// the identical selection: quarantined ranks are walled into
+    /// singleton clusters, then flagged ranks lose lead eligibility
+    /// (demoted to the smallest unflagged member of their cluster). A
+    /// no-op whenever nothing is flagged, which keeps fault-free paths
+    /// byte-identical.
+    fn apply_health_policy(&mut self, tp: &mut TracedProc, sel: &mut LeadSelection) {
+        if self.config.detector.is_none()
+            || (self.flagged.is_empty() && self.quarantined.is_empty())
+        {
+            return;
+        }
+        for &q in &self.quarantined.clone() {
+            sel.map.quarantine(q);
+        }
+        let mut avoid: Vec<Rank> = self
+            .flagged
+            .iter()
+            .chain(self.quarantined.iter())
+            .copied()
+            .collect();
+        avoid.sort_unstable();
+        avoid.dedup();
+        let demoted = sel.map.reelect_leads_avoiding(&avoid);
+        self.stats.lead_demotions += demoted.len() as u64;
+        for d in demoted {
+            tp.inner().record(|| obs::EventKind::Reelect {
+                call_path: d.call_path,
+                old: d.old as u64,
+                new: d.new as u64,
+            });
+        }
+        sel.leads = sel.map.leads();
+    }
+
+    /// Reliable-receive policy toward `peer`: the configured budget,
+    /// escalated by [`HEALTH_RETRY_ESCALATION`] while the detector has the
+    /// peer flagged — a degrading link gets more retransmission rounds
+    /// (and deeper backoff) before its payload is written off.
+    fn retry_toward(&self, peer: Rank) -> RetryPolicy {
+        let mut budget = self.config.retry_budget;
+        if self.config.detector.is_some() && self.flagged.binary_search(&peer).is_ok() {
+            budget = budget.saturating_mul(HEALTH_RETRY_ESCALATION);
+        }
+        RetryPolicy::Bounded(budget)
+    }
+
     /// Close the metrics-plane delta for this marker: every participant's
     /// sketch is drained and reduced over the out-of-band tree
     /// ([`mpisim::Comm::OBS`]), and the tree root — the smallest agreed
@@ -660,11 +861,12 @@ impl Chameleon {
     fn cluster(&mut self, tp: &mut TracedProc, triple: &SignatureTriple) -> LeadSelection {
         let tool0 = tp.inner().tool_time();
         let algo = self.config.algo.build();
-        let sel = if tp.inner().faults_armed() {
+        let mut sel = if tp.inner().faults_armed() {
             self.cluster_armed(tp, triple, &*algo)
         } else {
             self.cluster_exact(tp, triple, &*algo)
         };
+        self.apply_health_policy(tp, &mut sel);
         // Every span above was registered on the tool clock, so the delta
         // covers modeled compute + modeled communication + waits.
         self.stats.clustering_time += Duration::from_secs_f64(tp.inner().tool_time() - tool0);
@@ -761,12 +963,11 @@ impl Chameleon {
         let mut map = ClusterMap::from_rank(me, triple);
         for child_pos in tree.children(my_pos) {
             let child = participants[child_pos];
-            match tp.inner().reliable_recv(
-                child,
-                CLUSTER_TAG,
-                Comm::TOOL,
-                RetryPolicy::Bounded(self.config.retry_budget),
-            ) {
+            let policy = self.retry_toward(child);
+            match tp
+                .inner()
+                .reliable_recv(child, CLUSTER_TAG, Comm::TOOL, policy)
+            {
                 Ok(payload) => {
                     tp.inner().tool_compute(work.codec(payload.len()));
                     match ClusterMap::decode(&payload) {
@@ -926,12 +1127,11 @@ impl Chameleon {
         }
         if me == online_root && merge_root != online_root {
             let payload = if armed {
-                match tp.inner().reliable_recv(
-                    merge_root,
-                    ONLINE_TAG,
-                    Comm::TOOL,
-                    RetryPolicy::Bounded(self.config.retry_budget),
-                ) {
+                let policy = self.retry_toward(merge_root);
+                match tp
+                    .inner()
+                    .reliable_recv(merge_root, ONLINE_TAG, Comm::TOOL, policy)
+                {
                     Ok(bytes) => Some(bytes),
                     // The merge root died or its payload stayed corrupt
                     // past the retry budget: the online trace skips this
@@ -1203,6 +1403,88 @@ mod tests {
         // repeat vote; first marker of each later block is a flush/AT.
         assert!(s.reclusterings >= 3, "got {}", s.reclusterings);
         assert_eq!(s.states.c, s.reclusterings);
+    }
+
+    /// A timestep with real modeled compute, so the health plane's "slow"
+    /// signal has something to measure.
+    fn compute_timestep(tp: &mut TracedProc) {
+        let me = tp.rank();
+        let p = tp.size();
+        tp.frame("compute_step", |tp| {
+            tp.compute(1e-4);
+            tp.send("halo_send", (me + 1) % p, 1, &[0u8; 16]);
+            tp.recv("halo_recv", (me + p - 1) % p, 1, 16);
+            tp.allreduce_sum("residual", 1);
+        });
+    }
+
+    fn run_detected(
+        p: usize,
+        steps: usize,
+        plan: Option<mpisim::FaultPlan>,
+    ) -> mpisim::WorldReport<FinalizeOutcome> {
+        let mut cfg = WorldConfig::for_tests(p).with_recorder();
+        if let Some(plan) = plan {
+            cfg = cfg.with_faults(plan);
+        }
+        World::new(cfg)
+            .run(move |proc| {
+                let mut tp = TracedProc::new(proc);
+                // K=1: one cluster, so the whole world is the scoring
+                // cohort — a robust median needs a healthy majority.
+                let mut cham = Chameleon::new(
+                    ChameleonConfig::with_k(1).with_detector(obs::DetectorConfig::default()),
+                );
+                for _ in 0..steps {
+                    compute_timestep(&mut tp);
+                    cham.marker(&mut tp);
+                }
+                cham.finalize(&mut tp)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn health_plane_flags_and_quarantines_straggler() {
+        let plan = mpisim::FaultPlan::new(0xA5).straggle_rank(3, 4.0);
+        let report = run_detected(4, 10, Some(plan));
+        let flags: Vec<u64> = report
+            .results
+            .iter()
+            .map(|r| r.stats.anomaly_flags)
+            .collect();
+        assert!(flags[0] >= 3, "straggler flagged repeatedly: {flags:?}");
+        assert!(
+            flags.iter().all(|&f| f == flags[0]),
+            "flag tallies agree across ranks (lock-step): {flags:?}"
+        );
+        for r in &report.results {
+            assert_eq!(r.stats.quarantines, 1, "sustained straggler quarantined");
+        }
+        let j = report.journal.expect("recorder armed");
+        let rows = obs::query::anomalies(&j);
+        assert!(!rows.is_empty());
+        assert!(
+            rows.iter()
+                .all(|a| a.rank == 3 && a.kind == obs::AnomalyKind::Slow),
+            "only the straggler flags, always slow: {rows:?}"
+        );
+        assert!(rows.iter().all(|a| a.score > 4.0), "scores above threshold");
+    }
+
+    #[test]
+    fn fault_free_detector_stays_silent() {
+        let report = run_detected(4, 10, None);
+        for r in &report.results {
+            assert_eq!(r.stats.anomaly_flags, 0, "no flags on a healthy run");
+            assert_eq!(r.stats.quarantines, 0);
+            assert_eq!(r.stats.lead_demotions, 0);
+            // The run behaves exactly like a detector-off run.
+            assert_eq!(r.stats.states.at, 1);
+            assert_eq!(r.stats.states.c, 1);
+        }
+        let j = report.journal.expect("recorder armed");
+        assert!(obs::query::anomalies(&j).is_empty());
     }
 
     #[test]

@@ -152,6 +152,17 @@ pub struct ChameleonStats {
     /// deputy (the smallest survivor) took over. A pure function of the
     /// agreed alive snapshots, so identical across survivors.
     pub promotions: u64,
+    /// Rank-marker anomaly flags applied from the detector's shipped flag
+    /// sets (each flagged rank counts once per marker, even when both
+    /// signals fired). Identical across ranks by lock-step; zero when the
+    /// detector is off or the run is fault-free.
+    pub anomaly_flags: u64,
+    /// Ranks quarantined into singleton clusters for sustained
+    /// degradation. Monotone, identical across ranks.
+    pub quarantines: u64,
+    /// Leads demoted at selection time because the detector had them
+    /// flagged. Identical across ranks.
+    pub lead_demotions: u64,
 }
 
 impl ChameleonStats {
@@ -227,6 +238,13 @@ pub struct AggregatedStats {
     pub lead_reelections: u64,
     /// Root promotions (first rank's count, same reasoning).
     pub promotions: u64,
+    /// Anomaly flags applied (first rank's count — the flag sets are
+    /// agreed, so every rank tallies the same).
+    pub anomaly_flags: u64,
+    /// Quarantined ranks (first rank's count, same reasoning).
+    pub quarantines: u64,
+    /// Health-policy lead demotions (first rank's count, same reasoning).
+    pub lead_demotions: u64,
 }
 
 impl AggregatedStats {
@@ -248,6 +266,9 @@ impl AggregatedStats {
                 agg.degraded_slices = s.degraded_slices;
                 agg.lead_reelections = s.lead_reelections;
                 agg.promotions = s.promotions;
+                agg.anomaly_flags = s.anomaly_flags;
+                agg.quarantines = s.quarantines;
+                agg.lead_demotions = s.lead_demotions;
                 first = false;
             }
         }

@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 
 use mpisim::Rank;
+use scalatrace::RankSet;
 use sigkit::{CallPathSig, SignatureTriple};
 
 use crate::algorithms::ClusterAlgorithm;
@@ -170,6 +171,68 @@ impl ClusterMap {
             }
         }
         reelected
+    }
+
+    /// Demote leads the health plane has flagged: any entry whose lead is
+    /// in `avoid` hands the lead to its smallest member *not* in `avoid`.
+    /// An entry whose every member is flagged keeps its lead — someone has
+    /// to represent the cluster. Like [`ClusterMap::reelect_leads`] this
+    /// is a pure function of its arguments, so every rank applying it to
+    /// the same selection with the same flagged set demotes identically.
+    pub fn reelect_leads_avoiding(&mut self, avoid: &[Rank]) -> Vec<Reelection> {
+        let mut reelected = Vec::new();
+        for (&call_path, entries) in self.groups.iter_mut() {
+            for e in entries.iter_mut() {
+                if !avoid.contains(&e.lead) {
+                    continue;
+                }
+                if let Some(&new_lead) = e.members.expand().iter().find(|m| !avoid.contains(m)) {
+                    reelected.push(Reelection {
+                        call_path,
+                        old: e.lead,
+                        new: new_lead,
+                    });
+                    e.lead = new_lead;
+                }
+            }
+        }
+        reelected
+    }
+
+    /// Wall a sustained-degradation rank off into its own singleton
+    /// cluster: it is removed from whatever entry held it (the smallest
+    /// remaining member takes over if it led) and re-inserted as a
+    /// singleton under the same Call-Path with the entry's signature
+    /// coordinates. Its trace then represents only itself — a degraded
+    /// rank can no longer stand in for healthy peers in merges. No-op if
+    /// the rank is already alone (or absent).
+    pub fn quarantine(&mut self, rank: Rank) {
+        for (_, entries) in self.groups.iter_mut() {
+            let Some(e) = entries.iter_mut().find(|e| e.members.contains(rank)) else {
+                continue;
+            };
+            if e.len() <= 1 {
+                return;
+            }
+            let rest: Vec<Rank> = e
+                .members
+                .expand()
+                .into_iter()
+                .filter(|&m| m != rank)
+                .collect();
+            e.members = RankSet::from_ranks(rest.iter().copied());
+            if e.lead == rank {
+                e.lead = rest[0];
+            }
+            let walled = ClusterEntry {
+                lead: rank,
+                members: RankSet::singleton(rank),
+                src: e.src,
+                dest: e.dest,
+            };
+            entries.push(walled);
+            return;
+        }
     }
 
     /// All lead ranks, ascending.
@@ -462,6 +525,84 @@ mod tests {
         let mut m = ClusterMap::from_rank(3, &triple(1, 0, 0));
         assert!(m.reelect_leads(&[0, 1]).is_empty(), "no survivor to elect");
         assert_eq!(m.leads(), vec![3], "dead lead kept for caller filtering");
+    }
+
+    #[test]
+    fn avoiding_demotes_flagged_lead() {
+        // Cluster {2,5,9} led by its smallest member; flagging the lead
+        // hands the cluster to the smallest unflagged member.
+        let mut m = ClusterMap::new();
+        for r in [2, 5, 9] {
+            m.merge(ClusterMap::from_rank(r, &triple(1, 0, 0)));
+        }
+        m.prune(1, &KFarthest);
+        let lead = m.leads()[0];
+        let re = m.reelect_leads_avoiding(&[lead]);
+        assert_eq!(re.len(), 1);
+        assert_eq!(re[0].old, lead);
+        assert_ne!(m.leads()[0], lead, "flagged rank no longer leads");
+        // Idempotent: the new lead is not flagged.
+        assert!(m.reelect_leads_avoiding(&[lead]).is_empty());
+        // Healthy leads are untouched.
+        assert!(m.reelect_leads_avoiding(&[1234]).is_empty());
+    }
+
+    #[test]
+    fn avoiding_keeps_lead_when_all_members_flagged() {
+        let mut m = ClusterMap::new();
+        for r in [2, 5] {
+            m.merge(ClusterMap::from_rank(r, &triple(1, 0, 0)));
+        }
+        m.prune(1, &KFarthest);
+        let lead = m.leads()[0];
+        assert!(m.reelect_leads_avoiding(&[2, 5]).is_empty());
+        assert_eq!(m.leads(), vec![lead], "someone must represent the cluster");
+    }
+
+    #[test]
+    fn quarantine_walls_rank_into_singleton() {
+        let mut m = ClusterMap::new();
+        for r in [2, 5, 9] {
+            m.merge(ClusterMap::from_rank(r, &triple(1, 40, 60)));
+        }
+        m.prune(1, &KFarthest);
+        assert_eq!(m.total_clusters(), 1);
+        m.quarantine(9);
+        assert_eq!(
+            m.total_clusters(),
+            2,
+            "quarantined rank got its own cluster"
+        );
+        assert_eq!(m.total_ranks(), 3, "no rank lost");
+        let solo = m.cluster_of(9).unwrap();
+        assert_eq!(solo.lead, 9);
+        assert_eq!(solo.members.expand(), vec![9]);
+        assert_eq!((solo.src, solo.dest), (40, 60), "keeps host coordinates");
+        let rest = m.cluster_of(2).unwrap();
+        assert!(!rest.members.contains(9));
+        // Already alone: nothing changes.
+        m.quarantine(9);
+        assert_eq!(m.total_clusters(), 2);
+        // Absent rank: nothing changes.
+        m.quarantine(77);
+        assert_eq!(m.total_clusters(), 2);
+    }
+
+    #[test]
+    fn quarantine_reelects_if_lead_walled() {
+        let mut m = ClusterMap::new();
+        for r in [2, 5, 9] {
+            m.merge(ClusterMap::from_rank(r, &triple(1, 0, 0)));
+        }
+        m.prune(1, &KFarthest);
+        let lead = m.leads()[0];
+        m.quarantine(lead);
+        let host = m
+            .cluster_of(if lead == 2 { 5 } else { 2 })
+            .expect("remaining members still covered");
+        assert_ne!(host.lead, lead, "host cluster re-led");
+        assert!(host.members.contains(host.lead));
+        assert_eq!(m.total_ranks(), 3);
     }
 
     #[test]

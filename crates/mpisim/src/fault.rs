@@ -44,6 +44,28 @@ pub struct CrashFault {
     pub at_op: u64,
 }
 
+/// A progressively-ramping lossy link targeting one sender's outgoing
+/// faultable messages: every `window` send nonces past `start_nonce`, the
+/// effective drop and delay rates step up by the configured increments
+/// (capped at 1000‰). The time axis is the sender's own message nonce —
+/// the same pure coordinate [`FaultPlan::fate`] already hashes — so a
+/// ramp is deterministic per seed and attributable to exactly one rank,
+/// which is what lets the health plane score detected-vs-injected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkRamp {
+    /// The rank whose *outgoing* sends degrade.
+    pub target: Rank,
+    /// Nonce at which the ramp starts (rates below it are the plan's
+    /// base rates).
+    pub start_nonce: u64,
+    /// Nonces per ramp step (>= 1).
+    pub window: u64,
+    /// Drop-rate increment per window, in per-mille.
+    pub drop_step_per_mille: u16,
+    /// Delay-rate increment per window, in per-mille.
+    pub delay_step_per_mille: u16,
+}
+
 /// A deterministic fault schedule for one world run.
 ///
 /// Per-mille knobs express probabilities in units of 1/1000 per message
@@ -73,6 +95,15 @@ pub struct FaultPlan {
     /// panic after this many milliseconds instead of hanging forever, so
     /// a buggy recovery protocol fails fast under test.
     pub hang_timeout_ms: u64,
+    /// Per-rank straggler slowdown factors on compute intervals
+    /// (`factor > 1.0` slows the rank; absent ranks run at 1.0).
+    pub stragglers: Vec<(Rank, f64)>,
+    /// Topology-skewed load imbalance: the heavy corner of the row-major
+    /// decomposition — the top [`FaultPlan::imbalance_heavy`] ranks — gets
+    /// its compute intervals scaled by `1 + imbalance_skew`.
+    pub imbalance_skew: f64,
+    /// Optional progressively-ramping lossy link.
+    pub ramp: Option<LinkRamp>,
 }
 
 impl FaultPlan {
@@ -87,6 +118,9 @@ impl FaultPlan {
             delay_per_mille: 0,
             delay_seconds: 0.0,
             hang_timeout_ms: 30_000,
+            stragglers: Vec::new(),
+            imbalance_skew: 0.0,
+            ramp: None,
         }
     }
 
@@ -132,16 +166,110 @@ impl FaultPlan {
         self
     }
 
+    /// Slow `rank`'s compute intervals by `factor` (clamped to >= 1.0).
+    pub fn straggle_rank(mut self, rank: Rank, factor: f64) -> Self {
+        self.stragglers.retain(|(r, _)| *r != rank);
+        self.stragglers.push((rank, factor.max(1.0)));
+        self
+    }
+
+    /// Scale the heavy-corner ranks' compute intervals by `1 + skew`.
+    pub fn imbalance(mut self, skew: f64) -> Self {
+        self.imbalance_skew = skew.max(0.0);
+        self
+    }
+
+    /// Arm a progressively-ramping drop/delay link on `target`'s outgoing
+    /// sends: starting at `start_nonce`, every `window` nonces the
+    /// effective rates step up by the given per-mille increments. The
+    /// virtual-time penalty of delayed messages is the plan's
+    /// [`FaultPlan::delay_seconds`] (set via [`FaultPlan::delay`]).
+    pub fn ramp_link(
+        mut self,
+        target: Rank,
+        start_nonce: u64,
+        window: u64,
+        drop_step_per_mille: u16,
+        delay_step_per_mille: u16,
+    ) -> Self {
+        self.ramp = Some(LinkRamp {
+            target,
+            start_nonce,
+            window: window.max(1),
+            drop_step_per_mille,
+            delay_step_per_mille,
+        });
+        self
+    }
+
+    /// How many heavy-corner ranks an imbalance skew degrades in a world
+    /// of `size` ranks: the top quartile (rounded up) of the row-major
+    /// order, modeling the loaded corner of a skewed decomposition.
+    pub fn imbalance_heavy(size: usize) -> usize {
+        size.div_ceil(4)
+    }
+
+    /// The pure compute-interval multiplier this plan applies to `rank`
+    /// in a world of `size` ranks (1.0 when no degradation targets it).
+    pub fn compute_scale(&self, rank: Rank, size: usize) -> f64 {
+        let mut scale = 1.0;
+        if let Some((_, f)) = self.stragglers.iter().find(|(r, _)| *r == rank) {
+            scale *= f;
+        }
+        if self.imbalance_skew > 0.0 && rank + Self::imbalance_heavy(size) >= size {
+            scale *= 1.0 + self.imbalance_skew;
+        }
+        scale
+    }
+
+    /// The effective (drop, delay) per-mille rates for `sender`'s send
+    /// attempt `nonce`, base rates plus any ramp steps, capped at 1000.
+    pub fn effective_rates(&self, sender: Rank, nonce: u64) -> (u16, u16) {
+        let (mut drop, mut delay) = (self.drop_per_mille, self.delay_per_mille);
+        if let Some(r) = self.ramp {
+            if sender == r.target && nonce >= r.start_nonce {
+                let steps = ((nonce - r.start_nonce) / r.window).min(1000);
+                drop = (drop as u64 + steps * r.drop_step_per_mille as u64).min(1000) as u16;
+                delay = (delay as u64 + steps * r.delay_step_per_mille as u64).min(1000) as u16;
+            }
+        }
+        (drop, delay)
+    }
+
+    /// The ranks this plan degrades (stragglers, the ramp target, and the
+    /// imbalance heavy corner), ascending and deduplicated — the ground
+    /// truth the matrix runner scores anomaly detection against.
+    pub fn degraded_ranks(&self, size: usize) -> Vec<Rank> {
+        let mut out: Vec<Rank> = self.stragglers.iter().map(|&(r, _)| r).collect();
+        if self.imbalance_skew > 0.0 {
+            out.extend((size - Self::imbalance_heavy(size).min(size))..size);
+        }
+        if let Some(r) = self.ramp {
+            out.push(r.target);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Does this plan degrade anything (beyond the base lossy link)?
+    pub fn degrades(&self) -> bool {
+        !self.stragglers.is_empty() || self.imbalance_skew > 0.0 || self.ramp.is_some()
+    }
+
     /// Decide the fate of one message send attempt. Pure in
     /// `(self.seed, sender, nonce)`; callers tick `nonce` once per send
-    /// attempt in sender program order.
+    /// attempt in sender program order. Ramped links change the *rates*
+    /// the coins are compared against, never the hash itself, so arming a
+    /// ramp perturbs no coin outside its target window.
     pub fn fate(&self, sender: Rank, nonce: u64) -> MessageFate {
         let h = splitmix64(self.seed ^ splitmix64(((sender as u64) << 32) ^ nonce));
+        let (drop_pm, delay_pm) = self.effective_rates(sender, nonce);
         MessageFate {
-            drop: (h % 1000) < self.drop_per_mille as u64,
+            drop: (h % 1000) < drop_pm as u64,
             corrupt: ((h >> 10) % 1000) < self.corrupt_per_mille as u64,
             duplicate: ((h >> 20) % 1000) < self.duplicate_per_mille as u64,
-            delay: ((h >> 30) % 1000) < self.delay_per_mille as u64,
+            delay: ((h >> 30) % 1000) < delay_pm as u64,
             entropy: splitmix64(h),
         }
     }
@@ -179,6 +307,29 @@ impl fmt::Display for FaultPlan {
             "  delay: {}/1000 (+{}s virtual)",
             self.delay_per_mille, self.delay_seconds
         )?;
+        if !self.stragglers.is_empty() {
+            let mut sorted = self.stragglers.clone();
+            sorted.sort_by_key(|s| s.0);
+            write!(f, "  stragglers:")?;
+            for (rank, factor) in sorted {
+                write!(f, " rank {rank} x{factor}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.imbalance_skew > 0.0 {
+            writeln!(
+                f,
+                "  imbalance: heavy corner x{}",
+                1.0 + self.imbalance_skew
+            )?;
+        }
+        if let Some(r) = self.ramp {
+            writeln!(
+                f,
+                "  ramp: rank {} from nonce {} every {} (+{}/1000 drop, +{}/1000 delay)",
+                r.target, r.start_nonce, r.window, r.drop_step_per_mille, r.delay_step_per_mille
+            )?;
+        }
         write!(f, "  hang timeout: {} ms", self.hang_timeout_ms)
     }
 }
@@ -299,5 +450,120 @@ mod tests {
         assert!(s.contains("seed=0x00000000000000ab"));
         assert!(s.contains("rank 3 at op 42"));
         assert!(s.contains("corrupt: 20/1000"));
+        let degraded = FaultPlan::new(1)
+            .straggle_rank(2, 4.0)
+            .imbalance(0.5)
+            .ramp_link(1, 100, 50, 10, 5)
+            .to_string();
+        assert!(degraded.contains("rank 2 x4"));
+        assert!(degraded.contains("heavy corner x1.5"));
+        assert!(degraded.contains("ramp: rank 1 from nonce 100 every 50"));
+    }
+
+    #[test]
+    fn compute_scale_composes_and_defaults_to_unity() {
+        let plan = FaultPlan::new(0);
+        for rank in 0..8 {
+            assert_eq!(plan.compute_scale(rank, 8), 1.0);
+        }
+        let plan = FaultPlan::new(0).straggle_rank(3, 5.0).imbalance(0.5);
+        assert_eq!(plan.compute_scale(0, 8), 1.0);
+        assert_eq!(plan.compute_scale(3, 8), 5.0);
+        // imbalance_heavy(8) = 2: ranks 6 and 7 are the heavy corner.
+        assert_eq!(plan.compute_scale(5, 8), 1.0);
+        assert_eq!(plan.compute_scale(6, 8), 1.5);
+        assert_eq!(plan.compute_scale(7, 8), 1.5);
+        // A straggler in the heavy corner compounds.
+        let both = FaultPlan::new(0).straggle_rank(7, 2.0).imbalance(0.5);
+        assert_eq!(both.compute_scale(7, 8), 3.0);
+    }
+
+    #[test]
+    fn ramp_escalates_only_its_target_past_start() {
+        let plan = FaultPlan::new(9).ramp_link(2, 100, 50, 10, 5);
+        assert_eq!(plan.effective_rates(2, 0), (0, 0));
+        assert_eq!(plan.effective_rates(2, 99), (0, 0));
+        assert_eq!(plan.effective_rates(2, 100), (0, 0), "step 0 adds nothing");
+        assert_eq!(plan.effective_rates(2, 150), (10, 5));
+        assert_eq!(plan.effective_rates(2, 600), (100, 50));
+        // Other senders never ramp.
+        assert_eq!(plan.effective_rates(1, 600), (0, 0));
+        // Rates cap at 1000 per mille.
+        assert_eq!(plan.effective_rates(2, 100 + 50 * 5000), (1000, 1000));
+        // The coin hash is rate-independent: corrupt/duplicate coins agree
+        // with an unramped plan at every nonce.
+        let base = FaultPlan::new(9);
+        for nonce in 0..2000 {
+            let a = plan.fate(2, nonce);
+            let b = base.fate(2, nonce);
+            assert_eq!(a.corrupt, b.corrupt);
+            assert_eq!(a.duplicate, b.duplicate);
+            assert_eq!(a.entropy, b.entropy);
+        }
+    }
+
+    #[test]
+    fn fate_coins_are_pairwise_independent() {
+        // The four fate coins slice different windows of one splitmix64
+        // hash. If those windows correlated, compound fault rates would
+        // silently deviate from the product of the marginals (a dropped
+        // message would, say, also tend to be corrupted on retransmit),
+        // biasing every chaos and degraded suite. Check all six coin
+        // pairs with a 2x2 chi-square statistic across 10 seeds: under
+        // independence chi2 ~ chi2(1), so 20 would be an astronomical
+        // outlier (p < 1e-5) — and the whole check is deterministic, so
+        // it either always passes or flags a real coin correlation.
+        let n = 20_000u64;
+        for seed in 0..10u64 {
+            let plan = FaultPlan::new(splitmix64(seed))
+                .drop_per_mille(200)
+                .corrupt_per_mille(200)
+                .duplicate_per_mille(200)
+                .delay(200, 0.1);
+            let mut joint = [[0u64; 4]; 4]; // joint[i][j]: coins i and j both up
+            let mut marginal = [0u64; 4];
+            for nonce in 0..n {
+                let f = plan.fate(1, nonce);
+                let coins = [f.drop, f.corrupt, f.duplicate, f.delay];
+                for i in 0..4 {
+                    marginal[i] += coins[i] as u64;
+                    for j in (i + 1)..4 {
+                        joint[i][j] += (coins[i] && coins[j]) as u64;
+                    }
+                }
+            }
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    // 2x2 contingency table: a = both, b/c = one only,
+                    // d = neither; chi2 = n(ad-bc)^2 / (row/col products).
+                    let a = joint[i][j] as f64;
+                    let b = marginal[i] as f64 - a;
+                    let c = marginal[j] as f64 - a;
+                    let d = n as f64 - a - b - c;
+                    let chi2 = n as f64 * (a * d - b * c).powi(2)
+                        / ((a + b) * (c + d) * (a + c) * (b + d));
+                    assert!(
+                        chi2 < 20.0,
+                        "coins {i} and {j} correlate under seed {seed}: chi2 = {chi2:.2} \
+                         (joint {a}, marginals {} / {})",
+                        marginal[i],
+                        marginal[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_ranks_is_sorted_ground_truth() {
+        assert!(FaultPlan::new(0).degraded_ranks(8).is_empty());
+        assert!(!FaultPlan::new(0).degrades());
+        let plan = FaultPlan::new(0)
+            .straggle_rank(7, 3.0)
+            .imbalance(0.4)
+            .ramp_link(1, 0, 10, 5, 5);
+        assert!(plan.degrades());
+        // Stragglers(7) + ramp(1) + heavy corner of 8 (6, 7), deduped.
+        assert_eq!(plan.degraded_ranks(8), vec![1, 6, 7]);
     }
 }

@@ -46,7 +46,7 @@ pub mod topology;
 pub mod world;
 
 pub use cputime::CpuTimer;
-pub use fault::{CrashFault, FaultPlan, FaultStats, InjectedCrash};
+pub use fault::{CrashFault, FaultPlan, FaultStats, InjectedCrash, LinkRamp};
 pub use proc::{PendingRecv, Proc, Rank, RecvInfo, SrcSel, Tag, TagSel};
 pub use reliable::{ProtocolError, RetryPolicy};
 pub use time::{CostModel, VirtualClock, VirtualTime, WorkModel};

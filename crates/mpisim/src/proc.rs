@@ -142,6 +142,17 @@ pub struct Proc {
     /// that never ticks the op counter, advances a clock, spends a fault
     /// coin, or touches [`ProcStats`] — see [`Proc::reduce_metrics_delta`].
     metrics: Option<Box<obs::MetricSet>>,
+    /// The armed plan's compute-interval multiplier for this rank, cached
+    /// at construction (1.0 unarmed or undegraded — [`Proc::compute`] pays
+    /// one multiply either way).
+    compute_scale: f64,
+    /// Cumulative locally-consumed compute, in quantized nanoseconds of
+    /// *effective* (degradation-scaled) interval time. Unlike the app
+    /// clock — which the marker barrier synchronizes across ranks, hiding
+    /// a straggler's slowness behind everyone's wait — this counter is
+    /// strictly local, so per-marker deltas attribute slow compute to the
+    /// rank that actually burned it. The health detector's "slow" signal.
+    compute_ns: u64,
 }
 
 /// Base of the reserved tag space used by collective-internal messages.
@@ -159,6 +170,10 @@ impl Proc {
         let metrics = recorder
             .is_enabled()
             .then(|| Box::new(obs::MetricSet::new()));
+        let compute_scale = shared
+            .faults
+            .as_ref()
+            .map_or(1.0, |p| p.compute_scale(rank, shared.size));
         Proc {
             rank,
             shared,
@@ -173,6 +188,8 @@ impl Proc {
             seq_in: HashMap::new(),
             recorder,
             metrics,
+            compute_scale,
+            compute_ns: 0,
         }
     }
 
@@ -218,9 +235,29 @@ impl Proc {
     }
 
     /// Simulate `dt` virtual seconds of computation.
+    ///
+    /// A degraded rank (straggler or heavy imbalance corner, see
+    /// [`FaultPlan::compute_scale`]) consumes the scaled interval; the
+    /// effective time is also accumulated into the strictly-local
+    /// [`Proc::consumed_compute_ns`] counter.
     #[inline]
     pub fn compute(&mut self, dt: VirtualTime) {
+        let dt = dt * self.compute_scale;
+        self.compute_ns += (dt * 1e9) as u64;
         self.clock.advance(dt);
+    }
+
+    /// Cumulative *locally consumed* compute, in quantized nanoseconds of
+    /// effective (degradation-scaled) interval time.
+    ///
+    /// The app clock cannot attribute slowness: blocking receives and the
+    /// marker barrier drag every rank's clock up to the straggler's, so
+    /// after each marker all clocks agree. This counter only ever moves in
+    /// [`Proc::compute`], so per-marker deltas identify exactly which rank
+    /// burned the time — the health detector's "slow" signal.
+    #[inline]
+    pub fn consumed_compute_ns(&self) -> u64 {
+        self.compute_ns
     }
 
     /// Blocking buffered send (MPI_Send with an eager protocol: completes

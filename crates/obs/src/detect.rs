@@ -1,0 +1,327 @@
+//! Streaming per-cluster anomaly detection over health samples.
+//!
+//! At every marker the runtime star-gathers one [`HealthSample`] per rank
+//! to rank 0 (over the passive OBS plane) and hands the batch to
+//! [`detect`]: per cluster, a robust center (median) and scale (MAD) are
+//! computed for each signal, and a rank is flagged when its deviation
+//! above the center exceeds `threshold` floored robust sigmas. Two
+//! signals, two [`AnomalyKind`]s:
+//!
+//! - **slow** — locally-consumed compute nanoseconds. The app clock
+//!   cannot carry this signal: blocking receives and the marker barrier
+//!   drag every clock up to the straggler's, so only the strictly-local
+//!   compute counter attributes slowness to the rank that burned it.
+//! - **flaky** — reliable-protocol retransmissions. A degrading link
+//!   drops the target's outgoing frames, so *its* retry counter spikes
+//!   while its peers' stay near the cluster median.
+//!
+//! The scale is *floored*: `score = dev / max(1.4826·MAD, floor)` where
+//! the floor is an absolute quantum (plus a relative fraction of the
+//! median for compute). Without the floor, a cluster whose members are
+//! byte-identical (MAD = 0) would flag any epsilon of deviation; with it,
+//! fault-free SPMD runs — where every member's deltas agree exactly —
+//! score 0.0 everywhere and emit nothing, which is what keeps armed
+//! fault-free journals byte-identical to detector-off goldens.
+//!
+//! Everything is a pure function of the sample batch: samples are grouped
+//! and sorted internally, so scores are invariant under permutation of
+//! the input, and all arithmetic is deterministic IEEE f64 — same seed,
+//! same journal bytes.
+
+use std::collections::BTreeMap;
+
+use crate::event::AnomalyKind;
+
+/// Consistency constant relating MAD to the standard deviation of a
+/// normal distribution (1/Φ⁻¹(3/4)).
+const MAD_SIGMA: f64 = 1.4826;
+
+/// One rank's per-marker health delta, tagged with its scoring cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSample {
+    /// The sampled rank.
+    pub rank: u64,
+    /// Cohort the rank is scored against (its cluster lead, or
+    /// `u64::MAX` before any selection exists — the whole world).
+    pub cluster: u64,
+    /// Locally-consumed compute nanoseconds since the previous marker.
+    pub compute_ns: u64,
+    /// Reliable-protocol retransmissions since the previous marker.
+    pub retransmits: u64,
+}
+
+/// Detector tuning. [`DetectorConfig::default`] is calibrated so that
+/// byte-identical cohort members never flag and the degraded scenarios in
+/// `plans/degraded.plan.json` flag within a few markers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Flag when `dev > threshold × max(1.4826·MAD, floor)`.
+    pub threshold: f64,
+    /// Absolute scale floor for the compute signal, nanoseconds.
+    pub abs_floor_ns: u64,
+    /// Relative scale floor for the compute signal, as a fraction of the
+    /// cohort median (guards against tiny absolute intervals).
+    pub rel_floor: f64,
+    /// Absolute scale floor for the retransmit signal, frames.
+    pub retry_floor: u64,
+    /// Consecutive flagged markers before a rank counts as *sustained*
+    /// (the quarantine trigger, see [`SustainTracker`]).
+    pub sustain: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            threshold: 4.0,
+            abs_floor_ns: 10_000,
+            rel_floor: 0.2,
+            retry_floor: 3,
+            sustain: 3,
+        }
+    }
+}
+
+/// One flagged rank at one marker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flag {
+    /// The flagged rank.
+    pub rank: u64,
+    /// Cohort it was scored against.
+    pub cluster: u64,
+    /// Which signal fired.
+    pub kind: AnomalyKind,
+    /// Floored robust z-score of the deviation (always > threshold).
+    pub score: f64,
+}
+
+/// Median of an ascending slice (mean of the middle pair when even;
+/// 0.0 when empty).
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Robust center and scale: sorts in place, returns `(median, MAD)`.
+fn robust_stats(values: &mut [f64]) -> (f64, f64) {
+    values.sort_by(f64::total_cmp);
+    let med = median(values);
+    let mut devs: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    (med, median(&devs))
+}
+
+/// Score one batch of samples. Returns flags sorted by `(rank, kind)`;
+/// a rank may carry both a `slow` and a `flaky` flag in the same batch.
+///
+/// Only *positive* deviation flags: a rank faster (or quieter) than its
+/// cohort's center is healthy, not anomalous. A singleton cohort can
+/// never flag — its own value is the median, so its deviation is zero;
+/// this is what makes quarantined ranks go quiet instead of re-flagging
+/// forever.
+pub fn detect(cfg: &DetectorConfig, samples: &[HealthSample]) -> Vec<Flag> {
+    let mut by_cluster: BTreeMap<u64, Vec<&HealthSample>> = BTreeMap::new();
+    for s in samples {
+        by_cluster.entry(s.cluster).or_default().push(s);
+    }
+    let mut flags = Vec::new();
+    for (&cluster, members) in &by_cluster {
+        let mut compute: Vec<f64> = members.iter().map(|s| s.compute_ns as f64).collect();
+        let (med_c, mad_c) = robust_stats(&mut compute);
+        let floor_c = (cfg.abs_floor_ns as f64).max(cfg.rel_floor * med_c);
+        let denom_c = (MAD_SIGMA * mad_c).max(floor_c);
+
+        let mut retries: Vec<f64> = members.iter().map(|s| s.retransmits as f64).collect();
+        let (med_r, mad_r) = robust_stats(&mut retries);
+        let denom_r = (MAD_SIGMA * mad_r).max(cfg.retry_floor as f64);
+
+        for s in members {
+            let score = (s.compute_ns as f64 - med_c) / denom_c;
+            if score > cfg.threshold {
+                flags.push(Flag {
+                    rank: s.rank,
+                    cluster,
+                    kind: AnomalyKind::Slow,
+                    score,
+                });
+            }
+            let score = (s.retransmits as f64 - med_r) / denom_r;
+            if score > cfg.threshold {
+                flags.push(Flag {
+                    rank: s.rank,
+                    cluster,
+                    kind: AnomalyKind::Flaky,
+                    score,
+                });
+            }
+        }
+    }
+    flags.sort_by(|a, b| (a.rank, a.kind.label()).cmp(&(b.rank, b.kind.label())));
+    flags
+}
+
+/// Consecutive-flag streak tracking: the quarantine trigger.
+///
+/// One transient flag (a single noisy marker) should escalate backoff at
+/// most; only a rank flagged at `sustain` *consecutive* markers is
+/// degraded enough to wall off into a singleton cluster. The tracker is
+/// plain state over flag batches, so the runtime can drive it in
+/// lock-step on every rank from the root's shipped flag set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SustainTracker {
+    streak: BTreeMap<u64, u64>,
+}
+
+impl SustainTracker {
+    /// Fresh tracker with no history.
+    pub fn new() -> Self {
+        SustainTracker::default()
+    }
+
+    /// Fold in one marker's flagged ranks (any kind): flagged ranks
+    /// extend their streak, unflagged ranks reset to zero.
+    pub fn observe(&mut self, flagged: &[u64]) {
+        self.streak.retain(|rank, _| flagged.contains(rank));
+        for &rank in flagged {
+            *self.streak.entry(rank).or_insert(0) += 1;
+        }
+    }
+
+    /// Ranks whose current streak has reached `need`, ascending.
+    pub fn sustained(&self, need: u64) -> Vec<u64> {
+        self.streak
+            .iter()
+            .filter(|(_, &n)| n >= need.max(1))
+            .map(|(&r, _)| r)
+            .collect()
+    }
+
+    /// Current streak length for one rank.
+    pub fn streak(&self, rank: u64) -> u64 {
+        self.streak.get(&rank).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rank: u64, cluster: u64, compute_ns: u64, retransmits: u64) -> HealthSample {
+        HealthSample {
+            rank,
+            cluster,
+            compute_ns,
+            retransmits,
+        }
+    }
+
+    #[test]
+    fn identical_cohort_scores_zero_everywhere() {
+        let cfg = DetectorConfig::default();
+        let samples: Vec<HealthSample> = (0..8).map(|r| sample(r, 0, 100_000, 0)).collect();
+        assert!(detect(&cfg, &samples).is_empty());
+    }
+
+    #[test]
+    fn straggler_flags_slow_and_ramp_target_flags_flaky() {
+        let cfg = DetectorConfig::default();
+        let mut samples: Vec<HealthSample> = (0..8).map(|r| sample(r, 0, 100_000, 0)).collect();
+        samples[3].compute_ns = 400_000; // 4x straggler
+        samples[5].retransmits = 40; // ramped link target
+        let flags = detect(&cfg, &samples);
+        assert_eq!(flags.len(), 2, "{flags:?}");
+        assert_eq!((flags[0].rank, flags[0].kind), (3, AnomalyKind::Slow));
+        assert!(flags[0].score > cfg.threshold);
+        assert_eq!((flags[1].rank, flags[1].kind), (5, AnomalyKind::Flaky));
+    }
+
+    #[test]
+    fn scoring_is_per_cluster_not_global() {
+        // Two cohorts with very different baselines: a member that is
+        // normal for its own cohort must not flag just because the other
+        // cohort is cheaper.
+        let cfg = DetectorConfig::default();
+        let mut samples: Vec<HealthSample> = (0..4).map(|r| sample(r, 0, 50_000, 0)).collect();
+        samples.extend((4..8).map(|r| sample(r, 4, 900_000, 0)));
+        assert!(detect(&cfg, &samples).is_empty());
+        // But a deviation inside the expensive cohort still flags.
+        samples[6].compute_ns = 3_600_000;
+        let flags = detect(&cfg, &samples);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].rank, 6);
+        assert_eq!(flags[0].cluster, 4);
+    }
+
+    #[test]
+    fn singleton_cohort_never_flags() {
+        let cfg = DetectorConfig::default();
+        let samples = [sample(2, 2, 9_000_000, 500)];
+        assert!(detect(&cfg, &samples).is_empty());
+    }
+
+    #[test]
+    fn negative_deviation_is_healthy() {
+        let cfg = DetectorConfig::default();
+        let mut samples: Vec<HealthSample> = (0..8).map(|r| sample(r, 0, 400_000, 0)).collect();
+        samples[1].compute_ns = 1_000; // much faster than the cohort
+        assert!(detect(&cfg, &samples).is_empty());
+    }
+
+    #[test]
+    fn permutation_of_samples_is_invisible() {
+        let cfg = DetectorConfig::default();
+        let mut samples: Vec<HealthSample> = (0..8).map(|r| sample(r, 0, 100_000, 0)).collect();
+        samples[3].compute_ns = 500_000;
+        samples[6].retransmits = 25;
+        let forward = detect(&cfg, &samples);
+        samples.reverse();
+        let backward = detect(&cfg, &samples);
+        assert_eq!(forward, backward, "flags and scores must not see order");
+    }
+
+    #[test]
+    fn raising_threshold_only_removes_flags() {
+        let mut samples: Vec<HealthSample> = (0..8).map(|r| sample(r, 0, 100_000, 0)).collect();
+        samples[2].compute_ns = 180_000;
+        samples[3].compute_ns = 400_000;
+        let mut prev: Option<Vec<(u64, AnomalyKind)>> = None;
+        for threshold in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let cfg = DetectorConfig {
+                threshold,
+                ..DetectorConfig::default()
+            };
+            let now: Vec<(u64, AnomalyKind)> = detect(&cfg, &samples)
+                .iter()
+                .map(|f| (f.rank, f.kind))
+                .collect();
+            if let Some(prev) = &prev {
+                assert!(
+                    now.iter().all(|f| prev.contains(f)),
+                    "threshold {threshold}: {now:?} not within {prev:?}"
+                );
+            }
+            prev = Some(now);
+        }
+    }
+
+    #[test]
+    fn sustain_tracker_requires_consecutive_markers() {
+        let mut t = SustainTracker::new();
+        t.observe(&[3]);
+        t.observe(&[3, 5]);
+        assert_eq!(t.streak(3), 2);
+        assert_eq!(t.streak(5), 1);
+        assert!(t.sustained(3).is_empty());
+        t.observe(&[3]);
+        assert_eq!(t.sustained(3), vec![3]);
+        assert_eq!(t.streak(5), 0, "a missed marker resets the streak");
+        t.observe(&[]);
+        assert!(t.sustained(1).is_empty());
+    }
+}

@@ -62,6 +62,36 @@ impl FaultKind {
     }
 }
 
+/// Which degradation signature the health detector flagged a rank for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyKind {
+    /// The rank's locally-consumed compute diverged above its cluster's
+    /// robust center (straggler or load-imbalance signature).
+    Slow,
+    /// The rank's reliable-protocol retransmissions diverged above its
+    /// cluster's robust center (degrading-link signature).
+    Flaky,
+}
+
+impl AnomalyKind {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnomalyKind::Slow => "slow",
+            AnomalyKind::Flaky => "flaky",
+        }
+    }
+
+    /// Inverse of [`AnomalyKind::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "slow" => AnomalyKind::Slow,
+            "flaky" => AnomalyKind::Flaky,
+            _ => return None,
+        })
+    }
+}
+
 /// One typed observation. The variant names the journal's `ev` field; the
 /// per-variant fields serialize in declaration order.
 #[derive(Debug, Clone, PartialEq)]
@@ -217,6 +247,23 @@ pub enum EventKind {
         /// checkpoint replica (0 = no replica, started empty).
         restored: u64,
     },
+    /// The health detector flagged a rank at a marker: its per-marker
+    /// delta diverged from its cluster's robust (median/MAD) center.
+    /// Emitted on the detector host (rank 0) only.
+    Anomaly {
+        /// The flagged rank.
+        rank: u64,
+        /// Marker invocation the flagged delta closed.
+        marker: u64,
+        /// Which degradation signature fired.
+        kind: AnomalyKind,
+        /// Floored robust z-score of the deviation (dimensionless; the
+        /// flag threshold is the detector config's `threshold`).
+        score: f64,
+        /// Cluster the rank was scored against (`u64::MAX` before any
+        /// selection exists, when the whole world is one cohort).
+        cluster: u64,
+    },
     /// A run resumed from a durable checkpoint (supervisor restart): the
     /// replay fast-forwards to the checkpoint marker, then continues.
     Resume {
@@ -249,6 +296,7 @@ impl EventKind {
             EventKind::Timeout { .. } => "timeout",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::Promote { .. } => "promote",
+            EventKind::Anomaly { .. } => "anomaly",
             EventKind::Resume { .. } => "resume",
         }
     }
@@ -283,6 +331,14 @@ mod tests {
             assert_eq!(FaultKind::from_label(k.label()), Some(k));
         }
         assert_eq!(FaultKind::from_label("melt"), None);
+    }
+
+    #[test]
+    fn anomaly_labels_roundtrip() {
+        for k in [AnomalyKind::Slow, AnomalyKind::Flaky] {
+            assert_eq!(AnomalyKind::from_label(k.label()), Some(k));
+        }
+        assert_eq!(AnomalyKind::from_label("jittery"), None);
     }
 
     #[test]
@@ -348,6 +404,13 @@ mod tests {
                 marker: 1,
                 old_root: 0,
                 restored: 1,
+            },
+            EventKind::Anomaly {
+                rank: 3,
+                marker: 5,
+                kind: AnomalyKind::Slow,
+                score: 7.5,
+                cluster: 0,
             },
             EventKind::Resume { marker: 1, hwm: 9 },
         ];

@@ -24,7 +24,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{intern, Event, EventKind, FaultKind, DECISIONS, STATES};
+use crate::event::{intern, AnomalyKind, Event, EventKind, FaultKind, DECISIONS, STATES};
 use crate::recorder::RankLog;
 
 /// Format-version magic in the header line.
@@ -317,6 +317,16 @@ fn write_event(out: &mut String, rank: usize, e: &Event) {
         } => out.push_str(&format!(
             ",\"marker\":{marker},\"old_root\":{old_root},\"restored\":{restored}"
         )),
+        EventKind::Anomaly {
+            rank: flagged,
+            marker,
+            kind,
+            score,
+            cluster,
+        } => out.push_str(&format!(
+            ",\"flagged\":{flagged},\"marker\":{marker},\"kind\":\"{}\",\"score\":{score:?},\"cluster\":{cluster}",
+            kind.label()
+        )),
         EventKind::Resume { marker, hwm } => {
             out.push_str(&format!(",\"marker\":{marker},\"hwm\":{hwm}"))
         }
@@ -457,6 +467,14 @@ fn parse_kind(sc: &mut Scan<'_>, label: &str) -> Result<EventKind, String> {
             marker: sc.field_u64("marker")?,
             old_root: sc.field_u64("old_root")?,
             restored: sc.field_u64("restored")?,
+        },
+        "anomaly" => EventKind::Anomaly {
+            rank: sc.field_u64("flagged")?,
+            marker: sc.field_u64("marker")?,
+            kind: AnomalyKind::from_label(&sc.field_str("kind")?)
+                .ok_or_else(|| "unknown anomaly kind".to_string())?,
+            score: sc.field_f64("score")?,
+            cluster: sc.field_u64("cluster")?,
         },
         "resume" => EventKind::Resume {
             marker: sc.field_u64("marker")?,
@@ -686,6 +704,18 @@ mod tests {
                 deputy: 1,
             },
         );
+        push(
+            &mut a,
+            3e-5,
+            2e-6,
+            EventKind::Anomaly {
+                rank: 3,
+                marker: 2,
+                kind: AnomalyKind::Flaky,
+                score: 6.25,
+                cluster: 1,
+            },
+        );
         push(&mut a, 3e-5, 2e-6, EventKind::Resume { marker: 2, hwm: 12 });
         let mut b = RankLog::new(3);
         push(
@@ -762,6 +792,7 @@ mod tests {
             text.replace("\"seq\":1,", "\"seq\":7,"),
             text.replace("\"state\":\"C\"", "\"state\":\"Q\""),
             text.replace("\"kind\":\"corrupt\"", "\"kind\":\"melt\""),
+            text.replace("\"kind\":\"flaky\"", "\"kind\":\"jittery\""),
             text.replace(
                 "{\"rank\":0,\"ctr\":\"marker\",\"n\":1}",
                 "{\"rank\":0,\"ctr\":\"marker\",\"n\":3}",
@@ -795,8 +826,9 @@ mod tests {
         assert_eq!(j.count("crash"), 1);
         assert_eq!(j.count("checkpoint"), 1);
         assert_eq!(j.count("promote"), 1);
+        assert_eq!(j.count("anomaly"), 1);
         let s = j.summary();
-        assert!(s.contains("ranks=4 armed=yes events=18"), "{s}");
+        assert!(s.contains("ranks=4 armed=yes events=19"), "{s}");
         assert!(s.contains("crash=1"), "{s}");
         assert!(s.contains("rank 3: 4 events"), "{s}");
     }

@@ -21,13 +21,15 @@
 //! mirroring the fault-plan idiom in `mpisim` (an `Option` check and an
 //! early return on the hot path).
 
+pub mod detect;
 pub mod event;
 pub mod journal;
 pub mod metrics;
 pub mod query;
 pub mod recorder;
 
-pub use event::{Event, EventKind, FaultKind};
+pub use detect::{DetectorConfig, Flag, HealthSample, SustainTracker};
+pub use event::{AnomalyKind, Event, EventKind, FaultKind};
 pub use journal::{JournalError, RunJournal};
 pub use metrics::{Counter, HistId, Histogram, MetricSet};
 pub use recorder::{RankLog, Recorder};

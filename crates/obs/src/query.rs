@@ -101,6 +101,16 @@ pub fn describe(kind: &EventKind) -> String {
             old_root,
             restored,
         } => format!("promote marker={marker} old_root={old_root} restored={restored}"),
+        EventKind::Anomaly {
+            rank,
+            marker,
+            kind,
+            score,
+            cluster,
+        } => format!(
+            "anomaly rank={rank} marker={marker} kind={} score={score:?} cluster={cluster}",
+            kind.label()
+        ),
         EventKind::Resume { marker, hwm } => format!("resume marker={marker} hwm={hwm}"),
     }
 }
@@ -305,6 +315,83 @@ pub fn metrics_report(journal: &RunJournal) -> String {
     out
 }
 
+/// One decoded `anomaly` event: a health-detector flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyRow {
+    /// The flagged rank.
+    pub rank: u64,
+    /// Marker invocation the flagged delta closed.
+    pub marker: u64,
+    /// Signal that fired (`slow` or `flaky`).
+    pub kind: crate::event::AnomalyKind,
+    /// Floored robust z-score.
+    pub score: f64,
+    /// Cohort the rank was scored against.
+    pub cluster: u64,
+}
+
+/// All `anomaly` events in journal order (the detector host emits them
+/// marker-ascending, so this is also marker order).
+pub fn anomalies(journal: &RunJournal) -> Vec<AnomalyRow> {
+    journal
+        .events()
+        .filter_map(|(_, e)| match &e.kind {
+            EventKind::Anomaly {
+                rank,
+                marker,
+                kind,
+                score,
+                cluster,
+            } => Some(AnomalyRow {
+                rank: *rank,
+                marker: *marker,
+                kind: *kind,
+                score: *score,
+                cluster: *cluster,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The health plane over markers: every flag in journal order, then a
+/// per-rank rollup (flag count, kinds seen, first flagged marker —
+/// the detection-latency number the matrix scorer uses).
+pub fn anomaly_report(journal: &RunJournal) -> String {
+    let rows = anomalies(journal);
+    if rows.is_empty() {
+        return "no anomaly events recorded (fault-free run, or detector off)\n".to_string();
+    }
+    let mut out = format!("{} anomaly flags\n", rows.len());
+    for r in &rows {
+        out.push_str(&format!(
+            "  marker {:>4}: rank {} {} score={:?} cluster={}\n",
+            r.marker,
+            r.rank,
+            r.kind.label(),
+            r.score,
+            r.cluster
+        ));
+    }
+    let mut ranks: Vec<u64> = rows.iter().map(|r| r.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    out.push_str("  per rank:\n");
+    for rank in ranks {
+        let mine: Vec<&AnomalyRow> = rows.iter().filter(|r| r.rank == rank).collect();
+        let first = mine.iter().map(|r| r.marker).min().expect("non-empty");
+        let mut kinds: Vec<&str> = mine.iter().map(|r| r.kind.label()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        out.push_str(&format!(
+            "    rank {rank}: flags={} kinds={} first_marker={first}\n",
+            mine.len(),
+            kinds.join("+")
+        ));
+    }
+    out
+}
+
 /// Structural diff: `None` when the journals are identical, otherwise a
 /// description of the *first* divergence (header, then rank-major by
 /// event, then counters implied by events).
@@ -477,6 +564,41 @@ mod tests {
         );
         assert!(r.contains("dp_cells_per_merge: count=2"), "{r}");
         assert!(r.contains("totals:"), "{r}");
+    }
+
+    #[test]
+    fn anomaly_report_rolls_up_per_rank() {
+        use crate::event::AnomalyKind;
+        let mut j = sample();
+        assert!(anomaly_report(&j).contains("no anomaly events"));
+        let log = &mut j.logs[0];
+        for (marker, kind, score) in [
+            (4u64, AnomalyKind::Slow, 5.5),
+            (5, AnomalyKind::Slow, 6.0),
+            (5, AnomalyKind::Flaky, 9.0),
+        ] {
+            push(
+                log,
+                1e-5,
+                1e-6,
+                EventKind::Anomaly {
+                    rank: 3,
+                    marker,
+                    kind,
+                    score,
+                    cluster: 0,
+                },
+            );
+        }
+        let rows = anomalies(&j);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].marker, 4);
+        let r = anomaly_report(&j);
+        assert!(r.contains("3 anomaly flags"), "{r}");
+        assert!(
+            r.contains("rank 3: flags=3 kinds=flaky+slow first_marker=4"),
+            "{r}"
+        );
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct Overrides {
     pub ckpt_stride: Option<u64>,
     /// Persist checkpoint blobs into this directory (with `ckpt_stride`).
     pub ckpt_dir: Option<std::path::PathBuf>,
+    /// Arm the streaming anomaly detector and its mitigation ladder
+    /// ([`ChameleonConfig::with_detector`]; Chameleon mode only).
+    pub detector: Option<obs::DetectorConfig>,
 }
 
 /// Uniform measurements from one run.
@@ -231,6 +234,7 @@ pub fn run(
     let retry_budget = overrides.retry_budget;
     let ckpt_stride = overrides.ckpt_stride.unwrap_or(0);
     let ckpt_dir = overrides.ckpt_dir.clone();
+    let detector = overrides.detector;
 
     enum RankOutcome {
         App,
@@ -254,6 +258,9 @@ pub fn run(
                     if let Some(dir) = &ckpt_dir {
                         cfg = cfg.with_checkpoint_dir(dir.clone());
                     }
+                }
+                if let Some(d) = detector {
+                    cfg = cfg.with_detector(d);
                 }
                 Some(Chameleon::new(cfg))
             }

@@ -28,6 +28,7 @@
 pub mod bt;
 pub mod cg;
 pub mod chaos;
+pub mod degraded;
 pub mod driver;
 pub mod emf;
 pub mod grid;

@@ -38,7 +38,12 @@
 //! - anything else — a named benchmark skeleton ([`crate::registry`]) run
 //!   through [`crate::driver`] in Chameleon mode; fault specs are limited
 //!   to `"none"` and `"lossy"` (app-plane receives of the skeletons are
-//!   not dead-aware).
+//!   not dead-aware). The degraded specs (`"straggler"`, `"ramp"`,
+//!   `"imbalance"`) additionally require the `DRING`/`DGRID` scenario
+//!   workloads and select the detect-and-mitigate executor: the trial
+//!   runs twice (detector armed and off), scores the emitted anomaly
+//!   events against the injected plan's ground truth, and records
+//!   precision / recall / detection latency plus the mitigation payoff.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -59,6 +64,7 @@ use crate::chaos::{
     chaos_plan, latest_checkpoint, marker_entry_ops, root_crash_plan, run_chaos_result,
     run_chaos_supervised,
 };
+use crate::degraded::{degraded_detector, imbalance_plan, ramp_plan, straggler_plan};
 use crate::driver::{run as drive, Mode, Overrides};
 use crate::registry::try_workload;
 use crate::Class;
@@ -441,6 +447,15 @@ pub enum FaultSpec {
     /// [`root_crash_plan`] at a marker boundary, run under the checkpoint
     /// supervisor (`CHAOS` workload only; needs `ckpt_stride >= 1`).
     RootCrash(CrashPoint),
+    /// [`straggler_plan`]: rank `p - 1` computes 4x slower (`DRING` /
+    /// `DGRID` only; the trial scores detection against ground truth).
+    Straggler,
+    /// [`ramp_plan`]: rank 1's outgoing tool-plane link degrades
+    /// progressively (`DRING` / `DGRID` only).
+    Ramp,
+    /// [`imbalance_plan`]: the heavy corner runs 2.5x compute (`DRING` /
+    /// `DGRID` only).
+    Imbalance,
 }
 
 impl FaultSpec {
@@ -453,8 +468,12 @@ impl FaultSpec {
             "rootcrash@first" => Ok(FaultSpec::RootCrash(CrashPoint::First)),
             "rootcrash@mid" => Ok(FaultSpec::RootCrash(CrashPoint::Mid)),
             "rootcrash@last" => Ok(FaultSpec::RootCrash(CrashPoint::Last)),
+            "straggler" => Ok(FaultSpec::Straggler),
+            "ramp" => Ok(FaultSpec::Ramp),
+            "imbalance" => Ok(FaultSpec::Imbalance),
             other => Err(format!(
-                "unknown fault spec {other:?} (want none | lossy | chaos | rootcrash@first|mid|last)"
+                "unknown fault spec {other:?} (want none | lossy | chaos | \
+                 rootcrash@first|mid|last | straggler | ramp | imbalance)"
             )),
         }
     }
@@ -468,12 +487,34 @@ impl FaultSpec {
             FaultSpec::RootCrash(CrashPoint::First) => "rootcrash_first",
             FaultSpec::RootCrash(CrashPoint::Mid) => "rootcrash_mid",
             FaultSpec::RootCrash(CrashPoint::Last) => "rootcrash_last",
+            FaultSpec::Straggler => "straggler",
+            FaultSpec::Ramp => "ramp",
+            FaultSpec::Imbalance => "imbalance",
         }
     }
 
     /// Does this spec kill a rank?
     pub fn crashes(self) -> bool {
         matches!(self, FaultSpec::Chaos | FaultSpec::RootCrash(_))
+    }
+
+    /// Does this spec degrade ranks without killing them (the detect-and-
+    /// mitigate scenarios scored against [`FaultPlan::degraded_ranks`])?
+    pub fn degrades(self) -> bool {
+        matches!(
+            self,
+            FaultSpec::Straggler | FaultSpec::Ramp | FaultSpec::Imbalance
+        )
+    }
+
+    /// The injected plan of a degraded spec (`None` for other specs).
+    fn degraded_plan(self, seed: u64, p: usize) -> Option<FaultPlan> {
+        match self {
+            FaultSpec::Straggler => Some(straggler_plan(seed, p)),
+            FaultSpec::Ramp => Some(ramp_plan(seed)),
+            FaultSpec::Imbalance => Some(imbalance_plan(seed)),
+            _ => None,
+        }
     }
 
     /// The crash-free lossy link shared by `lossy`, `chaos`, and
@@ -760,6 +801,31 @@ impl MatrixPlan {
             .faults
             .iter()
             .any(|f| matches!(f, FaultSpec::RootCrash(_)));
+        if self.faults.iter().any(|f| f.degrades()) {
+            for w in &self.workloads {
+                if !matches!(w.as_str(), "DRING" | "DGRID") {
+                    return Err(format!(
+                        "degraded faults (straggler/ramp/imbalance) require the DRING/DGRID \
+                         scenario workloads; {w:?} cannot host them (no tool-plane heartbeat \
+                         to carry the flaky signal)"
+                    ));
+                }
+            }
+            if self.ranks.iter().any(|&p| p < 4 || !p.is_multiple_of(2)) {
+                return Err(
+                    "degraded trials need even world sizes of at least 4 ranks (the heartbeat \
+                     ring is phased pairwise)"
+                        .to_string(),
+                );
+            }
+            if self.journal != [true] {
+                return Err(
+                    "degraded trials score the journal's anomaly events against ground truth; \
+                     set journal to [true]"
+                        .to_string(),
+                );
+            }
+        }
         for w in &self.workloads {
             if w == "CHAOS" {
                 if self.ranks.iter().any(|&p| p < 2) {
@@ -998,6 +1064,9 @@ fn chaos_trial(
                 FaultSpec::Lossy => FaultSpec::lossy_plan(trial.seed),
                 FaultSpec::Chaos => chaos_plan(trial.seed, trial.p),
                 FaultSpec::RootCrash(_) => unreachable!("handled above"),
+                FaultSpec::Straggler | FaultSpec::Ramp | FaultSpec::Imbalance => {
+                    unreachable!("validate() keeps degraded faults off the chaos scenario")
+                }
             };
             let mut cfg = ChameleonConfig::with_k(trial.p).with_retry_budget(trial.retry_budget);
             if trial.ckpt_stride > 0 {
@@ -1169,6 +1238,112 @@ fn driver_trial(
     }
 }
 
+/// Detect-and-mitigate scenario: run the degraded workload twice under
+/// the *same* injected fault plan — once with the streaming detector (and
+/// its mitigation ladder) armed, once detection-off — then score the
+/// armed run's emitted `anomaly` events against the plan's ground truth
+/// ([`FaultPlan::degraded_ranks`]). The trial passes only when precision
+/// ≥ 0.9 and recall ≥ 0.8; the detection-off run provides the
+/// mitigation-payoff reference (`retransmits_off`).
+fn degraded_trial(
+    plan: &MatrixPlan,
+    trial: &Trial,
+    dir: &Path,
+    fields: &mut BTreeMap<String, String>,
+) -> bool {
+    let fault_plan = trial
+        .fault
+        .degraded_plan(trial.seed, trial.p)
+        .expect("validated: a degraded fault");
+    let run_with = |detector: Option<obs::DetectorConfig>, journal: bool| {
+        drive(
+            try_workload(&trial.workload, plan.scale).expect("validated name"),
+            trial.class,
+            trial.p,
+            Mode::Chameleon,
+            Overrides {
+                journal,
+                faults: Some(fault_plan.clone()),
+                retry_budget: Some(trial.retry_budget),
+                detector,
+                ..Default::default()
+            },
+        )
+    };
+    // Detection-off reference first: same plan, no health plane.
+    let off = run_with(None, false);
+    let on = run_with(Some(degraded_detector()), trial.journal);
+
+    let truth = fault_plan.degraded_ranks(trial.p);
+    let journal = on
+        .journal
+        .as_ref()
+        .expect("validated: degraded trials arm the journal");
+    let rows = obs::query::anomalies(journal);
+    let mut flagged: Vec<usize> = rows.iter().map(|r| r.rank as usize).collect();
+    flagged.sort_unstable();
+    flagged.dedup();
+    let hits = flagged.iter().filter(|r| truth.contains(r)).count();
+    let precision = if flagged.is_empty() {
+        0.0
+    } else {
+        hits as f64 / flagged.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        hits as f64 / truth.len() as f64
+    };
+    // Detection latency: the first marker at which a truly-degraded rank
+    // was flagged (the straggler/imbalance signals are present from
+    // marker 0; the ramp's onset is nonce-scheduled, so its latency also
+    // measures how long the ramp takes to bite).
+    let first_hit = rows
+        .iter()
+        .filter(|r| truth.contains(&(r.rank as usize)))
+        .map(|r| r.marker)
+        .min();
+    fields.insert("truth".to_string(), format!("{truth:?}"));
+    fields.insert("flagged".to_string(), format!("{flagged:?}"));
+    fields.insert("precision".to_string(), format!("{precision:.3}"));
+    fields.insert("recall".to_string(), format!("{recall:.3}"));
+    fields.insert(
+        "detection_latency".to_string(),
+        first_hit.map_or("none".to_string(), |m| m.to_string()),
+    );
+    fields.insert("anomaly_events".to_string(), rows.len().to_string());
+
+    let sum_retransmits =
+        |stats: &[mpisim::FaultStats]| -> u64 { stats.iter().map(|s| s.retransmits).sum() };
+    fields.insert(
+        "retransmits_on".to_string(),
+        sum_retransmits(&on.fault_stats).to_string(),
+    );
+    fields.insert(
+        "retransmits_off".to_string(),
+        sum_retransmits(&off.fault_stats).to_string(),
+    );
+    if let Some(stats) = on.cham_stats.first() {
+        fields.insert("marker_calls".to_string(), stats.marker_calls.to_string());
+        fields.insert("anomaly_flags".to_string(), stats.anomaly_flags.to_string());
+        fields.insert("quarantines".to_string(), stats.quarantines.to_string());
+        fields.insert(
+            "lead_demotions".to_string(),
+            stats.lead_demotions.to_string(),
+        );
+    }
+    fault_stat_fields(fields, &on.fault_stats);
+    journal_fields(fields, Some(journal), dir);
+    let trace_ok = match &on.global_trace {
+        Some(trace) => {
+            trace_fields(fields, "trace", trace);
+            trace.dynamic_size() > 0
+        }
+        None => false,
+    };
+    trace_ok && on.crashed.is_empty() && off.crashed.is_empty() && precision >= 0.9 && recall >= 0.8
+}
+
 /// Execute one trial, writing its artifacts (`trial_input.json`,
 /// `trial_output.json`, `journal.jsonl`, checkpoint blobs) under `dir`.
 /// Panics inside an executor are contained: the trial records `ok =
@@ -1222,6 +1397,7 @@ pub fn run_trial(plan: &MatrixPlan, trial: &Trial, dir: &Path) -> TrialRecord {
         match std::panic::catch_unwind(AssertUnwindSafe(|| match scenario_kind(&trial.workload) {
             "chaos" => chaos_trial(plan, trial, dir, &mut fields),
             "merge" => merge_trial(plan, trial, &mut fields),
+            _ if trial.fault.degrades() => degraded_trial(plan, trial, dir, &mut fields),
             _ => driver_trial(plan, trial, dir, &mut fields),
         })) {
             Ok(ok) => ok,
@@ -1707,14 +1883,90 @@ mod tests {
             ("rootcrash@first", "rootcrash_first"),
             ("rootcrash@mid", "rootcrash_mid"),
             ("rootcrash@last", "rootcrash_last"),
+            ("straggler", "straggler"),
+            ("ramp", "ramp"),
+            ("imbalance", "imbalance"),
         ] {
             assert_eq!(FaultSpec::parse(s).unwrap().id(), id);
         }
         assert!(FaultSpec::parse("rootcrash@soon").is_err());
         assert!(FaultSpec::RootCrash(CrashPoint::Mid).crashes());
         assert!(!FaultSpec::Lossy.crashes());
+        for spec in [FaultSpec::Straggler, FaultSpec::Ramp, FaultSpec::Imbalance] {
+            assert!(spec.degrades() && !spec.crashes());
+            let plan = spec
+                .degraded_plan(3, 6)
+                .expect("degraded specs carry a plan");
+            assert!(plan.degrades());
+            assert!(!plan.degraded_ranks(6).is_empty());
+        }
+        assert!(!FaultSpec::Lossy.degrades());
+        assert!(FaultSpec::Lossy.degraded_plan(3, 6).is_none());
         assert_eq!(CrashPoint::Mid.marker(40), 20);
         assert_eq!(CrashPoint::Last.marker(40), 39);
+    }
+
+    #[test]
+    fn degraded_plan_validation_rules() {
+        // Degraded faults only ride the scenario workloads.
+        let bt = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["BT"],"ranks":[4],"seeds":[1],"faults":["straggler"]}"#,
+        )
+        .unwrap();
+        assert!(bt.validate().unwrap_err().contains("DRING/DGRID"));
+        let chaos = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["CHAOS"],"ranks":[4],"seeds":[1],"faults":["ramp"]}"#,
+        )
+        .unwrap();
+        assert!(chaos.validate().unwrap_err().contains("DRING/DGRID"));
+        // The heartbeat ring needs an even world.
+        let odd = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["DRING"],"ranks":[5],"seeds":[1],"faults":["straggler"]}"#,
+        )
+        .unwrap();
+        assert!(odd.validate().unwrap_err().contains("even world"));
+        // Scoring reads the journal.
+        let nojournal = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["DGRID"],"ranks":[6],"seeds":[1],
+                "faults":["imbalance"],"journal":[false]}"#,
+        )
+        .unwrap();
+        assert!(nojournal.validate().unwrap_err().contains("journal"));
+        // The well-formed shape passes.
+        let good = MatrixPlan::from_json(
+            r#"{"name":"x","workloads":["DRING","DGRID"],"ranks":[6],"seeds":[1,2],
+                "faults":["straggler","ramp","imbalance"]}"#,
+        )
+        .unwrap();
+        good.validate().unwrap();
+        assert_eq!(good.cardinality(), 12);
+    }
+
+    #[test]
+    fn degraded_trial_scores_against_ground_truth() {
+        let plan = MatrixPlan::from_json(
+            r#"{"name":"unit-degraded","workloads":["DRING"],"ranks":[6],"seeds":[1],
+                "faults":["straggler"]}"#,
+        )
+        .unwrap();
+        plan.validate().unwrap();
+        let trials = plan.expand();
+        assert_eq!(trials.len(), 1);
+        let dir =
+            std::env::temp_dir().join(format!("cham_matrix_degraded_unit_{}", std::process::id()));
+        let record = run_trial(&plan, &trials[0], &dir.join(&trials[0].id));
+        assert!(record.ok, "{:?}", record.fields);
+        assert_eq!(record.fields["kind"], "driver");
+        assert_eq!(record.fields["truth"], "[5]");
+        assert_eq!(record.fields["flagged"], "[5]");
+        assert_eq!(record.fields["precision"], "1.000");
+        assert_eq!(record.fields["recall"], "1.000");
+        assert_ne!(record.fields["detection_latency"], "none");
+        assert!(record.fields.contains_key("retransmits_on"));
+        assert!(record.fields.contains_key("retransmits_off"));
+        // The armed journal landed on disk for drill-down.
+        assert!(dir.join(&trials[0].id).join("journal.jsonl").is_file());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

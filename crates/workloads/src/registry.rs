@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use crate::degraded::{DegradedGrid, DegradedRing};
 use crate::driver::ScaledWorkload;
 use crate::{bt::Bt, cg::Cg, emf::Emf, lu::Lu, pop::Pop, sp::Sp, sweep3d::Sweep3d, Workload};
 
@@ -29,6 +30,10 @@ pub fn try_workload(name: &str, scale: usize) -> Option<Arc<dyn Workload>> {
         "S3DW" => Arc::new(ScaledWorkload::new(Sweep3d::weak(), scale)),
         "CG" => Arc::new(ScaledWorkload::new(Cg, scale)),
         "EMF" => Arc::new(ScaledWorkload::new(Emf, scale)),
+        // Degraded-scenario workloads (call frequency 1, so ScaledWorkload
+        // leaves their schedules untouched).
+        "DRING" => Arc::new(ScaledWorkload::new(DegradedRing, scale)),
+        "DGRID" => Arc::new(ScaledWorkload::new(DegradedGrid, scale)),
         _ => return None,
     })
 }

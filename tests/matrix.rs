@@ -8,7 +8,11 @@
 //!   (`plans/chaos10.plan.json`);
 //! - `matrix_smoke.baseline.json` — the small CI smoke plan
 //!   (`plans/ci_smoke.plan.json`), the baseline the `matrix-smoke` CI job
-//!   gates against.
+//!   gates against;
+//! - `matrix_degraded.baseline.json` — the detect-and-mitigate suite
+//!   (`plans/degraded.plan.json`), the baseline the `degraded-matrix` CI
+//!   job gates against: every trial's precision/recall/latency against
+//!   the injected ground truth is pinned alongside the usual digests.
 //!
 //! Every digest, counter, and partition field in those tables is a pure
 //! function of the plan, so any drift — in the simulator, the fault
@@ -138,6 +142,49 @@ fn rootcrash_plan_replays_supervised_recovery() {
         assert_eq!(t.fields["promotions"], "1", "trial {}", t.id);
         assert!(t.fields.contains_key("restarts"), "trial {}", t.id);
     }
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
+fn degraded_plan_detects_every_injected_degradation() {
+    // The closed-loop acceptance criterion: across straggler / ramp /
+    // imbalance × both scenario workloads × 3 seeds, the streaming
+    // detector recovers the injected ground truth with high precision and
+    // recall, and the mitigation ladder pays for itself on flaky links.
+    let plan = load_plan("degraded.plan.json");
+    let out = scratch("degraded_golden");
+    let (results, _) = run_plan(&plan, &out, 3).expect("degraded plan runs");
+    assert_eq!(results.trials.len(), 18, "2 workloads x 3 faults x 3 seeds");
+    let (mut ramp_on, mut ramp_off) = (0u64, 0u64);
+    for t in &results.trials {
+        assert!(t.ok, "trial {} failed: {:?}", t.id, t.fields.get("error"));
+        let metric = |k: &str| -> f64 {
+            t.fields[k]
+                .parse()
+                .unwrap_or_else(|_| panic!("trial {}: bad {k} {:?}", t.id, t.fields[k]))
+        };
+        assert!(metric("precision") >= 0.9, "trial {}: {:?}", t.id, t.fields);
+        assert!(metric("recall") >= 0.8, "trial {}: {:?}", t.id, t.fields);
+        assert_ne!(t.fields["detection_latency"], "none", "trial {}", t.id);
+        if t.id.contains("-ramp-") {
+            // Demoting the flagged rank from lead duty steers runtime
+            // traffic off the flaky link, so the armed run never
+            // retransmits more than the un-mitigated one. Whether a
+            // given (workload, seed) pays *strictly* depends on whether
+            // the election had that rank as a lead, so the strict payoff
+            // is asserted on the suite aggregate below.
+            let on: u64 = t.fields["retransmits_on"].parse().unwrap();
+            let off: u64 = t.fields["retransmits_off"].parse().unwrap();
+            assert!(on <= off, "trial {}: mitigation hurt ({on} vs {off})", t.id);
+            ramp_on += on;
+            ramp_off += off;
+        }
+    }
+    assert!(
+        ramp_on < ramp_off,
+        "mitigation did not pay across the ramp trials ({ramp_on} vs {ramp_off})"
+    );
+    assert_golden("matrix_degraded.baseline.json", &results.to_json());
     let _ = std::fs::remove_dir_all(out);
 }
 

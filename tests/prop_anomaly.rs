@@ -1,0 +1,184 @@
+//! Anomaly-detector properties (xrand-seeded) and the passivity
+//! guarantee.
+//!
+//! Two layers of contract:
+//!
+//! - **Pure-function properties** of [`obs::detect`]: on randomized
+//!   sample batches, flags are invariant under permutation of the batch,
+//!   raising the threshold only ever removes flags, and every flag's
+//!   score strictly clears the threshold it was produced under.
+//! - **Passivity**: arming the detector on a fault-free run changes
+//!   *nothing* — zero `anomaly` events, and the journal stays
+//!   byte-identical to the detector-off run, across seeds and on the
+//!   committed BT golden (`tests/fixtures/bt4_chameleon.journal.jsonl`).
+//!   The detector observes the health plane; it must never perturb a
+//!   healthy run's behavior or its recorded artifacts.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use chameleon_repro::mpisim::FaultPlan;
+use chameleon_repro::obs::detect::{detect, DetectorConfig, HealthSample};
+use chameleon_repro::obs::{query, AnomalyKind, EventKind};
+use chameleon_repro::workloads::degraded::DegradedRing;
+use chameleon_repro::workloads::driver::{run, Mode, Overrides, ScaledWorkload};
+use chameleon_repro::workloads::{bt::Bt, Class};
+use xrand::Xoshiro256;
+
+/// Random batch: 2–4 cohorts of 2–8 members around cohort-specific
+/// baselines, with a few injected outliers (the only candidates that can
+/// legitimately flag).
+fn random_batch(rng: &mut Xoshiro256) -> Vec<HealthSample> {
+    let mut samples = Vec::new();
+    let mut rank = 0u64;
+    for cluster in 0..rng.range_u64(2, 5) {
+        let base_compute = rng.range_u64(50_000, 2_000_000);
+        let members = rng.range_usize(2, 9);
+        for _ in 0..members {
+            let mut compute_ns = base_compute + rng.below(base_compute / 10 + 1);
+            let mut retransmits = rng.below(3);
+            if rng.gen_bool(0.15) {
+                compute_ns *= rng.range_u64(3, 10); // straggler
+            }
+            if rng.gen_bool(0.15) {
+                retransmits += rng.range_u64(20, 60); // flaky link
+            }
+            samples.push(HealthSample {
+                rank,
+                cluster,
+                compute_ns,
+                retransmits,
+            });
+            rank += 1;
+        }
+    }
+    samples
+}
+
+#[test]
+fn flags_are_invariant_under_batch_permutation() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0b5e_7e11);
+    for _ in 0..200 {
+        let cfg = DetectorConfig::default();
+        let mut samples = random_batch(&mut rng);
+        let canonical = detect(&cfg, &samples);
+        for _ in 0..4 {
+            rng.shuffle(&mut samples);
+            assert_eq!(
+                detect(&cfg, &samples),
+                canonical,
+                "sample order leaked into flags or scores"
+            );
+        }
+    }
+}
+
+#[test]
+fn raising_threshold_only_removes_flags() {
+    let mut rng = Xoshiro256::seed_from_u64(0x7a9e_5107);
+    for _ in 0..200 {
+        let samples = random_batch(&mut rng);
+        let mut prev: Option<Vec<(u64, AnomalyKind)>> = None;
+        for threshold in [1.0, 2.0, 4.0, 8.0, 16.0, 64.0] {
+            let cfg = DetectorConfig {
+                threshold,
+                ..DetectorConfig::default()
+            };
+            let flags = detect(&cfg, &samples);
+            for f in &flags {
+                assert!(
+                    f.score > threshold,
+                    "flag {f:?} does not clear its own threshold {threshold}"
+                );
+            }
+            let now: Vec<(u64, AnomalyKind)> = flags.iter().map(|f| (f.rank, f.kind)).collect();
+            if let Some(prev) = &prev {
+                assert!(
+                    now.iter().all(|f| prev.contains(f)),
+                    "threshold {threshold} added flags: {now:?} not within {prev:?}"
+                );
+            }
+            prev = Some(now);
+        }
+    }
+}
+
+/// Run the DRING scenario workload with a zero-rate (fault-free) plan
+/// armed, with and without the detector, and return both journals.
+fn fault_free_pair(seed: u64) -> (String, String) {
+    let run_with = |detector: Option<DetectorConfig>| {
+        let rep = run(
+            Arc::new(ScaledWorkload::new(DegradedRing, 1)),
+            Class::A,
+            6,
+            Mode::Chameleon,
+            Overrides {
+                journal: true,
+                faults: Some(FaultPlan::new(seed)),
+                detector,
+                ..Default::default()
+            },
+        );
+        rep.journal.expect("journal requested")
+    };
+    let off = run_with(None);
+    let on = run_with(Some(DetectorConfig::default()));
+    assert_eq!(
+        query::anomalies(&on).len(),
+        0,
+        "fault-free run emitted anomaly events under seed {seed}"
+    );
+    assert_eq!(
+        on.events()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Anomaly { .. }))
+            .count(),
+        0
+    );
+    (off.to_jsonl(), on.to_jsonl())
+}
+
+#[test]
+fn armed_detector_is_passive_on_fault_free_runs() {
+    // Byte-identity across 10 seeds: SPMD cohort members do identical
+    // work, so every robust deviation is exactly zero and the floored
+    // scale keeps epsilon noise below any flag. If arming the detector
+    // ever changed a healthy run's journal, the mitigation ladder would
+    // be reshaping the very behavior it claims to only observe.
+    for seed in 1..=10u64 {
+        let (off, on) = fault_free_pair(seed);
+        assert_eq!(
+            off, on,
+            "detector arming changed a fault-free journal (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn armed_detector_reproduces_the_committed_bt_golden() {
+    // The strongest passivity statement: the armed run regenerates the
+    // *committed* detector-off golden byte-for-byte (same fixture that
+    // golden_traces.rs pins), so detector-on cannot drift from the seed
+    // artifacts even across refactors of either side.
+    let rep = run(
+        Arc::new(ScaledWorkload::new(Bt, 25)),
+        Class::A,
+        4,
+        Mode::Chameleon,
+        Overrides {
+            journal: true,
+            detector: Some(DetectorConfig::default()),
+            ..Default::default()
+        },
+    );
+    let journal = rep.journal.expect("journal requested");
+    assert_eq!(query::anomalies(&journal).len(), 0);
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/bt4_chameleon.journal.jsonl");
+    let want = std::fs::read_to_string(&fixture)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e})", fixture.display()));
+    assert_eq!(
+        journal.to_jsonl(),
+        want,
+        "armed detector perturbed the committed fault-free golden"
+    );
+}
