@@ -106,7 +106,7 @@ impl MemAccount {
 }
 
 /// Everything one rank measured during a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ChameleonStats {
     /// Total `marker()` invocations (before frequency filtering).
     pub marker_invocations: u64,

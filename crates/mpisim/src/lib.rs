@@ -1,14 +1,18 @@
-//! # mpisim — a thread-based simulated MPI runtime with virtual time
+//! # mpisim — a simulated MPI runtime with virtual time
 //!
 //! Chameleon and ScalaTrace are MPI-level tools: they interpose on MPI
 //! calls, run reductions over process trees, and reason about per-rank
 //! event streams. Reproducing them requires an MPI, and this crate provides
-//! one: each rank is an OS thread, point-to-point messages are matched on
+//! one: each rank is a cooperative task multiplexed over a bounded worker
+//! pool by an event-driven scheduler ([`sched`]) — scaling worlds to tens
+//! of thousands of ranks — point-to-point messages are matched on
 //! `(communicator, tag, source)` exactly as MPI matches them, and the
 //! collectives (`barrier`, `reduce`, `bcast`, `allreduce`, `gather`) are
 //! implemented over point-to-point with the same binomial-tree /
 //! dissemination structures real MPI libraries use — so the O(log P) cost
-//! shape the paper relies on is real, not assumed.
+//! shape the paper relies on is real, not assumed. The pre-refactor
+//! free-running thread-per-rank engine is retained behind
+//! [`SchedMode::Threads`] as a differential-testing oracle.
 //!
 //! ## Virtual time
 //!
@@ -41,6 +45,7 @@ pub mod fault;
 pub mod mailbox;
 pub mod proc;
 pub mod reliable;
+pub mod sched;
 pub mod time;
 pub mod topology;
 pub mod world;
@@ -49,6 +54,7 @@ pub use cputime::CpuTimer;
 pub use fault::{CrashFault, FaultPlan, FaultStats, InjectedCrash, LinkRamp};
 pub use proc::{PendingRecv, Proc, Rank, RecvInfo, SrcSel, Tag, TagSel};
 pub use reliable::{ProtocolError, RetryPolicy};
+pub use sched::SchedMode;
 pub use time::{CostModel, VirtualClock, VirtualTime, WorkModel};
 pub use topology::RadixTree;
 pub use world::{FaultyWorldReport, World, WorldConfig, WorldReport};

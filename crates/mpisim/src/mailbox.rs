@@ -150,6 +150,31 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking matched receive: take the first queued envelope
+    /// matching the selectors, or return `None` without waiting. The
+    /// event scheduler's block points are built on this — check, park,
+    /// re-check on wake — instead of the timed poll loops thread mode
+    /// uses.
+    pub fn try_recv(&self, src: SrcSel, tag: TagSel, comm: Comm) -> Option<Envelope> {
+        let mut inner = self.lock();
+        inner
+            .queue
+            .iter()
+            .position(|e| Self::matches(e, src, tag, comm))
+            .and_then(|pos| inner.queue.remove(pos))
+    }
+
+    /// Non-blocking counterpart of [`Mailbox::recv_timeout_from_set`]:
+    /// first arrival among `srcs` on the tag/comm, or `None`.
+    pub fn try_recv_from_set(&self, srcs: &[Rank], tag: TagSel, comm: Comm) -> Option<Envelope> {
+        let mut inner = self.lock();
+        inner
+            .queue
+            .iter()
+            .position(|e| srcs.contains(&e.src) && Self::matches(e, SrcSel::Any, tag, comm))
+            .and_then(|pos| inner.queue.remove(pos))
+    }
+
     /// Non-blocking probe: would `recv` with these selectors complete
     /// immediately? Returns the matched envelope's metadata without
     /// consuming it.

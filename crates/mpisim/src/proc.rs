@@ -90,6 +90,31 @@ pub(crate) struct Shared {
     /// time the flag is observable — which is what makes death detection
     /// deterministic (see [`Proc::recv_or_dead`]).
     pub(crate) dead: Vec<AtomicBool>,
+    /// The cooperative event scheduler ([`crate::SchedMode::Events`], the
+    /// default), or `None` in [`crate::SchedMode::Threads`] oracle mode
+    /// where every rank free-runs and blocked receives poll.
+    pub(crate) sched: Option<crate::sched::Sched>,
+}
+
+impl Shared {
+    /// Wake `rank`'s task if it is parked — called after every mailbox
+    /// delivery so event-mode blocks resolve on the event, not a poll.
+    /// One branch in thread mode.
+    #[inline]
+    pub(crate) fn wake(&self, rank: Rank) {
+        if let Some(s) = &self.sched {
+            s.notify(rank);
+        }
+    }
+
+    /// Wake every parked task — for global conditions (a death flag, the
+    /// world poison flag) that any waiter might be blocked on.
+    #[inline]
+    pub(crate) fn wake_all(&self) {
+        if let Some(s) = &self.sched {
+            s.notify_all();
+        }
+    }
 }
 
 /// Handle through which one rank's program talks to the simulated MPI.
@@ -372,6 +397,7 @@ impl Proc {
             payload: body,
             arrival,
         });
+        self.shared.wake(dest);
         true
     }
 
@@ -408,6 +434,7 @@ impl Proc {
             payload: payload.to_vec(),
             arrival,
         });
+        self.shared.wake(dest);
     }
 
     /// Seeded exponential backoff before a reliable-layer retransmission:
@@ -455,6 +482,8 @@ impl Proc {
                 // a peer observes this flag, everything this rank sent
                 // before dying is already in the peer's mailbox.
                 self.shared.dead[self.rank].store(true, Ordering::SeqCst);
+                // Any parked peer might be blocked on this rank.
+                self.shared.wake_all();
                 std::panic::panic_any(InjectedCrash {
                     rank: self.rank,
                     op,
@@ -489,22 +518,36 @@ impl Proc {
     /// rank panicked, this aborts (panics) instead of blocking forever.
     pub fn recv_from_set(&mut self, srcs: &[Rank], tag: Tag, comm: Comm) -> PendingRecv {
         let deadline = self.hang_deadline();
-        let env = loop {
-            if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout_from_set(
-                srcs,
-                TagSel::Tag(tag),
-                comm,
-                50,
-            ) {
-                break env;
+        let env = if self.shared.sched.is_some() {
+            loop {
+                let epoch = self.sched_pre_wait();
+                if let Some(env) =
+                    self.shared.mailboxes[self.rank].try_recv_from_set(srcs, TagSel::Tag(tag), comm)
+                {
+                    break env;
+                }
+                self.abort_if_poisoned_or_stalled();
+                self.check_hang(deadline, srcs.first().copied().unwrap_or(0), tag);
+                self.sched_park(epoch, deadline);
             }
-            if self.shared.poisoned.load(Ordering::SeqCst) {
-                panic!(
-                    "world poisoned: another rank panicked while rank {} was receiving",
-                    self.rank
-                );
+        } else {
+            loop {
+                if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout_from_set(
+                    srcs,
+                    TagSel::Tag(tag),
+                    comm,
+                    50,
+                ) {
+                    break env;
+                }
+                if self.shared.poisoned.load(Ordering::SeqCst) {
+                    panic!(
+                        "world poisoned: another rank panicked while rank {} was receiving",
+                        self.rank
+                    );
+                }
+                self.check_hang(deadline, srcs.first().copied().unwrap_or(0), tag);
             }
-            self.check_hang(deadline, srcs.first().copied().unwrap_or(0), tag);
         };
         PendingRecv {
             src: env.src,
@@ -590,6 +633,29 @@ impl Proc {
         timeout_ms: u64,
     ) -> Option<RecvInfo> {
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        if self.shared.sched.is_some() {
+            loop {
+                let epoch = self.sched_pre_wait();
+                if let Some(env) = self.shared.mailboxes[self.rank].try_recv(src, tag, comm) {
+                    self.clock.sync_to(env.arrival);
+                    self.clock.advance(self.shared.cost.overhead);
+                    self.stats.msgs_recvd += 1;
+                    self.stats.bytes_recvd += env.payload.len();
+                    return Some(RecvInfo {
+                        src: env.src,
+                        tag: env.tag,
+                        payload: env.payload,
+                    });
+                }
+                self.abort_if_poisoned_or_stalled();
+                if std::time::Instant::now() >= deadline {
+                    return None;
+                }
+                // A timed park never stalls the world: the scheduler
+                // counts this task as self-waking.
+                self.sched_park(epoch, Some(deadline));
+            }
+        }
         loop {
             let slice = 50.min(timeout_ms.max(1));
             if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(src, tag, comm, slice)
@@ -802,6 +868,7 @@ impl Proc {
             payload,
             arrival: 0.0,
         });
+        self.shared.wake(dest);
     }
 
     /// Out-of-band receive on [`Comm::OBS`] with dead-peer detection.
@@ -810,6 +877,28 @@ impl Proc {
     /// planes; the metrics plane merely degrades).
     fn obs_recv_or_dead(&mut self, src: Rank, tag: Tag) -> Option<Vec<u8>> {
         let deadline = self.hang_deadline();
+        if self.shared.sched.is_some() {
+            loop {
+                let epoch = self.sched_pre_wait();
+                if let Some(env) = self.shared.mailboxes[self.rank].try_recv(
+                    SrcSel::Rank(src),
+                    TagSel::Tag(tag),
+                    Comm::OBS,
+                ) {
+                    return Some(env.payload);
+                }
+                if self.shared.dead[src].load(Ordering::SeqCst) {
+                    // Final recheck, same as recv_or_dead: flag-then-message
+                    // races resolve deterministically because sends are eager.
+                    return self.shared.mailboxes[self.rank]
+                        .try_recv(SrcSel::Rank(src), TagSel::Tag(tag), Comm::OBS)
+                        .map(|env| env.payload);
+                }
+                self.abort_if_poisoned_or_stalled();
+                self.check_hang(deadline, src, tag);
+                self.sched_park(epoch, deadline);
+            }
+        }
         loop {
             if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(
                 SrcSel::Rank(src),
@@ -873,6 +962,35 @@ impl Proc {
     /// rank *reached* the send before its crash op, never by scheduling.
     pub fn recv_or_dead(&mut self, src: Rank, tag: Tag, comm: Comm) -> Option<RecvInfo> {
         let deadline = self.hang_deadline();
+        if self.shared.sched.is_some() {
+            loop {
+                let epoch = self.sched_pre_wait();
+                if let Some(env) = self.shared.mailboxes[self.rank].try_recv(
+                    SrcSel::Rank(src),
+                    TagSel::Tag(tag),
+                    comm,
+                ) {
+                    return Some(self.finish_recv(env, comm));
+                }
+                if self.shared.dead[src].load(Ordering::SeqCst) {
+                    // Final recheck: the flag may have been set between our
+                    // last scan and now, with a message already delivered.
+                    if let Some(env) = self.shared.mailboxes[self.rank].try_recv(
+                        SrcSel::Rank(src),
+                        TagSel::Tag(tag),
+                        comm,
+                    ) {
+                        return Some(self.finish_recv(env, comm));
+                    }
+                    self.fstats.peer_deaths_seen += 1;
+                    self.record(|| obs::EventKind::PeerDead { peer: src as u64 });
+                    return None;
+                }
+                self.abort_if_poisoned_or_stalled();
+                self.check_hang(deadline, src, tag);
+                self.sched_park(epoch, deadline);
+            }
+        }
         loop {
             if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(
                 SrcSel::Rank(src),
@@ -978,8 +1096,30 @@ impl Proc {
     }
 
     fn recv_envelope(&mut self, src: SrcSel, tag: TagSel, comm: Comm) -> Envelope {
-        // Poll with a timeout so that a panic on any rank unblocks everyone
-        // instead of deadlocking the whole world.
+        let src_hint = match src {
+            SrcSel::Rank(r) => r,
+            SrcSel::Any => usize::MAX,
+        };
+        let tag_hint = match tag {
+            TagSel::Tag(t) => t,
+            TagSel::Any => 0,
+        };
+        if self.shared.sched.is_some() {
+            // Event mode: check, park, re-check on wake. No polling — a
+            // message delivery to this rank wakes the task directly.
+            let deadline = self.hang_deadline();
+            loop {
+                let epoch = self.sched_pre_wait();
+                if let Some(env) = self.shared.mailboxes[self.rank].try_recv(src, tag, comm) {
+                    return env;
+                }
+                self.abort_if_poisoned_or_stalled();
+                self.check_hang(deadline, src_hint, tag_hint);
+                self.sched_park(epoch, deadline);
+            }
+        }
+        // Thread mode (oracle): poll with a timeout so that a panic on any
+        // rank unblocks everyone instead of deadlocking the whole world.
         let deadline = self.hang_deadline();
         loop {
             if let Some(env) = self.shared.mailboxes[self.rank].recv_timeout(src, tag, comm, 50) {
@@ -991,15 +1131,51 @@ impl Proc {
                     self.rank
                 );
             }
-            let src_hint = match src {
-                SrcSel::Rank(r) => r,
-                SrcSel::Any => usize::MAX,
-            };
-            let tag_hint = match tag {
-                TagSel::Tag(t) => t,
-                TagSel::Any => 0,
-            };
             self.check_hang(deadline, src_hint, tag_hint);
+        }
+    }
+
+    /// Snapshot this rank's wake epoch ahead of a mailbox/flag re-check
+    /// (see [`crate::sched::Sched::pre_wait`]). Thread mode never calls
+    /// this.
+    #[inline]
+    fn sched_pre_wait(&self) -> u64 {
+        self.shared
+            .sched
+            .as_ref()
+            .expect("event scheduler armed")
+            .pre_wait(self.rank)
+    }
+
+    /// Park this rank's task until a wake event (or `deadline`). The
+    /// caller re-checks its wait condition on return; a timed-out park is
+    /// surfaced by the caller's own deadline check on the next iteration.
+    fn sched_park(&self, epoch: u64, deadline: Option<Instant>) {
+        let s = self.shared.sched.as_ref().expect("event scheduler armed");
+        // Park keyed by the later of the two clocks: the task's next
+        // simulation-visible action cannot predate either one.
+        let vtime = self.clock.now().max(self.tool_clock.now());
+        s.park(self.rank, epoch, vtime, deadline);
+    }
+
+    /// Abort (panic) if the world is poisoned or the scheduler has proven
+    /// it deadlocked. Event-mode blocks call this between the mailbox
+    /// re-check and the park.
+    fn abort_if_poisoned_or_stalled(&self) {
+        if self.shared.poisoned.load(Ordering::SeqCst) {
+            panic!(
+                "world poisoned: another rank panicked while rank {} was receiving",
+                self.rank
+            );
+        }
+        if let Some(s) = &self.shared.sched {
+            if s.stalled() {
+                panic!(
+                    "deadlock detected: rank {} is blocked with no running peers, \
+                     no pending messages, and no timers — the world can never make progress",
+                    self.rank
+                );
+            }
         }
     }
 }

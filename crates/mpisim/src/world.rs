@@ -1,5 +1,5 @@
-//! World setup and execution: spawn one thread per rank, run the rank
-//! program, join, and report.
+//! World setup and execution: build the per-rank tasks, run the rank
+//! program on the configured scheduler, join, and report.
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use crate::fault::{FaultPlan, FaultStats, InjectedCrash};
 use crate::mailbox::Mailbox;
 use crate::proc::{Proc, Rank, Shared};
+use crate::sched::{Sched, SchedMode};
 use crate::time::{CostModel, VirtualTime};
 
 /// Configuration of a simulated MPI world.
@@ -18,9 +19,15 @@ pub struct WorldConfig {
     pub ranks: usize,
     /// Communication cost model for virtual time.
     pub cost: CostModel,
-    /// Stack size per rank thread. The paper runs P=1024; with the default
-    /// 256 KiB stacks that is a modest 256 MiB of (mostly untouched)
-    /// virtual memory.
+    /// Stack size reserved per rank continuation.
+    ///
+    /// Under the event scheduler ([`SchedMode::Events`]) this is only the
+    /// *reservation* backing a parked task's continuation — mostly
+    /// untouched virtual memory, so even P=16384 worlds fit comfortably.
+    /// It is meaningful as a per-thread stack only in
+    /// [`SchedMode::Threads`] oracle mode. Prefer tuning
+    /// [`WorldConfig::workers`] instead; see
+    /// [`WorldConfig::with_stack_bytes`] for the deprecation note.
     pub stack_bytes: usize,
     /// Optional deterministic fault plan. `None` (the default) keeps every
     /// fault hook on its zero-cost path — fault-free runs are bit-identical
@@ -32,6 +39,19 @@ pub struct WorldConfig {
     /// recorder is passive (no messages, no clock movement), so arming it
     /// changes no simulated behavior.
     pub record: bool,
+    /// Which scheduler runs the ranks. [`SchedMode::Events`] (the
+    /// default) multiplexes rank tasks over a bounded worker pool with
+    /// event wakeups; [`SchedMode::Threads`] is the pre-refactor
+    /// free-running oracle kept for differential testing. Every
+    /// simulation-visible output is byte-identical between the two
+    /// (`tests/sched_differential.rs`).
+    pub sched: SchedMode,
+    /// Worker-pool size for [`SchedMode::Events`]: the maximum number of
+    /// rank tasks running simultaneously. `0` (the default) resolves to
+    /// the host's available parallelism. Results are invariant under this
+    /// knob — it trades wall-clock parallelism only. Ignored in thread
+    /// mode.
+    pub workers: usize,
 }
 
 impl WorldConfig {
@@ -43,6 +63,8 @@ impl WorldConfig {
             stack_bytes: 256 * 1024,
             faults: None,
             record: false,
+            sched: SchedMode::default(),
+            workers: 0,
         }
     }
 
@@ -58,9 +80,46 @@ impl WorldConfig {
         self
     }
 
-    /// Override the per-thread stack size.
+    /// Override the per-rank stack reservation.
+    ///
+    /// Deprecated: under the event scheduler the per-rank stack is a
+    /// parked continuation's (mostly untouched) reservation, not a
+    /// capacity knob — tune [`WorldConfig::with_workers`] instead. Kept
+    /// for configuration compatibility; warns once per process.
+    #[deprecated(
+        since = "0.8.0",
+        note = "stack_bytes is a continuation reservation under the event scheduler; \
+                tune the worker pool with `with_workers` instead"
+    )]
     pub fn with_stack_bytes(mut self, bytes: usize) -> Self {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "mpisim: WorldConfig::with_stack_bytes is deprecated — the event scheduler \
+                 parks rank continuations, so stacks are reservations, not capacity; \
+                 tune the worker pool with with_workers instead"
+            );
+        });
         self.stack_bytes = bytes.max(64 * 1024);
+        self
+    }
+
+    /// Set the event scheduler's worker-pool size (see
+    /// [`WorldConfig::workers`]).
+    ///
+    /// Panics if `n == 0`: a pool with no permits can never run anything.
+    /// Use the default (`0` in the field, meaning auto) for host
+    /// parallelism.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "worker pool needs at least one worker");
+        self.workers = n;
+        self
+    }
+
+    /// Run this world on the pre-refactor free-running thread scheduler
+    /// (the differential-testing oracle; see [`SchedMode::Threads`]).
+    pub fn with_thread_scheduler(mut self) -> Self {
+        self.sched = SchedMode::Threads;
         self
     }
 
@@ -75,6 +134,18 @@ impl WorldConfig {
     pub fn with_recorder(mut self) -> Self {
         self.record = true;
         self
+    }
+
+    /// The effective worker-pool size: the configured value, or the
+    /// host's available parallelism when left at the `0` (auto) default.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
     }
 }
 
@@ -143,7 +214,7 @@ impl std::fmt::Display for WorldError {
 
 impl std::error::Error for WorldError {}
 
-/// A simulated MPI world: P ranks, each an OS thread.
+/// A simulated MPI world: P rank tasks on the configured scheduler.
 pub struct World {
     config: WorldConfig,
 }
@@ -258,6 +329,10 @@ impl World {
         let p = self.config.ranks;
         let record = self.config.record;
         let armed = self.config.faults.is_some();
+        let sched = match self.config.sched {
+            SchedMode::Events => Some(Sched::new(p, self.config.effective_workers())),
+            SchedMode::Threads => None,
+        };
         let shared = Arc::new(Shared {
             mailboxes: (0..p).map(|_| Mailbox::new()).collect(),
             cost: self.config.cost,
@@ -265,6 +340,7 @@ impl World {
             poisoned: AtomicBool::new(false),
             faults: self.config.faults,
             dead: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            sched,
         });
         let program = Arc::new(program);
         let started = Instant::now();
@@ -284,6 +360,11 @@ impl World {
                         obs::Recorder::disabled()
                     };
                     let mut proc = Proc::new(rank, Arc::clone(&shared), recorder);
+                    // Event mode: wait for this task's first run permit, so
+                    // at most `workers` rank programs execute at once.
+                    if let Some(s) = &shared.sched {
+                        s.start(rank);
+                    }
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut proc)));
                     // Read clock, fault tallies, and the flight log after
                     // the unwind: all three stay meaningful for a crashed
@@ -297,14 +378,21 @@ impl World {
                             Ok(crash) if tolerant => RankExit::Crashed(*crash),
                             Ok(crash) => {
                                 shared.poisoned.store(true, Ordering::SeqCst);
+                                shared.wake_all();
                                 RankExit::Crashed(*crash)
                             }
                             Err(payload) => {
                                 shared.poisoned.store(true, Ordering::SeqCst);
+                                shared.wake_all();
                                 RankExit::Panicked(panic_message(payload))
                             }
                         },
                     };
+                    // Release the run permit for good (the remaining work
+                    // above is local bookkeeping, not simulation).
+                    if let Some(s) = &shared.sched {
+                        s.exit(rank);
+                    }
                     (exit, vtime, fstats, obs_log)
                 })
                 .expect("failed to spawn rank thread");

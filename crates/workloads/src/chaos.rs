@@ -167,7 +167,26 @@ pub fn run_chaos_result(
     record: bool,
     cham_cfg: ChameleonConfig,
 ) -> Result<ChaosOutcome, String> {
+    run_chaos_result_on(p, steps, plan, record, cham_cfg, false)
+}
+
+/// [`run_chaos_result`] with an explicit scheduler choice:
+/// `thread_sched = true` runs the world on the pre-refactor free-running
+/// thread scheduler (the differential-testing oracle) instead of the
+/// default event scheduler. Outcomes are byte-identical between the two
+/// — `tests/sched_differential.rs` pins that over the full chaos grid.
+pub fn run_chaos_result_on(
+    p: usize,
+    steps: usize,
+    plan: FaultPlan,
+    record: bool,
+    cham_cfg: ChameleonConfig,
+    thread_sched: bool,
+) -> Result<ChaosOutcome, String> {
     let mut config = WorldConfig::for_tests(p).with_faults(plan);
+    if thread_sched {
+        config = config.with_thread_scheduler();
+    }
     if record {
         config = config.with_recorder();
     }

@@ -77,6 +77,14 @@ pub struct Overrides {
     /// Arm the streaming anomaly detector and its mitigation ladder
     /// ([`ChameleonConfig::with_detector`]; Chameleon mode only).
     pub detector: Option<obs::DetectorConfig>,
+    /// Run the world on the pre-refactor free-running thread scheduler
+    /// instead of the default event scheduler. The differential suite
+    /// (`tests/sched_differential.rs`) uses this as its oracle; every
+    /// simulation-visible output is byte-identical between the two.
+    pub thread_sched: bool,
+    /// Event-scheduler worker-pool size (`0` = host parallelism). Results
+    /// are invariant under this knob; it trades wall-clock only.
+    pub workers: usize,
 }
 
 /// Uniform measurements from one run.
@@ -295,6 +303,12 @@ pub fn run(
     };
 
     let mut world_config = WorldConfig::new(p);
+    if overrides.thread_sched {
+        world_config = world_config.with_thread_scheduler();
+    }
+    if overrides.workers > 0 {
+        world_config = world_config.with_workers(overrides.workers);
+    }
     if overrides.journal || overrides.journal_path.is_some() {
         world_config = world_config.with_recorder();
     }

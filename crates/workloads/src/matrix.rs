@@ -56,7 +56,7 @@ use std::time::Instant;
 use chameleon::ChameleonConfig;
 use mpisim::{Comm, FaultPlan};
 use obs::query::fnv64;
-use scalatrace::merge::{merge_all, merge_traces, merge_traces_reference};
+use scalatrace::merge::{merge_traces, merge_traces_reference};
 use scalatrace::{format as trace_format, CompressedTrace, Endpoint, EventRecord, MpiOp};
 use sigkit::StackSig;
 
@@ -1171,12 +1171,35 @@ fn merge_trial(plan: &MatrixPlan, trial: &Trial, fields: &mut BTreeMap<String, S
     let agrees = fast_text == trace_format::to_text(&reference);
     fields.insert("fast_matches_reference".to_string(), agrees.to_string());
     trace_fields(fields, "merged", &fast);
-    // The fold axis: merging p traces, ScalaTrace-at-finalize style.
-    let traces: Vec<CompressedTrace> = (0..trial.p).map(make).collect();
-    let folded = merge_all(traces.iter());
+    // The fold axis: merging p traces, ScalaTrace-at-finalize style. The
+    // fold streams (build one trace, fold, drop) so a 16k-wide trial
+    // holds the accumulator, not 16k materialized traces.
+    //
+    // Disjoint traces share nothing, so the accumulator grows by n every
+    // fold and each merge runs the full aligner over it: O(w²·n²) total
+    // for width w. Cap the disjoint width so that work stays constant
+    // across classes (256 at the base n of 128), and record the width on
+    // the result row — the cap is part of the pinned baseline, never a
+    // silent truncation. Identical/near folds keep the accumulator flat
+    // (shared backbone trims away) and stay uncapped to the full 16k.
+    let fold_width = if trial.workload == "MERGE_DISJOINT" {
+        trial.p.min((MERGE_DISJOINT_SITE_BUDGET / n).max(2))
+    } else {
+        trial.p
+    };
+    fields.insert("fold_width".to_string(), fold_width.to_string());
+    let mut folded = make(0);
+    for rank in 1..fold_width {
+        folded = merge_traces(&folded, &make(rank));
+    }
     trace_fields(fields, "fold", &folded);
     agrees && folded.dynamic_size() > 0
 }
+
+/// Accumulator-size budget for the `MERGE_DISJOINT` fold axis: width is
+/// capped at `budget / n`, i.e. 256 traces at the default base size of
+/// 128, keeping the fold's O(width²·n²) alignment work class-independent.
+const MERGE_DISJOINT_SITE_BUDGET: usize = 256 * 128;
 
 fn driver_trial(
     plan: &MatrixPlan,
@@ -1988,6 +2011,41 @@ mod tests {
             digests.push(a["merged_digest"].clone());
         }
         assert_ne!(digests[0], digests[1], "seeds produce distinct artifacts");
+    }
+
+    #[test]
+    fn merge_fold_width_is_recorded_and_caps_only_disjoint() {
+        // Cheap, non-binding coordinates: the policy (record always, cap
+        // only MERGE_DISJOINT, never below 2) is pinned here; the binding
+        // 16k rows live in the committed merge-scaling baseline.
+        let plan = MatrixPlan::from_json(
+            r#"{"name":"w","workloads":["MERGE_IDENTICAL","MERGE_DISJOINT"],
+                "ranks":[4,64],"seeds":[0],"merge_base_n":64}"#,
+        )
+        .unwrap();
+        plan.validate().unwrap();
+        for trial in &plan.expand() {
+            let mut fields = BTreeMap::new();
+            assert!(merge_trial(&plan, trial, &mut fields));
+            let width: usize = fields["fold_width"].parse().unwrap();
+            let n: usize = fields["n"].parse().unwrap();
+            let expect = if trial.workload == "MERGE_DISJOINT" {
+                trial.p.min((MERGE_DISJOINT_SITE_BUDGET / n).max(2))
+            } else {
+                trial.p
+            };
+            assert_eq!(width, expect, "{}: fold width policy", trial.id);
+            // The fold really had that width: disjoint folds concatenate,
+            // so the merged size is exactly width * n.
+            if trial.workload == "MERGE_DISJOINT" {
+                assert_eq!(
+                    fields["fold_events"],
+                    (width * n).to_string(),
+                    "{}: disjoint fold size",
+                    trial.id
+                );
+            }
+        }
     }
 
     #[test]

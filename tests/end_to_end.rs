@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use chameleon_repro::mpisim::CostModel;
+use chameleon_repro::mpisim::{Comm, CostModel, SrcSel, TagSel, World, WorldConfig};
 use chameleon_repro::scalareplay::{accuracy, replay};
 use chameleon_repro::scalatrace::{format, RankSet};
 use chameleon_repro::workloads::driver::{run, Mode, Overrides, ScaledWorkload};
@@ -26,6 +26,44 @@ fn all_workloads() -> Vec<Arc<dyn Workload>> {
         scaled(Cg),
         Arc::new(Emf),
     ]
+}
+
+#[test]
+fn large_world_4096_rank_spmd_ring() {
+    // Thread-per-rank capped worlds at a few hundred ranks: P free-running
+    // threads all polling their mailboxes thrash the host scheduler. The
+    // event scheduler parks blocked rank tasks without polling and runs at
+    // most `workers` of them at once, so a 4096-rank world is just 4096
+    // parked continuations — bounded memory, bounded runnable set. This
+    // smoke test pins that capability (nextest enforces the wall-clock
+    // bound; see .config/nextest.toml).
+    const P: usize = 4096;
+    const ROUNDS: u64 = 3;
+    let report = World::new(WorldConfig::new(P))
+        .run(|proc| {
+            let p = proc.size();
+            let me = proc.rank();
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            // SPMD ring: token accumulates every rank it passes through.
+            let mut acc = 0u64;
+            for round in 0..ROUNDS {
+                proc.compute(1e-6);
+                proc.send_u64(right, round as u32, Comm::WORLD, acc + me as u64);
+                let (_, v) =
+                    proc.recv_u64(SrcSel::Rank(left), TagSel::Tag(round as u32), Comm::WORLD);
+                acc = v;
+            }
+            proc.allreduce_sum(acc % 1024)
+        })
+        .unwrap();
+    assert_eq!(report.ranks, P);
+    // Every rank's final allreduce agrees, so all 4096 tasks reached their
+    // final state (no starvation, no lost wakeups at scale).
+    let first = report.results[0];
+    assert!(report.results.iter().all(|&r| r == first));
+    // Virtual time advanced through all ring rounds on every rank.
+    assert!(report.rank_vtimes.iter().all(|&t| t > 0.0));
 }
 
 #[test]

@@ -101,6 +101,56 @@ fn smoke_plan_results_match_committed_baseline() {
 }
 
 #[test]
+#[ignore = "full 16k merge sweep (tens of minutes even in release — the offline \
+            fold is O(P²) in ranklist work): run by the scheduled merge-matrix \
+            CI job, or explicitly via --ignored"]
+fn merge_scaling_plan_results_match_committed_baseline() {
+    // The committed sweep behind the `merge-matrix` CI gate: identical /
+    // near-identical / disjoint folds, classes A-D, rank axis 4..16384.
+    // Regenerate with
+    //   REGEN_GOLDEN=1 cargo test --release --test matrix -- --ignored merge_scaling
+    let plan = load_plan("merge_scaling.plan.json");
+    let out = scratch("merge_scaling_golden");
+    let (results, _) = run_plan(&plan, &out, 2).expect("merge plan runs");
+    assert_eq!(
+        results.trials.len(),
+        3 * 4 * 7,
+        "workloads x classes x ranks"
+    );
+    assert!(
+        results.trials.iter().all(|t| t.ok),
+        "every merge trial passes"
+    );
+    // Every row records its fold width; the disjoint widths are capped
+    // (class-independent alignment work), identical/near rows reach the
+    // full rank axis — the 16384-wide folds are really in the table.
+    for t in &results.trials {
+        let width: usize = t.fields["fold_width"]
+            .parse()
+            .expect("fold_width row field");
+        let p: usize =
+            t.id.split('-')
+                .find_map(|seg| seg.strip_prefix('p'))
+                .and_then(|digits| digits.parse().ok())
+                .expect("trial id encodes the rank coordinate");
+        if t.id.contains("DISJOINT") {
+            assert!(width <= p && width >= 2, "{}: capped width {width}", t.id);
+        } else {
+            assert_eq!(width, p, "{}: uncapped fold reaches the rank axis", t.id);
+        }
+    }
+    assert!(
+        results
+            .trials
+            .iter()
+            .any(|t| t.fields["fold_width"] == "16384"),
+        "the sweep reaches 16384-wide folds"
+    );
+    assert_golden("matrix_merge_scaling.baseline.json", &results.to_json());
+    let _ = std::fs::remove_dir_all(out);
+}
+
+#[test]
 fn rerun_is_byte_stable_across_worker_counts() {
     // The acceptance criterion: same plan, same seeds → byte-identical
     // result tables, no matter how the worker pool schedules trials and
