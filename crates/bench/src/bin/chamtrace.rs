@@ -1,5 +1,5 @@
-//! `chamtrace` — inspect, validate, and replay Chameleon/ScalaTrace trace
-//! files from the command line.
+//! `chamtrace` — inspect, validate, replay, and serve Chameleon/ScalaTrace
+//! trace artifacts from the command line.
 //!
 //! ```text
 //! chamtrace info   <trace-file>             # summary statistics
@@ -7,25 +7,31 @@
 //! chamtrace check  <trace-file>             # parse + invariant checks
 //! chamtrace replay <trace-file> <ranks>     # replay, print virtual time
 //!
-//! chamtrace journal summarize <journal>     # header + per-label counts
-//! chamtrace journal timeline  <journal> <r> # one rank's events in order
-//! chamtrace journal spans     <journal>     # merge levels + critical path
-//! chamtrace journal metrics   <journal>     # metrics-plane snapshots
-//! chamtrace journal anomalies <journal>     # detector verdicts per rank
-//! chamtrace journal diff      <a> <b>       # exit 1 on divergence,
+//! chamtrace journal summarize <journal> [--json]
+//! chamtrace journal timeline  <journal> <r> [--json]
+//! chamtrace journal spans     <journal> [--json]
+//! chamtrace journal metrics   <journal> [--json]
+//! chamtrace journal anomalies <journal> [--json]
+//! chamtrace journal diff      <a> <b> [--json]
+//!                                           # exit 1 on divergence,
 //!                                           # 2 if either file is bad
 //!
 //! chamtrace ckpt info   <blob>              # decode a CKPT1 checkpoint
 //! chamtrace ckpt latest <dir>               # newest ckpt-*.bin in a dir
 //! chamtrace chaos supervise <ranks> <steps> <seed> <marker> <dir>
-//!                                           # root-crash + restart demo
+//!                           [--push ADDR]   # root-crash + restart demo
 //!
 //! chamtrace matrix expand <plan>            # list the trial cross product
-//! chamtrace matrix run <plan> [--jobs N] [--out DIR]
+//! chamtrace matrix run <plan> [--jobs N] [--out DIR] [--push ADDR]
 //!                                           # run a scenario matrix
 //! chamtrace matrix diff <baseline.json> <results.json>
 //!                                           # regression gate (exit 1 on
 //!                                           # first divergence)
+//!
+//! chamtrace serve [--addr A] [--data DIR] [--cache N] [--threads N]
+//!                                           # trace-service daemon
+//! chamtrace push <addr> <run-id> <journal> [--ckpt <blob>]
+//!                                           # upload a run at a daemon
 //! ```
 //!
 //! Journal files are the flight recorder's canonical JSONL
@@ -36,12 +42,20 @@
 //! versioned `CKPT1` binary format (see FAULTS.md "Recovery"); corrupt
 //! or truncated blobs also exit 2.
 //!
+//! With `--json`, every journal subcommand prints the same canonical
+//! single-line JSON object the `chamtrace serve` daemon returns for the
+//! matching endpoint — CLI and daemon answers diff byte for byte (see
+//! OBSERVABILITY.md "Trace service").
+//!
 //! Matrix plans are declarative JSON scenario matrices (see
 //! EXPERIMENTS.md "Running a matrix"); `matrix run` exits 1 when any
 //! trial fails its invariants, `matrix diff` exits 1 naming the first
 //! diverging trial + metric, and both exit 2 on malformed plans/tables.
+//! `matrix run --push` streams each finished trial's journal at a
+//! running daemon (push failures warn but do not fail the trial).
 
 use chameleon::Checkpoint;
+use chamserve::{ServeConfig, Server};
 use mpisim::CostModel;
 use obs::{query, RunJournal};
 use scalatrace::{format, CompressedTrace, RankSet};
@@ -49,8 +63,8 @@ use workloads::chaos::{
     latest_checkpoint, marker_entry_ops, root_crash_plan, run_chaos_supervised,
 };
 use workloads::matrix::{
-    diff_results, diff_timings, journal_drilldown, run_plan, timings_from_json, MatrixPlan,
-    MatrixResults,
+    diff_results, diff_timings, journal_drilldown, run_plan_with_push, timings_from_json,
+    MatrixPlan, MatrixResults,
 };
 
 fn load(path: &str) -> CompressedTrace {
@@ -131,52 +145,107 @@ fn replay_cmd(path: &str, ranks: usize) {
     }
 }
 
+/// The one journal loader every `journal *` subcommand shares — the same
+/// `RunJournal::load` the daemon's store builds on. Unreadable or
+/// malformed input prints the path + line diagnostic and exits 2.
 fn load_journal(path: &str) -> RunJournal {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("error: cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    RunJournal::from_jsonl(&text).unwrap_or_else(|e| {
-        eprintln!("error: {path}: {e}");
+    RunJournal::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
         std::process::exit(2);
     })
 }
 
-fn journal_summarize(path: &str) {
-    print!("{}", load_journal(path).summary());
+fn parse_rank(v: &str) -> usize {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid rank {v:?}");
+        std::process::exit(2);
+    })
 }
 
-fn journal_timeline(path: &str, rank: usize) {
-    match query::timeline(&load_journal(path), rank) {
-        Ok(text) => print!("{text}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+/// Strip a `--json` flag (anywhere in the tail) and return the rest.
+fn take_json_flag(tail: &[String]) -> (Vec<&str>, bool) {
+    let mut json = false;
+    let mut rest = Vec::new();
+    for a in tail {
+        if a == "--json" {
+            json = true;
+        } else {
+            rest.push(a.as_str());
         }
     }
+    (rest, json)
 }
 
-fn journal_spans(path: &str) {
-    print!("{}", query::span_report(&load_journal(path)));
-}
-
-fn journal_metrics(path: &str) {
-    print!("{}", query::metrics_report(&load_journal(path)));
-}
-
-fn journal_anomalies(path: &str) {
-    print!("{}", query::anomaly_report(&load_journal(path)));
-}
-
-fn journal_diff(path_a: &str, path_b: &str) {
-    let a = load_journal(path_a);
-    let b = load_journal(path_b);
-    match query::diff(&a, &b) {
-        None => println!("identical: {path_a} and {path_b}"),
-        Some(divergence) => {
-            println!("divergence: {divergence}");
-            std::process::exit(1);
+/// All `journal *` subcommands behind one loader and one dispatch, in
+/// text or canonical-JSON form.
+fn journal_cmd(tail: &[String]) {
+    let (args, json) = take_json_flag(tail);
+    match args.as_slice() {
+        ["summarize", path] => {
+            let j = load_journal(path);
+            if json {
+                print!("{}", query::summarize_json(&j));
+            } else {
+                print!("{}", j.summary());
+            }
         }
+        ["timeline", path, rank] => {
+            let rank = parse_rank(rank);
+            let j = load_journal(path);
+            let rendered = if json {
+                query::timeline_json(&j, rank)
+            } else {
+                query::timeline(&j, rank)
+            };
+            match rendered {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        ["spans", path] => {
+            let j = load_journal(path);
+            if json {
+                print!("{}", query::spans_json(&j));
+            } else {
+                print!("{}", query::span_report(&j));
+            }
+        }
+        ["metrics", path] => {
+            let j = load_journal(path);
+            if json {
+                print!("{}", query::metrics_json(&j));
+            } else {
+                print!("{}", query::metrics_report(&j));
+            }
+        }
+        ["anomalies", path] => {
+            let j = load_journal(path);
+            if json {
+                print!("{}", query::anomalies_json(&j));
+            } else {
+                print!("{}", query::anomaly_report(&j));
+            }
+        }
+        ["diff", path_a, path_b] => {
+            let a = load_journal(path_a);
+            let b = load_journal(path_b);
+            let divergence = query::diff(&a, &b);
+            if json {
+                print!("{}", query::diff_json(&a, &b));
+            } else {
+                match &divergence {
+                    None => println!("identical: {path_a} and {path_b}"),
+                    Some(d) => println!("divergence: {d}"),
+                }
+            }
+            if divergence.is_some() {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
     }
 }
 
@@ -231,8 +300,17 @@ fn ckpt_latest(dir: &str) {
 /// Demo/debug driver for the tentpole scenario: crash rank 0 at the given
 /// marker's entry under the standard lossy link, checkpointing every other
 /// marker into `dir`, and let the supervisor restart from the latest blob
-/// if the in-place failover cannot complete.
-fn chaos_supervise(ranks: usize, steps: usize, seed: u64, marker: usize, dir: &str) {
+/// if the in-place failover cannot complete. With `--push`, the run's
+/// journal and latest checkpoint are uploaded at a trace-service daemon
+/// under run ID `chaos-s<seed>-m<marker>`.
+fn chaos_supervise(
+    ranks: usize,
+    steps: usize,
+    seed: u64,
+    marker: usize,
+    dir: &str,
+    push: Option<&str>,
+) {
     if marker >= steps {
         eprintln!("error: marker {marker} out of range (steps={steps})");
         std::process::exit(2);
@@ -283,6 +361,24 @@ fn chaos_supervise(ranks: usize, steps: usize, seed: u64, marker: usize, dir: &s
     if let Some((m, path)) = latest_checkpoint(dir) {
         println!("latest ckpt:     marker {m} at {}", path.display());
     }
+    if let Some(addr) = push {
+        let run_id = format!("chaos-s{seed:016x}-m{marker:02}");
+        if let Some(journal) = &sup.outcome.journal {
+            match chamserve::push_journal(addr, &run_id, journal.to_jsonl().as_bytes()) {
+                Ok(_) => println!("pushed journal:  {run_id} at {addr}"),
+                Err(e) => eprintln!("warning: push journal: {e}"),
+            }
+        }
+        if let Some((_, path)) = latest_checkpoint(dir) {
+            match std::fs::read(&path) {
+                Ok(blob) => match chamserve::push_checkpoint(addr, &run_id, &blob) {
+                    Ok(_) => println!("pushed ckpt:     {run_id} at {addr}"),
+                    Err(e) => eprintln!("warning: push checkpoint: {e}"),
+                },
+                Err(e) => eprintln!("warning: read {}: {e}", path.display()),
+            }
+        }
+    }
 }
 
 fn load_plan(path: &str) -> MatrixPlan {
@@ -301,10 +397,32 @@ fn matrix_expand(path: &str) {
     eprintln!("{} trial(s) in plan {:?}", trials.len(), plan.name);
 }
 
-fn matrix_run(path: &str, jobs: usize, out: &str) {
+fn matrix_run(path: &str, jobs: usize, out: &str, push: Option<&str>) {
     let plan = load_plan(path);
     let out_root = std::path::Path::new(out);
-    let (results, _timings) = run_plan(&plan, out_root, jobs).unwrap_or_else(|e| {
+    // The push hook streams each finished trial's journal at the daemon;
+    // trial IDs are already valid run IDs (`[A-Za-z0-9._-]`). A push
+    // failure warns — the trial's own verdict is untouched.
+    let hook = push.map(|addr| {
+        let addr = addr.to_string();
+        move |id: &str, dir: &std::path::Path| {
+            let journal_path = dir.join("journal.jsonl");
+            let Ok(bytes) = std::fs::read(&journal_path) else {
+                return; // journal-less trial (journal axis off)
+            };
+            if let Err(e) = chamserve::push_journal(&addr, id, &bytes) {
+                eprintln!("warning: push {id}: {e}");
+            }
+        }
+    });
+    let (results, _timings) = run_plan_with_push(
+        &plan,
+        out_root,
+        jobs,
+        hook.as_ref()
+            .map(|h| h as &(dyn Fn(&str, &std::path::Path) + Sync)),
+    )
+    .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
@@ -380,6 +498,90 @@ fn matrix_diff(baseline: &str, current: &str) {
     );
 }
 
+/// `chamtrace serve`: run the trace-service daemon in the foreground
+/// until a `POST /shutdown` arrives.
+fn serve_cmd(tail: &[String]) {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut rest = tail;
+    while let [flag, value, more @ ..] = rest {
+        let count = |what: &str| -> usize {
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid {what} {value:?}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--data" => cfg.data_dir = std::path::PathBuf::from(value),
+            "--cache" => cfg.cache_entries = count("cache capacity"),
+            "--threads" => cfg.threads = count("thread count"),
+            other => {
+                eprintln!("error: unknown serve flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        rest = more;
+    }
+    if !rest.is_empty() {
+        eprintln!("error: dangling serve argument {:?}", rest[0]);
+        std::process::exit(2);
+    }
+    let server = Server::start(&addr, cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    println!("listening on {}", server.addr());
+    server.wait();
+}
+
+/// `chamtrace push`: upload one run's journal (and optionally one
+/// checkpoint blob) at a daemon, printing the daemon's JSON receipts.
+fn push_cmd(addr: &str, run_id: &str, journal: &str, ckpt: Option<&str>) {
+    let jsonl = std::fs::read(journal).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {journal}: {e}");
+        std::process::exit(2);
+    });
+    match chamserve::push_journal(addr, run_id, &jsonl) {
+        Ok(receipt) => print!("{receipt}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = ckpt {
+        let blob = std::fs::read(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match chamserve::push_checkpoint(addr, run_id, &blob) {
+            Ok(receipt) => print!("{receipt}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: chamtrace info|dump|check <trace-file>");
+    eprintln!("       chamtrace replay <trace-file> <ranks>");
+    eprintln!("       chamtrace journal summarize|spans|metrics|anomalies <journal> [--json]");
+    eprintln!("       chamtrace journal timeline <journal> <rank> [--json]");
+    eprintln!("       chamtrace journal diff <journal-a> <journal-b> [--json]");
+    eprintln!("       chamtrace ckpt info <blob> | ckpt latest <dir>");
+    eprintln!(
+        "       chamtrace chaos supervise <ranks> <steps> <seed> <marker> <dir> [--push ADDR]"
+    );
+    eprintln!("       chamtrace matrix expand <plan>");
+    eprintln!("       chamtrace matrix run <plan> [--jobs N] [--out DIR] [--push ADDR]");
+    eprintln!("       chamtrace matrix diff <baseline.json> <results.json>");
+    eprintln!("       chamtrace serve [--addr A] [--data DIR] [--cache N] [--threads N]");
+    eprintln!("       chamtrace push <addr> <run-id> <journal> [--ckpt <blob>]");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
@@ -393,24 +595,14 @@ fn main() {
             });
             replay_cmd(path, ranks);
         }
-        [j, cmd, path] if j == "journal" && cmd == "summarize" => journal_summarize(path),
-        [j, cmd, path, rank] if j == "journal" && cmd == "timeline" => {
-            let rank = rank.parse().unwrap_or_else(|_| {
-                eprintln!("error: invalid rank {rank:?}");
-                std::process::exit(2);
-            });
-            journal_timeline(path, rank);
-        }
-        [j, cmd, path] if j == "journal" && cmd == "spans" => journal_spans(path),
-        [j, cmd, path] if j == "journal" && cmd == "metrics" => journal_metrics(path),
-        [j, cmd, path] if j == "journal" && cmd == "anomalies" => journal_anomalies(path),
-        [j, cmd, a, b] if j == "journal" && cmd == "diff" => journal_diff(a, b),
+        [j, tail @ ..] if j == "journal" => journal_cmd(tail),
         [c, cmd, path] if c == "ckpt" && cmd == "info" => ckpt_info(path),
         [c, cmd, dir] if c == "ckpt" && cmd == "latest" => ckpt_latest(dir),
         [m, cmd, path] if m == "matrix" && cmd == "expand" => matrix_expand(path),
         [m, cmd, path, tail @ ..] if m == "matrix" && cmd == "run" => {
             let mut jobs = 2usize;
             let mut out = "experiments_out/matrix".to_string();
+            let mut push: Option<String> = None;
             let mut rest = tail;
             while let [flag, value, more @ ..] = rest {
                 match flag.as_str() {
@@ -421,6 +613,7 @@ fn main() {
                         });
                     }
                     "--out" => out = value.clone(),
+                    "--push" => push = Some(value.clone()),
                     other => {
                         eprintln!("error: unknown matrix run flag {other:?}");
                         std::process::exit(2);
@@ -432,12 +625,14 @@ fn main() {
                 eprintln!("error: dangling matrix run argument {:?}", rest[0]);
                 std::process::exit(2);
             }
-            matrix_run(path, jobs, &out);
+            matrix_run(path, jobs, &out, push.as_deref());
         }
         [m, cmd, baseline, current] if m == "matrix" && cmd == "diff" => {
             matrix_diff(baseline, current);
         }
-        [c, cmd, ranks, steps, seed, marker, dir] if c == "chaos" && cmd == "supervise" => {
+        [c, cmd, ranks, steps, seed, marker, dir, tail @ ..]
+            if c == "chaos" && cmd == "supervise" =>
+        {
             let parse = |what: &str, v: &str| -> usize {
                 v.parse().unwrap_or_else(|_| {
                     eprintln!("error: invalid {what} {v:?}");
@@ -448,26 +643,35 @@ fn main() {
                 eprintln!("error: invalid seed {seed:?}");
                 std::process::exit(2);
             });
+            let push = match tail {
+                [] => None,
+                [flag, addr] if flag == "--push" => Some(addr.as_str()),
+                _ => {
+                    eprintln!("error: unknown chaos supervise arguments {tail:?}");
+                    std::process::exit(2);
+                }
+            };
             chaos_supervise(
                 parse("rank count", ranks),
                 parse("step count", steps),
                 seed,
                 parse("marker", marker),
                 dir,
+                push,
             );
         }
-        _ => {
-            eprintln!("usage: chamtrace info|dump|check <trace-file>");
-            eprintln!("       chamtrace replay <trace-file> <ranks>");
-            eprintln!("       chamtrace journal summarize|spans|metrics|anomalies <journal>");
-            eprintln!("       chamtrace journal timeline <journal> <rank>");
-            eprintln!("       chamtrace journal diff <journal-a> <journal-b>");
-            eprintln!("       chamtrace ckpt info <blob> | ckpt latest <dir>");
-            eprintln!("       chamtrace chaos supervise <ranks> <steps> <seed> <marker> <dir>");
-            eprintln!("       chamtrace matrix expand <plan>");
-            eprintln!("       chamtrace matrix run <plan> [--jobs N] [--out DIR]");
-            eprintln!("       chamtrace matrix diff <baseline.json> <results.json>");
-            std::process::exit(2);
+        [s, tail @ ..] if s == "serve" => serve_cmd(tail),
+        [p, addr, run_id, journal, tail @ ..] if p == "push" => {
+            let ckpt = match tail {
+                [] => None,
+                [flag, path] if flag == "--ckpt" => Some(path.as_str()),
+                _ => {
+                    eprintln!("error: unknown push arguments {tail:?}");
+                    std::process::exit(2);
+                }
+            };
+            push_cmd(addr, run_id, journal, ckpt);
         }
+        _ => usage(),
     }
 }

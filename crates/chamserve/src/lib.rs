@@ -1,0 +1,76 @@
+//! # chamserve — the multi-tenant trace-service daemon
+//!
+//! `chamtrace serve` turns the one-process/one-run/one-journal rank-0
+//! aggregation into a long-lived service: many concurrent runs push
+//! their flight-recorder journals and CKPT1 checkpoints at a daemon,
+//! which spills them to disk, keeps bounded hot state per session (the
+//! associative [`obs::metrics::MetricSet`] merge plus an LRU cache of
+//! decoded journals), and serves the whole `obs::query` engine over a
+//! hand-rolled HTTP/1.1 plane on `std::net::TcpListener` — the workspace
+//! is hermetic, so there is no hyper, no tokio, no serde; just the
+//! standard library and the parsers the CLI already trusts.
+//!
+//! ## Endpoints
+//!
+//! | method & path | answer |
+//! |---|---|
+//! | `POST /runs/<id>/journal` | strict JSONL ingest; 400 + line diagnostic on malformed input |
+//! | `POST /runs/<id>/checkpoint` | total CKPT1 decode; 400 + offset/CRC diagnostic |
+//! | `GET /runs` | all sessions in run-ID order with their hot sketches |
+//! | `GET /runs/<id>/summarize` | [`obs::query::summarize_json`] |
+//! | `GET /runs/<id>/timeline/<rank>` | [`obs::query::timeline_json`] |
+//! | `GET /runs/<id>/spans` | [`obs::query::spans_json`] |
+//! | `GET /runs/<id>/metrics` | [`obs::query::metrics_json`] |
+//! | `GET /runs/<id>/anomalies` | [`obs::query::anomalies_json`] |
+//! | `GET /runs/<id>/diff/<other>` | [`obs::query::diff_json`] |
+//! | `GET /metrics` | the daemon's own telemetry (see below) |
+//! | `GET /healthz` | liveness probe |
+//! | `POST /shutdown` | graceful stop (used by tests and the CI smoke job) |
+//!
+//! Query responses are the *same canonical bytes* printed by the
+//! `chamtrace journal <query> --json` subcommands — one shared renderer
+//! in `obs::query` — so endpoint goldens diff exactly, and CLI-vs-daemon
+//! answers can be compared byte for byte.
+//!
+//! ## The loop closes
+//!
+//! The daemon watches itself with the observability plane it serves:
+//! request counts and latency sketches ride the same `obs::metrics`
+//! histogram machinery clients query through it, exposed at
+//! `GET /metrics`. See `OBSERVABILITY.md` "Trace service".
+
+pub mod http;
+pub mod store;
+pub mod telemetry;
+
+mod routes;
+
+pub use routes::{ServeConfig, Server};
+pub use store::{validate_run_id, Session, SessionStore, StoreError};
+pub use telemetry::{SvcCounter, SvcHist, Telemetry};
+
+use std::time::Duration;
+
+/// Default client timeout for pushes and smoke queries.
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Push a finished run's journal at a daemon (`chamtrace push`, the
+/// matrix `--push` hook). Returns the daemon's JSON receipt.
+pub fn push_journal(addr: &str, run_id: &str, jsonl: &[u8]) -> Result<String, String> {
+    push(addr, run_id, "journal", jsonl)
+}
+
+/// Push one checkpoint blob at a daemon.
+pub fn push_checkpoint(addr: &str, run_id: &str, blob: &[u8]) -> Result<String, String> {
+    push(addr, run_id, "checkpoint", blob)
+}
+
+fn push(addr: &str, run_id: &str, what: &str, body: &[u8]) -> Result<String, String> {
+    let path = format!("/runs/{run_id}/{what}");
+    let (status, resp) = http::request(addr, "POST", &path, body, CLIENT_TIMEOUT)?;
+    let text = String::from_utf8_lossy(&resp).into_owned();
+    if status != 200 {
+        return Err(format!("{addr}{path}: HTTP {status}: {}", text.trim_end()));
+    }
+    Ok(text)
+}

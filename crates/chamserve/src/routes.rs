@@ -1,0 +1,430 @@
+//! Request routing and the server lifecycle.
+//!
+//! A fixed pool of worker threads shares one `TcpListener` (accept is
+//! thread-safe across clones); each connection is one request/response
+//! exchange. Every response body is canonical — query endpoints return
+//! the exact bytes of the shared `obs::query` JSON renderers, so a
+//! daemon answer can be byte-diffed against the CLI's `--json` output
+//! and against committed goldens.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use obs::metrics::{Counter, HistId, HIST_DIGEST_STRIDE};
+use obs::query;
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::store::{Session, SessionStore, StoreError};
+use crate::telemetry::{SvcCounter, SvcHist, Telemetry};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Root directory journals and checkpoints are spilled under.
+    pub data_dir: PathBuf,
+    /// Decoded-journal cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Worker threads accepting connections.
+    pub threads: usize,
+    /// Largest request body accepted, in bytes.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            data_dir: PathBuf::from("experiments_out/chamserve"),
+            cache_entries: 64,
+            threads: 4,
+            max_body: 64 * 1024 * 1024,
+        }
+    }
+}
+
+struct State {
+    store: SessionStore,
+    telemetry: Telemetry,
+    stopping: AtomicBool,
+}
+
+/// A running daemon: bound address, worker pool, shutdown control.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<State>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// on a pool of worker threads. Returns once the socket is live.
+    pub fn start(addr: &str, cfg: ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        let state = Arc::new(State {
+            store: SessionStore::open(&cfg.data_dir, cfg.cache_entries)
+                .map_err(|e| format!("open store: {}", e.detail))?,
+            telemetry: Telemetry::new(),
+            stopping: AtomicBool::new(false),
+        });
+        let threads = cfg.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let listener = listener
+                .try_clone()
+                .map_err(|e| format!("clone listener: {e}"))?;
+            let state = state.clone();
+            let max_body = cfg.max_body;
+            workers.push(std::thread::spawn(move || loop {
+                let Ok((mut stream, _)) = listener.accept() else {
+                    break;
+                };
+                if state.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                handle(&mut stream, &state, max_body, local);
+                if state.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+            }));
+        }
+        Ok(Server {
+            addr: local,
+            state,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a `POST /shutdown` has been accepted.
+    pub fn stopping(&self) -> bool {
+        self.state.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Block until every worker exits (i.e. until shutdown is
+    /// requested). The foreground mode of `chamtrace serve`.
+    pub fn wait(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Request shutdown and join the workers.
+    pub fn shutdown(self) {
+        self.state.stopping.store(true, Ordering::SeqCst);
+        wake_workers(self.addr, self.workers.len());
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Unblock workers parked in `accept` by connecting once per worker.
+fn wake_workers(addr: SocketAddr, n: usize) {
+    for _ in 0..n {
+        if let Ok(s) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+            drop(s);
+        }
+    }
+}
+
+fn handle(stream: &mut TcpStream, state: &State, max_body: usize, local: SocketAddr) {
+    let started = Instant::now();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).ok();
+    let (status, content_type, body) = match read_request(stream, max_body) {
+        Err(HttpError { status, detail }) => {
+            // A bare connect-then-close (the shutdown wake) is not a
+            // request; don't count or answer it.
+            if detail.contains("connection closed mid-head") {
+                return;
+            }
+            (status, "application/json", error_body(&detail))
+        }
+        Ok(req) => {
+            let is_query = matches!(
+                (
+                    req.method.as_str(),
+                    req.segments.first().map(String::as_str)
+                ),
+                ("GET", Some("runs"))
+            ) && req.segments.len() >= 3;
+            let (status, body) = route(&req, state, local);
+            if is_query && status == 200 {
+                state.telemetry.add(SvcCounter::QueriesServed, 1);
+                state
+                    .telemetry
+                    .observe(SvcHist::ResponseBytes, body.len() as u64);
+            }
+            (status, "application/json", body)
+        }
+    };
+    state.telemetry.add(SvcCounter::HttpRequests, 1);
+    let class = match status {
+        200..=299 => SvcCounter::Http2xx,
+        400..=499 => SvcCounter::Http4xx,
+        _ => SvcCounter::Http5xx,
+    };
+    state.telemetry.add(class, 1);
+    // Latency is recorded *before* the response bytes leave, so a client
+    // that has read a response is guaranteed the observation already
+    // landed — /metrics scraped right after N answers counts >= N.
+    state.telemetry.observe(
+        SvcHist::RequestLatencyNs,
+        obs::metrics::ns_from_seconds(started.elapsed().as_secs_f64()),
+    );
+    let _ = write_response(stream, status, content_type, body.as_bytes());
+}
+
+fn error_body(detail: &str) -> String {
+    format!("{{\"error\":\"{}\"}}\n", query::json_escape(detail))
+}
+
+fn store_error(e: &StoreError) -> (u16, String) {
+    (e.status, error_body(&e.detail))
+}
+
+fn route(req: &Request, state: &State, local: SocketAddr) -> (u16, String) {
+    let segs: Vec<&str> = req.segments.iter().map(String::as_str).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", []) => (
+            200,
+            format!(
+                "{{\"service\":\"chamserve\",\"addr\":\"{local}\",\"endpoints\":[\"GET /healthz\",\"GET /metrics\",\"GET /runs\",\"POST /runs/<id>/journal\",\"POST /runs/<id>/checkpoint\",\"GET /runs/<id>/summarize\",\"GET /runs/<id>/timeline/<rank>\",\"GET /runs/<id>/spans\",\"GET /runs/<id>/metrics\",\"GET /runs/<id>/anomalies\",\"GET /runs/<id>/diff/<other>\",\"POST /shutdown\"]}}\n"
+            ),
+        ),
+        ("GET", ["healthz"]) => (200, "{\"ok\":true}\n".to_string()),
+        ("GET", ["metrics"]) => (
+            200,
+            state.telemetry.render(
+                state.store.sessions_live(),
+                state.store.cached_journals(),
+            ),
+        ),
+        ("GET", ["runs"]) => (200, render_runs(&state.store.sessions())),
+        ("POST", ["runs", id, "journal"]) => match std::str::from_utf8(&req.body) {
+            Err(_) => {
+                state.telemetry.add(SvcCounter::IngestRejected, 1);
+                (400, error_body("journal body is not UTF-8"))
+            }
+            Ok(text) => match state.store.ingest_journal(id, text) {
+                Ok((ranks, events)) => {
+                    state.telemetry.add(SvcCounter::JournalsIngested, 1);
+                    state
+                        .telemetry
+                        .add(SvcCounter::IngestBytes, req.body.len() as u64);
+                    state
+                        .telemetry
+                        .observe(SvcHist::IngestBodyBytes, req.body.len() as u64);
+                    (
+                        200,
+                        format!(
+                            "{{\"ok\":true,\"run\":\"{}\",\"ranks\":{ranks},\"events\":{events}}}\n",
+                            query::json_escape(id)
+                        ),
+                    )
+                }
+                Err(e) => {
+                    if e.status == 400 {
+                        state.telemetry.add(SvcCounter::IngestRejected, 1);
+                    }
+                    store_error(&e)
+                }
+            },
+        },
+        ("POST", ["runs", id, "checkpoint"]) => match state.store.ingest_checkpoint(id, &req.body)
+        {
+            Ok(marker) => {
+                state.telemetry.add(SvcCounter::CkptsIngested, 1);
+                state
+                    .telemetry
+                    .add(SvcCounter::IngestBytes, req.body.len() as u64);
+                state
+                    .telemetry
+                    .observe(SvcHist::IngestBodyBytes, req.body.len() as u64);
+                (
+                    200,
+                    format!(
+                        "{{\"ok\":true,\"run\":\"{}\",\"marker\":{marker}}}\n",
+                        query::json_escape(id)
+                    ),
+                )
+            }
+            Err(e) => {
+                if e.status == 400 {
+                    state.telemetry.add(SvcCounter::IngestRejected, 1);
+                }
+                store_error(&e)
+            }
+        },
+        ("GET", ["runs", id, "summarize"]) => with_journal(state, id, query::summarize_json),
+        ("GET", ["runs", id, "spans"]) => with_journal(state, id, query::spans_json),
+        ("GET", ["runs", id, "metrics"]) => with_journal(state, id, query::metrics_json),
+        ("GET", ["runs", id, "anomalies"]) => with_journal(state, id, query::anomalies_json),
+        ("GET", ["runs", id, "timeline", rank]) => match rank.parse::<usize>() {
+            Err(_) => (400, error_body(&format!("invalid rank {rank:?}"))),
+            Ok(rank) => match state.store.journal(id, Some(&state.telemetry)) {
+                Err(e) => store_error(&e),
+                Ok(j) => match query::timeline_json(&j, rank) {
+                    Ok(body) => (200, body),
+                    Err(e) => (400, error_body(&e)),
+                },
+            },
+        },
+        ("GET", ["runs", a, "diff", b]) => {
+            match (
+                state.store.journal(a, Some(&state.telemetry)),
+                state.store.journal(b, Some(&state.telemetry)),
+            ) {
+                (Ok(ja), Ok(jb)) => (200, query::diff_json(&ja, &jb)),
+                (Err(e), _) | (_, Err(e)) => store_error(&e),
+            }
+        }
+        ("POST", ["shutdown"]) => {
+            state.stopping.store(true, Ordering::SeqCst);
+            // Wake the sibling workers parked in accept; this worker
+            // breaks its own loop after the response is flushed.
+            wake_workers(local, 8);
+            (200, "{\"ok\":true,\"stopping\":true}\n".to_string())
+        }
+        _ => (
+            404,
+            error_body(&format!(
+                "no route for {} /{}",
+                req.method,
+                req.segments.join("/")
+            )),
+        ),
+    }
+}
+
+fn with_journal(
+    state: &State,
+    id: &str,
+    render: impl FnOnce(&obs::RunJournal) -> String,
+) -> (u16, String) {
+    match state.store.journal(id, Some(&state.telemetry)) {
+        Ok(j) => (200, render(&j)),
+        Err(e) => store_error(&e),
+    }
+}
+
+/// The `/runs` listing: every session in run-ID order with its bounded
+/// hot state — merged counter totals (journal snapshots + checkpoint
+/// sketches), the checkpoint sketch's exact histogram digest, and the
+/// per-marker peak digest from the journal's snapshots.
+fn render_runs(sessions: &[(String, Session)]) -> String {
+    let mut out = String::from("{\"service\":\"chamserve\",\"runs\":[");
+    for (i, (id, s)) in sessions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"ranks\":{},\"armed\":{},\"events\":{},\"snapshots\":{}",
+            query::json_escape(id),
+            s.ranks,
+            s.armed,
+            s.events,
+            s.snapshots
+        ));
+        match s.journal_digest {
+            Some(d) => out.push_str(&format!(",\"journal_digest\":\"{d:#x}\"")),
+            None => out.push_str(",\"journal_digest\":null"),
+        }
+        let markers: Vec<String> = s.ckpt_markers.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            ",\"ckpt_markers\":[{}],\"ckpt_ranks\":{}",
+            markers.join(","),
+            s.ckpt_ranks
+        ));
+        out.push_str(",\"sketch\":{\"ctrs\":{");
+        for (k, c) in Counter::ALL.iter().enumerate() {
+            let v = s.journal_ctrs[*c as usize].saturating_add(s.ckpt_sketch.get(*c));
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", c.label()));
+        }
+        out.push_str("},\"snapshot_hist_peaks\":{");
+        for (k, h) in HistId::ALL.iter().enumerate() {
+            let base = (*h as usize) * HIST_DIGEST_STRIDE;
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                h.label(),
+                s.snapshot_hist_peaks[base],
+                s.snapshot_hist_peaks[base + 1],
+                s.snapshot_hist_peaks[base + 2],
+                s.snapshot_hist_peaks[base + 3]
+            ));
+        }
+        out.push_str("},\"ckpt_hists\":{");
+        let ckpt_digest = s.ckpt_sketch.hist_digest();
+        for (k, h) in HistId::ALL.iter().enumerate() {
+            let base = (*h as usize) * HIST_DIGEST_STRIDE;
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                h.label(),
+                ckpt_digest[base],
+                ckpt_digest[base + 1],
+                ckpt_digest[base + 2],
+                ckpt_digest[base + 3]
+            ));
+        }
+        out.push_str("}}}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_runs_is_deterministic_and_ordered() {
+        let a = Session {
+            ranks: 4,
+            armed: false,
+            events: 10,
+            snapshots: 2,
+            journal_digest: Some(0xabc),
+            ..Session::default()
+        };
+        let b = Session::default();
+        let sessions = vec![("alpha".to_string(), a), ("beta".to_string(), b)];
+        let r = render_runs(&sessions);
+        assert!(
+            r.starts_with("{\"service\":\"chamserve\",\"runs\":["),
+            "{r}"
+        );
+        let ia = r.find("\"id\":\"alpha\"").unwrap();
+        let ib = r.find("\"id\":\"beta\"").unwrap();
+        assert!(ia < ib, "run-ID order");
+        assert!(r.contains("\"journal_digest\":\"0xabc\""), "{r}");
+        assert!(r.contains("\"journal_digest\":null"), "{r}");
+        assert!(r.ends_with("]}\n"), "{r}");
+    }
+
+    #[test]
+    fn error_body_escapes() {
+        assert_eq!(
+            error_body("bad \"thing\""),
+            "{\"error\":\"bad \\\"thing\\\"\"}\n"
+        );
+    }
+}

@@ -1,0 +1,526 @@
+//! The multi-tenant session store: many runs, bounded memory.
+//!
+//! One long-lived daemon holds state for many concurrent runs, so the
+//! store is built around three rules:
+//!
+//! - **Sharded**: run IDs hash onto a fixed array of mutex-guarded
+//!   shards, so unrelated runs never contend on one lock. Everything
+//!   user-visible (the `/runs` listing, aggregate gauges) is produced in
+//!   run-ID order regardless of sharding, so responses stay
+//!   byte-deterministic under any ingest interleaving.
+//! - **Bounded memory**: the full journal is *spilled to disk* on ingest
+//!   (canonical bytes, so re-reads round-trip exactly); what stays hot
+//!   per session is fixed-size — the merged [`MetricSet`] sketch (journal
+//!   snapshot counters plus every checkpoint's undrained sketch, folded
+//!   with the plane's associative merge) and a few scalars. Decoded
+//!   journals live in a shared LRU cache with a configurable entry cap.
+//! - **Strict ingest**: uploads go through the same parsers the CLI
+//!   uses — `RunJournal::from_jsonl` with line diagnostics, CKPT1's total
+//!   decoder with offset/CRC diagnostics. A malformed upload is rejected
+//!   *before* any session state is touched.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use chameleon::Checkpoint;
+use obs::metrics::{Counter, HistId, MetricSet, HIST_DIGEST_STRIDE};
+use obs::query::journal_digest;
+use obs::{EventKind, RunJournal};
+
+use crate::telemetry::{SvcCounter, Telemetry};
+
+/// Number of shards run IDs hash onto.
+const SHARDS: usize = 16;
+
+/// Why a store operation failed, with the HTTP status that describes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// HTTP status class of the failure (400, 404, 500).
+    pub status: u16,
+    /// Diagnostic detail (parser line/offset messages travel verbatim).
+    pub detail: String,
+}
+
+impl StoreError {
+    fn bad(detail: impl Into<String>) -> Self {
+        StoreError {
+            status: 400,
+            detail: detail.into(),
+        }
+    }
+
+    fn not_found(detail: impl Into<String>) -> Self {
+        StoreError {
+            status: 404,
+            detail: detail.into(),
+        }
+    }
+
+    fn io(detail: impl Into<String>) -> Self {
+        StoreError {
+            status: 500,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Validate a run ID for use as both a map key and a directory name:
+/// 1–64 bytes of `[A-Za-z0-9._-]`, not starting with `.` or `-`.
+pub fn validate_run_id(id: &str) -> Result<(), StoreError> {
+    if id.is_empty() || id.len() > 64 {
+        return Err(StoreError::bad(format!(
+            "run id must be 1..=64 bytes, got {}",
+            id.len()
+        )));
+    }
+    if id.starts_with('.') || id.starts_with('-') {
+        return Err(StoreError::bad(format!(
+            "run id {id:?} may not start with '.' or '-'"
+        )));
+    }
+    if let Some(c) = id
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(StoreError::bad(format!(
+            "run id {id:?} contains invalid character {c:?}"
+        )));
+    }
+    Ok(())
+}
+
+/// Fixed-size hot state for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    /// World size from the ingested journal (0 until one arrives).
+    pub ranks: usize,
+    /// The journal's armed flag.
+    pub armed: bool,
+    /// Total events in the ingested journal.
+    pub events: u64,
+    /// `snapshot` events folded into the sketch.
+    pub snapshots: u64,
+    /// FNV-64 of the canonical journal bytes, if a journal is present.
+    pub journal_digest: Option<u64>,
+    /// Counter totals summed from the journal's snapshot deltas.
+    pub journal_ctrs: [u64; Counter::COUNT],
+    /// Per-histogram peak digest folded over the journal's snapshot
+    /// deltas: `count` slots sum, the `p50`/`p99`/`max` slots keep the
+    /// per-marker *peak* (quantiles of deltas cannot be re-aggregated
+    /// exactly from digests, so the store reports the honest bound).
+    pub snapshot_hist_peaks: [u64; HistId::COUNT * HIST_DIGEST_STRIDE],
+    /// Merged sketch from every ingested checkpoint (associative merge).
+    pub ckpt_sketch: MetricSet,
+    /// Rank contributions carried by the merged checkpoint sketches.
+    pub ckpt_ranks: u64,
+    /// Markers of ingested checkpoints, ascending, deduplicated.
+    pub ckpt_markers: Vec<u64>,
+}
+
+impl Session {
+    /// Whether a journal has been ingested for this run.
+    pub fn has_journal(&self) -> bool {
+        self.journal_digest.is_some()
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    runs: BTreeMap<String, Session>,
+}
+
+struct JournalCache {
+    cap: usize,
+    tick: u64,
+    entries: BTreeMap<String, (u64, Arc<RunJournal>)>,
+}
+
+/// The sharded, disk-backed session store.
+pub struct SessionStore {
+    shards: Vec<Mutex<Shard>>,
+    cache: Mutex<JournalCache>,
+    data_dir: PathBuf,
+}
+
+impl SessionStore {
+    /// Open (or create) a store rooted at `data_dir`, rehydrating hot
+    /// state from any runs a previous daemon spilled there. `cache_cap`
+    /// bounds the decoded-journal cache in entries (0 disables caching).
+    pub fn open(data_dir: &Path, cache_cap: usize) -> Result<SessionStore, StoreError> {
+        let runs_dir = data_dir.join("runs");
+        std::fs::create_dir_all(&runs_dir)
+            .map_err(|e| StoreError::io(format!("create {}: {e}", runs_dir.display())))?;
+        let store = SessionStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            cache: Mutex::new(JournalCache {
+                cap: cache_cap,
+                tick: 0,
+                entries: BTreeMap::new(),
+            }),
+            data_dir: data_dir.to_path_buf(),
+        };
+        store.rehydrate(&runs_dir);
+        Ok(store)
+    }
+
+    /// Rebuild sessions from spilled artifacts. Malformed leftovers are
+    /// skipped with a warning — a daemon must come up even if a previous
+    /// one died mid-write.
+    fn rehydrate(&self, runs_dir: &Path) {
+        let Ok(entries) = std::fs::read_dir(runs_dir) else {
+            return;
+        };
+        let mut ids: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|id| validate_run_id(id).is_ok())
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let dir = runs_dir.join(&id);
+            let journal_path = dir.join("journal.jsonl");
+            if journal_path.is_file() {
+                match std::fs::read_to_string(&journal_path) {
+                    Ok(text) => {
+                        if let Err(e) = self.ingest_journal(&id, &text) {
+                            eprintln!("chamserve: skipping spilled journal for {id}: {}", e.detail);
+                        }
+                    }
+                    Err(e) => eprintln!("chamserve: cannot read {}: {e}", journal_path.display()),
+                }
+            }
+            let Ok(blobs) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            let mut ckpts: Vec<PathBuf> = blobs
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".bin"))
+                })
+                .collect();
+            ckpts.sort();
+            for p in ckpts {
+                match std::fs::read(&p) {
+                    Ok(bytes) => {
+                        if let Err(e) = self.ingest_checkpoint(&id, &bytes) {
+                            eprintln!(
+                                "chamserve: skipping spilled checkpoint {}: {}",
+                                p.display(),
+                                e.detail
+                            );
+                        }
+                    }
+                    Err(e) => eprintln!("chamserve: cannot read {}: {e}", p.display()),
+                }
+            }
+        }
+    }
+
+    fn shard_of(&self, id: &str) -> &Mutex<Shard> {
+        &self.shards[(obs::query::fnv64(id.as_bytes()) as usize) % SHARDS]
+    }
+
+    fn run_dir(&self, id: &str) -> PathBuf {
+        self.data_dir.join("runs").join(id)
+    }
+
+    /// Ingest one journal upload: strict parse, spill canonical bytes,
+    /// fold the snapshot deltas into the session sketch, refresh the
+    /// cache. Returns `(ranks, events)` of the accepted journal. A
+    /// malformed body leaves every layer untouched.
+    pub fn ingest_journal(&self, id: &str, text: &str) -> Result<(usize, u64), StoreError> {
+        validate_run_id(id)?;
+        let journal = RunJournal::from_jsonl(text).map_err(|e| StoreError::bad(format!("{e}")))?;
+
+        let dir = self.run_dir(id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("create {}: {e}", dir.display())))?;
+        let canonical = journal.to_jsonl();
+        std::fs::write(dir.join("journal.jsonl"), &canonical)
+            .map_err(|e| StoreError::io(format!("spill journal: {e}")))?;
+
+        let digest = journal_digest(&journal);
+        let events = journal.events().count() as u64;
+        let ranks = journal.ranks;
+        let armed = journal.armed;
+        let mut ctrs = [0u64; Counter::COUNT];
+        let mut hist_peaks = [0u64; HistId::COUNT * HIST_DIGEST_STRIDE];
+        let mut snapshots = 0u64;
+        for (_, e) in journal.events() {
+            if let EventKind::Snapshot {
+                ctrs: c, hists: h, ..
+            } = &e.kind
+            {
+                snapshots += 1;
+                for (slot, v) in ctrs.iter_mut().zip(c.iter()) {
+                    *slot = slot.saturating_add(*v);
+                }
+                for (i, (slot, v)) in hist_peaks.iter_mut().zip(h.iter()).enumerate() {
+                    if i % HIST_DIGEST_STRIDE == 0 {
+                        *slot = slot.saturating_add(*v); // count slots sum
+                    } else {
+                        *slot = (*slot).max(*v); // quantile/max slots peak
+                    }
+                }
+            }
+        }
+
+        let journal = Arc::new(journal);
+        {
+            let mut shard = self.shard_of(id).lock().expect("shard lock");
+            let session = shard.runs.entry(id.to_string()).or_default();
+            session.ranks = ranks;
+            session.armed = armed;
+            session.events = events;
+            session.snapshots = snapshots;
+            session.journal_digest = Some(digest);
+            session.journal_ctrs = ctrs;
+            session.snapshot_hist_peaks = hist_peaks;
+        }
+        self.cache_insert(id, journal, None);
+        Ok((ranks, events))
+    }
+
+    /// Ingest one checkpoint upload: total CKPT1 decode, spill the blob,
+    /// merge its metric sketch (deduplicated by marker — re-pushing the
+    /// same checkpoint is idempotent). Returns the checkpoint's marker.
+    pub fn ingest_checkpoint(&self, id: &str, bytes: &[u8]) -> Result<u64, StoreError> {
+        validate_run_id(id)?;
+        let ckpt = Checkpoint::decode(bytes).map_err(|e| StoreError::bad(format!("{e}")))?;
+
+        let dir = self.run_dir(id);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::io(format!("create {}: {e}", dir.display())))?;
+        std::fs::write(dir.join(format!("ckpt-{}.bin", ckpt.marker)), bytes)
+            .map_err(|e| StoreError::io(format!("spill checkpoint: {e}")))?;
+
+        let mut shard = self.shard_of(id).lock().expect("shard lock");
+        let session = shard.runs.entry(id.to_string()).or_default();
+        if session.ckpt_markers.contains(&ckpt.marker) {
+            return Ok(ckpt.marker);
+        }
+        session.ckpt_markers.push(ckpt.marker);
+        session.ckpt_markers.sort_unstable();
+        if !ckpt.metrics.is_empty() {
+            let (set, ranks) = MetricSet::decode_with_count(&ckpt.metrics)
+                .map_err(|e| StoreError::bad(format!("checkpoint metric payload: {e}")))?;
+            session.ckpt_sketch.merge(&set);
+            session.ckpt_ranks = session.ckpt_ranks.saturating_add(ranks);
+        }
+        Ok(ckpt.marker)
+    }
+
+    /// Snapshot of one session's hot state.
+    pub fn session(&self, id: &str) -> Option<Session> {
+        self.shard_of(id)
+            .lock()
+            .expect("shard lock")
+            .runs
+            .get(id)
+            .cloned()
+    }
+
+    /// All sessions in run-ID order (ID, hot state) — sharding never
+    /// leaks into the observable order.
+    pub fn sessions(&self) -> Vec<(String, Session)> {
+        let mut out: Vec<(String, Session)> = Vec::new();
+        for shard in &self.shards {
+            let g = shard.lock().expect("shard lock");
+            out.extend(g.runs.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Number of live sessions.
+    pub fn sessions_live(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock").runs.len())
+            .sum()
+    }
+
+    /// Number of decoded journals currently cached.
+    pub fn cached_journals(&self) -> usize {
+        self.cache.lock().expect("cache lock").entries.len()
+    }
+
+    /// The decoded journal for a run: cache hit, or re-read of the
+    /// spilled canonical bytes on miss. Telemetry (when provided) counts
+    /// the hit/miss/eviction.
+    pub fn journal(
+        &self,
+        id: &str,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<Arc<RunJournal>, StoreError> {
+        validate_run_id(id)?;
+        let known = self
+            .session(id)
+            .ok_or_else(|| StoreError::not_found(format!("unknown run {id:?}")))?;
+        if !known.has_journal() {
+            return Err(StoreError::not_found(format!(
+                "run {id:?} has checkpoints but no journal"
+            )));
+        }
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.entries.get_mut(id) {
+                entry.0 = tick;
+                if let Some(t) = telemetry {
+                    t.add(SvcCounter::CacheHits, 1);
+                }
+                return Ok(entry.1.clone());
+            }
+        }
+        if let Some(t) = telemetry {
+            t.add(SvcCounter::CacheMisses, 1);
+        }
+        let path = self.run_dir(id).join("journal.jsonl");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| StoreError::io(format!("read spilled journal: {e}")))?;
+        let journal = RunJournal::from_jsonl(&text)
+            .map_err(|e| StoreError::io(format!("spilled journal corrupt: {e}")))?;
+        let journal = Arc::new(journal);
+        self.cache_insert(id, journal.clone(), telemetry);
+        Ok(journal)
+    }
+
+    fn cache_insert(&self, id: &str, journal: Arc<RunJournal>, telemetry: Option<&Telemetry>) {
+        let mut cache = self.cache.lock().expect("cache lock");
+        if cache.cap == 0 {
+            return;
+        }
+        cache.tick += 1;
+        let tick = cache.tick;
+        cache.entries.insert(id.to_string(), (tick, journal));
+        while cache.entries.len() > cache.cap {
+            let victim = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache");
+            cache.entries.remove(&victim);
+            if let Some(t) = telemetry {
+                t.add(SvcCounter::CacheEvictions, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::{Event, RankLog};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chamserve_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mini_journal(marker: u64) -> RunJournal {
+        let mut log = RankLog::new(0);
+        log.events.push(Event {
+            seq: 0,
+            vt: 0.0,
+            tt: 0.0,
+            kind: EventKind::Marker { n: marker },
+        });
+        let mut m = MetricSet::new();
+        m.add(Counter::Merges, marker);
+        log.events.push(Event {
+            seq: 1,
+            vt: 1e-6,
+            tt: 1e-7,
+            kind: EventKind::Snapshot {
+                marker,
+                ranks: 2,
+                ctrs: m.counter_values(),
+                hists: m.hist_digest(),
+            },
+        });
+        RunJournal::gather(2, false, vec![log])
+    }
+
+    #[test]
+    fn run_id_validation_rejects_path_tricks() {
+        for ok in ["bt4", "run_01", "a.b-c", "X"] {
+            assert!(validate_run_id(ok).is_ok(), "{ok}");
+        }
+        for bad in ["", "..", ".hidden", "-flag", "a/b", "a\\b", "a b", "ü"] {
+            assert!(validate_run_id(bad).is_err(), "{bad:?}");
+        }
+        assert!(validate_run_id(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn malformed_journal_leaves_no_session() {
+        let dir = tmp("badj");
+        let store = SessionStore::open(&dir, 4).unwrap();
+        let err = store.ingest_journal("r1", "not a journal").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.detail.contains("journal line"), "{}", err.detail);
+        assert_eq!(store.sessions_live(), 0);
+        assert!(!dir.join("runs/r1/journal.jsonl").exists());
+    }
+
+    #[test]
+    fn ingest_spills_and_sketches() {
+        let dir = tmp("spill");
+        let store = SessionStore::open(&dir, 4).unwrap();
+        let j = mini_journal(3);
+        store.ingest_journal("r1", &j.to_jsonl()).unwrap();
+        let s = store.session("r1").unwrap();
+        assert_eq!(s.ranks, 2);
+        assert_eq!(s.snapshots, 1);
+        assert_eq!(s.journal_ctrs[Counter::Merges as usize], 3);
+        assert!(s.has_journal());
+        assert!(dir.join("runs/r1/journal.jsonl").is_file());
+        // Served journal equals what was pushed.
+        let back = store.journal("r1", None).unwrap();
+        assert_eq!(*back, j);
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest_and_counts() {
+        let dir = tmp("lru");
+        let store = SessionStore::open(&dir, 2).unwrap();
+        let t = Telemetry::new();
+        for (i, id) in ["a", "b", "c"].iter().enumerate() {
+            store
+                .ingest_journal(id, &mini_journal(i as u64 + 1).to_jsonl())
+                .unwrap();
+        }
+        // Cap 2: ingesting a,b,c evicted a.
+        assert_eq!(store.cached_journals(), 2);
+        store.journal("a", Some(&t)).unwrap(); // miss, re-decode, evicts b
+        store.journal("a", Some(&t)).unwrap(); // hit
+        assert_eq!(t.get(SvcCounter::CacheMisses), 1);
+        assert_eq!(t.get(SvcCounter::CacheHits), 1);
+        assert!(t.get(SvcCounter::CacheEvictions) >= 1);
+    }
+
+    #[test]
+    fn rehydration_rebuilds_sessions() {
+        let dir = tmp("rehydrate");
+        {
+            let store = SessionStore::open(&dir, 4).unwrap();
+            store
+                .ingest_journal("r1", &mini_journal(2).to_jsonl())
+                .unwrap();
+        }
+        let store = SessionStore::open(&dir, 4).unwrap();
+        let s = store.session("r1").expect("rehydrated");
+        assert_eq!(s.journal_ctrs[Counter::Merges as usize], 2);
+        assert_eq!(store.sessions_live(), 1);
+    }
+}

@@ -118,6 +118,16 @@ impl RunJournal {
         out
     }
 
+    /// Read and strictly parse a journal file — the one loading helper
+    /// behind every `chamtrace journal` subcommand and the trace-service
+    /// daemon. I/O failures name the path; parse failures additionally
+    /// carry the offending line via [`JournalError`]'s display form.
+    pub fn load(path: &std::path::Path) -> Result<RunJournal, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        RunJournal::from_jsonl(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
     /// Strict parse of the canonical form. Checks the magic, rank
     /// ordering, per-rank `seq` contiguity, and that the counter lines
     /// agree with the events they summarize.
@@ -226,6 +236,15 @@ impl RunJournal {
 }
 
 fn write_event(out: &mut String, rank: usize, e: &Event) {
+    out.push_str(&event_json(rank, e));
+    out.push('\n');
+}
+
+/// One event as its canonical JSON object — exactly the bytes the
+/// journal line for it carries, minus the trailing newline. Exposed so
+/// the query engine's JSON renderers embed events verbatim.
+pub fn event_json(rank: usize, e: &Event) -> String {
+    let mut out = String::new();
     out.push_str(&format!(
         "{{\"rank\":{rank},\"seq\":{},\"vt\":{:?},\"tt\":{:?},\"ev\":\"{}\"",
         e.seq,
@@ -331,7 +350,8 @@ fn write_event(out: &mut String, rank: usize, e: &Event) {
             out.push_str(&format!(",\"marker\":{marker},\"hwm\":{hwm}"))
         }
     }
-    out.push_str("}\n");
+    out.push('}');
+    out
 }
 
 enum Line {

@@ -442,6 +442,239 @@ pub fn diff(a: &RunJournal, b: &RunJournal) -> Option<String> {
     None
 }
 
+// ---------------------------------------------------------------------
+// Canonical JSON renderers
+// ---------------------------------------------------------------------
+//
+// Machine-readable twins of the text reports above. Every renderer
+// produces one canonical JSON object terminated by a newline: fixed key
+// order, `{:?}` floats (shortest round-trip, valid JSON), iteration in
+// deterministic orders only. The `chamtrace journal * --json` CLI and
+// the `chamtrace serve` HTTP endpoints both print these bytes verbatim,
+// which is what makes CLI-vs-daemon answers diffable at the byte level
+// and lets endpoint goldens live next to journal goldens.
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `summarize` as canonical JSON: header fields, per-label event totals,
+/// and the per-rank event counts.
+pub fn summarize_json(journal: &RunJournal) -> String {
+    let mut totals: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut events = 0usize;
+    for log in &journal.logs {
+        events += log.events.len();
+        for (label, n) in log.counters() {
+            *totals.entry(label).or_insert(0) += n;
+        }
+    }
+    let mut out = format!(
+        "{{\"query\":\"summarize\",\"ranks\":{},\"armed\":{},\"events\":{events},\"counters\":{{",
+        journal.ranks, journal.armed
+    );
+    for (i, (label, n)) in totals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{label}\":{n}"));
+    }
+    out.push_str("},\"per_rank\":[");
+    for (i, log) in journal.logs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&log.events.len().to_string());
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// `timeline` as canonical JSON: one rank's events, each embedded as the
+/// exact object its journal line carries.
+pub fn timeline_json(journal: &RunJournal, rank: usize) -> Result<String, String> {
+    let log = journal
+        .rank_log(rank)
+        .ok_or_else(|| format!("rank {rank} out of range (world size {})", journal.ranks))?;
+    let mut out = format!("{{\"query\":\"timeline\",\"rank\":{rank},\"events\":[");
+    for (i, e) in log.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&crate::journal::event_json(rank, e));
+    }
+    out.push_str("]}\n");
+    Ok(out)
+}
+
+/// `spans` as canonical JSON: per-level aggregates plus the critical
+/// path (`null` when no merge spans were recorded).
+pub fn spans_json(journal: &RunJournal) -> String {
+    let spans = merge_spans(journal);
+    let mut out = format!(
+        "{{\"query\":\"spans\",\"spans\":{},\"levels\":[",
+        spans.len()
+    );
+    let mut levels: Vec<u64> = spans.iter().map(|s| s.level).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    for (i, lvl) in levels.iter().enumerate() {
+        let at: Vec<&MergeSpan> = spans.iter().filter(|s| s.level == *lvl).collect();
+        let merges: u64 = at.iter().map(|s| s.merges).sum();
+        let dp: u64 = at.iter().map(|s| s.dp_cells).sum();
+        let fast: u64 = at.iter().map(|s| s.fast_path).sum();
+        let t0 = at.iter().map(|s| s.t0).fold(f64::INFINITY, f64::min);
+        let t1 = at.iter().map(|s| s.t1).fold(f64::NEG_INFINITY, f64::max);
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"level\":{lvl},\"ranks\":{},\"merges\":{merges},\"dp_cells\":{dp},\"fast_path\":{fast},\"t0\":{t0:?},\"t1\":{t1:?},\"width\":{:?}}}",
+            at.len(),
+            t1 - t0
+        ));
+    }
+    out.push_str("],\"critical_path\":");
+    match spans
+        .iter()
+        .max_by(|a, b| (a.t1 - a.t0).total_cmp(&(b.t1 - b.t0)))
+    {
+        None => out.push_str("null"),
+        Some(slowest) => {
+            let first = spans.iter().map(|s| s.t0).fold(f64::INFINITY, f64::min);
+            let last = spans.iter().map(|s| s.t1).fold(f64::NEG_INFINITY, f64::max);
+            out.push_str(&format!(
+                "{{\"wall\":{:?},\"slowest_rank\":{},\"slowest_level\":{},\"slowest_width\":{:?}}}",
+                last - first,
+                slowest.rank,
+                slowest.level,
+                slowest.t1 - slowest.t0
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// `metrics` as canonical JSON: every snapshot delta with labeled
+/// counters and histogram digests, plus the cumulative totals.
+pub fn metrics_json(journal: &RunJournal) -> String {
+    let rows = snapshots(journal);
+    let mut totals = [0u64; Counter::COUNT];
+    let mut out = String::from("{\"query\":\"metrics\",\"snapshots\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rank\":{},\"marker\":{},\"ranks\":{},\"ctrs\":{{",
+            row.rank, row.marker, row.ranks
+        ));
+        for (k, c) in Counter::ALL.iter().enumerate() {
+            let v = row.ctrs.get(*c as usize).copied().unwrap_or(0);
+            totals[*c as usize] = totals[*c as usize].saturating_add(v);
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", c.label()));
+        }
+        out.push_str("},\"hists\":{");
+        for (k, h) in HistId::ALL.iter().enumerate() {
+            let base = (*h as usize) * HIST_DIGEST_STRIDE;
+            let slot = |off: usize| row.hists.get(base + off).copied().unwrap_or(0);
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                h.label(),
+                slot(0),
+                slot(1),
+                slot(2),
+                slot(3)
+            ));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"totals\":{");
+    for (k, c) in Counter::ALL.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", c.label(), totals[*c as usize]));
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// `anomalies` as canonical JSON: every flag in journal order plus the
+/// per-rank rollup the text report prints.
+pub fn anomalies_json(journal: &RunJournal) -> String {
+    let rows = anomalies(journal);
+    let mut out = String::from("{\"query\":\"anomalies\",\"flags\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rank\":{},\"marker\":{},\"kind\":\"{}\",\"score\":{:?},\"cluster\":{}}}",
+            r.rank,
+            r.marker,
+            r.kind.label(),
+            r.score,
+            r.cluster
+        ));
+    }
+    out.push_str("],\"per_rank\":[");
+    let mut ranks: Vec<u64> = rows.iter().map(|r| r.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    for (i, rank) in ranks.iter().enumerate() {
+        let mine: Vec<&AnomalyRow> = rows.iter().filter(|r| r.rank == *rank).collect();
+        let first = mine.iter().map(|r| r.marker).min().expect("non-empty");
+        let mut kinds: Vec<&str> = mine.iter().map(|r| r.kind.label()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        if i > 0 {
+            out.push(',');
+        }
+        let kind_list: Vec<String> = kinds.iter().map(|k| format!("\"{k}\"")).collect();
+        out.push_str(&format!(
+            "{{\"rank\":{rank},\"flags\":{},\"kinds\":[{}],\"first_marker\":{first}}}",
+            mine.len(),
+            kind_list.join(",")
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// `diff` as canonical JSON: identity verdict plus, on divergence, the
+/// same first-divergence description the text report prints.
+pub fn diff_json(a: &RunJournal, b: &RunJournal) -> String {
+    match diff(a, b) {
+        None => "{\"query\":\"diff\",\"identical\":true}\n".to_string(),
+        Some(d) => format!(
+            "{{\"query\":\"diff\",\"identical\":false,\"divergence\":\"{}\"}}\n",
+            json_escape(&d)
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,5 +862,72 @@ mod tests {
         let mut other = sample();
         other.armed = true;
         assert!(diff(&j, &other).unwrap().contains("armed flag differs"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t"), "x\\n\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_renderers_are_canonical_objects() {
+        let j = sample();
+        let outs = [
+            summarize_json(&j),
+            timeline_json(&j, 0).unwrap(),
+            spans_json(&j),
+            metrics_json(&j),
+            anomalies_json(&j),
+            diff_json(&j, &j),
+        ];
+        for o in &outs {
+            assert!(o.starts_with("{\"query\":\""), "{o}");
+            assert!(o.ends_with("}\n"), "{o}");
+            assert_eq!(o.matches('\n').count(), 1, "single line: {o}");
+        }
+        assert!(
+            outs[0].contains("\"counters\":{\"marker\":2,"),
+            "{}",
+            outs[0]
+        );
+        assert!(outs[0].contains("\"per_rank\":[3,2]"), "{}", outs[0]);
+        // Timeline embeds the exact journal-line object for each event.
+        let line1 = crate::journal::event_json(0, &j.logs[0].events[0]);
+        assert!(outs[1].contains(&line1), "{}", outs[1]);
+        assert!(
+            outs[2].contains("\"critical_path\":{\"wall\":"),
+            "{}",
+            outs[2]
+        );
+        assert!(
+            outs[3].contains("\"totals\":{\"signatures\":0,"),
+            "{}",
+            outs[3]
+        );
+        assert!(outs[4].contains("\"flags\":[]"), "{}", outs[4]);
+        assert_eq!(outs[5], "{\"query\":\"diff\",\"identical\":true}\n");
+        assert!(timeline_json(&j, 9).is_err());
+    }
+
+    #[test]
+    fn diff_json_reports_divergence_with_escaping() {
+        let j = sample();
+        let mut other = sample();
+        other.logs[1].events[0].kind = EventKind::Marker { n: 2 };
+        let d = diff_json(&j, &other);
+        assert!(d.contains("\"identical\":false"), "{d}");
+        assert!(d.contains("rank 1 seq 0"), "{d}");
+    }
+
+    #[test]
+    fn spans_json_empty_has_null_critical_path() {
+        let j = RunJournal::gather(1, false, Vec::new());
+        assert_eq!(
+            spans_json(&j),
+            "{\"query\":\"spans\",\"spans\":0,\"levels\":[],\"critical_path\":null}\n"
+        );
     }
 }

@@ -1629,13 +1629,37 @@ pub fn run_plan(
     out_root: &Path,
     jobs: usize,
 ) -> Result<(MatrixResults, BTreeMap<String, u64>), String> {
+    run_plan_with_push(plan, out_root, jobs, None)
+}
+
+/// A post-trial artifact hook: called with the trial ID and its artifact
+/// directory once the trial's files are on disk. The `chamtrace matrix
+/// run --push <addr>` flag uses this to stream each trial's
+/// `journal.jsonl` at a trace-service daemon without `workloads` knowing
+/// anything about HTTP — the transport lives in the caller.
+pub type PushHook<'a> = &'a (dyn Fn(&str, &Path) + Sync);
+
+/// [`run_plan`] with an optional per-trial artifact hook. The hook runs
+/// on the worker thread that finished the trial, after the trial's
+/// artifacts are written and before its slot is considered done.
+pub fn run_plan_with_push(
+    plan: &MatrixPlan,
+    out_root: &Path,
+    jobs: usize,
+    push: Option<PushHook<'_>>,
+) -> Result<(MatrixResults, BTreeMap<String, u64>), String> {
     plan.validate()?;
     let plan_dir = out_root.join(&plan.name);
     std::fs::create_dir_all(&plan_dir)
         .map_err(|e| format!("cannot create {}: {e}", plan_dir.display()))?;
     let trials = plan.expand();
     let records = run_pool(&trials, jobs, |_, trial| {
-        run_trial(plan, trial, &plan_dir.join(&trial.id))
+        let trial_dir = plan_dir.join(&trial.id);
+        let record = run_trial(plan, trial, &trial_dir);
+        if let Some(hook) = push {
+            hook(&trial.id, &trial_dir);
+        }
+        record
     });
     let timings: BTreeMap<String, u64> =
         records.iter().map(|r| (r.id.clone(), r.wall_ns)).collect();

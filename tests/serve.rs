@@ -1,0 +1,460 @@
+//! The trace-service daemon, end to end over real sockets.
+//!
+//! Four layers under test:
+//!
+//! 1. **endpoint equivalence** — every query endpoint's response on the
+//!    committed bt4 golden journal is byte-identical to the shared
+//!    `obs::query` renderer output (the same bytes `chamtrace journal *
+//!    --json` prints), and pinned against committed goldens under
+//!    `tests/fixtures/serve/`;
+//! 2. **concurrent-ingest determinism** — N parallel clients pushing
+//!    interleaved journals/checkpoints leave the store in a state whose
+//!    every observable response is byte-identical to serial ingest in
+//!    run-ID order;
+//! 3. **strict ingest** — malformed uploads (truncated JSONL, flipped
+//!    CKPT1 CRC, invalid run IDs) are rejected with 400 + diagnostic and
+//!    leave no session behind;
+//! 4. **self-telemetry** — `GET /metrics` reports the daemon's own
+//!    request/ingest/cache counters, nonzero after traffic.
+//!
+//! Regenerate endpoint goldens with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test serve
+//! ```
+
+use std::path::PathBuf;
+
+use chameleon::Checkpoint;
+use chamserve::{http, push_checkpoint, push_journal, ServeConfig, Server};
+use obs::metrics::{Counter, HistId, MetricSet};
+use obs::{query, Event, EventKind, RankLog, RunJournal};
+use sigkit::CallPathSig;
+
+const TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Compare `text` against the named fixture, or rewrite the fixture when
+/// `REGEN_GOLDEN` is set (same convention as `golden_traces.rs`).
+fn assert_golden(name: &str, text: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, text).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text, want,
+        "{name} drifted from its golden fixture; if the change is \
+         intentional, regenerate with REGEN_GOLDEN=1 and review the diff"
+    );
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cham_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Start a daemon on an ephemeral port with a scratch data dir.
+fn start(tag: &str, cache_entries: usize) -> (Server, String) {
+    let cfg = ServeConfig {
+        data_dir: scratch(tag),
+        cache_entries,
+        threads: 4,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("server starts");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let (status, body) = http::request(addr, "GET", path, &[], TIMEOUT).expect("GET");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn post(addr: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let (status, body) = http::request(addr, "POST", path, body, TIMEOUT).expect("POST");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn bt4_text() -> String {
+    std::fs::read_to_string(fixture_path("bt4_chameleon.journal.jsonl")).expect("bt4 fixture")
+}
+
+/// A small synthetic journal whose content varies with `tag` — distinct
+/// digests per run without needing more committed fixtures.
+fn mini_journal(tag: u64) -> RunJournal {
+    let mut logs = Vec::new();
+    for rank in 0..2 {
+        let mut log = RankLog::new(rank);
+        log.events.push(Event {
+            seq: 0,
+            vt: 0.0,
+            tt: 0.0,
+            kind: EventKind::Marker { n: tag },
+        });
+        if rank == 0 {
+            let mut m = MetricSet::new();
+            m.add(Counter::Merges, tag);
+            m.observe(HistId::RecvWaitNs, 1000 * tag.max(1));
+            log.events.push(Event {
+                seq: 1,
+                vt: 1e-6,
+                tt: 1e-7,
+                kind: EventKind::Snapshot {
+                    marker: tag,
+                    ranks: 2,
+                    ctrs: m.counter_values(),
+                    hists: m.hist_digest(),
+                },
+            });
+        }
+        logs.push(log);
+    }
+    RunJournal::gather(2, false, logs)
+}
+
+/// A structurally valid checkpoint carrying a metric sketch.
+fn mini_ckpt(marker: u64) -> Checkpoint {
+    let mut m = MetricSet::new();
+    m.add(Counter::Merges, marker * 10);
+    m.observe(HistId::RecvWaitNs, 5000 + marker);
+    Checkpoint {
+        marker,
+        marker_calls: marker,
+        root: 0,
+        alive: vec![0, 1],
+        old_call_path: CallPathSig(0xfeed + marker),
+        re_clustering: false,
+        lead_flag: false,
+        selection: None,
+        trace: scalatrace::CompressedTrace::new(),
+        metrics: m.encode_with_count(2),
+        journal_hwm: 4,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Endpoint equivalence on the committed bt4 golden
+// ---------------------------------------------------------------------
+
+#[test]
+fn endpoints_match_shared_renderers_on_bt4() {
+    let (server, addr) = start("bt4", 8);
+    let text = bt4_text();
+    let journal = RunJournal::from_jsonl(&text).expect("bt4 parses");
+
+    let receipt = push_journal(&addr, "bt4", text.as_bytes()).expect("push");
+    assert_eq!(
+        receipt,
+        format!(
+            "{{\"ok\":true,\"run\":\"bt4\",\"ranks\":4,\"events\":{}}}\n",
+            journal.events().count()
+        )
+    );
+
+    // Every query endpoint returns the exact bytes of the shared
+    // renderer — the same bytes `chamtrace journal * --json` prints.
+    let cases: Vec<(&str, String)> = vec![
+        ("summarize", query::summarize_json(&journal)),
+        ("spans", query::spans_json(&journal)),
+        ("metrics", query::metrics_json(&journal)),
+        ("anomalies", query::anomalies_json(&journal)),
+    ];
+    for (endpoint, want) in &cases {
+        let (status, body) = get(&addr, &format!("/runs/bt4/{endpoint}"));
+        assert_eq!(status, 200, "{endpoint}: {body}");
+        assert_eq!(&body, want, "{endpoint} daemon bytes != renderer bytes");
+        assert_golden(&format!("serve/bt4_{endpoint}.json"), &body);
+    }
+    for rank in 0..4 {
+        let (status, body) = get(&addr, &format!("/runs/bt4/timeline/{rank}"));
+        assert_eq!(status, 200);
+        assert_eq!(body, query::timeline_json(&journal, rank).unwrap());
+        if rank == 0 {
+            assert_golden("serve/bt4_timeline_rank0.json", &body);
+        }
+    }
+    // Self-diff through two session slots is the identity.
+    push_journal(&addr, "bt4-copy", text.as_bytes()).expect("push copy");
+    let (status, body) = get(&addr, "/runs/bt4/diff/bt4-copy");
+    assert_eq!(status, 200);
+    assert_eq!(body, query::diff_json(&journal, &journal));
+    assert_eq!(body, "{\"query\":\"diff\",\"identical\":true}\n");
+
+    // Out-of-range rank and unknown run are clean client errors.
+    let (status, body) = get(&addr, "/runs/bt4/timeline/99");
+    assert_eq!(status, 400, "{body}");
+    let (status, _) = get(&addr, "/runs/nosuch/summarize");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 2. Concurrent-ingest determinism
+// ---------------------------------------------------------------------
+
+/// Everything observable about a store, as one byte string.
+fn observable_state(addr: &str, runs: &[String]) -> String {
+    let mut out = String::new();
+    let (status, listing) = get(addr, "/runs");
+    assert_eq!(status, 200);
+    out.push_str(&listing);
+    for id in runs {
+        let (status, body) = get(addr, &format!("/runs/{id}/summarize"));
+        assert_eq!(status, 200, "{id}: {body}");
+        out.push_str(&body);
+        let (status, body) = get(addr, &format!("/runs/{id}/metrics"));
+        assert_eq!(status, 200);
+        out.push_str(&body);
+    }
+    out
+}
+
+#[test]
+fn concurrent_ingest_matches_serial_reference() {
+    const CLIENTS: usize = 6;
+    const PUSHES_PER_CLIENT: usize = 4;
+
+    // The workload: each client owns several runs and pushes each run's
+    // journal plus two checkpoints, re-pushing some (idempotence must
+    // hold under racing duplicates).
+    let mut uploads: Vec<(String, String, Vec<Vec<u8>>)> = Vec::new();
+    for c in 0..CLIENTS {
+        for p in 0..PUSHES_PER_CLIENT {
+            let tag = (c * PUSHES_PER_CLIENT + p) as u64;
+            let id = format!("run-c{c}-p{p}");
+            let jsonl = mini_journal(tag).to_jsonl();
+            let ckpts = vec![mini_ckpt(tag).encode(), mini_ckpt(tag + 1).encode()];
+            uploads.push((id, jsonl, ckpts));
+        }
+    }
+    let run_ids: Vec<String> = uploads.iter().map(|u| u.0.clone()).collect();
+
+    // Serial reference: ingest in run-ID order, one client.
+    let (serial, serial_addr) = start("serial", 8);
+    let mut ordered = uploads.clone();
+    ordered.sort_by(|a, b| a.0.cmp(&b.0));
+    for (id, jsonl, ckpts) in &ordered {
+        push_journal(&serial_addr, id, jsonl.as_bytes()).expect("serial journal");
+        for blob in ckpts {
+            push_checkpoint(&serial_addr, id, blob).expect("serial ckpt");
+        }
+    }
+    let want = observable_state(&serial_addr, &run_ids);
+    serial.shutdown();
+
+    // Concurrent ingest: one thread per client, interleaved arbitrarily,
+    // every artifact pushed twice (duplicate-push idempotence).
+    let (server, addr) = start("concurrent", 8);
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let uploads = &uploads;
+            let addr = addr.clone();
+            scope.spawn(move || {
+                for (id, jsonl, ckpts) in uploads.iter().skip(c).step_by(CLIENTS) {
+                    for _ in 0..2 {
+                        push_journal(&addr, id, jsonl.as_bytes()).expect("journal");
+                        for blob in ckpts {
+                            push_checkpoint(&addr, id, blob).expect("ckpt");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let got = observable_state(&addr, &run_ids);
+    assert_eq!(
+        got, want,
+        "concurrent ingest must be byte-identical to serial run-ID-order ingest"
+    );
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 3. Strict ingest: malformed uploads leave no trace
+// ---------------------------------------------------------------------
+
+#[test]
+fn malformed_uploads_are_rejected_without_side_effects() {
+    let (server, addr) = start("malformed", 8);
+    let good = bt4_text();
+
+    // Truncated JSONL (cut mid-line) → 400 with a line diagnostic.
+    let truncated = &good[..good.len() / 2];
+    let (status, body) = post(&addr, "/runs/trunc/journal", truncated.as_bytes());
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("journal line"), "line diagnostic: {body}");
+
+    // Flipped CKPT1 CRC → 400 naming the mismatch.
+    let mut blob = mini_ckpt(7).encode();
+    let last = blob.len() - 1;
+    blob[last] ^= 0xff;
+    let (status, body) = post(&addr, "/runs/flip/checkpoint", &blob);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("CRC mismatch"), "CRC diagnostic: {body}");
+
+    // Non-UTF-8 journal body and hostile run IDs.
+    let (status, _) = post(&addr, "/runs/bin/journal", &[0xff, 0xfe, 0x00]);
+    assert_eq!(status, 400);
+    let (status, body) = post(&addr, "/runs/..%2Fetc/journal", good.as_bytes());
+    assert_eq!(status, 400, "{body}");
+
+    // None of the rejects left a session (or a spilled file) behind.
+    let (status, listing) = get(&addr, "/runs");
+    assert_eq!(status, 200);
+    assert_eq!(listing, "{\"service\":\"chamserve\",\"runs\":[]}\n");
+    for id in ["trunc", "flip", "bin"] {
+        let (status, _) = get(&addr, &format!("/runs/{id}/summarize"));
+        assert_eq!(status, 404, "session {id} must not exist");
+    }
+
+    // A good upload still works after the rejects; a checkpoint-only
+    // session answers 404 for journal queries but lists its sketch.
+    let (status, _) = post(&addr, "/runs/good/checkpoint", &mini_ckpt(7).encode());
+    assert_eq!(status, 200);
+    let (status, body) = get(&addr, "/runs/good/summarize");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("no journal"), "{body}");
+    let (status, listing) = get(&addr, "/runs");
+    assert_eq!(status, 200);
+    assert!(listing.contains("\"id\":\"good\""), "{listing}");
+    assert!(listing.contains("\"ckpt_markers\":[7]"), "{listing}");
+
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 4. Self-telemetry and the journal cache
+// ---------------------------------------------------------------------
+
+/// Pull one `"key":number` value out of a flat canonical JSON object.
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat).unwrap_or_else(|| panic!("{key} in {body}"));
+    body[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("number")
+}
+
+#[test]
+fn daemon_observes_itself_and_bounds_the_cache() {
+    // Cache capacity 2 forces evictions across three runs.
+    let (server, addr) = start("telemetry", 2);
+    for tag in 0..3u64 {
+        let id = format!("run{tag}");
+        push_journal(&addr, &id, mini_journal(tag).to_jsonl().as_bytes()).expect("push");
+        push_checkpoint(&addr, &id, &mini_ckpt(tag).encode()).expect("ckpt");
+    }
+    // Touch every run's queries; run0 was evicted, so at least one miss.
+    for tag in 0..3u64 {
+        let (status, _) = get(&addr, &format!("/runs/run{tag}/summarize"));
+        assert_eq!(status, 200);
+        let (status, _) = get(&addr, &format!("/runs/run{tag}/anomalies"));
+        assert_eq!(status, 200);
+    }
+    let (status, _) = get(&addr, "/runs/missing/spans"); // one 404
+    assert_eq!(status, 404);
+
+    let (status, m) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(m.starts_with("{\"service\":\"chamserve\""), "{m}");
+    assert_eq!(json_u64(&m, "sessions_live"), 3);
+    assert!(json_u64(&m, "cached_journals") <= 2, "cache bounded: {m}");
+    assert_eq!(json_u64(&m, "journals_ingested"), 3);
+    assert_eq!(json_u64(&m, "ckpts_ingested"), 3);
+    assert!(json_u64(&m, "http_requests") >= 13, "{m}");
+    assert!(json_u64(&m, "http_4xx") >= 1, "{m}");
+    assert_eq!(json_u64(&m, "queries_served"), 6);
+    assert!(json_u64(&m, "cache_hits") >= 1, "{m}");
+    assert!(json_u64(&m, "cache_misses") >= 1, "{m}");
+    assert!(json_u64(&m, "cache_evictions") >= 1, "{m}");
+    assert!(json_u64(&m, "ingest_bytes") > 0, "{m}");
+    // The latency sketch saw every request on this very connection's
+    // plane — count is one per request already answered.
+    let lat = m
+        .find("\"request_latency_ns\":{\"count\":")
+        .expect("latency digest");
+    let count: u64 = m[lat + "\"request_latency_ns\":{\"count\":".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(count >= 13, "latency digest counts requests: {m}");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 5. Spill-and-rehydrate across daemon restarts
+// ---------------------------------------------------------------------
+
+#[test]
+fn restarted_daemon_serves_spilled_runs() {
+    let data = scratch("restart");
+    let cfg = ServeConfig {
+        data_dir: data.clone(),
+        cache_entries: 4,
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let text = bt4_text();
+    let journal = RunJournal::from_jsonl(&text).unwrap();
+    let first = Server::start("127.0.0.1:0", cfg.clone()).unwrap();
+    let addr = first.addr().to_string();
+    push_journal(&addr, "bt4", text.as_bytes()).unwrap();
+    push_checkpoint(&addr, "bt4", &mini_ckpt(3).encode()).unwrap();
+    let (_, listing_before) = get(&addr, "/runs");
+    first.shutdown();
+
+    let second = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = second.addr().to_string();
+    let (status, listing_after) = get(&addr, "/runs");
+    assert_eq!(status, 200);
+    assert_eq!(listing_after, listing_before, "rehydrated state drifted");
+    let (status, body) = get(&addr, "/runs/bt4/summarize");
+    assert_eq!(status, 200);
+    assert_eq!(body, query::summarize_json(&journal));
+    second.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 6. Graceful shutdown over the wire
+// ---------------------------------------------------------------------
+
+#[test]
+fn post_shutdown_stops_the_daemon() {
+    let (server, addr) = start("shutdown", 4);
+    let (status, body) = post(&addr, "/shutdown", &[]);
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"ok\":true,\"stopping\":true}\n");
+    // All workers exit; wait() returns rather than hanging the test.
+    let handle = std::thread::spawn(move || server.wait());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handle.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "wait() hung after shutdown"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    handle.join().unwrap();
+}
