@@ -29,9 +29,12 @@
 //!                                           # first divergence)
 //!
 //! chamtrace serve [--addr A] [--data DIR] [--cache N] [--threads N]
-//!                                           # trace-service daemon
-//! chamtrace push <addr> <run-id> <journal> [--ckpt <blob>]
-//!                                           # upload a run at a daemon
+//!                 [--max-body BYTES] [--hot-sessions N] [--backlog N]
+//!                 [--faults SPEC]           # trace-service daemon
+//! chamtrace push <addr> <run-id> <journal> [--ckpt <blob>] [--retries N]
+//!                                           # upload a run at a daemon:
+//!                                           # exit 0 ok, 1 rejected,
+//!                                           # 2 transport failed
 //! ```
 //!
 //! Journal files are the flight recorder's canonical JSONL
@@ -53,6 +56,14 @@
 //! diverging trial + metric, and both exit 2 on malformed plans/tables.
 //! `matrix run --push` streams each finished trial's journal at a
 //! running daemon (push failures warn but do not fail the trial).
+//!
+//! Every push — `chamtrace push` and the `--push` hooks — carries a
+//! `Content-Crc32` claim and retries transport failures and degraded
+//! statuses (408/422/429/500/503) under a seeded-jitter exponential
+//! backoff; the daemon's content-digest dedupe makes the retry loop
+//! idempotent. `serve --faults` arms the deterministic service fault
+//! plan (torn spills, connection drops, ENOSPC, the kill-`-9` stall
+//! window) used by the crash-recovery tests and CI leg.
 
 use chameleon::Checkpoint;
 use chamserve::{ServeConfig, Server};
@@ -516,6 +527,15 @@ fn serve_cmd(tail: &[String]) {
             "--data" => cfg.data_dir = std::path::PathBuf::from(value),
             "--cache" => cfg.cache_entries = count("cache capacity"),
             "--threads" => cfg.threads = count("thread count"),
+            "--max-body" => cfg.max_body = count("body cap"),
+            "--hot-sessions" => cfg.hot_sessions = count("hot-session cap"),
+            "--backlog" => cfg.backlog = count("backlog"),
+            "--faults" => {
+                cfg.faults = Some(chamserve::SvcFaultPlan::parse(value).unwrap_or_else(|e| {
+                    eprintln!("error: --faults: {e}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!("error: unknown serve flag {other:?}");
                 std::process::exit(2);
@@ -537,30 +557,45 @@ fn serve_cmd(tail: &[String]) {
 
 /// `chamtrace push`: upload one run's journal (and optionally one
 /// checkpoint blob) at a daemon, printing the daemon's JSON receipts.
-fn push_cmd(addr: &str, run_id: &str, journal: &str, ckpt: Option<&str>) {
+///
+/// Exit-code contract (pinned in `crates/bench/tests/cli.rs`):
+/// `0` every receipt landed; `1` the daemon *rejected* an upload
+/// (semantic failure — retrying cannot help); `2` transport failed after
+/// the retry budget (daemon down/flapping — retrying later may help).
+/// Both failure modes put the attempt count and last error on stderr.
+fn push_cmd(addr: &str, run_id: &str, journal: &str, ckpt: Option<&str>, retries: u32) {
+    let policy = chamserve::RetryPolicy {
+        attempts: retries.max(1),
+        ..chamserve::RetryPolicy::default()
+    };
+    let settle = |what: &str, outcome: Result<String, chamserve::PushError>| match outcome {
+        Ok(receipt) => print!("{receipt}"),
+        Err(e @ chamserve::PushError::Rejected { .. }) => {
+            eprintln!("error: push {what}: {e}");
+            std::process::exit(1);
+        }
+        Err(e @ chamserve::PushError::Transport { .. }) => {
+            eprintln!("error: push {what}: {e}");
+            std::process::exit(2);
+        }
+    };
     let jsonl = std::fs::read(journal).unwrap_or_else(|e| {
         eprintln!("error: cannot read {journal}: {e}");
         std::process::exit(2);
     });
-    match chamserve::push_journal(addr, run_id, &jsonl) {
-        Ok(receipt) => print!("{receipt}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    }
+    settle(
+        "journal",
+        chamserve::push_journal_with(addr, run_id, &jsonl, &policy),
+    );
     if let Some(path) = ckpt {
         let blob = std::fs::read(path).unwrap_or_else(|e| {
             eprintln!("error: cannot read {path}: {e}");
             std::process::exit(2);
         });
-        match chamserve::push_checkpoint(addr, run_id, &blob) {
-            Ok(receipt) => print!("{receipt}"),
-            Err(e) => {
-                eprintln!("error: {e}");
-                std::process::exit(1);
-            }
-        }
+        settle(
+            "checkpoint",
+            chamserve::push_checkpoint_with(addr, run_id, &blob, &policy),
+        );
     }
 }
 
@@ -578,7 +613,10 @@ fn usage() -> ! {
     eprintln!("       chamtrace matrix run <plan> [--jobs N] [--out DIR] [--push ADDR]");
     eprintln!("       chamtrace matrix diff <baseline.json> <results.json>");
     eprintln!("       chamtrace serve [--addr A] [--data DIR] [--cache N] [--threads N]");
-    eprintln!("       chamtrace push <addr> <run-id> <journal> [--ckpt <blob>]");
+    eprintln!("                       [--max-body BYTES] [--hot-sessions N] [--backlog N]");
+    eprintln!("                       [--faults SPEC]     # seed=..,torn=..,stall_ingest=..");
+    eprintln!("       chamtrace push <addr> <run-id> <journal> [--ckpt <blob>] [--retries N]");
+    eprintln!("                       # exit 0 ok, 1 rejected, 2 transport failed");
     std::process::exit(2);
 }
 
@@ -662,15 +700,30 @@ fn main() {
         }
         [s, tail @ ..] if s == "serve" => serve_cmd(tail),
         [p, addr, run_id, journal, tail @ ..] if p == "push" => {
-            let ckpt = match tail {
-                [] => None,
-                [flag, path] if flag == "--ckpt" => Some(path.as_str()),
-                _ => {
-                    eprintln!("error: unknown push arguments {tail:?}");
-                    std::process::exit(2);
+            let mut ckpt: Option<&str> = None;
+            let mut retries = chamserve::RetryPolicy::default().attempts;
+            let mut rest = tail;
+            while let [flag, value, more @ ..] = rest {
+                match flag.as_str() {
+                    "--ckpt" => ckpt = Some(value.as_str()),
+                    "--retries" => {
+                        retries = value.parse().unwrap_or_else(|_| {
+                            eprintln!("error: invalid retry count {value:?}");
+                            std::process::exit(2);
+                        });
+                    }
+                    other => {
+                        eprintln!("error: unknown push flag {other:?}");
+                        std::process::exit(2);
+                    }
                 }
-            };
-            push_cmd(addr, run_id, journal, ckpt);
+                rest = more;
+            }
+            if !rest.is_empty() {
+                eprintln!("error: dangling push argument {:?}", rest[0]);
+                std::process::exit(2);
+            }
+            push_cmd(addr, run_id, journal, ckpt, retries);
         }
         _ => usage(),
     }

@@ -11,6 +11,13 @@
 //! committed smoke plan, then `matrix diff` against the committed
 //! baseline (exit 0), against a tampered table (exit 1, naming trial and
 //! metric), and against garbage (exit 2).
+//!
+//! `chamtrace push` has its own pinned contract (0 receipt landed / 1
+//! daemon rejected / 2 transport failed after retries), and the crash
+//! drill at the bottom runs the real binary: `kill -9` mid-ingest in
+//! the stall window between artifact write and manifest commit, then
+//! restart and prove the committed run survives byte-identical while
+//! the half-ingested one is quarantined.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -178,4 +185,169 @@ fn matrix_run_and_diff_gate_round_trip() {
         2
     );
     let _ = std::fs::remove_dir_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// `chamtrace push` exit-code contract and the kill -9 crash harness
+// ---------------------------------------------------------------------
+
+/// `chamtrace push` exit codes, pinned: 0 every receipt landed; 1 the
+/// daemon rejected the upload (retrying cannot help); 2 transport failed
+/// after the retry budget (daemon down — retrying later may help). Both
+/// failure modes name the attempt count / last error on stderr.
+#[test]
+fn push_exit_code_contract() {
+    let dir = scratch("push_codes");
+    let server = chamserve::Server::start(
+        "127.0.0.1:0",
+        chamserve::ServeConfig {
+            data_dir: dir.join("data"),
+            threads: 2,
+            ..chamserve::ServeConfig::default()
+        },
+    )
+    .expect("daemon starts");
+    let addr = server.addr().to_string();
+    let journal = fixture("bt4_chameleon.journal.jsonl");
+
+    // 0: the receipt lands and is printed.
+    let out = chamtrace(&["push", &addr, "ok-run", &journal]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"ok\":true"));
+
+    // 1: the daemon rejects malformed input with 400 — a semantic
+    // failure the client must not retry into.
+    let malformed = dir.join("broken.journal.jsonl");
+    std::fs::write(&malformed, "{not a journal\n").unwrap();
+    let out = chamtrace(&["push", &addr, "bad-run", malformed.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error: push journal"), "{err}");
+    assert!(err.contains("rejected: HTTP 400"), "{err}");
+    server.shutdown();
+
+    // 2: nobody listening — transport fails after the retry budget,
+    // and stderr says how many attempts were burned.
+    let out = chamtrace(&["push", &addr, "down-run", &journal, "--retries", "2"]);
+    assert_eq!(code(&out), 2);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("transport failed after 2 attempt(s)"), "{err}");
+}
+
+/// Spawn `chamtrace serve` as a real child process on an ephemeral port,
+/// returning the child and the bound address parsed from its stdout.
+fn spawn_serve(data: &Path, faults: Option<&str>) -> (std::process::Child, String) {
+    use std::io::BufRead;
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_chamtrace"));
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--data"])
+        .arg(data)
+        .args(["--threads", "2"]);
+    if let Some(spec) = faults {
+        cmd.args(["--faults", spec]);
+    }
+    let mut child = cmd
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon spawns");
+    let mut line = String::new();
+    std::io::BufReader::new(child.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut line)
+        .expect("daemon announces its port");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected daemon banner {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let (status, body) =
+        chamserve::http::request(addr, "GET", path, &[], std::time::Duration::from_secs(10))
+            .expect("GET");
+    (status, String::from_utf8(body).expect("UTF-8"))
+}
+
+/// The full crash drill against the real binary: a committed run, then
+/// `kill -9` while a second ingest is parked (via the seeded fault
+/// plan's stall) in the exact window between its artifact write and its
+/// manifest commit. The restarted daemon must quarantine the
+/// uncommitted artifact and serve the committed run byte-identical to
+/// the goldens — the same fixtures the serve integration suite pins.
+#[test]
+fn kill_nine_mid_ingest_recovers_committed_runs() {
+    let data = scratch("kill9");
+    let journal = fixture("bt4_chameleon.journal.jsonl");
+    let golden = std::fs::read_to_string(repo_path("tests/fixtures/serve/bt4_summarize.json"))
+        .expect("committed serve golden");
+
+    // Phase 1: a clean daemon commits run `alpha`, then stops cleanly.
+    let (mut first, addr) = spawn_serve(&data, None);
+    let out = chamtrace(&["push", &addr, "alpha", &journal]);
+    assert_eq!(code(&out), 0, "{}", String::from_utf8_lossy(&out.stderr));
+    let (status, before) = http_get(&addr, "/runs/alpha/summarize");
+    assert_eq!(status, 200);
+    assert_eq!(before, golden, "pre-crash bytes match the golden");
+    chamserve::http::request(
+        &addr,
+        "POST",
+        "/shutdown",
+        &[],
+        std::time::Duration::from_secs(10),
+    )
+    .expect("shutdown");
+    first.wait().expect("clean daemon exits");
+
+    // Phase 2: restart with the fault plan stalling ingest #0 between
+    // artifact write and manifest commit, push run `victim` into that
+    // window, and shoot the daemon with SIGKILL while it is parked.
+    let (mut second, addr) = spawn_serve(&data, Some("stall_ingest=0,stall_ms=600000"));
+    let pusher = Command::new(env!("CARGO_BIN_EXE_chamtrace"))
+        .args(["push", &addr, "victim", &journal, "--retries", "1"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("pusher spawns");
+    let spilled = data.join("runs/victim/journal.jsonl");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !spilled.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "victim artifact never reached the stall window"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    second.kill().expect("SIGKILL lands"); // kill -9: no destructors run
+    second.wait().expect("killed daemon reaped");
+    let out = pusher.wait_with_output().expect("pusher exits");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "push through a crash is a transport failure: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Phase 3: restart clean on the same data dir. The uncommitted
+    // victim artifact is quarantined (it was never manifest-committed),
+    // and alpha's bytes survive the crash exactly.
+    let (mut third, addr) = spawn_serve(&data, None);
+    let (status, after) = http_get(&addr, "/runs/alpha/summarize");
+    assert_eq!(status, 200, "{after}");
+    assert_eq!(after, golden, "post-crash bytes drifted from the golden");
+    let (status, _) = http_get(&addr, "/runs/victim/summarize");
+    assert_eq!(status, 404, "the half-ingested run must not resurrect");
+    let (_, m) = http_get(&addr, "/metrics");
+    assert!(m.contains("\"orphaned\":1"), "quarantine ledger: {m}");
+    assert!(
+        data.join("quarantine/victim/journal.jsonl").exists(),
+        "the condemned artifact is moved aside, not deleted"
+    );
+    chamserve::http::request(
+        &addr,
+        "POST",
+        "/shutdown",
+        &[],
+        std::time::Duration::from_secs(10),
+    )
+    .expect("shutdown");
+    third.wait().expect("third daemon exits");
 }

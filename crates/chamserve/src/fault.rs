@@ -1,0 +1,204 @@
+//! Seeded fault injection for the service plane itself.
+//!
+//! The repo's methodology (see FAULTS.md) is to *inject* failures
+//! deterministically and validate recovery against ground truth, and the
+//! daemon is now subject to the same discipline as the simulated wire: a
+//! [`SvcFaultPlan`] makes the store's spill writes tear at a seeded byte,
+//! makes connections drop mid-exchange, delays responses, injects ENOSPC
+//! to drive the read-only degraded mode, and can stall an ingest between
+//! artifact write and manifest commit — the exact window a `kill -9`
+//! exploits — so the crash-recovery harness can park the daemon there and
+//! shoot it.
+//!
+//! Every coin is a pure function of `(plan seed, event nonce)` through
+//! the same SplitMix64 mixer `mpisim::FaultPlan` uses, so a failing
+//! sequence replays exactly from its seed. Store-side nonces count spill
+//! writes; route-side nonces count accepted connections.
+
+use crate::util::splitmix64;
+
+/// A deterministic fault schedule for one daemon instance. All rates are
+/// per-mille per event; `None`/zero fields inject nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SvcFaultPlan {
+    /// Seed for all fault coins.
+    pub seed: u64,
+    /// Per-mille chance a spill write tears: a seeded prefix of the bytes
+    /// reaches the `.tmp` file, then the write errors — what a crash
+    /// mid-`write(2)` leaves behind.
+    pub torn_per_mille: u16,
+    /// Per-mille chance an accepted connection is dropped while the
+    /// request body is still being read (client sees a reset mid-send).
+    pub drop_pre_per_mille: u16,
+    /// Per-mille chance the connection is dropped *after* the request was
+    /// fully processed but before the response is written — the case that
+    /// makes non-idempotent retries dangerous.
+    pub drop_post_per_mille: u16,
+    /// Fixed delay injected before every response, in milliseconds.
+    pub delay_ms: u64,
+    /// After this many total spill bytes, every further spill write fails
+    /// with an injected ENOSPC (flipping the store read-only).
+    pub enospc_after_bytes: Option<u64>,
+    /// Stall the Nth accepted ingest (0-based, journals and checkpoints
+    /// both count) for `stall_ms` between its artifact write and its
+    /// manifest commit — the `kill -9` window.
+    pub stall_ingest: Option<u64>,
+    /// How long a stalled ingest parks, in milliseconds.
+    pub stall_ms: u64,
+}
+
+impl SvcFaultPlan {
+    /// A plan that injects nothing (but still arms the armed code paths).
+    pub fn new(seed: u64) -> Self {
+        SvcFaultPlan {
+            seed,
+            stall_ms: 600_000,
+            ..SvcFaultPlan::default()
+        }
+    }
+
+    /// Parse a `key=value,key=value` spec (the `chamtrace serve --faults`
+    /// grammar). Keys: `seed`, `torn`, `drop_pre`, `drop_post`,
+    /// `delay_ms`, `enospc_after`, `stall_ingest`, `stall_ms`.
+    pub fn parse(spec: &str) -> Result<SvcFaultPlan, String> {
+        let mut plan = SvcFaultPlan::new(0);
+        for field in spec.split(',').filter(|f| !f.is_empty()) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault field {field:?} is not key=value"))?;
+            let num = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid {what} {value:?}"))
+            };
+            let mille = |what: &str| -> Result<u16, String> {
+                let v = num(what)?;
+                if v > 1000 {
+                    return Err(format!("{what} {v} exceeds 1000 per-mille"));
+                }
+                Ok(v as u16)
+            };
+            match key {
+                "seed" => plan.seed = num("seed")?,
+                "torn" => plan.torn_per_mille = mille("torn rate")?,
+                "drop_pre" => plan.drop_pre_per_mille = mille("drop_pre rate")?,
+                "drop_post" => plan.drop_post_per_mille = mille("drop_post rate")?,
+                "delay_ms" => plan.delay_ms = num("delay_ms")?,
+                "enospc_after" => plan.enospc_after_bytes = Some(num("enospc_after")?),
+                "stall_ingest" => plan.stall_ingest = Some(num("stall_ingest")?),
+                "stall_ms" => plan.stall_ms = num("stall_ms")?,
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Whether any injection is actually armed.
+    pub fn injects(&self) -> bool {
+        self.torn_per_mille > 0
+            || self.drop_pre_per_mille > 0
+            || self.drop_post_per_mille > 0
+            || self.delay_ms > 0
+            || self.enospc_after_bytes.is_some()
+            || self.stall_ingest.is_some()
+    }
+
+    /// The fate of the `nonce`-th spill write: `Some(tear_at)` when the
+    /// write tears after `tear_at` bytes (always < the write length for a
+    /// non-empty buffer), `None` when it completes. Distinct SplitMix64
+    /// windows feed the coin and the tear position so they stay
+    /// independent, mirroring `mpisim::FaultPlan::fate`.
+    pub fn torn_write(&self, nonce: u64, len: usize) -> Option<usize> {
+        if self.torn_per_mille == 0 || len == 0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(0x7031 ^ nonce));
+        if (h % 1000) as u16 >= self.torn_per_mille {
+            return None;
+        }
+        Some(((h >> 16) % len as u64) as usize)
+    }
+
+    /// Whether the `nonce`-th accepted connection drops before the body
+    /// is fully read.
+    pub fn drop_pre(&self, nonce: u64) -> bool {
+        self.coin(0xD409, nonce, self.drop_pre_per_mille)
+    }
+
+    /// Whether the `nonce`-th accepted connection drops after processing
+    /// but before the response.
+    pub fn drop_post(&self, nonce: u64) -> bool {
+        self.coin(0xD70B, nonce, self.drop_post_per_mille)
+    }
+
+    fn coin(&self, window: u64, nonce: u64, per_mille: u16) -> bool {
+        if per_mille == 0 {
+            return false;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(window ^ nonce));
+        ((h % 1000) as u16) < per_mille
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip_and_errors() {
+        let plan = SvcFaultPlan::parse(
+            "seed=42,torn=200,drop_pre=100,drop_post=50,delay_ms=5,\
+             enospc_after=65536,stall_ingest=1,stall_ms=1000",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.torn_per_mille, 200);
+        assert_eq!(plan.drop_pre_per_mille, 100);
+        assert_eq!(plan.drop_post_per_mille, 50);
+        assert_eq!(plan.delay_ms, 5);
+        assert_eq!(plan.enospc_after_bytes, Some(65536));
+        assert_eq!(plan.stall_ingest, Some(1));
+        assert_eq!(plan.stall_ms, 1000);
+        assert!(plan.injects());
+
+        assert!(SvcFaultPlan::parse("torn").is_err(), "missing =");
+        assert!(SvcFaultPlan::parse("torn=1001").is_err(), "rate > 1000");
+        assert!(SvcFaultPlan::parse("bogus=1").is_err(), "unknown key");
+        assert!(!SvcFaultPlan::parse("seed=7").unwrap().injects());
+    }
+
+    #[test]
+    fn coins_are_deterministic_and_rate_shaped() {
+        let plan = SvcFaultPlan {
+            torn_per_mille: 300,
+            drop_pre_per_mille: 300,
+            ..SvcFaultPlan::new(0xBEEF)
+        };
+        let torn: Vec<Option<usize>> = (0..1000).map(|n| plan.torn_write(n, 1024)).collect();
+        let again: Vec<Option<usize>> = (0..1000).map(|n| plan.torn_write(n, 1024)).collect();
+        assert_eq!(torn, again, "same seed, same fates");
+        let fired = torn.iter().flatten().count();
+        assert!(
+            (150..450).contains(&fired),
+            "~30% of writes tear, got {fired}/1000"
+        );
+        for at in torn.iter().flatten() {
+            assert!(*at < 1024, "tear position inside the buffer");
+        }
+        let drops = (0..1000).filter(|n| plan.drop_pre(*n)).count();
+        assert!((150..450).contains(&drops), "{drops}/1000");
+        // Different windows: the two coin streams are not the same.
+        let both = (0..1000)
+            .filter(|n| plan.drop_pre(*n) && plan.torn_write(*n, 64).is_some())
+            .count();
+        assert!(both < 200, "coins are independent, {both} coincide");
+    }
+
+    #[test]
+    fn zero_plan_injects_nothing() {
+        let plan = SvcFaultPlan::new(99);
+        assert!(!plan.injects());
+        assert!((0..100).all(|n| plan.torn_write(n, 100).is_none()));
+        assert!((0..100).all(|n| !plan.drop_pre(n) && !plan.drop_post(n)));
+    }
+}

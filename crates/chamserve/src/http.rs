@@ -34,6 +34,10 @@ pub struct Request {
     pub segments: Vec<String>,
     /// Raw body bytes (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// The client's `Content-Crc32` claim (8 hex digits), if sent. The
+    /// router verifies it against the body *before* any session state is
+    /// touched; a mismatch is a 422 the retrying client resends on.
+    pub crc: Option<u32>,
 }
 
 /// Why a request could not be served at the protocol level, carrying the
@@ -55,9 +59,34 @@ impl HttpError {
     }
 }
 
+/// Map a read failure to its protocol status: a socket deadline expiring
+/// is a 408 (the slow-loris shed), anything else a 400.
+fn read_error(what: &str, e: &std::io::Error) -> HttpError {
+    use std::io::ErrorKind;
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        HttpError::new(408, format!("{what} deadline expired"))
+    } else {
+        HttpError::new(400, format!("{what}: {e}"))
+    }
+}
+
 /// Read and parse one request from the stream. `max_body` bounds the
-/// `Content-Length` the server will buffer.
+/// `Content-Length` the server will buffer — an oversized claim is
+/// rejected with 413 *before* any body byte is read or buffered.
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    read_request_with(stream, max_body, None)
+}
+
+/// [`read_request`] with a distinct per-read deadline for the body
+/// phase: the stream's current read timeout governs the head, and
+/// `body_timeout` (when set) is installed on the socket once the head
+/// has parsed, so slow header writers and slow body writers each hit
+/// their own 408.
+pub fn read_request_with(
+    stream: &mut TcpStream,
+    max_body: usize,
+    body_timeout: Option<Duration>,
+) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(
         stream
             .try_clone()
@@ -69,7 +98,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         line.clear();
         let n = reader
             .read_line(&mut line)
-            .map_err(|e| HttpError::new(400, format!("read: {e}")))?;
+            .map_err(|e| read_error("head read", &e))?;
         if n == 0 {
             return Err(HttpError::new(400, "connection closed mid-head"));
         }
@@ -105,6 +134,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     let mut content_length: Option<usize> = None;
+    let mut crc: Option<u32> = None;
     for h in lines {
         let h = h.trim_end();
         if h.is_empty() {
@@ -122,6 +152,11 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                     .map_err(|_| HttpError::new(400, format!("bad content-length {value:?}")))?;
                 content_length = Some(n);
             }
+            "content-crc32" => {
+                let v = u32::from_str_radix(value, 16)
+                    .map_err(|_| HttpError::new(400, format!("bad content-crc32 {value:?}")))?;
+                crc = Some(v);
+            }
             "transfer-encoding" => {
                 return Err(HttpError::new(411, "chunked bodies not supported"));
             }
@@ -129,6 +164,8 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         }
     }
 
+    // The cap gates the *claimed* length before a single body byte is
+    // buffered — an absurd Content-Length costs a 413, not an allocation.
     let body = match content_length {
         None | Some(0) => Vec::new(),
         Some(n) if n > max_body => {
@@ -138,10 +175,15 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             ));
         }
         Some(n) => {
+            if let Some(t) = body_timeout {
+                // The BufReader wraps a clone of the same socket, so the
+                // new deadline applies to the reads below.
+                stream.set_read_timeout(Some(t)).ok();
+            }
             let mut buf = vec![0u8; n];
             reader
                 .read_exact(&mut buf)
-                .map_err(|e| HttpError::new(400, format!("short body: {e}")))?;
+                .map_err(|e| read_error("body read", &e))?;
             buf
         }
     };
@@ -157,6 +199,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         method,
         segments,
         body,
+        crc,
     })
 }
 
@@ -190,10 +233,14 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
+        422 => "Unprocessable Content",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -206,11 +253,27 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra canonical headers (e.g. the
+/// `retry-after` a 503/429 carries). Header names must be lowercase.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -226,13 +289,30 @@ pub fn request(
     body: &[u8],
     timeout: Duration,
 ) -> Result<(u16, Vec<u8>), String> {
+    request_with(addr, method, path, body, &[], timeout)
+}
+
+/// [`request`] with extra request headers (the retrying push adds its
+/// `content-crc32` claim here). Header names must be lowercase.
+pub fn request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    extra: &[(&str, String)],
+    timeout: Duration,
+) -> Result<(u16, Vec<u8>), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_read_timeout(Some(timeout)).ok();
     stream.set_write_timeout(Some(timeout)).ok();
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n",
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("connection: close\r\n\r\n");
     stream
         .write_all(head.as_bytes())
         .and_then(|()| stream.write_all(body))
@@ -294,8 +374,99 @@ mod tests {
 
     #[test]
     fn reasons_cover_emitted_statuses() {
-        for s in [200, 400, 404, 405, 411, 413, 431, 500] {
+        for s in [200, 400, 404, 405, 408, 411, 413, 422, 429, 431, 500, 503] {
             assert_ne!(reason(s), "Unknown", "status {s}");
         }
+    }
+
+    /// Run `read_request` against one raw client payload and return the
+    /// outcome plus how long the parse itself took. The client never
+    /// sends a body, so any attempt to buffer one would block until the
+    /// read deadline instead of failing fast.
+    fn parse_raw(head: &str, max_body: usize) -> (Result<Request, HttpError>, Duration) {
+        use std::io::Write;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let head = head.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(head.as_bytes()).unwrap();
+            // Hold the socket open: a server that tries to read the
+            // (absent) body parks here instead of answering.
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let started = std::time::Instant::now();
+        let out = read_request(&mut stream, max_body);
+        let took = started.elapsed();
+        client.join().unwrap();
+        (out, took)
+    }
+
+    #[test]
+    fn oversized_content_length_is_413_before_buffering() {
+        // An absurd claimed length (here 1 TiB) must be rejected from the
+        // header alone — no allocation, no body read. The client sends no
+        // body at all, so reaching the reject proves nothing was buffered;
+        // the sub-deadline wall-clock bound proves nothing was awaited.
+        let (out, took) = parse_raw(
+            "POST /runs/x/journal HTTP/1.1\r\ncontent-length: 1099511627776\r\n\r\n",
+            1024,
+        );
+        let err = out.unwrap_err();
+        assert_eq!(err.status, 413, "{}", err.detail);
+        assert!(err.detail.contains("1099511627776"), "{}", err.detail);
+        assert!(err.detail.contains("1024-byte cap"), "{}", err.detail);
+        assert!(
+            took < Duration::from_millis(400),
+            "413 must not wait for body bytes (took {took:?})"
+        );
+        // At the cap is still accepted (when the bytes actually arrive).
+        let (ok, _) = parse_raw("POST /x HTTP/1.1\r\ncontent-length: 0\r\n\r\n", 1024);
+        assert!(ok.unwrap().body.is_empty());
+    }
+
+    #[test]
+    fn content_crc32_header_parses_hex_and_rejects_garbage() {
+        let req = parse_raw(
+            "POST /x HTTP/1.1\r\ncontent-crc32: cbf43926\r\ncontent-length: 0\r\n\r\n",
+            1024,
+        )
+        .0
+        .unwrap();
+        assert_eq!(req.crc, Some(0xCBF4_3926));
+        let none = parse_raw("GET /x HTTP/1.1\r\n\r\n", 1024).0.unwrap();
+        assert_eq!(none.crc, None);
+        let err = parse_raw(
+            "POST /x HTTP/1.1\r\ncontent-crc32: not-hex\r\ncontent-length: 0\r\n\r\n",
+            1024,
+        )
+        .0
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn slow_loris_head_is_408() {
+        use std::io::Write;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // A partial request line, then silence past the deadline.
+            s.write_all(b"POST /runs").unwrap();
+            std::thread::sleep(Duration::from_millis(600));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let err = read_request(&mut stream, 1024).unwrap_err();
+        assert_eq!(err.status, 408, "{}", err.detail);
+        assert!(err.detail.contains("deadline"), "{}", err.detail);
+        client.join().unwrap();
     }
 }

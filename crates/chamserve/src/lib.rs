@@ -38,15 +38,38 @@
 //! request counts and latency sketches ride the same `obs::metrics`
 //! histogram machinery clients query through it, exposed at
 //! `GET /metrics`. See `OBSERVABILITY.md` "Trace service".
+//!
+//! ## Crash safety and degraded modes
+//!
+//! Every spill is a crash-atomic write (temp + fsync + rename + dir
+//! fsync) committed into a per-session CRC-stamped `MANIFEST`;
+//! rehydration trusts only manifest-committed artifacts and quarantines
+//! torn/orphaned/corrupt files with typed reasons visible in
+//! `GET /metrics`. Pushes carry a `Content-Crc32` claim the server
+//! verifies before touching session state, retries ride a seeded-jitter
+//! exponential backoff ([`RetryPolicy`]), and the store dedupes retried
+//! bodies by content digest — so "response lost after commit" converges
+//! instead of double-ingesting. A deterministic [`SvcFaultPlan`] can
+//! inject torn writes, connection drops, delays, and ENOSPC to prove all
+//! of it under test. See `OBSERVABILITY.md` "Durability & degraded
+//! modes" and the service rows of `FAULTS.md`.
 
+pub mod fault;
 pub mod http;
+pub mod retry;
 pub mod store;
 pub mod telemetry;
+pub mod util;
 
 mod routes;
 
+pub use fault::SvcFaultPlan;
+pub use retry::{post_with_retry, PushError, RetryPolicy};
 pub use routes::{ServeConfig, Server};
-pub use store::{validate_run_id, Session, SessionStore, StoreError};
+pub use store::{
+    validate_run_id, QuarantineCounts, QuarantineReason, QuarantineRecord, Session, SessionStore,
+    StoreError,
+};
 pub use telemetry::{SvcCounter, SvcHist, Telemetry};
 
 use std::time::Duration;
@@ -55,22 +78,45 @@ use std::time::Duration;
 pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Push a finished run's journal at a daemon (`chamtrace push`, the
-/// matrix `--push` hook). Returns the daemon's JSON receipt.
-pub fn push_journal(addr: &str, run_id: &str, jsonl: &[u8]) -> Result<String, String> {
-    push(addr, run_id, "journal", jsonl)
+/// matrix `--push` hook) under the default retry policy. Returns the
+/// daemon's JSON receipt.
+pub fn push_journal(addr: &str, run_id: &str, jsonl: &[u8]) -> Result<String, PushError> {
+    push_journal_with(addr, run_id, jsonl, &RetryPolicy::default())
 }
 
-/// Push one checkpoint blob at a daemon.
-pub fn push_checkpoint(addr: &str, run_id: &str, blob: &[u8]) -> Result<String, String> {
-    push(addr, run_id, "checkpoint", blob)
+/// [`push_journal`] under an explicit retry policy.
+pub fn push_journal_with(
+    addr: &str,
+    run_id: &str,
+    jsonl: &[u8],
+    policy: &RetryPolicy,
+) -> Result<String, PushError> {
+    post_with_retry(
+        addr,
+        &format!("/runs/{run_id}/journal"),
+        jsonl,
+        policy,
+        CLIENT_TIMEOUT,
+    )
 }
 
-fn push(addr: &str, run_id: &str, what: &str, body: &[u8]) -> Result<String, String> {
-    let path = format!("/runs/{run_id}/{what}");
-    let (status, resp) = http::request(addr, "POST", &path, body, CLIENT_TIMEOUT)?;
-    let text = String::from_utf8_lossy(&resp).into_owned();
-    if status != 200 {
-        return Err(format!("{addr}{path}: HTTP {status}: {}", text.trim_end()));
-    }
-    Ok(text)
+/// Push one checkpoint blob at a daemon under the default retry policy.
+pub fn push_checkpoint(addr: &str, run_id: &str, blob: &[u8]) -> Result<String, PushError> {
+    push_checkpoint_with(addr, run_id, blob, &RetryPolicy::default())
+}
+
+/// [`push_checkpoint`] under an explicit retry policy.
+pub fn push_checkpoint_with(
+    addr: &str,
+    run_id: &str,
+    blob: &[u8],
+    policy: &RetryPolicy,
+) -> Result<String, PushError> {
+    post_with_retry(
+        addr,
+        &format!("/runs/{run_id}/checkpoint"),
+        blob,
+        policy,
+        CLIENT_TIMEOUT,
+    )
 }

@@ -13,6 +13,8 @@ use std::sync::Mutex;
 
 use obs::metrics::Histogram;
 
+use crate::store::QuarantineCounts;
+
 /// Typed service counters, one slot each.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
@@ -41,11 +43,28 @@ pub enum SvcCounter {
     CacheEvictions = 10,
     /// Query-endpoint responses served (the six query routes).
     QueriesServed = 11,
+    /// Idle sessions whose hot state was demoted to a cold stub.
+    SessionEvictions = 12,
+    /// Cold sessions rehydrated on demand from their manifest-backed
+    /// spill (at ingest, query, or listing time).
+    SessionRehydrations = 13,
+    /// Ingest bodies answered from the content-digest dedupe (a retried
+    /// duplicate upload — cheap 200, no parse, no disk).
+    IngestDeduped = 14,
+    /// Uploads rejected with 422 because the body did not match its
+    /// `Content-Crc32` claim (corrupted in transit; client retries).
+    CrcRejected = 15,
+    /// Connections shed with 429 because the accept backlog was full.
+    LoadShed = 16,
+    /// Requests timed out with 408 (header or body deadline expired).
+    RequestTimeouts = 17,
+    /// Ingests rejected with 503 while the store was read-only.
+    ReadOnlyRejects = 18,
 }
 
 impl SvcCounter {
     /// Number of counter slots.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 19;
 
     /// All counters, in slot order.
     pub const ALL: [SvcCounter; SvcCounter::COUNT] = [
@@ -61,6 +80,13 @@ impl SvcCounter {
         SvcCounter::CacheMisses,
         SvcCounter::CacheEvictions,
         SvcCounter::QueriesServed,
+        SvcCounter::SessionEvictions,
+        SvcCounter::SessionRehydrations,
+        SvcCounter::IngestDeduped,
+        SvcCounter::CrcRejected,
+        SvcCounter::LoadShed,
+        SvcCounter::RequestTimeouts,
+        SvcCounter::ReadOnlyRejects,
     ];
 
     /// Stable label, used as the JSON key in `GET /metrics`.
@@ -78,6 +104,13 @@ impl SvcCounter {
             SvcCounter::CacheMisses => "cache_misses",
             SvcCounter::CacheEvictions => "cache_evictions",
             SvcCounter::QueriesServed => "queries_served",
+            SvcCounter::SessionEvictions => "sessions_evicted",
+            SvcCounter::SessionRehydrations => "sessions_rehydrated",
+            SvcCounter::IngestDeduped => "ingest_deduped",
+            SvcCounter::CrcRejected => "crc_rejected",
+            SvcCounter::LoadShed => "load_shed_429",
+            SvcCounter::RequestTimeouts => "request_timeouts_408",
+            SvcCounter::ReadOnlyRejects => "read_only_rejects_503",
         }
     }
 }
@@ -160,13 +193,29 @@ impl Telemetry {
     }
 
     /// Render the whole set as one canonical JSON object (trailing
-    /// newline included). `sessions_live` and `cached_journals` are
-    /// gauges sampled by the caller from the store.
-    pub fn render(&self, sessions_live: usize, cached_journals: usize) -> String {
+    /// newline included). `sessions_live`, `cached_journals`,
+    /// `quarantined`, and `read_only` are gauges sampled by the caller
+    /// from the store.
+    pub fn render(
+        &self,
+        sessions_live: usize,
+        cached_journals: usize,
+        quarantined: &QuarantineCounts,
+        read_only: bool,
+    ) -> String {
         let g = self.inner.lock().expect("telemetry lock");
         let mut out = String::from("{\"service\":\"chamserve\"");
         out.push_str(&format!(",\"sessions_live\":{sessions_live}"));
         out.push_str(&format!(",\"cached_journals\":{cached_journals}"));
+        out.push_str(&format!(",\"read_only\":{read_only}"));
+        out.push_str(&format!(
+            ",\"quarantined\":{{\"torn\":{},\"corrupt\":{},\"orphaned\":{},\"bad_manifest\":{},\"total\":{}}}",
+            quarantined.torn,
+            quarantined.corrupt,
+            quarantined.orphaned,
+            quarantined.bad_manifest,
+            quarantined.total()
+        ));
         out.push_str(",\"counters\":{");
         for (i, c) in SvcCounter::ALL.iter().enumerate() {
             if i > 0 {
@@ -220,9 +269,20 @@ mod tests {
         t.add(SvcCounter::HttpRequests, 3);
         t.observe(SvcHist::RequestLatencyNs, 1000);
         t.observe(SvcHist::RequestLatencyNs, 2000);
-        let r = t.render(2, 1);
+        let q = QuarantineCounts {
+            torn: 2,
+            ..QuarantineCounts::default()
+        };
+        let r = t.render(2, 1, &q, true);
         assert!(r.starts_with("{\"service\":\"chamserve\""), "{r}");
         assert!(r.contains("\"sessions_live\":2"), "{r}");
+        assert!(r.contains("\"read_only\":true"), "{r}");
+        assert!(
+            r.contains(
+                "\"quarantined\":{\"torn\":2,\"corrupt\":0,\"orphaned\":0,\"bad_manifest\":0,\"total\":2}"
+            ),
+            "{r}"
+        );
         assert!(r.contains("\"http_requests\":3"), "{r}");
         assert!(r.contains("\"request_latency_ns\":{\"count\":2"), "{r}");
         assert!(r.ends_with("}\n"), "{r}");

@@ -1,0 +1,155 @@
+//! Small shared primitives for the durability layer: CRC-32, SplitMix64,
+//! and crash-atomic file writes.
+//!
+//! Hand-rolled for the same reason `mpisim` inlines its frame CRC and
+//! fault coins: the workspace is hermetic, so every crate carries the few
+//! primitives it needs instead of a registry dependency.
+
+use std::io::Write;
+use std::path::Path;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven —
+/// the same polynomial the reliable wire protocol and CKPT1 blobs use, so
+/// one `crc32` value means the same thing at every layer of the system.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 of `bytes` (full init/finalize — matches every common
+/// `crc32(...)` implementation, e.g. `python3 -c 'import zlib, ...'`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// SplitMix64 mixing step — the fault-coin hash `mpisim::FaultPlan` uses,
+/// inlined so the service fault plan flips coins the exact same way.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The `.tmp` suffix every in-flight spill write carries. Rehydration
+/// treats any leftover `*.tmp` file as a torn write and quarantines it.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+/// An [`atomic_write`] interceptor for the raw byte write.
+pub type WriteHook<'a> = dyn Fn(&mut std::fs::File, &[u8]) -> std::io::Result<()> + 'a;
+
+/// Crash-atomic durable write: write to `<path>.tmp`, fsync the file,
+/// rename over `path`, then fsync the parent directory so the rename
+/// itself is durable. After this returns, either the old content or the
+/// complete new content survives a crash — never a torn prefix at `path`.
+///
+/// `write_hook` intercepts the raw byte write (the service fault plan
+/// injects torn writes and ENOSPC there); `None` writes the whole buffer.
+pub fn atomic_write(
+    path: &Path,
+    bytes: &[u8],
+    write_hook: Option<&WriteHook<'_>>,
+) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut f = std::fs::File::create(&tmp)?;
+    match write_hook {
+        Some(hook) => hook(&mut f, bytes)?,
+        None => f.write_all(bytes)?,
+    }
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        // Directory fsync makes the rename durable; a filesystem that
+        // cannot open a directory for sync (some CI overlays) still got
+        // the rename's atomicity, so a failure here is not fatal.
+        if let Ok(d) = std::fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The temp-file sibling `atomic_write` stages into.
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_values() {
+        // "123456789" is the canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn splitmix_matches_mpisim_constants() {
+        // Pin the mixer so the service plane's coins stay aligned with
+        // mpisim::fault's (same constants, same output).
+        assert_ne!(splitmix64(0), 0);
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_tmp() {
+        let dir = std::env::temp_dir().join(format!("chamserve_util_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"first", None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second version", None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second version");
+        assert!(!tmp_path(&path).exists(), "tmp staged file is gone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_hook_leaves_tmp_behind() {
+        let dir = std::env::temp_dir().join(format!("chamserve_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        let tear = |f: &mut std::fs::File, b: &[u8]| -> std::io::Result<()> {
+            f.write_all(&b[..b.len() / 2])?;
+            Err(std::io::Error::other("injected tear"))
+        };
+        let err = atomic_write(&path, b"will be torn", Some(&tear)).unwrap_err();
+        assert!(err.to_string().contains("injected tear"));
+        assert!(!path.exists(), "final path never materializes");
+        assert!(tmp_path(&path).exists(), "torn prefix stays in the tmp");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

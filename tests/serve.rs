@@ -17,6 +17,14 @@
 //! 4. **self-telemetry** — `GET /metrics` reports the daemon's own
 //!    request/ingest/cache counters, nonzero after traffic.
 //!
+//! Plus the durability plane (sections 7+): a corruption table proving
+//! rehydration quarantines exactly the damaged artifact and keeps every
+//! other session serving; a torn-write crash simulation whose restart
+//! serves committed sessions byte-identical to the goldens; a seeded
+//! [`SvcFaultPlan`] storm the idempotent retrying push must converge
+//! through; and the degraded modes — ENOSPC → read-only 503, slow-loris
+//! → 408, full backlog → 429 — each visible in `/metrics`.
+//!
 //! Regenerate endpoint goldens with:
 //!
 //! ```text
@@ -26,7 +34,10 @@
 use std::path::PathBuf;
 
 use chameleon::Checkpoint;
-use chamserve::{http, push_checkpoint, push_journal, ServeConfig, Server};
+use chamserve::{
+    http, push_checkpoint, push_checkpoint_with, push_journal, push_journal_with, PushError,
+    RetryPolicy, ServeConfig, Server, SvcFaultPlan,
+};
 use obs::metrics::{Counter, HistId, MetricSet};
 use obs::{query, Event, EventKind, RankLog, RunJournal};
 use sigkit::CallPathSig;
@@ -457,4 +468,400 @@ fn post_shutdown_stops_the_daemon() {
         std::thread::sleep(std::time::Duration::from_millis(20));
     }
     handle.join().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// 7. Rehydration corruption table
+// ---------------------------------------------------------------------
+
+/// Each row of the table damages exactly one on-disk artifact; restart
+/// must quarantine that artifact alone (with the right typed reason in
+/// `/metrics`), and every undamaged session keeps serving.
+#[test]
+fn rehydration_quarantines_each_corruption_and_serves_the_rest() {
+    let data = scratch("corruption");
+    let cfg = ServeConfig {
+        data_dir: data.clone(),
+        cache_entries: 4,
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let first = Server::start("127.0.0.1:0", cfg.clone()).unwrap();
+    let addr = first.addr().to_string();
+    let ids = [
+        "r-badmani",
+        "r-flip",
+        "r-okay",
+        "r-orphan",
+        "r-trunc",
+        "r-zero",
+    ];
+    for id in ids {
+        push_journal(&addr, id, mini_journal(1).to_jsonl().as_bytes()).unwrap();
+        push_checkpoint(&addr, id, &mini_ckpt(2).encode()).unwrap();
+    }
+    first.shutdown();
+
+    let runs = data.join("runs");
+    // Truncated journal (manifest length mismatch → torn).
+    let p = runs.join("r-trunc/journal.jsonl");
+    let b = std::fs::read(&p).unwrap();
+    std::fs::write(&p, &b[..b.len() / 3]).unwrap();
+    // Zero-byte checkpoint (length mismatch → torn).
+    std::fs::write(runs.join("r-zero/ckpt-2.bin"), b"").unwrap();
+    // Bit-flipped checkpoint: length intact, CRC wrong → corrupt.
+    let p = runs.join("r-flip/ckpt-2.bin");
+    let mut b = std::fs::read(&p).unwrap();
+    let mid = b.len() / 2;
+    b[mid] ^= 0x01;
+    std::fs::write(&p, &b).unwrap();
+    // A leftover staging file (torn) and an uncommitted blob (orphaned).
+    std::fs::write(runs.join("r-orphan/ckpt-9.bin.tmp"), b"torn prefi").unwrap();
+    std::fs::write(runs.join("r-orphan/ckpt-8.bin"), b"never committed").unwrap();
+    // A garbled MANIFEST condemns everything under it.
+    std::fs::write(runs.join("r-badmani/MANIFEST"), "not a manifest\n").unwrap();
+
+    let second = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = second.addr().to_string();
+
+    // Sessions whose journal survived serve it byte-identically.
+    let want = query::summarize_json(&mini_journal(1));
+    for id in ["r-flip", "r-okay", "r-orphan", "r-zero"] {
+        let (status, body) = get(&addr, &format!("/runs/{id}/summarize"));
+        assert_eq!(status, 200, "{id}: {body}");
+        assert_eq!(body, want, "{id} journal bytes drifted through recovery");
+    }
+    // r-trunc lost its journal but not its checkpoint sketch.
+    let (status, body) = get(&addr, "/runs/r-trunc/summarize");
+    assert_eq!(status, 404, "truncated journal must not be served: {body}");
+    // r-badmani is gone entirely.
+    let (status, _) = get(&addr, "/runs/r-badmani/summarize");
+    assert_eq!(status, 404);
+    let (status, listing) = get(&addr, "/runs");
+    assert_eq!(status, 200);
+    assert!(!listing.contains("r-badmani"), "{listing}");
+    assert!(
+        listing.contains("r-trunc"),
+        "ckpt-only session listed: {listing}"
+    );
+
+    // The typed quarantine ledger: truncated journal + zeroed ckpt +
+    // leftover .tmp are torn; the bit-flip is corrupt; the uncommitted
+    // blob is orphaned; the garbled manifest condemns its whole dir.
+    let (_, m) = get(&addr, "/metrics");
+    assert_eq!(json_u64(&m, "torn"), 3, "{m}");
+    assert_eq!(json_u64(&m, "corrupt"), 1, "{m}");
+    assert_eq!(json_u64(&m, "orphaned"), 1, "{m}");
+    assert_eq!(json_u64(&m, "bad_manifest"), 3, "{m}");
+    assert_eq!(json_u64(&m, "total"), 8, "{m}");
+    assert_eq!(json_u64(&m, "sessions_live"), 5, "{m}");
+
+    // Quarantined bytes are moved aside (`quarantine/<run>/<file>`),
+    // not deleted.
+    let mut moved = 0usize;
+    for run in std::fs::read_dir(data.join("quarantine")).unwrap() {
+        moved += std::fs::read_dir(run.unwrap().path()).unwrap().count();
+    }
+    assert_eq!(moved, 8, "quarantine/ holds every condemned file");
+    second.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 8. Torn-write crash simulation: restart serves committed goldens
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_mid_ingest_crash_recovers_committed_sessions_byte_identical() {
+    let data = scratch("crashsim");
+    let clean = ServeConfig {
+        data_dir: data.clone(),
+        cache_entries: 4,
+        threads: 2,
+        ..ServeConfig::default()
+    };
+    let text = bt4_text();
+    let first = Server::start("127.0.0.1:0", clean.clone()).unwrap();
+    push_journal(&first.addr().to_string(), "bt4", text.as_bytes()).unwrap();
+    first.shutdown();
+
+    // Second daemon tears every spill write — each ingest dies exactly
+    // as a crash mid-`write(2)` would, leaving a partial `.tmp` behind.
+    let faulty = ServeConfig {
+        faults: Some(SvcFaultPlan {
+            torn_per_mille: 1000,
+            ..SvcFaultPlan::new(0xC4A5)
+        }),
+        ..clean.clone()
+    };
+    let second = Server::start("127.0.0.1:0", faulty).unwrap();
+    let err = push_journal_with(
+        &second.addr().to_string(),
+        "victim",
+        mini_journal(9).to_jsonl().as_bytes(),
+        &RetryPolicy::once(),
+    )
+    .expect_err("torn spill cannot commit");
+    assert!(
+        matches!(err, PushError::Transport { .. }),
+        "torn spill surfaces as a retryable server error: {err}"
+    );
+    second.shutdown();
+    assert!(
+        data.join("runs/victim/journal.jsonl.tmp").exists(),
+        "the tear left its staging file"
+    );
+
+    // Clean restart: the torn staging file is quarantined, the victim
+    // session never existed, and the committed session's bytes match
+    // the goldens pinned by test 1 exactly.
+    let third = Server::start("127.0.0.1:0", clean).unwrap();
+    let addr = third.addr().to_string();
+    let (status, body) = get(&addr, "/runs/bt4/summarize");
+    assert_eq!(status, 200, "{body}");
+    assert_golden("serve/bt4_summarize.json", &body);
+    let (status, body) = get(&addr, "/runs/bt4/metrics");
+    assert_eq!(status, 200);
+    assert_golden("serve/bt4_metrics.json", &body);
+    let (status, _) = get(&addr, "/runs/victim/summarize");
+    assert_eq!(status, 404, "uncommitted ingest must not resurrect");
+    let (_, m) = get(&addr, "/metrics");
+    assert!(json_u64(&m, "torn") >= 1, "{m}");
+    third.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 9. Seeded fault storm: the retrying push converges idempotently
+// ---------------------------------------------------------------------
+
+/// Ten seeds of a fault plan that tears spills and drops connections on
+/// both sides of processing. The drop-post case is the acid test: the
+/// daemon committed but the client never heard, so the retry re-sends
+/// and must land on the content-digest dedupe path, not double-ingest.
+/// All coins are seeded, so a failing seed replays exactly.
+#[test]
+fn seeded_fault_storm_converges_to_successful_idempotent_push() {
+    let text = bt4_text();
+    let journal = RunJournal::from_jsonl(&text).unwrap();
+    let want = query::summarize_json(&journal);
+    for seed in 0..10u64 {
+        let data = scratch(&format!("storm{seed}"));
+        let cfg = ServeConfig {
+            data_dir: data.clone(),
+            cache_entries: 4,
+            threads: 2,
+            faults: Some(SvcFaultPlan {
+                torn_per_mille: 200,
+                drop_pre_per_mille: 200,
+                drop_post_per_mille: 200,
+                ..SvcFaultPlan::new(seed)
+            }),
+            ..ServeConfig::default()
+        };
+        let server = Server::start("127.0.0.1:0", cfg).unwrap();
+        let addr = server.addr().to_string();
+        let policy = RetryPolicy {
+            attempts: 20,
+            base: std::time::Duration::from_millis(2),
+            cap: std::time::Duration::from_millis(40),
+            seed,
+        };
+        push_journal_with(&addr, "bt4", text.as_bytes(), &policy)
+            .unwrap_or_else(|e| panic!("seed {seed}: journal push did not converge: {e}"));
+        push_checkpoint_with(&addr, "bt4", &mini_ckpt(5).encode(), &policy)
+            .unwrap_or_else(|e| panic!("seed {seed}: ckpt push did not converge: {e}"));
+        server.shutdown();
+
+        // What converged is durably committed: a clean restart serves
+        // exactly one copy of the run with renderer-identical bytes.
+        let clean = ServeConfig {
+            data_dir: data,
+            cache_entries: 4,
+            threads: 2,
+            ..ServeConfig::default()
+        };
+        let check = Server::start("127.0.0.1:0", clean).unwrap();
+        let addr = check.addr().to_string();
+        let (status, body) = get(&addr, "/runs/bt4/summarize");
+        assert_eq!(status, 200, "seed {seed}: {body}");
+        assert_eq!(body, want, "seed {seed}: recovered bytes drifted");
+        check.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// 10. Content-digest dedupe and hot-session eviction in /metrics
+// ---------------------------------------------------------------------
+
+#[test]
+fn dedupe_and_hot_session_eviction_show_in_metrics() {
+    let cfg = ServeConfig {
+        data_dir: scratch("evict"),
+        cache_entries: 8,
+        threads: 2,
+        hot_sessions: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr().to_string();
+    let mut receipts = Vec::new();
+    for tag in 0..3u64 {
+        let (status, r) = post(
+            &addr,
+            &format!("/runs/run{tag}/journal"),
+            mini_journal(tag).to_jsonl().as_bytes(),
+        );
+        assert_eq!(status, 200, "{r}");
+        receipts.push(r);
+    }
+    // run0's hot state was evicted to its manifest-backed spill by now;
+    // re-pushing the same bytes rehydrates it, matches the stored
+    // digest, and answers with the byte-identical receipt — a cheap 200
+    // that never rewrites the committed artifact.
+    let before = std::fs::metadata(server.data_dir().join("runs/run0/journal.jsonl"))
+        .unwrap()
+        .modified()
+        .unwrap();
+    let (status, again) = post(
+        &addr,
+        "/runs/run0/journal",
+        mini_journal(0).to_jsonl().as_bytes(),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(again, receipts[0], "dedupe receipt is byte-identical");
+    let after = std::fs::metadata(server.data_dir().join("runs/run0/journal.jsonl"))
+        .unwrap()
+        .modified()
+        .unwrap();
+    assert_eq!(before, after, "dedupe must not rewrite the spill");
+
+    let (_, m) = get(&addr, "/metrics");
+    assert_eq!(json_u64(&m, "journals_ingested"), 3, "{m}");
+    assert!(json_u64(&m, "ingest_deduped") >= 1, "{m}");
+    assert!(json_u64(&m, "sessions_evicted") >= 1, "{m}");
+    assert!(json_u64(&m, "sessions_rehydrated") >= 1, "{m}");
+    // Eviction is not forgetting: all three sessions stay queryable.
+    assert_eq!(json_u64(&m, "sessions_live"), 3, "{m}");
+    for tag in 0..3u64 {
+        let (status, body) = get(&addr, &format!("/runs/run{tag}/summarize"));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, query::summarize_json(&mini_journal(tag)));
+    }
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 11. ENOSPC degrades to read-only: ingest 503, queries keep serving
+// ---------------------------------------------------------------------
+
+#[test]
+fn injected_enospc_degrades_to_read_only_but_keeps_queries() {
+    let cfg = ServeConfig {
+        data_dir: scratch("enospc"),
+        cache_entries: 4,
+        threads: 2,
+        faults: Some(SvcFaultPlan {
+            enospc_after_bytes: Some(4096),
+            ..SvcFaultPlan::new(1)
+        }),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr().to_string();
+    // The small run fits under the budget…
+    push_journal(&addr, "small", mini_journal(7).to_jsonl().as_bytes()).unwrap();
+    // …bt4 (≈18 KiB) blows it: the disk "fills" and the store flips
+    // read-only instead of crashing or half-writing.
+    let (status, body) = post(&addr, "/runs/big/journal", bt4_text().as_bytes());
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("read-only"), "{body}");
+    let (status, _) = post(&addr, "/runs/small/checkpoint", &mini_ckpt(1).encode());
+    assert_eq!(status, 503, "read-only rejects all ingest");
+    // Queries on already-committed state still serve.
+    let (status, body) = get(&addr, "/runs/small/summarize");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, query::summarize_json(&mini_journal(7)));
+    let (status, m) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(m.contains("\"read_only\":true"), "{m}");
+    assert!(json_u64(&m, "read_only_rejects_503") >= 2, "{m}");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 12. Slow-loris clients hit the header/body deadlines: 408
+// ---------------------------------------------------------------------
+
+#[test]
+fn slow_loris_clients_get_408() {
+    use std::io::{Read, Write};
+    let cfg = ServeConfig {
+        data_dir: scratch("loris"),
+        cache_entries: 4,
+        threads: 2,
+        header_deadline: std::time::Duration::from_millis(150),
+        body_deadline: std::time::Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr().to_string();
+
+    // Head never finishes.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.write_all(b"POST /runs/x/journal HTTP/1.1\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 408"), "stalled head: {buf}");
+
+    // Head complete, promised body never arrives.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    s.write_all(b"POST /runs/x/journal HTTP/1.1\r\ncontent-length: 10\r\n\r\n")
+        .unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    assert!(buf.starts_with("HTTP/1.1 408"), "stalled body: {buf}");
+
+    let (_, m) = get(&addr, "/metrics");
+    assert!(json_u64(&m, "request_timeouts_408") >= 2, "{m}");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// 13. Full accept backlog sheds load with 429
+// ---------------------------------------------------------------------
+
+#[test]
+fn full_backlog_sheds_with_429() {
+    // One worker, a one-deep queue, and a 200 ms injected delay per
+    // response: a burst of 8 concurrent probes cannot all fit, so the
+    // acceptor sheds the overflow with 429 + retry-after instead of
+    // queueing unboundedly.
+    let cfg = ServeConfig {
+        data_dir: scratch("shed"),
+        cache_entries: 4,
+        threads: 1,
+        backlog: 1,
+        faults: Some(SvcFaultPlan {
+            delay_ms: 200,
+            ..SvcFaultPlan::new(0)
+        }),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.addr().to_string();
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || get(&addr, "/healthz").0)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(statuses.contains(&200), "{statuses:?}");
+    assert!(statuses.contains(&429), "{statuses:?}");
+    // Every probe got an answer — shed, not hung.
+    assert_eq!(statuses.len(), 8);
+    let (_, m) = get(&addr, "/metrics");
+    assert!(json_u64(&m, "load_shed_429") >= 1, "{m}");
+    server.shutdown();
 }
